@@ -1,0 +1,282 @@
+// Package atrapos is a from-scratch reproduction of "ATraPos: Adaptive
+// Transaction Processing on Hardware Islands" (Porobic, Liarou, Tözün,
+// Ailamaki — ICDE 2014) as a Go library.
+//
+// The library models a multisocket multicore server (hardware Islands),
+// implements the storage-manager substrate the paper builds on (multi-rooted
+// B-trees, hierarchical locking, Aether-style logging, transaction
+// management), the system designs the paper compares (centralized
+// shared-everything, extreme and coarse shared-nothing, PLP), and the paper's
+// contribution: ATraPos' NUMA-aware system state plus its workload- and
+// hardware-aware adaptive partitioning and placement mechanism.
+//
+// Because the Go runtime offers no NUMA placement control, hardware is
+// simulated: workers are logically bound to the cores of an explicit topology
+// model and every data-structure operation charges virtual time according to
+// a NUMA cost model. Throughput is measured in virtual time, which makes the
+// experiments deterministic in shape and machine independent. See DESIGN.md
+// for the full substitution table.
+//
+// Typical use:
+//
+//	wl := atrapos.TATP(atrapos.TATPOptions{Subscribers: 100_000})
+//	sys, err := atrapos.Open(atrapos.Options{
+//		Design:   atrapos.DesignATraPos,
+//		Workload: wl,
+//		Adaptive: true,
+//	})
+//	if err != nil { ... }
+//	res, err := sys.Run(atrapos.RunOptions{Transactions: 100_000})
+//	fmt.Println(res.ThroughputTPS)
+//
+// The experiments of the paper's evaluation section are available through
+// RunExperiment and the atrapos-bench command.
+package atrapos
+
+import (
+	"fmt"
+
+	"atrapos/internal/core"
+	"atrapos/internal/engine"
+	"atrapos/internal/harness"
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
+)
+
+// Design selects one of the system designs the paper compares.
+type Design = engine.Design
+
+// The supported system designs.
+const (
+	// DesignCentralized is the traditional centralized shared-everything design.
+	DesignCentralized = engine.Centralized
+	// DesignSharedNothingExtreme runs one logical instance per core.
+	DesignSharedNothingExtreme = engine.SharedNothingExtreme
+	// DesignSharedNothingCoarse runs one logical instance per socket.
+	DesignSharedNothingCoarse = engine.SharedNothingCoarse
+	// DesignPLP is physiological partitioning (the prior state of the art).
+	DesignPLP = engine.PLP
+	// DesignHWAware is PLP plus NUMA-aware system state with naïve placement.
+	DesignHWAware = engine.HWAware
+	// DesignATraPos is the paper's full design.
+	DesignATraPos = engine.ATraPos
+)
+
+// Designs returns every supported design.
+func Designs() []Design { return engine.Designs() }
+
+// Topology models a multisocket machine.
+type Topology = topology.Topology
+
+// DefaultTopology returns the paper's 8-socket, 80-core machine.
+func DefaultTopology() *Topology { return topology.Default() }
+
+// NewTopology builds a machine with the given number of sockets and cores per
+// socket, connected with a twisted-cube-like interconnect.
+func NewTopology(sockets, coresPerSocket int) (*Topology, error) {
+	return topology.New(topology.Config{Sockets: sockets, CoresPerSocket: coresPerSocket})
+}
+
+// CostModel holds the NUMA latencies of the simulation.
+type CostModel = numa.CostModel
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() CostModel { return numa.DefaultCostModel() }
+
+// AllocPolicy selects where shared-nothing instances allocate their memory.
+type AllocPolicy = numa.AllocPolicy
+
+// Memory allocation policies (Table I).
+const (
+	AllocLocal   = numa.AllocLocal
+	AllocCentral = numa.AllocCentral
+	AllocRemote  = numa.AllocRemote
+)
+
+// Workload couples a dataset with a transaction generator.
+type Workload = workload.Workload
+
+// TATPOptions configures the TATP benchmark.
+type TATPOptions = workload.TATPOptions
+
+// TPCCOptions configures the TPC-C benchmark.
+type TPCCOptions = workload.TPCCOptions
+
+// Skew describes a hot-set access skew.
+type Skew = workload.Skew
+
+// TATP builds the TATP telecom benchmark workload.
+func TATP(opts TATPOptions) (*Workload, error) { return workload.TATP(opts) }
+
+// MustTATP is TATP but panics on configuration errors.
+func MustTATP(opts TATPOptions) *Workload { return workload.MustTATP(opts) }
+
+// TPCC builds the TPC-C wholesale supplier benchmark workload.
+func TPCC(opts TPCCOptions) (*Workload, error) { return workload.TPCC(opts) }
+
+// MustTPCC is TPCC but panics on configuration errors.
+func MustTPCC(opts TPCCOptions) *Workload { return workload.MustTPCC(opts) }
+
+// SingleRowRead returns the perfectly partitionable microbenchmark of the
+// paper's Figures 1, 2 and 5.
+func SingleRowRead(rows int) *Workload { return workload.SingleRowRead(rows) }
+
+// MultisiteUpdate returns the microbenchmark of Figures 3 and 4 with the
+// given percentage of multi-site transactions.
+func MultisiteUpdate(rows, pctMultiSite int) *Workload {
+	return workload.MultisiteUpdate(rows, pctMultiSite)
+}
+
+// TwoTableSimple returns the two-table transaction of Figure 6.
+func TwoTableSimple(rows int) *Workload { return workload.TwoTableSimple(rows) }
+
+// ReadHundred returns the remote-memory microbenchmark of Table I.
+func ReadHundred(rows int) *Workload { return workload.ReadHundred(rows) }
+
+// Options configures a System.
+type Options struct {
+	// Design selects the system design; the default is DesignATraPos.
+	Design Design
+	// Workload supplies the dataset and transaction generator. Required.
+	Workload *Workload
+	// Topology models the machine; nil means the paper's 8-socket box.
+	Topology *Topology
+	// CostModel overrides the NUMA latencies; zero value means defaults.
+	CostModel CostModel
+	// Adaptive enables ATraPos monitoring and adaptive repartitioning.
+	Adaptive bool
+	// AdaptiveInterval tunes the monitoring interval controller; the zero
+	// value uses the paper's parameters (1 s initial, 8 s maximum interval).
+	AdaptiveInterval IntervalConfig
+	// TimeCompression declares that the run compresses that many wall-clock
+	// seconds of the modeled scenario into one virtual second; repartitioning
+	// costs are scaled down accordingly. Zero or one means no compression.
+	TimeCompression float64
+	// Monitoring enables the monitoring mechanism without adaptation.
+	Monitoring bool
+	// AllocPolicy places instance memory for the shared-nothing designs.
+	AllocPolicy AllocPolicy
+	// WorkloadAwarePlacement derives the initial partitioning and placement
+	// from the workload's static information (flow graphs and class mix)
+	// using the paper's Algorithms 1 and 2; it applies to DesignATraPos and
+	// defaults to true.
+	WorkloadAwarePlacement *bool
+}
+
+// System is an instantiated storage manager plus execution engine.
+type System struct {
+	engine *engine.Engine
+}
+
+// Open builds and loads a System according to opts.
+func Open(opts Options) (*System, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("atrapos: Options.Workload is required")
+	}
+	top := opts.Topology
+	if top == nil {
+		top = topology.Default()
+	}
+	cfg := engine.Config{
+		Design:           opts.Design,
+		Workload:         opts.Workload,
+		Topology:         top,
+		CostModel:        opts.CostModel,
+		Adaptive:         opts.Adaptive,
+		AdaptiveInterval: opts.AdaptiveInterval,
+		TimeCompression:  opts.TimeCompression,
+		Monitoring:       opts.Monitoring || opts.Adaptive,
+		AllocPolicy:      opts.AllocPolicy,
+	}
+	wap := true
+	if opts.WorkloadAwarePlacement != nil {
+		wap = *opts.WorkloadAwarePlacement
+	}
+	if opts.Design == engine.ATraPos && wap {
+		cfg.Placement = engine.DerivePlacement(opts.Workload, top, true)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: e}, nil
+}
+
+// RunOptions controls one run of a System.
+type RunOptions = engine.RunOptions
+
+// Result is the outcome of a run.
+type Result = engine.Result
+
+// Event is an environment change scheduled at a point of virtual time.
+type Event = engine.Event
+
+// FailSocketAt returns an Event that simulates the failure of the given
+// socket once the run's virtual time passes at (the Figure 12 scenario).
+func FailSocketAt(at VirtualTime, socket int) Event {
+	return Event{At: at, Do: func(e *engine.Engine) { _ = e.FailSocket(topology.SocketID(socket)) }}
+}
+
+// Run executes the workload and returns the measured result.
+func (s *System) Run(opts RunOptions) (*Result, error) { return s.engine.Run(opts) }
+
+// Design returns the system's design.
+func (s *System) Design() Design { return s.engine.Design() }
+
+// Topology returns the modeled machine.
+func (s *System) Topology() *Topology { return s.engine.Topology() }
+
+// Placement returns a copy of the current partitioning and placement.
+func (s *System) Placement() *partition.Placement { return s.engine.Placement() }
+
+// FailSocket simulates a processor failure.
+func (s *System) FailSocket(socket int) error {
+	return s.engine.FailSocket(topology.SocketID(socket))
+}
+
+// VirtualTime is a span of virtual time in nanoseconds; throughput and the
+// adaptivity experiments are measured against it.
+type VirtualTime = vclock.Nanos
+
+// Seconds converts seconds to VirtualTime.
+func Seconds(s float64) VirtualTime { return workload.Seconds(s) }
+
+// IntervalConfig tunes the adaptive monitoring interval controller.
+type IntervalConfig = core.IntervalConfig
+
+// DefaultIntervalConfig returns the paper's controller parameters
+// (1 s initial interval, 8 s maximum, 10% threshold, 5-sample history).
+func DefaultIntervalConfig() IntervalConfig { return core.DefaultIntervalConfig() }
+
+// Scale controls how large the reproduction experiments run.
+type Scale = harness.Scale
+
+// QuickScale returns a scale that runs every experiment in seconds.
+func QuickScale() Scale { return harness.QuickScale() }
+
+// PaperScale returns the paper's experimental scale.
+func PaperScale() Scale { return harness.PaperScale() }
+
+// ExperimentTable is the rendered result of one experiment.
+type ExperimentTable = harness.Table
+
+// Experiments lists the ids of every reproducible table and figure.
+func Experiments() []string { return harness.IDs() }
+
+// RunExperiment reproduces one of the paper's tables or figures by id
+// (e.g. "fig2", "table1").
+func RunExperiment(id string, scale Scale) (*ExperimentTable, error) {
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("atrapos: unknown experiment %q (known: %v)", id, harness.IDs())
+	}
+	return exp.Run(scale)
+}
+
+// RunAllExperiments reproduces every table and figure at the given scale.
+func RunAllExperiments(scale Scale) ([]*ExperimentTable, error) {
+	return harness.RunAll(scale)
+}

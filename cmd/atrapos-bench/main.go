@@ -1,0 +1,80 @@
+// Command atrapos-bench reproduces the tables and figures of the ATraPos
+// paper's evaluation section.
+//
+// Usage:
+//
+//	atrapos-bench -list
+//	atrapos-bench -experiment fig2
+//	atrapos-bench -experiment all -scale quick
+//	atrapos-bench -experiment fig8 -scale paper
+//
+// The quick scale (default) runs every experiment on a simulated 4-socket
+// machine with small datasets in seconds; the paper scale uses the 8-socket,
+// 80-core configuration and the paper's dataset sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"atrapos"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
+		list       = flag.Bool("list", false, "list the available experiments and exit")
+		seed       = flag.Int64("seed", 42, "random seed")
+		workers    = flag.Int("workers", 0, "number of worker goroutines (0 = automatic)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range atrapos.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	var scale atrapos.Scale
+	switch *scaleName {
+	case "quick":
+		scale = atrapos.QuickScale()
+	case "paper":
+		scale = atrapos.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+	scale.Workers = *workers
+
+	run := func(id string) error {
+		start := time.Now()
+		tbl, err := atrapos.RunExperiment(id, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *experiment == "all" {
+		for _, id := range atrapos.Experiments() {
+			if err := run(id); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*experiment); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *experiment, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command atrapos-demo shows ATraPos adapting to a workload change: it runs
+// the TATP benchmark on a simulated multisocket machine, switches the
+// transaction mix partway through, and prints the throughput time line, the
+// repartitioning activity and the partitioning before and after.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atrapos"
+)
+
+func main() {
+	var (
+		sockets     = flag.Int("sockets", 4, "number of processor sockets to simulate")
+		cores       = flag.Int("cores", 4, "cores per socket")
+		subscribers = flag.Int("subscribers", 20000, "TATP subscriber count")
+		seconds     = flag.Float64("seconds", 0.06, "virtual duration of the run (seconds)")
+	)
+	flag.Parse()
+
+	top, err := atrapos.NewTopology(*sockets, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The workload starts as update-heavy and switches to the read-only
+	// GetNewDest transaction halfway through the run.
+	half := atrapos.Seconds(*seconds / 2)
+	wl, err := atrapos.TATP(atrapos.TATPOptions{
+		Subscribers: *subscribers,
+		MixAt: func(at atrapos.VirtualTime) map[string]float64 {
+			if at < half {
+				return map[string]float64{"UpdSubData": 1}
+			}
+			return map[string]float64{"GetNewDest": 1}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Map the paper's 1 s / 8 s monitoring intervals onto the short virtual
+	// duration of the demo so the adaptation is visible.
+	interval := atrapos.IntervalConfig{
+		Initial:         atrapos.Seconds(*seconds / 40),
+		Max:             atrapos.Seconds(*seconds / 5),
+		StableThreshold: 0.10,
+		History:         5,
+	}
+	sys, err := atrapos.Open(atrapos.Options{
+		Design:           atrapos.DesignATraPos,
+		Workload:         wl,
+		Topology:         top,
+		Adaptive:         true,
+		AdaptiveInterval: interval,
+		TimeCompression:  30 / *seconds,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine: %s\n\ninitial placement:\n", top)
+	printPlacement(sys)
+
+	res, err := sys.Run(atrapos.RunOptions{
+		Duration:     atrapos.Seconds(*seconds),
+		Seed:         1,
+		SampleWindow: atrapos.Seconds(*seconds / 20),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nthroughput over (virtual) time:\n")
+	for _, s := range res.Series {
+		fmt.Printf("  t=%6.3fs  %10.0f TPS\n", s.At.Seconds(), s.Throughput)
+	}
+	fmt.Printf("\ncommitted: %d, aborted: %d, throughput: %.0f TPS\n", res.Committed, res.Aborted, res.ThroughputTPS)
+	fmt.Printf("repartitionings: %d (total repartitioning time %.2f ms)\n",
+		res.Repartitions, res.RepartitionTime.Seconds()*1e3)
+
+	fmt.Printf("\nfinal placement:\n")
+	printPlacement(sys)
+}
+
+func printPlacement(sys *atrapos.System) {
+	p := sys.Placement()
+	for _, name := range p.TableNames() {
+		tp := p.Tables[name]
+		fmt.Printf("  %-18s %2d partitions on cores %v\n", name, tp.NumPartitions(), tp.Cores)
+	}
+}

@@ -1,0 +1,54 @@
+// TATP example: run the TATP telecom benchmark (the paper's Figure 8, left)
+// on PLP and on ATraPos, for individual transaction classes and for the
+// standard mix, and report the normalized improvement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atrapos"
+)
+
+func main() {
+	top, err := atrapos.NewTopology(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const subscribers = 50_000
+
+	cases := []struct {
+		label string
+		mix   map[string]float64
+	}{
+		{"GetSubData", map[string]float64{"GetSubData": 1}},
+		{"GetNewDest", map[string]float64{"GetNewDest": 1}},
+		{"UpdSubData", map[string]float64{"UpdSubData": 1}},
+		{"TATP-Mix", nil}, // nil selects the standard TATP mix
+	}
+
+	fmt.Printf("TATP with %d subscribers on %s\n\n", subscribers, top)
+	fmt.Printf("%-12s %14s %14s %12s\n", "workload", "PLP", "ATraPos", "improvement")
+
+	for _, c := range cases {
+		wl, err := atrapos.TATP(atrapos.TATPOptions{Subscribers: subscribers, Mix: c.mix})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plp := run(wl, top, atrapos.DesignPLP)
+		atr := run(wl, top, atrapos.DesignATraPos)
+		fmt.Printf("%-12s %10.0f TPS %10.0f TPS %11.2fx\n", c.label, plp, atr, atr/plp)
+	}
+}
+
+func run(wl *atrapos.Workload, top *atrapos.Topology, d atrapos.Design) float64 {
+	sys, err := atrapos.Open(atrapos.Options{Design: d, Workload: wl, Topology: top})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(atrapos.RunOptions{Transactions: 15_000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.ThroughputTPS
+}

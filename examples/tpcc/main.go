@@ -1,0 +1,50 @@
+// TPC-C example: print the NewOrder transaction flow graph the partitioning
+// cost model works from (the paper's Figure 7), then run the TPC-C mix on
+// the centralized design and on ATraPos and report the per-component time
+// breakdown of each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atrapos"
+	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
+)
+
+func main() {
+	// Figure 7: the static execution plan of the NewOrder transaction.
+	fmt.Println("TPC-C NewOrder transaction flow graph (Figure 7):")
+	fmt.Println(workload.NewOrderFlowGraph().String())
+
+	top, err := atrapos.NewTopology(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := atrapos.TPCC(atrapos.TPCCOptions{
+		Warehouses:           8,
+		CustomersPerDistrict: 300,
+		Items:                10_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TPC-C with 8 warehouses on %s\n\n", top)
+	for _, design := range []atrapos.Design{atrapos.DesignCentralized, atrapos.DesignATraPos} {
+		sys, err := atrapos.Open(atrapos.Options{Design: design, Workload: wl, Topology: top})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(atrapos.RunOptions{Transactions: 5_000, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.0f TPS (%d committed, %d aborted)\n", design, res.ThroughputTPS, res.Committed, res.Aborted)
+		for _, comp := range vclock.Components() {
+			fmt.Printf("    %-16s %8.1f us/txn\n", comp, res.TimePerTransaction(comp)/1e3)
+		}
+		fmt.Println()
+	}
+}

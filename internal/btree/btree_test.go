@@ -1,0 +1,488 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"atrapos/internal/schema"
+)
+
+func row(v int64) schema.Row { return schema.Row{v} }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(schema.KeyFromInt(1)); ok {
+		t.Error("Get on empty tree should miss")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree should report absence")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree should report absence")
+	}
+	if tr.Delete(schema.KeyFromInt(1)) {
+		t.Error("Delete on empty tree should report absence")
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("empty tree has %d nodes, want 1", tr.NodeCount())
+	}
+}
+
+func TestInsertGetSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(schema.KeyFromInt(int64(i)), row(int64(i*10))) {
+			t.Fatalf("Insert(%d) reported update", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(schema.KeyFromInt(int64(i)))
+		if !ok {
+			t.Fatalf("Get(%d) missed", i)
+		}
+		if v[0].(int64) != int64(i*10) {
+			t.Fatalf("Get(%d) = %v", i, v)
+		}
+	}
+	if _, ok := tr.Get(schema.KeyFromInt(n + 5)); ok {
+		t.Error("Get of absent key should miss")
+	}
+}
+
+func TestInsertRandomAndOverwrite(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(3000)
+	for _, k := range keys {
+		tr.Insert(schema.KeyFromInt(int64(k)), row(int64(k)))
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d, want 3000", tr.Len())
+	}
+	// Overwrites do not change the size.
+	if tr.Insert(schema.KeyFromInt(42), row(999)) {
+		t.Error("overwrite should report update, not insert")
+	}
+	if tr.Len() != 3000 {
+		t.Errorf("Len changed on overwrite: %d", tr.Len())
+	}
+	v, _ := tr.Get(schema.KeyFromInt(42))
+	if v[0].(int64) != 999 {
+		t.Errorf("overwritten value = %v", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{500, 3, 999, 250} {
+		tr.Insert(schema.KeyFromInt(k), row(k))
+	}
+	min, _ := tr.Min()
+	max, _ := tr.Max()
+	if min != schema.KeyFromInt(3) || max != schema.KeyFromInt(999) {
+		t.Errorf("Min/Max = %d/%d", min.Int(), max.Int())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(schema.KeyFromInt(int64(i)), row(int64(i)))
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(schema.KeyFromInt(int64(i))) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(schema.KeyFromInt(int64(i)))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+	if tr.Delete(schema.KeyFromInt(0)) {
+		t.Error("double delete should report absence")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New()
+	tr.Insert(schema.KeyFromInt(7), row(1))
+	ok := tr.Update(schema.KeyFromInt(7), func(r schema.Row) schema.Row {
+		return schema.Row{r[0].(int64) + 100}
+	})
+	if !ok {
+		t.Fatal("Update missed existing key")
+	}
+	v, _ := tr.Get(schema.KeyFromInt(7))
+	if v[0].(int64) != 101 {
+		t.Errorf("updated value = %v", v)
+	}
+	if tr.Update(schema.KeyFromInt(8), func(r schema.Row) schema.Row { return r }) {
+		t.Error("Update of absent key should report absence")
+	}
+}
+
+func TestScanAndAscend(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(schema.KeyFromInt(int64(i)), row(int64(i)))
+	}
+	var got []int64
+	tr.Scan(schema.KeyFromInt(100), schema.KeyFromInt(200), func(k schema.Key, v schema.Row) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("scan returned %d keys, want 100", len(got))
+	}
+	for i, k := range got {
+		if k != int64(100+i) {
+			t.Fatalf("scan out of order at %d: %d", i, k)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(0, ^schema.Key(0), func(schema.Key, schema.Row) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early-stop scan visited %d", count)
+	}
+	// Ascend covers everything.
+	count = 0
+	tr.Ascend(func(schema.Key, schema.Row) bool { count++; return true })
+	if count != 1000 {
+		t.Errorf("Ascend visited %d, want 1000", count)
+	}
+	if len(tr.Items()) != 1000 {
+		t.Errorf("Items returned %d entries", len(tr.Items()))
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = Item{Key: schema.KeyFromInt(int64(i)), Value: row(int64(i))}
+	}
+	tr, err := BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, err := BulkLoad([]Item{{Key: 5}, {Key: 5}}); err == nil {
+		t.Error("duplicate keys in bulk load should error")
+	}
+	if _, err := BulkLoad([]Item{{Key: 5}, {Key: 3}}); err == nil {
+		t.Error("descending keys in bulk load should error")
+	}
+	empty, err := BulkLoad(nil)
+	if err != nil || empty.Len() != 0 {
+		t.Error("empty bulk load should produce an empty tree")
+	}
+}
+
+func TestTreeMatchesMapProperty(t *testing.T) {
+	prop := func(ops []int16) bool {
+		tr := New()
+		ref := make(map[schema.Key]int64)
+		for _, op := range ops {
+			k := schema.KeyFromInt(int64(op % 64))
+			switch {
+			case op%3 == 0:
+				tr.Insert(k, row(int64(op)))
+				ref[k] = int64(op)
+			case op%3 == 1:
+				delete(ref, k)
+				tr.Delete(k)
+			default:
+				v, ok := tr.Get(k)
+				rv, rok := ref[k]
+				if ok != rok {
+					return false
+				}
+				if ok && v[0].(int64) != rv {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, rv := range ref {
+			v, ok := tr.Get(k)
+			if !ok || v[0].(int64) != rv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAscendIsSortedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		tr := New()
+		for _, r := range raw {
+			tr.Insert(schema.Key(r), row(int64(r)))
+		}
+		var keys []schema.Key
+		tr.Ascend(func(k schema.Key, _ schema.Row) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiRootedValidation(t *testing.T) {
+	if _, err := NewMultiRooted(nil); err == nil {
+		t.Error("empty bounds should error")
+	}
+	if _, err := NewMultiRooted([]schema.Key{5}); err == nil {
+		t.Error("first bound must be zero")
+	}
+	if _, err := NewMultiRooted([]schema.Key{0, 10, 10}); err == nil {
+		t.Error("non-ascending bounds should error")
+	}
+	m, err := NewMultiRooted([]schema.Key{0, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 3 {
+		t.Errorf("NumPartitions = %d", m.NumPartitions())
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	b := UniformBounds(800, 4)
+	if len(b) != 4 || b[0] != 0 {
+		t.Fatalf("UniformBounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending: %v", b)
+		}
+	}
+	if got := UniformBounds(100, 0); len(got) != 1 {
+		t.Errorf("n=0 should clamp to one partition, got %v", got)
+	}
+	if _, err := NewMultiRooted(UniformBounds(1000000, 80)); err != nil {
+		t.Errorf("80-way uniform bounds rejected: %v", err)
+	}
+}
+
+func TestMultiRootedRouting(t *testing.T) {
+	m, err := NewMultiRooted(UniformBounds(1000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		m.Insert(schema.KeyFromInt(i), row(i))
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	sizes := m.PartitionSizes()
+	if len(sizes) != 4 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i, s := range sizes {
+		if s != 250 {
+			t.Errorf("partition %d has %d entries, want 250", i, s)
+		}
+	}
+	// Keys route to the right partitions.
+	if m.PartitionFor(schema.KeyFromInt(0)) != 0 {
+		t.Error("key 0 should be in partition 0")
+	}
+	if m.PartitionFor(schema.KeyFromInt(999)) != 3 {
+		t.Error("key 999 should be in partition 3")
+	}
+	v, ok := m.Get(schema.KeyFromInt(640))
+	if !ok || v[0].(int64) != 640 {
+		t.Errorf("Get(640) = %v %v", v, ok)
+	}
+	if !m.Update(schema.KeyFromInt(640), func(r schema.Row) schema.Row { return row(1) }) {
+		t.Error("Update missed")
+	}
+	if !m.Delete(schema.KeyFromInt(640)) {
+		t.Error("Delete missed")
+	}
+	if _, ok := m.Get(schema.KeyFromInt(640)); ok {
+		t.Error("deleted key still present")
+	}
+	if _, err := m.Partition(0); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Partition(9); err == nil {
+		t.Error("out of range partition should error")
+	}
+}
+
+func TestMultiRootedScanAcrossPartitions(t *testing.T) {
+	m, _ := NewMultiRooted(UniformBounds(100, 4))
+	for i := int64(0); i < 100; i++ {
+		m.Insert(schema.KeyFromInt(i), row(i))
+	}
+	var got []int64
+	m.Scan(schema.KeyFromInt(20), schema.KeyFromInt(80), func(k schema.Key, _ schema.Row) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 60 {
+		t.Fatalf("cross-partition scan returned %d keys, want 60", len(got))
+	}
+	for i, k := range got {
+		if k != int64(20+i) {
+			t.Fatalf("scan out of order at %d: %d", i, k)
+		}
+	}
+	// Early stop across partitions.
+	count := 0
+	m.Scan(0, ^schema.Key(0), func(schema.Key, schema.Row) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestMultiRootedSplitAndMerge(t *testing.T) {
+	m, _ := NewMultiRooted([]schema.Key{0})
+	for i := int64(0); i < 100; i++ {
+		m.Insert(schema.KeyFromInt(i), row(i))
+	}
+	newIdx, err := m.Split(schema.KeyFromInt(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIdx != 1 || m.NumPartitions() != 2 {
+		t.Fatalf("split produced partition %d of %d", newIdx, m.NumPartitions())
+	}
+	sizes := m.PartitionSizes()
+	if sizes[0] != 50 || sizes[1] != 50 {
+		t.Errorf("sizes after split = %v", sizes)
+	}
+	// All keys still reachable.
+	for i := int64(0); i < 100; i++ {
+		if _, ok := m.Get(schema.KeyFromInt(i)); !ok {
+			t.Fatalf("key %d lost after split", i)
+		}
+	}
+	// Splitting at an existing bound fails.
+	if _, err := m.Split(schema.KeyFromInt(50)); err == nil {
+		t.Error("split at existing bound should error")
+	}
+	// Merge back.
+	if err := m.Merge(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 1 || m.Len() != 100 {
+		t.Errorf("after merge: %d partitions, %d entries", m.NumPartitions(), m.Len())
+	}
+	if err := m.Merge(0); err == nil {
+		t.Error("merging the last partition should error")
+	}
+	if err := m.Merge(-1); err == nil {
+		t.Error("negative partition index should error")
+	}
+}
+
+func TestMultiRootedRepartition(t *testing.T) {
+	m, _ := NewMultiRooted(UniformBounds(1000, 8))
+	for i := int64(0); i < 1000; i++ {
+		m.Insert(schema.KeyFromInt(i), row(i))
+	}
+	if _, err := m.Repartition(nil); err == nil {
+		t.Error("empty bounds should error")
+	}
+	if _, err := m.Repartition([]schema.Key{0, 5, 5}); err == nil {
+		t.Error("non-ascending bounds should error")
+	}
+	_, err := m.Repartition(UniformBounds(1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 5 {
+		t.Fatalf("NumPartitions = %d, want 5", m.NumPartitions())
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("entries lost during repartition: %d", m.Len())
+	}
+	for i := int64(0); i < 1000; i += 97 {
+		if _, ok := m.Get(schema.KeyFromInt(i)); !ok {
+			t.Errorf("key %d lost", i)
+		}
+	}
+	sizes := m.PartitionSizes()
+	for i, s := range sizes {
+		if s != 200 {
+			t.Errorf("partition %d has %d entries, want 200", i, s)
+		}
+	}
+}
+
+func TestMultiRootedSplitPreservesBalanceProperty(t *testing.T) {
+	prop := func(splitAtRaw uint16) bool {
+		at := int64(splitAtRaw%998) + 1 // 1..998
+		m, _ := NewMultiRooted([]schema.Key{0})
+		for i := int64(0); i < 1000; i++ {
+			m.Insert(schema.KeyFromInt(i), row(i))
+		}
+		if _, err := m.Split(schema.KeyFromInt(at)); err != nil {
+			return false
+		}
+		sizes := m.PartitionSizes()
+		return sizes[0] == int(at) && sizes[1] == int(1000-at) && m.Len() == 1000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(schema.KeyFromInt(int64(i)), row(int64(i)))
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(schema.KeyFromInt(int64(i)), row(int64(i)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(schema.KeyFromInt(int64(i % n)))
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"time"
+
+	"atrapos/internal/vclock"
+)
+
+// IntervalConfig tunes the adaptive monitoring interval controller.
+type IntervalConfig struct {
+	// Initial is the starting (and post-repartitioning) monitoring interval;
+	// the paper uses 1 second.
+	Initial vclock.Nanos
+	// Max is the upper bound the interval can grow to; the paper uses 8 seconds.
+	Max vclock.Nanos
+	// StableThreshold is the relative throughput deviation below which the
+	// workload is considered stable; the paper uses 10%.
+	StableThreshold float64
+	// History is how many previous measurements the deviation is computed
+	// against; the paper uses 5.
+	History int
+}
+
+// DefaultIntervalConfig returns the controller parameters used in the paper.
+func DefaultIntervalConfig() IntervalConfig {
+	return IntervalConfig{
+		Initial:         vclock.Nanos(time.Second),
+		Max:             vclock.Nanos(8 * time.Second),
+		StableThreshold: 0.10,
+		History:         5,
+	}
+}
+
+func (c IntervalConfig) sanitized() IntervalConfig {
+	if c.Initial <= 0 {
+		c.Initial = vclock.Nanos(time.Second)
+	}
+	if c.Max < c.Initial {
+		c.Max = c.Initial
+	}
+	if c.StableThreshold <= 0 {
+		c.StableThreshold = 0.10
+	}
+	if c.History <= 0 {
+		c.History = 5
+	}
+	return c
+}
+
+// Decision is the outcome of one monitoring interval.
+type Decision int
+
+const (
+	// KeepMonitoring means the throughput is stable: relax the interval and
+	// keep going without evaluating the model.
+	KeepMonitoring Decision = iota
+	// Evaluate means the throughput changed beyond the threshold: aggregate
+	// the traces and evaluate the cost model (which may or may not lead to a
+	// repartitioning).
+	Evaluate
+)
+
+// IntervalController implements the adaptive monitoring schedule of Section
+// V-D: start at the initial interval, double it while the throughput stays
+// within the threshold of the average of the previous measurements (up to the
+// maximum), and reset it to the initial value after a repartitioning.
+type IntervalController struct {
+	cfg      IntervalConfig
+	interval vclock.Nanos
+	history  []float64
+}
+
+// NewIntervalController builds a controller with the given configuration.
+func NewIntervalController(cfg IntervalConfig) *IntervalController {
+	cfg = cfg.sanitized()
+	return &IntervalController{cfg: cfg, interval: cfg.Initial}
+}
+
+// Interval returns the current monitoring interval.
+func (c *IntervalController) Interval() vclock.Nanos { return c.interval }
+
+// Observe feeds the throughput measured over the interval that just ended and
+// returns the decision for it. Stable throughput doubles the interval (up to
+// Max); a deviation beyond the threshold asks the caller to evaluate the
+// model and keeps the interval unchanged until the caller reports the outcome
+// via Repartitioned or Stabilized.
+func (c *IntervalController) Observe(throughput float64) Decision {
+	defer func() {
+		c.history = append(c.history, throughput)
+		if len(c.history) > c.cfg.History {
+			c.history = c.history[len(c.history)-c.cfg.History:]
+		}
+	}()
+	if len(c.history) == 0 {
+		return KeepMonitoring
+	}
+	var sum float64
+	for _, h := range c.history {
+		sum += h
+	}
+	avg := sum / float64(len(c.history))
+	if avg <= 0 {
+		if throughput > 0 {
+			return Evaluate
+		}
+		return KeepMonitoring
+	}
+	dev := (throughput - avg) / avg
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev <= c.cfg.StableThreshold {
+		c.interval *= 2
+		if c.interval > c.cfg.Max {
+			c.interval = c.cfg.Max
+		}
+		return KeepMonitoring
+	}
+	return Evaluate
+}
+
+// Repartitioned tells the controller that a repartitioning was executed: the
+// interval resets to its initial value and the throughput history is cleared,
+// so the controller stays alert while the system settles.
+func (c *IntervalController) Repartitioned() {
+	c.interval = c.cfg.Initial
+	c.history = nil
+}
+
+// History returns a copy of the retained throughput measurements.
+func (c *IntervalController) History() []float64 {
+	return append([]float64(nil), c.history...)
+}

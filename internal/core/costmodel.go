@@ -1,0 +1,230 @@
+// Package core implements the paper's primary contribution: the ATraPos
+// workload- and hardware-aware partitioning and placement mechanism. It
+// contains the lightweight monitoring structures (Section V-D), the cost
+// model combining resource utilization and transaction synchronization
+// overhead (Section V-B), the two-step search strategy (Section V-C,
+// Algorithms 1 and 2), the adaptive monitoring-interval controller and the
+// repartitioning planner that turns a placement change into split, merge and
+// rearrange actions.
+//
+// The package is engine-agnostic: it works on partition placements,
+// aggregated workload statistics and a hardware topology, and returns new
+// placements and repartitioning plans. The execution engine decides when to
+// invoke it and applies its decisions.
+package core
+
+import (
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+)
+
+// PartitionRef identifies one logical partition of one table.
+type PartitionRef struct {
+	Table     string
+	Partition int
+}
+
+// SubLoad is the observed cost of the work routed to one sub-partition.
+type SubLoad struct {
+	// Bounds are implied by the parent partition; Cost is the accumulated
+	// execution cost (virtual ns) of the actions that hit this sub-partition.
+	Cost vclock.Nanos
+	// Actions is the number of actions observed.
+	Actions int64
+}
+
+// SyncStat aggregates one synchronization-point signature: the set of
+// partitions that had to exchange data, how often it occurred and how many
+// bytes moved each time.
+type SyncStat struct {
+	Participants []PartitionRef
+	Count        int64
+	Bytes        int64 // average bytes per occurrence
+}
+
+// Stats is the aggregated dynamic workload information collected by the
+// monitoring mechanism over one interval.
+type Stats struct {
+	// Sub holds per-table, per-partition, per-sub-partition loads.
+	Sub map[string][][]SubLoad
+	// Bounds holds the partition lower bounds the statistics were collected
+	// under, so the loads can be re-mapped onto candidate placements with a
+	// different partition structure.
+	Bounds map[string][]schema.Key
+	// MaxKeys holds the upper end of each table's key space.
+	MaxKeys map[string]schema.Key
+	// Syncs holds the synchronization-point signatures observed.
+	Syncs []SyncStat
+	// Window is the virtual time span the statistics cover.
+	Window vclock.Nanos
+}
+
+// TotalCost returns the total execution cost across all sub-partitions.
+func (s *Stats) TotalCost() vclock.Nanos {
+	var total vclock.Nanos
+	for _, parts := range s.Sub {
+		for _, subs := range parts {
+			for _, sl := range subs {
+				total += sl.Cost
+			}
+		}
+	}
+	return total
+}
+
+// TableCost returns the total execution cost of one table.
+func (s *Stats) TableCost(table string) vclock.Nanos {
+	var total vclock.Nanos
+	for _, subs := range s.Sub[table] {
+		for _, sl := range subs {
+			total += sl.Cost
+		}
+	}
+	return total
+}
+
+// CostModel evaluates placements against observed statistics, implementing
+// the formulas of Section V-B.
+type CostModel struct {
+	Domain *numa.Domain
+}
+
+// coreLoads computes RU(c) for every core under placement p: the sum of the
+// costs of all actions that use partitions placed on that core. When the
+// statistics carry the key bounds they were collected under, each
+// sub-partition's load is re-mapped onto the candidate placement by its key
+// range, so placements with a different partition structure are evaluated
+// correctly; otherwise the loads are aligned by partition index.
+func (m CostModel) coreLoads(p *partition.Placement, stats *Stats) map[topology.CoreID]float64 {
+	loads := make(map[topology.CoreID]float64)
+	// Every alive core is a candidate even if it currently has no partitions,
+	// so under-utilized cores pull the average down as the paper intends.
+	for _, c := range m.Domain.Top.AliveCores() {
+		loads[c.ID] = 0
+	}
+	for table, tp := range p.Tables {
+		partStats := stats.Sub[table]
+		if len(tp.Cores) == 0 {
+			continue
+		}
+		bounds := stats.Bounds[table]
+		if bounds == nil {
+			// No key information: align by partition index.
+			for i, core := range tp.Cores {
+				var cost float64
+				if i < len(partStats) {
+					for _, sl := range partStats[i] {
+						cost += float64(sl.Cost)
+					}
+				}
+				loads[core] += cost
+			}
+			continue
+		}
+		maxKey := stats.MaxKeys[table]
+		for op, subs := range partStats {
+			lo := schema.Key(0)
+			if op < len(bounds) {
+				lo = bounds[op]
+			}
+			hi := maxKey
+			if op+1 < len(bounds) {
+				hi = bounds[op+1]
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			n := len(subs)
+			if n == 0 {
+				continue
+			}
+			span := uint64(hi-lo) / uint64(n)
+			if span == 0 {
+				span = 1
+			}
+			for sp, sl := range subs {
+				if sl.Cost == 0 {
+					continue
+				}
+				mid := lo + schema.Key(uint64(sp)*span+span/2)
+				idx := tp.PartitionFor(mid)
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(tp.Cores) {
+					idx = len(tp.Cores) - 1
+				}
+				loads[tp.Cores[idx]] += float64(sl.Cost)
+			}
+		}
+	}
+	return loads
+}
+
+// ResourceUtilization computes RU(S,W) = sum over cores of |RU(c) - RUavg|,
+// the imbalance metric Algorithm 1 minimizes. Lower is better; 0 means the
+// load is perfectly balanced.
+func (m CostModel) ResourceUtilization(p *partition.Placement, stats *Stats) float64 {
+	loads := m.coreLoads(p, stats)
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	avg := sum / float64(len(loads))
+	var ru float64
+	for _, l := range loads {
+		d := l - avg
+		if d < 0 {
+			d = -d
+		}
+		ru += d
+	}
+	return ru
+}
+
+// CoreLoads exposes the per-core load estimate for observability and tests.
+func (m CostModel) CoreLoads(p *partition.Placement, stats *Stats) map[topology.CoreID]float64 {
+	return m.coreLoads(p, stats)
+}
+
+// SyncCost computes C(s) = (nsocket(s)-1) * Distance(s) * Size(s) for one
+// synchronization signature under placement p.
+func (m CostModel) SyncCost(p *partition.Placement, sync SyncStat) float64 {
+	sockets := make([]topology.SocketID, 0, len(sync.Participants))
+	for _, ref := range sync.Participants {
+		tp, ok := p.Tables[ref.Table]
+		if !ok || len(tp.Cores) == 0 {
+			continue
+		}
+		idx := ref.Partition
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(tp.Cores) {
+			idx = len(tp.Cores) - 1
+		}
+		sockets = append(sockets, m.Domain.Top.SocketOf(tp.Cores[idx]))
+	}
+	uniq := numa.UniqueSockets(sockets)
+	if len(uniq) <= 1 {
+		return 0
+	}
+	dist := m.Domain.AvgPairwiseDistance(uniq)
+	return float64(len(uniq)-1) * dist * float64(sync.Bytes)
+}
+
+// TransactionSync computes TS(S,W): the total synchronization overhead of the
+// workload under placement p, weighting each signature by how often it occurred.
+func (m CostModel) TransactionSync(p *partition.Placement, stats *Stats) float64 {
+	var total float64
+	for _, sync := range stats.Syncs {
+		total += m.SyncCost(p, sync) * float64(sync.Count)
+	}
+	return total
+}

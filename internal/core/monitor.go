@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// DefaultSubPartitions is the number of sub-partitions tracked per partition.
+// The paper uses 10 as a good trade-off between the size of the monitoring
+// arrays and the number of repartitioning operations needed to adapt to even
+// the most drastic workload changes (Section V-D).
+const DefaultSubPartitions = 10
+
+// Monitor is the lightweight monitoring mechanism: per-partition arrays of
+// sub-partition action costs plus synchronization-point counters. The engine
+// records every executed action and synchronization point; a monitoring pass
+// aggregates the arrays into Stats and resets them.
+//
+// The space overhead is fixed per partition (it does not depend on the table
+// size or the transaction arrival rate), mirroring the paper's design. The
+// per-action CPU overhead charged to workers is modeled separately by the
+// engine (MonitoringCostPerAction).
+type Monitor struct {
+	subParts int
+
+	mu     sync.Mutex
+	tables map[string]*tableMonitor
+	syncs  map[string]*syncAgg
+	window vclock.Nanos
+}
+
+type tableMonitor struct {
+	bounds []schema.Key // partition lower bounds at registration time
+	maxKey schema.Key
+	costs  [][]vclock.Nanos // [partition][subpartition]
+	counts [][]int64
+}
+
+type syncAgg struct {
+	participants []PartitionRef
+	count        int64
+	bytes        int64
+}
+
+// NewMonitor creates a Monitor with the given number of sub-partitions per
+// partition (0 means DefaultSubPartitions).
+func NewMonitor(subParts int) *Monitor {
+	if subParts <= 0 {
+		subParts = DefaultSubPartitions
+	}
+	return &Monitor{
+		subParts: subParts,
+		tables:   make(map[string]*tableMonitor),
+		syncs:    make(map[string]*syncAgg),
+	}
+}
+
+// SubPartitions returns the number of sub-partitions tracked per partition.
+func (m *Monitor) SubPartitions() int { return m.subParts }
+
+// Register (re-)initializes the monitoring arrays for a table under the given
+// placement bounds and maximum key. It is called when the monitor is created
+// and after every repartitioning, which is when the paper's design also
+// re-initializes its arrays.
+func (m *Monitor) Register(table string, bounds []schema.Key, maxKey schema.Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm := &tableMonitor{
+		bounds: append([]schema.Key(nil), bounds...),
+		maxKey: maxKey,
+		costs:  make([][]vclock.Nanos, len(bounds)),
+		counts: make([][]int64, len(bounds)),
+	}
+	for i := range tm.costs {
+		tm.costs[i] = make([]vclock.Nanos, m.subParts)
+		tm.counts[i] = make([]int64, m.subParts)
+	}
+	m.tables[table] = tm
+}
+
+// RegisterPlacement registers every table of a placement, using the supplied
+// per-table maximum keys.
+func (m *Monitor) RegisterPlacement(p *partition.Placement, maxKeys map[string]schema.Key) {
+	for name, tp := range p.Tables {
+		m.Register(name, tp.Bounds, maxKeys[name])
+	}
+}
+
+// locate returns the partition and sub-partition of a key.
+func (tm *tableMonitor) locate(key schema.Key, subParts int) (int, int) {
+	// Partition: last bound <= key.
+	p := sort.Search(len(tm.bounds), func(i int) bool { return tm.bounds[i] > key }) - 1
+	if p < 0 {
+		p = 0
+	}
+	lo := tm.bounds[p]
+	hi := tm.maxKey
+	if p+1 < len(tm.bounds) {
+		hi = tm.bounds[p+1]
+	}
+	if hi <= lo {
+		return p, 0
+	}
+	span := uint64(hi-lo) / uint64(subParts)
+	if span == 0 {
+		span = 1
+	}
+	sp := int(uint64(key-lo) / span)
+	if sp >= subParts {
+		sp = subParts - 1
+	}
+	return p, sp
+}
+
+// RecordAction records that an action on table touched key and cost cost.
+func (m *Monitor) RecordAction(table string, key schema.Key, cost vclock.Nanos) {
+	m.mu.Lock()
+	tm, ok := m.tables[table]
+	if ok {
+		p, sp := tm.locate(key, m.subParts)
+		tm.costs[p][sp] += cost
+		tm.counts[p][sp]++
+	}
+	m.mu.Unlock()
+}
+
+// RecordSync records one occurrence of a synchronization point between the
+// given partitions moving bytes bytes.
+func (m *Monitor) RecordSync(participants []PartitionRef, bytes int) {
+	if len(participants) == 0 {
+		return
+	}
+	key := syncKey(participants)
+	m.mu.Lock()
+	agg, ok := m.syncs[key]
+	if !ok {
+		agg = &syncAgg{participants: append([]PartitionRef(nil), participants...)}
+		m.syncs[key] = agg
+	}
+	agg.count++
+	agg.bytes += int64(bytes)
+	m.mu.Unlock()
+}
+
+// AdvanceWindow extends the virtual-time span the current statistics cover.
+func (m *Monitor) AdvanceWindow(d vclock.Nanos) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.window += d
+	m.mu.Unlock()
+}
+
+// Aggregate returns the statistics collected since the last Aggregate (or
+// since creation) and clears the arrays, as the monitoring thread does after
+// each evaluation.
+func (m *Monitor) Aggregate() *Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats := &Stats{
+		Sub:     make(map[string][][]SubLoad, len(m.tables)),
+		Bounds:  make(map[string][]schema.Key, len(m.tables)),
+		MaxKeys: make(map[string]schema.Key, len(m.tables)),
+		Window:  m.window,
+	}
+	for name, tm := range m.tables {
+		stats.Bounds[name] = append([]schema.Key(nil), tm.bounds...)
+		stats.MaxKeys[name] = tm.maxKey
+		parts := make([][]SubLoad, len(tm.costs))
+		for p := range tm.costs {
+			subs := make([]SubLoad, m.subParts)
+			for sp := 0; sp < m.subParts; sp++ {
+				subs[sp] = SubLoad{Cost: tm.costs[p][sp], Actions: tm.counts[p][sp]}
+				tm.costs[p][sp] = 0
+				tm.counts[p][sp] = 0
+			}
+			parts[p] = subs
+		}
+		stats.Sub[name] = parts
+	}
+	for _, agg := range m.syncs {
+		avgBytes := int64(0)
+		if agg.count > 0 {
+			avgBytes = agg.bytes / agg.count
+		}
+		stats.Syncs = append(stats.Syncs, SyncStat{
+			Participants: agg.participants,
+			Count:        agg.count,
+			Bytes:        avgBytes,
+		})
+	}
+	sort.Slice(stats.Syncs, func(i, j int) bool {
+		return syncKey(stats.Syncs[i].Participants) < syncKey(stats.Syncs[j].Participants)
+	})
+	m.syncs = make(map[string]*syncAgg)
+	m.window = 0
+	return stats
+}
+
+func syncKey(refs []PartitionRef) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.Table + "#" + itoa(r.Partition)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

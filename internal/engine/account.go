@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+)
+
+// coreAccount is the virtual-time account of one logical core. Unlike
+// vclock.Clock it is safe for concurrent use, because several worker
+// goroutines may charge costs to the same core (e.g. data-oriented execution
+// attributes action costs to the partition-owning core, not to the
+// coordinating worker).
+type coreAccount struct {
+	busy      atomic.Int64
+	comp      [5]atomic.Int64
+	committed atomic.Int64
+}
+
+func newAccounts(n int) []coreAccount {
+	return make([]coreAccount, n)
+}
+
+func (a *coreAccount) charge(comp vclock.Component, c numa.Cost) {
+	if c <= 0 {
+		return
+	}
+	a.busy.Add(int64(c))
+	if comp >= 0 && int(comp) < len(a.comp) {
+		a.comp[comp].Add(int64(c))
+	}
+}
+
+func (a *coreAccount) time() vclock.Nanos { return vclock.Nanos(a.busy.Load()) }
+
+// charge adds cost c in component comp to core's account.
+func (e *Engine) charge(core topology.CoreID, comp vclock.Component, c numa.Cost) {
+	if int(core) < 0 || int(core) >= len(e.accounts) {
+		core = 0
+	}
+	e.accounts[core].charge(comp, c)
+}
+
+// chargeAll adds cost c to every core's account; used when the system pauses
+// all regular work, e.g. during repartitioning.
+func (e *Engine) chargeAll(comp vclock.Component, c numa.Cost) {
+	for i := range e.accounts {
+		e.accounts[i].charge(comp, c)
+	}
+}
+
+// virtualNow returns the engine-wide virtual time: the busiest core's clock.
+func (e *Engine) virtualNow() vclock.Nanos {
+	var max int64
+	for i := range e.accounts {
+		if b := e.accounts[i].busy.Load(); b > max {
+			max = b
+		}
+	}
+	return vclock.Nanos(max)
+}
+
+// coreTime returns one core's virtual time.
+func (e *Engine) coreTime(core topology.CoreID) vclock.Nanos {
+	if int(core) < 0 || int(core) >= len(e.accounts) {
+		return 0
+	}
+	return e.accounts[core].time()
+}
+
+// breakdown aggregates the per-component costs across all cores.
+func (e *Engine) breakdown() vclock.Breakdown {
+	out := vclock.Breakdown{ByComp: make(map[vclock.Component]vclock.Nanos, 5)}
+	for i := range e.accounts {
+		t := e.accounts[i].time()
+		if t > out.Total {
+			out.Total = t
+		}
+		for _, comp := range vclock.Components() {
+			out.ByComp[comp] += vclock.Nanos(e.accounts[i].comp[comp].Load())
+		}
+	}
+	return out
+}
+
+// resetAccounts clears all per-core accounting; Run calls it so consecutive
+// runs on the same engine start from virtual time zero.
+func (e *Engine) resetAccounts() {
+	for i := range e.accounts {
+		e.accounts[i].busy.Store(0)
+		e.accounts[i].committed.Store(0)
+		for c := range e.accounts[i].comp {
+			e.accounts[i].comp[c].Store(0)
+		}
+	}
+}
+
+// partitionedState is the mutable partitioning/placement state shared by the
+// workers and the adaptive controller. Workers take a read snapshot per
+// transaction; repartitioning installs a new snapshot atomically.
+type partitionedState struct {
+	mu   sync.RWMutex
+	snap *stateSnapshot
+}
+
+// stateSnapshot bundles everything that changes together during repartitioning.
+type stateSnapshot struct {
+	placement *partition.Placement
+	runtime   *partition.Runtime
+	// activePerCore is the number of active partitions each core hosts, used
+	// by the oversaturation penalty.
+	activePerCore map[topology.CoreID]int
+}
+
+func (s *partitionedState) install(p *partition.Placement, rt *partition.Runtime, active map[topology.CoreID]int) {
+	s.mu.Lock()
+	s.snap = &stateSnapshot{placement: p, runtime: rt, activePerCore: active}
+	s.mu.Unlock()
+}
+
+func (s *partitionedState) snapshot() *stateSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// saturationFactor returns the execution cost multiplier of a core that hosts
+// n active partition workers under the configured penalty.
+func saturationFactor(penalty float64, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + penalty*float64(n-1)
+}

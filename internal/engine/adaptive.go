@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atrapos/internal/core"
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+)
+
+// adaptiveState wires the ATraPos monitoring and adaptation machinery of the
+// core package into the engine: workers record actions and synchronization
+// points into the monitor, and after every monitoring interval one worker
+// evaluates the cost model and, if beneficial, repartitions the system while
+// regular execution is paused (its cost is charged to every core).
+type adaptiveState struct {
+	e          *Engine
+	monitor    *core.Monitor
+	planner    *core.Planner
+	executor   *core.Executor
+	controller *core.IntervalController
+	maxKeys    map[string]schema.Key
+
+	mu            sync.Mutex
+	nextCheck     vclock.Nanos
+	lastCheckAt   vclock.Nanos
+	lastCommitted int64
+	// cooldown counts monitoring intervals to sit out after a repartitioning,
+	// so the system observes the effect of one decision before making the
+	// next; it damps oscillation between near-equivalent placements.
+	cooldown int
+
+	repartitions    atomic.Int64
+	repartitionCost atomic.Int64
+}
+
+func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
+	maxKeys := make(map[string]schema.Key)
+	for _, spec := range e.wl.TableSpecs() {
+		maxKeys[spec.Name] = schema.KeyFromInt(spec.MaxKey)
+	}
+	execCfg := core.DefaultExecutorConfig()
+	if tc := e.cfg.TimeCompression; tc > 1 {
+		execCfg.PerRowCost = numa.Cost(float64(execCfg.PerRowCost) / tc)
+		execCfg.PerActionCost = numa.Cost(float64(execCfg.PerActionCost) / tc)
+		if execCfg.PerRowCost < 1 {
+			execCfg.PerRowCost = 1
+		}
+		if execCfg.PerActionCost < 1 {
+			execCfg.PerActionCost = 1
+		}
+	}
+	a := &adaptiveState{
+		e:        e,
+		monitor:  core.NewMonitor(0),
+		maxKeys:  maxKeys,
+		executor: core.NewExecutor(execCfg, e.domain, e.store),
+	}
+	a.planner = core.NewPlanner(core.CostModel{Domain: e.domain}, a.monitor.SubPartitions())
+	a.controller = core.NewIntervalController(e.cfg.AdaptiveInterval)
+	a.monitor.RegisterPlacement(p, maxKeys)
+	a.nextCheck = a.controller.Interval()
+	return a
+}
+
+// reset prepares the adaptive state for a fresh run.
+func (a *adaptiveState) reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.controller = core.NewIntervalController(a.e.cfg.AdaptiveInterval)
+	a.nextCheck = a.controller.Interval()
+	a.lastCheckAt = 0
+	a.lastCommitted = 0
+	a.cooldown = 0
+	a.repartitions.Store(0)
+	a.repartitionCost.Store(0)
+	a.monitor.RegisterPlacement(a.e.state.snapshot().placement, a.maxKeys)
+}
+
+// Interval returns the current monitoring interval, for observability.
+func (a *adaptiveState) interval() vclock.Nanos {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.controller.Interval()
+}
+
+func (a *adaptiveState) recordAction(table string, key schema.Key, cost vclock.Nanos) {
+	if !a.e.cfg.Monitoring {
+		return
+	}
+	a.monitor.RecordAction(table, key, cost)
+}
+
+func (a *adaptiveState) recordSync(refs []core.PartitionRef, bytes int) {
+	if !a.e.cfg.Monitoring {
+		return
+	}
+	a.monitor.RecordSync(refs, bytes)
+}
+
+// maybeAdapt is called by workers after every transaction. When the virtual
+// time crosses the next monitoring boundary, one worker (the one that wins
+// the TryLock) plays the role of the monitoring thread: it measures the
+// throughput of the interval, consults the interval controller, and when the
+// controller asks for an evaluation it runs the two-step search and
+// repartitions if the cost model predicts an improvement.
+func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
+	if !a.e.cfg.Adaptive {
+		return
+	}
+	now := a.e.virtualNow()
+	if now < a.nextCheck {
+		return
+	}
+	if !a.mu.TryLock() {
+		return
+	}
+	defer a.mu.Unlock()
+	if now < a.nextCheck {
+		return
+	}
+
+	window := now - a.lastCheckAt
+	if window <= 0 {
+		window = a.controller.Interval()
+	}
+	throughput := float64(committedSoFar-a.lastCommitted) / window.Seconds()
+	a.lastCommitted = committedSoFar
+	a.lastCheckAt = now
+	a.monitor.AdvanceWindow(window)
+
+	decision := a.controller.Observe(throughput)
+	a.nextCheck = now + a.controller.Interval()
+	if a.cooldown > 0 {
+		a.cooldown--
+		return
+	}
+	// A change in the hardware topology (a partition owned by a core on a
+	// failed socket) is always grounds for an evaluation, independent of the
+	// throughput history.
+	if decision != core.Evaluate && a.placementUsesDeadCore() {
+		decision = core.Evaluate
+	}
+	if decision != core.Evaluate {
+		return
+	}
+
+	stats := a.monitor.Aggregate()
+	if stats.TotalCost() == 0 {
+		return
+	}
+	current := a.e.state.snapshot().placement
+	proposed := a.planner.Plan(current, stats, a.maxKeys)
+	if err := proposed.Validate(); err != nil {
+		return
+	}
+	if !a.improves(current, proposed, stats) {
+		return
+	}
+	plan := core.BuildPlan(current, proposed, a.e.cfg.Topology)
+	if plan.Empty() {
+		return
+	}
+	outcome, err := a.executor.Execute(plan)
+	if err != nil {
+		return
+	}
+	// Regular actions are paused while the repartitioning actions execute:
+	// every core is charged the repartitioning time.
+	a.e.chargeAll(vclock.Management, numa.Cost(outcome.Cost))
+	a.e.state.install(proposed, partition.NewRuntime(a.e.domain, proposed), a.e.activePartitionsPerCore(proposed, now))
+	a.monitor.RegisterPlacement(proposed, a.maxKeys)
+	a.controller.Repartitioned()
+	a.nextCheck = now + a.controller.Interval()
+	a.cooldown = 2
+	a.repartitions.Add(1)
+	a.repartitionCost.Add(int64(outcome.Cost))
+}
+
+// placementUsesDeadCore reports whether any partition is owned by a core on a
+// failed socket, which ATraPos treats as a hardware-topology change.
+func (a *adaptiveState) placementUsesDeadCore() bool {
+	return usesDeadCore(a.e.state.snapshot().placement, a.e.cfg.Topology)
+}
+
+func usesDeadCore(p *partition.Placement, top *topology.Topology) bool {
+	for _, tp := range p.Tables {
+		for _, c := range tp.Cores {
+			if !top.Alive(top.SocketOf(c)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// improves applies the cost model to decide whether the proposed placement is
+// worth the repartitioning pause: the combined balance + synchronization
+// score must drop by at least 5%.
+func (a *adaptiveState) improves(current, proposed *partition.Placement, stats *core.Stats) bool {
+	// Moving off a failed socket is always worth the pause.
+	if a.placementUsesDeadCore() && !usesDeadCore(proposed, a.e.cfg.Topology) {
+		return true
+	}
+	model := a.planner.Model
+	weight := float64(a.e.domain.Model.ByteTransferPerHop)
+	curScore := model.ResourceUtilization(current, stats) + weight*model.TransactionSync(current, stats)
+	newScore := model.ResourceUtilization(proposed, stats) + weight*model.TransactionSync(proposed, stats)
+	if curScore <= 0 {
+		return false
+	}
+	return newScore < 0.95*curScore
+}

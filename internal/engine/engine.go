@@ -1,0 +1,428 @@
+// Package engine executes transactional workloads against the storage
+// substrate under the system designs the paper compares: the traditional
+// centralized shared-everything design, extreme and coarse-grained
+// shared-nothing, PLP (physiological partitioning), the naïve hardware-aware
+// design of Section IV, and ATraPos with its workload- and hardware-aware
+// partitioning, monitoring and adaptive repartitioning.
+//
+// Workers are goroutines logically bound to the cores of the modeled
+// topology. All data-structure operations are real; their costs are charged
+// to per-core virtual clocks using the NUMA cost model, and throughput is
+// computed from committed transactions divided by the busiest core's virtual
+// time. This makes experiments deterministic in shape and independent of the
+// machine the simulation runs on, which is the substitution DESIGN.md
+// describes for the paper's 8-socket hardware.
+package engine
+
+import (
+	"fmt"
+
+	"atrapos/internal/core"
+	"atrapos/internal/lock"
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/topology"
+	"atrapos/internal/txn"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+	"atrapos/internal/workload"
+)
+
+// Design enumerates the compared system designs.
+type Design int
+
+const (
+	// Centralized is the traditional shared-everything design: one lock
+	// manager, one list of active transactions, one log, shared by all cores.
+	Centralized Design = iota
+	// SharedNothingExtreme runs one logical instance per core (H-Store
+	// style); multi-site transactions use two-phase commit.
+	SharedNothingExtreme
+	// SharedNothingCoarse runs one logical instance per socket.
+	SharedNothingCoarse
+	// PLP is physiological partitioning: partition-local lock tables and
+	// multi-rooted B-trees over a shared-everything storage manager, but the
+	// remaining system state (transaction list, state locks) is centralized.
+	PLP
+	// HWAware is the Section IV proof of concept: PLP plus NUMA-aware system
+	// state (per-socket transaction lists and state locks) with the naïve
+	// one-partition-per-core-per-table placement.
+	HWAware
+	// ATraPos is HWAware plus the workload- and hardware-aware partitioning
+	// and placement of Section V, optionally with monitoring and adaptive
+	// repartitioning.
+	ATraPos
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case Centralized:
+		return "centralized"
+	case SharedNothingExtreme:
+		return "shared-nothing-extreme"
+	case SharedNothingCoarse:
+		return "shared-nothing-coarse"
+	case PLP:
+		return "plp"
+	case HWAware:
+		return "hw-aware"
+	case ATraPos:
+		return "atrapos"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Designs lists every supported design in presentation order.
+func Designs() []Design {
+	return []Design{Centralized, SharedNothingExtreme, SharedNothingCoarse, PLP, HWAware, ATraPos}
+}
+
+// Config describes one engine instance.
+type Config struct {
+	// Design selects the system design. Required.
+	Design Design
+	// Workload supplies the dataset and the transaction generator. Required.
+	Workload *workload.Workload
+	// Topology models the machine; nil means the paper's 8-socket, 80-core box.
+	Topology *topology.Topology
+	// CostModel holds the NUMA latencies; the zero value means defaults.
+	CostModel numa.CostModel
+	// Placement optionally overrides the initial partitioning and placement
+	// for the partitioned designs (PLP, HWAware, ATraPos). Nil derives the
+	// design's default placement.
+	Placement *partition.Placement
+	// AllocPolicy controls on which memory node each instance's data is
+	// allocated for the shared-nothing designs (Table I). Default: local.
+	AllocPolicy numa.AllocPolicy
+	// CentralAllocNode is the node used by AllocCentral.
+	CentralAllocNode topology.SocketID
+	// LogConfig tunes the write-ahead log; nil means defaults.
+	LogConfig *wal.Config
+	// SLI enables speculative lock inheritance in the centralized lock
+	// manager (on by default for the centralized design, as in the paper).
+	DisableSLI bool
+	// Monitoring enables the ATraPos monitoring mechanism (ATraPos design only).
+	Monitoring bool
+	// Adaptive enables adaptive repartitioning; it implies Monitoring.
+	Adaptive bool
+	// AdaptiveInterval tunes the monitoring interval controller.
+	AdaptiveInterval core.IntervalConfig
+	// MonitoringCostPerAction is the virtual cost charged per action when
+	// monitoring is enabled; it models the thread-local array updates.
+	MonitoringCostPerAction numa.Cost
+	// OversaturationPenalty is the extra execution cost factor per additional
+	// partition worker sharing a core: a core owning k active partitions
+	// executes actions (1 + penalty*(k-1)) times slower. It models the
+	// oversaturation the paper demonstrates with the naïve placement (Fig. 6).
+	OversaturationPenalty float64
+	// TimeCompression declares that the experiment compresses that many of
+	// the paper's wall-clock seconds into one unit of its (shorter) virtual
+	// timeline; the cost of repartitioning actions is scaled down by the same
+	// factor so its share of the timeline stays faithful. The adaptivity
+	// experiments (Figures 10-13) compress one paper second into one virtual
+	// millisecond and therefore use 1000. Zero or one means no compression.
+	TimeCompression float64
+	// SkipLoad leaves the tables empty; tests that only exercise construction
+	// use it to stay fast.
+	SkipLoad bool
+}
+
+func (c *Config) withDefaults() (*Config, error) {
+	if c.Workload == nil {
+		return nil, fmt.Errorf("engine: config needs a workload")
+	}
+	out := *c
+	if out.Topology == nil {
+		out.Topology = topology.Default()
+	}
+	zero := numa.CostModel{}
+	if out.CostModel == zero {
+		out.CostModel = numa.DefaultCostModel()
+	}
+	if out.LogConfig == nil {
+		lc := wal.DefaultConfig()
+		out.LogConfig = &lc
+	}
+	if out.MonitoringCostPerAction <= 0 {
+		out.MonitoringCostPerAction = 15
+	}
+	if out.OversaturationPenalty <= 0 {
+		out.OversaturationPenalty = 0.8
+	}
+	if out.Adaptive {
+		out.Monitoring = true
+	}
+	return &out, nil
+}
+
+// Engine is a fully wired system instance ready to run workloads.
+type Engine struct {
+	cfg    *Config
+	domain *numa.Domain
+	store  *storage.Manager
+	tables map[string]*storage.Table
+	wl     *workload.Workload
+
+	// System state structures; which concrete types are used depends on the design.
+	txnMgr       *txn.Manager
+	centralLocks *lock.CentralManager
+	log          wal.Log
+	instLogs     *wal.PartitionedLog
+	coordinator  *txn.Coordinator
+
+	// Partitioned designs: placement and per-partition runtime state.
+	state partitionedState
+
+	// Shared-nothing instance mapping.
+	sites      []topology.Core
+	siteOfCore map[topology.CoreID]int
+
+	accounts []coreAccount
+	adaptive *adaptiveState
+}
+
+// New builds an engine: it creates and loads the physical tables and wires
+// the system-state structures required by the chosen design.
+func New(cfg Config) (*Engine, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	domain, err := numa.NewDomain(c.Topology, c.CostModel)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      c,
+		domain:   domain,
+		store:    storage.NewManager(domain),
+		tables:   make(map[string]*storage.Table),
+		wl:       c.Workload,
+		accounts: newAccounts(c.Topology.NumCores()),
+	}
+
+	placement, err := e.initialPlacement()
+	if err != nil {
+		return nil, err
+	}
+	if err := placement.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.createTables(placement); err != nil {
+		return nil, err
+	}
+	if !c.SkipLoad {
+		if err := e.loadData(); err != nil {
+			return nil, err
+		}
+	}
+	e.wireStructures(placement)
+	if c.Design == ATraPos && (c.Monitoring || c.Adaptive) {
+		e.adaptive = newAdaptiveState(e, placement)
+	}
+	return e, nil
+}
+
+// MustNew is New but panics on error; for benches and examples with known-good configs.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Design returns the engine's design.
+func (e *Engine) Design() Design { return e.cfg.Design }
+
+// Domain returns the NUMA domain.
+func (e *Engine) Domain() *numa.Domain { return e.domain }
+
+// Topology returns the modeled machine.
+func (e *Engine) Topology() *topology.Topology { return e.cfg.Topology }
+
+// Store returns the storage manager, e.g. for inspecting tables in examples.
+func (e *Engine) Store() *storage.Manager { return e.store }
+
+// Placement returns a copy of the current partitioning and placement.
+func (e *Engine) Placement() *partition.Placement {
+	snap := e.state.snapshot()
+	return snap.placement.Clone()
+}
+
+// FailSocket simulates a processor failure at run time (Section VI-D3):
+// the socket's cores stop being used as transaction coordinators, and work
+// owned by partitions on the failed socket is redirected to a fallback core.
+// The static designs keep their partitioning plan; ATraPos with Adaptive
+// enabled detects the throughput change and repartitions around the failure.
+func (e *Engine) FailSocket(s topology.SocketID) error {
+	return e.cfg.Topology.FailSocket(s)
+}
+
+// initialPlacement derives the default partitioning and placement of the design.
+func (e *Engine) initialPlacement() (*partition.Placement, error) {
+	c := e.cfg
+	specs := c.Workload.TableSpecs()
+	switch c.Design {
+	case Centralized:
+		// One physical partition per table; data spread round-robin across
+		// memory nodes, as a non-NUMA-aware allocator would.
+		p := partition.NewPlacement()
+		cores := c.Topology.AliveCores()
+		if len(cores) == 0 {
+			return nil, fmt.Errorf("engine: no alive cores")
+		}
+		for i, spec := range specs {
+			p.Tables[spec.Name] = &partition.TablePlacement{
+				Table:  spec.Name,
+				Bounds: []schema.Key{0},
+				Cores:  []topology.CoreID{cores[i%len(cores)].ID},
+			}
+		}
+		return p, nil
+	case SharedNothingExtreme:
+		return partition.NaivePerCore(c.Topology, specs), nil
+	case SharedNothingCoarse:
+		return partition.PerSocket(c.Topology, specs), nil
+	case PLP, HWAware:
+		if c.Placement != nil {
+			return c.Placement.Clone(), nil
+		}
+		return partition.NaivePerCore(c.Topology, specs), nil
+	case ATraPos:
+		if c.Placement != nil {
+			return c.Placement.Clone(), nil
+		}
+		// Without prior knowledge ATraPos starts from the naïve scheme and
+		// adapts at run time (Section V-D, "Detecting changes").
+		return partition.NaivePerCore(c.Topology, specs), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown design %v", c.Design)
+	}
+}
+
+// createTables creates the physical tables with partition bounds from the
+// placement and memory homes derived from the owning cores (or from the
+// allocation policy for shared-nothing designs).
+func (e *Engine) createTables(p *partition.Placement) error {
+	var alloc *numa.Placement
+	if e.cfg.Design == SharedNothingExtreme || e.cfg.Design == SharedNothingCoarse {
+		var err error
+		alloc, err = numa.NewPlacement(e.cfg.Topology, e.cfg.AllocPolicy, e.cfg.CentralAllocNode)
+		if err != nil {
+			return err
+		}
+	}
+	for _, td := range e.wl.Tables {
+		tp, ok := p.Tables[td.Schema.Name]
+		if !ok {
+			return fmt.Errorf("engine: placement is missing table %s", td.Schema.Name)
+		}
+		homes := make([]topology.SocketID, len(tp.Cores))
+		for i, c := range tp.Cores {
+			s := e.cfg.Topology.SocketOf(c)
+			if alloc != nil {
+				s = alloc.NodeFor(s)
+			}
+			homes[i] = s
+		}
+		tbl, err := e.store.CreateTable(td.Schema, tp.Bounds, homes)
+		if err != nil {
+			return err
+		}
+		e.tables[td.Schema.Name] = tbl
+	}
+	return nil
+}
+
+func (e *Engine) loadData() error {
+	for _, td := range e.wl.Tables {
+		tbl := e.tables[td.Schema.Name]
+		if td.RowGen == nil {
+			continue
+		}
+		if err := tbl.LoadFunc(td.Rows, td.RowGen); err != nil {
+			return fmt.Errorf("engine: loading %s: %w", td.Schema.Name, err)
+		}
+	}
+	return nil
+}
+
+// wireStructures builds the design-specific system-state structures.
+func (e *Engine) wireStructures(p *partition.Placement) {
+	c := e.cfg
+	e.state.install(p, partition.NewRuntime(e.domain, p), e.activePartitionsPerCore(p, 0))
+
+	switch c.Design {
+	case Centralized:
+		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
+		e.centralLocks = lock.NewCentralManager(e.domain, 256, !c.DisableSLI)
+		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+	case SharedNothingExtreme, SharedNothingCoarse:
+		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
+		e.instLogs = wal.NewPartitionedLog(e.domain, *c.LogConfig)
+		e.log = e.instLogs
+		e.coordinator = txn.NewCoordinator(e.domain, e.instLogs)
+		e.buildSites()
+	case PLP:
+		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
+		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+	case HWAware, ATraPos:
+		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
+		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+	}
+}
+
+// buildSites establishes the shared-nothing instance list: one site per core
+// (extreme) or per socket (coarse), in the same order the per-site data
+// partitioning was built, so site index == partition index.
+func (e *Engine) buildSites() {
+	e.siteOfCore = make(map[topology.CoreID]int)
+	e.sites = nil
+	if e.cfg.Design == SharedNothingExtreme {
+		for i, c := range e.cfg.Topology.AliveCores() {
+			e.sites = append(e.sites, c)
+			e.siteOfCore[c.ID] = i
+		}
+		return
+	}
+	for i, s := range e.cfg.Topology.AliveSockets() {
+		cores := e.cfg.Topology.CoresOn(s)
+		e.sites = append(e.sites, cores[0])
+		for _, c := range cores {
+			e.siteOfCore[c.ID] = i
+		}
+	}
+}
+
+// activePartitionsPerCore counts, for every core, the partitions of tables
+// the workload touches at virtual time at; it drives the oversaturation
+// penalty of the data-oriented designs.
+func (e *Engine) activePartitionsPerCore(p *partition.Placement, at vclock.Nanos) map[topology.CoreID]int {
+	active := make(map[string]bool)
+	weights := e.wl.ClassWeights(at)
+	for class, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if g, ok := e.wl.Graph(class); ok {
+			for _, n := range g.Nodes {
+				active[n.Table] = true
+			}
+		}
+	}
+	counts := make(map[topology.CoreID]int)
+	for name, tp := range p.Tables {
+		if len(active) > 0 && !active[name] {
+			continue
+		}
+		for _, c := range tp.Cores {
+			counts[c]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,428 @@
+package engine
+
+import (
+	"errors"
+
+	"atrapos/internal/core"
+	"atrapos/internal/lock"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+	"atrapos/internal/workload"
+)
+
+// performAction executes one storage access and returns its cost. Duplicate
+// inserts are treated as updates and missing rows as no-ops, so replayed or
+// colliding generator keys never wedge an experiment.
+func performAction(tbl *storage.Table, a workload.Action, from topology.SocketID) (numa.Cost, error) {
+	switch a.Op {
+	case workload.Read:
+		_, cost, err := tbl.Read(from, a.Key)
+		if errors.Is(err, storage.ErrNotFound) {
+			return cost, nil
+		}
+		return cost, err
+	case workload.Update:
+		cost, err := tbl.Update(from, a.Key, func(r schema.Row) schema.Row {
+			if a.Row != nil {
+				return a.Row
+			}
+			if len(r) > 1 {
+				if v, ok := r[len(r)-1].(int64); ok {
+					r[len(r)-1] = v + 1
+				}
+			}
+			return r
+		})
+		if errors.Is(err, storage.ErrNotFound) {
+			return cost, nil
+		}
+		return cost, err
+	case workload.Insert:
+		cost, err := tbl.Insert(from, a.Key, a.Row)
+		if errors.Is(err, storage.ErrDuplicate) {
+			extra, uerr := tbl.Update(from, a.Key, func(schema.Row) schema.Row { return a.Row })
+			return cost + extra, uerr
+		}
+		return cost, err
+	case workload.Delete:
+		cost, err := tbl.Delete(from, a.Key)
+		if errors.Is(err, storage.ErrNotFound) {
+			return cost, nil
+		}
+		return cost, err
+	default:
+		return 0, nil
+	}
+}
+
+// lockModeFor maps an operation to the row lock mode and its table intention mode.
+func lockModeFor(op workload.OpType) (row, table lock.Mode) {
+	if op.IsWrite() {
+		return lock.X, lock.IX
+	}
+	return lock.S, lock.IS
+}
+
+// effectiveCore redirects work owned by a core on a failed socket to the
+// corresponding core of the next alive socket. Static designs keep their
+// partitioning plan after a failure, so the redirected work overloads the
+// fallback socket — the behaviour Figure 12 shows for the static system.
+func (e *Engine) effectiveCore(c topology.CoreID) topology.CoreID {
+	top := e.cfg.Topology
+	s := top.SocketOf(c)
+	if top.Alive(s) {
+		return c
+	}
+	core, err := top.Core(c)
+	if err != nil {
+		return 0
+	}
+	for off := 1; off <= top.Sockets(); off++ {
+		cand := topology.SocketID((int(s) + off) % top.Sockets())
+		if top.Alive(cand) {
+			return top.CoresOn(cand)[core.LocalIndex].ID
+		}
+	}
+	return c
+}
+
+// lockedPartition remembers a (table, partition/site) whose local lock table
+// holds locks on behalf of the running transaction.
+type lockedPartition struct {
+	table string
+	idx   int
+	core  topology.CoreID
+	sock  topology.SocketID
+}
+
+func (e *Engine) releaseLocal(snap *stateSnapshot, id lock.TxnID, locked []lockedPartition) {
+	seen := make(map[lockedPartition]bool, len(locked))
+	for _, lp := range locked {
+		key := lockedPartition{table: lp.table, idx: lp.idx}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if lm, err := snap.runtime.Locks(lp.table, lp.idx); err == nil {
+			cost, _ := lm.ReleaseAll(lp.sock, id)
+			e.charge(lp.core, vclock.Locking, cost)
+		}
+	}
+}
+
+// executeCentralized runs one transaction under the traditional centralized
+// shared-everything design. All costs are charged to the coordinating worker.
+func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transaction) bool {
+	s := e.cfg.Topology.SocketOf(worker)
+	tx, beginCost := e.txnMgr.Begin(worker)
+	e.charge(worker, vclock.Management, beginCost)
+
+	abort := func() bool {
+		cost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
+		e.charge(worker, vclock.Locking, cost)
+		abortCost, _ := e.txnMgr.Abort(tx)
+		e.charge(worker, vclock.Management, abortCost)
+		return false
+	}
+
+	// Table-level intention locks first (hierarchical locking), then row locks.
+	tableModes := make(map[string]lock.Mode)
+	for _, a := range t.Actions {
+		_, tm := lockModeFor(a.Op)
+		if cur, ok := tableModes[a.Table]; !ok || (tm == lock.IX && cur == lock.IS) {
+			tableModes[a.Table] = tm
+		}
+	}
+	for table, mode := range tableModes {
+		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.TableResource(table), mode)
+		e.charge(worker, vclock.Locking, cost)
+		if err != nil {
+			return abort()
+		}
+	}
+
+	wrote := false
+	for _, a := range t.Actions {
+		rowMode, _ := lockModeFor(a.Op)
+		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
+		e.charge(worker, vclock.Locking, cost)
+		if err != nil {
+			return abort()
+		}
+		execCost, err := performAction(e.tables[a.Table], a, s)
+		e.charge(worker, vclock.Execution, execCost)
+		if err != nil {
+			return abort()
+		}
+		if a.Op.IsWrite() {
+			wrote = true
+			_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			e.charge(worker, vclock.Logging, logCost)
+		}
+	}
+	if wrote {
+		_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
+		e.charge(worker, vclock.Logging, logCost)
+		e.charge(worker, vclock.Logging, e.log.Flush(s, e.log.Tail()))
+	}
+	relCost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
+	e.charge(worker, vclock.Locking, relCost)
+	for table, mode := range tableModes {
+		e.centralLocks.RetainForSLI(s, lock.TableResource(table), mode)
+	}
+	commitCost, err := e.txnMgr.Commit(tx)
+	e.charge(worker, vclock.Management, commitCost)
+	return err == nil
+}
+
+// executeSharedNothing runs one transaction under the shared-nothing designs.
+// The worker's own instance coordinates; actions owned by other instances are
+// shipped over shared-memory channels and, for updates, committed with 2PC.
+func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transaction) bool {
+	homeSite, ok := e.siteOfCore[worker]
+	if !ok {
+		homeSite = 0
+	}
+	homeSocket := e.cfg.Topology.SocketOf(worker)
+	snap := e.state.snapshot()
+
+	tx, beginCost := e.txnMgr.Begin(worker)
+	e.charge(worker, vclock.Management, beginCost)
+
+	// siteInfo returns the core that executes an action owned by site: work on
+	// the coordinator's own instance runs on the coordinating core, work on a
+	// remote instance runs on that instance's "peer" core (the core with the
+	// same local index), which is how a real instance spreads incoming remote
+	// requests over all of its cores rather than funnelling them through one.
+	workerLocal := 0
+	if c, err := e.cfg.Topology.Core(worker); err == nil {
+		workerLocal = c.LocalIndex
+	}
+	siteInfo := func(site int) (topology.CoreID, topology.SocketID) {
+		if site < 0 || site >= len(e.sites) {
+			site = 0
+		}
+		if site == homeSite {
+			return worker, homeSocket
+		}
+		if e.cfg.Design == SharedNothingCoarse {
+			cores := e.cfg.Topology.CoresOn(e.sites[site].Socket)
+			if len(cores) > 0 {
+				peer := cores[workerLocal%len(cores)]
+				return peer.ID, peer.Socket
+			}
+		}
+		c := e.sites[site]
+		return c.ID, c.Socket
+	}
+
+	var locked []lockedPartition
+	participantSockets := make(map[topology.SocketID]bool)
+	remoteExecCores := make(map[topology.CoreID]bool)
+	remote := false
+
+	abort := func() bool {
+		e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+		abortCost, _ := e.txnMgr.Abort(tx)
+		e.charge(worker, vclock.Management, abortCost)
+		return false
+	}
+
+	wrote := false
+	for _, a := range t.Actions {
+		tp, ok := snap.placement.Table(a.Table)
+		if !ok {
+			continue
+		}
+		site := tp.PartitionFor(a.Key)
+		siteCore, siteSock := siteInfo(site)
+		participantSockets[siteSock] = true
+		if site != homeSite {
+			remote = true
+			remoteExecCores[siteCore] = true
+			// Request and response over the shared-memory channel.
+			msg := e.domain.MessageCost(homeSocket, siteSock) + e.domain.MessageCost(siteSock, homeSocket)
+			e.charge(worker, vclock.Communication, msg)
+		}
+		lm, err := snap.runtime.Locks(a.Table, site)
+		if err != nil {
+			continue
+		}
+		rowMode, _ := lockModeFor(a.Op)
+		lockCost, lockErr := lm.Acquire(siteSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
+		e.charge(siteCore, vclock.Locking, lockCost)
+		locked = append(locked, lockedPartition{table: a.Table, idx: site, core: siteCore, sock: siteSock})
+		if lockErr != nil {
+			return abort()
+		}
+		execCost, err := performAction(e.tables[a.Table], a, siteSock)
+		e.charge(siteCore, vclock.Execution, execCost)
+		if err != nil {
+			return abort()
+		}
+		if a.Op.IsWrite() {
+			wrote = true
+			_, logCost := e.instLogs.Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			e.charge(siteCore, vclock.Logging, logCost)
+		}
+	}
+
+	committed2PC := true
+	if remote && wrote {
+		// Distributed commit with the standard two-phase commit protocol.
+		participants := make([]topology.SocketID, 0, len(participantSockets))
+		for s := range participantSockets {
+			participants = append(participants, s)
+		}
+		if out, err := e.coordinator.Run(tx, homeSocket, participants, false); err == nil {
+			committed2PC = out.Committed
+			for comp, cost := range out.ByComponent {
+				e.charge(worker, comp, cost)
+			}
+			// The participant instances' worker threads stay blocked, holding
+			// their locks, until the protocol reaches its decision: charge
+			// them the protocol latency as lock-holding time. This is the
+			// dominant overhead of distributed update transactions the paper
+			// analyzes in Figure 4.
+			hold := out.ByComponent[vclock.Communication] + out.ByComponent[vclock.Logging]
+			for c := range remoteExecCores {
+				e.charge(c, vclock.Locking, hold)
+			}
+		}
+	} else if wrote {
+		_, logCost := e.instLogs.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
+		e.charge(worker, vclock.Logging, logCost)
+		e.charge(worker, vclock.Logging, e.instLogs.Flush(homeSocket, e.instLogs.SocketLog(homeSocket).Tail()))
+	}
+
+	e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+
+	if !committed2PC {
+		abortCost, _ := e.txnMgr.Abort(tx)
+		e.charge(worker, vclock.Management, abortCost)
+		return false
+	}
+	commitCost, err := e.txnMgr.Commit(tx)
+	e.charge(worker, vclock.Management, commitCost)
+	return err == nil
+}
+
+// executePartitioned runs one transaction under the data-oriented designs
+// (PLP, HWAware, ATraPos): actions are routed to partition-owning cores,
+// partition-local lock tables replace the centralized lock manager, and
+// synchronization points pay the paper's cross-socket rendezvous cost.
+func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transaction) bool {
+	coordSocket := e.cfg.Topology.SocketOf(worker)
+	snap := e.state.snapshot()
+
+	tx, beginCost := e.txnMgr.Begin(worker)
+	e.charge(worker, vclock.Management, beginCost)
+
+	owners := make([]lockedPartition, len(t.Actions))
+	var locked []lockedPartition
+
+	abort := func() bool {
+		e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+		abortCost, _ := e.txnMgr.Abort(tx)
+		e.charge(worker, vclock.Management, abortCost)
+		return false
+	}
+
+	wrote := false
+	for i, a := range t.Actions {
+		tp, ok := snap.placement.Table(a.Table)
+		if !ok {
+			continue
+		}
+		idx := tp.PartitionFor(a.Key)
+		owner := e.effectiveCore(tp.Cores[idx])
+		oSock := e.cfg.Topology.SocketOf(owner)
+		pr := lockedPartition{table: a.Table, idx: idx, core: owner, sock: oSock}
+		owners[i] = pr
+
+		// Action routing to the owning worker thread: an enqueue on the
+		// partition's action queue, i.e. an atomic on a cache line owned by
+		// the target socket (DORA-style action passing, much cheaper than the
+		// inter-process channels of the shared-nothing configurations).
+		if owner != worker {
+			e.charge(worker, vclock.Communication, e.domain.AtomicCost(coordSocket, oSock))
+		}
+		// Partition-local locking (no centralized lock manager).
+		lm, err := snap.runtime.Locks(a.Table, idx)
+		if err != nil {
+			continue
+		}
+		rowMode, _ := lockModeFor(a.Op)
+		lockCost, lockErr := lm.Acquire(oSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
+		e.charge(pr.core, vclock.Locking, lockCost)
+		locked = append(locked, pr)
+		if lockErr != nil {
+			return abort()
+		}
+		// Execute the action on the owning core, inflated by the
+		// oversaturation factor if that core hosts several partition workers.
+		execCost, err := performAction(e.tables[a.Table], a, oSock)
+		factor := saturationFactor(e.cfg.OversaturationPenalty, snap.activePerCore[tp.Cores[idx]])
+		execCost = numa.Cost(float64(execCost) * factor)
+		e.charge(pr.core, vclock.Execution, execCost)
+		if err != nil {
+			return abort()
+		}
+		if a.Op.IsWrite() {
+			wrote = true
+			_, logCost := e.log.Append(oSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			e.charge(pr.core, vclock.Logging, logCost)
+		}
+		// Monitoring: thread-local trace arrays (ATraPos only).
+		if e.adaptive != nil {
+			e.adaptive.recordAction(a.Table, a.Key, vclock.Nanos(execCost))
+			e.charge(pr.core, vclock.Management, e.cfg.MonitoringCostPerAction)
+		}
+	}
+
+	// Synchronization points: actions running on different sockets must
+	// exchange their intermediate results.
+	for _, sp := range t.SyncPoints {
+		var sockets []topology.SocketID
+		var refs []core.PartitionRef
+		for _, ai := range sp.Actions {
+			if ai < 0 || ai >= len(owners) || owners[ai].table == "" {
+				continue
+			}
+			sockets = append(sockets, owners[ai].sock)
+			refs = append(refs, core.PartitionRef{Table: owners[ai].table, Partition: owners[ai].idx})
+		}
+		syncCost := e.domain.SyncPointCost(sockets, sp.Bytes)
+		e.charge(worker, vclock.Communication, syncCost)
+		if e.adaptive != nil {
+			e.adaptive.recordSync(refs, sp.Bytes)
+		}
+	}
+
+	if wrote {
+		_, logCost := e.log.Append(coordSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
+		e.charge(worker, vclock.Logging, logCost)
+		e.charge(worker, vclock.Logging, e.log.Flush(coordSocket, e.log.Tail()))
+	}
+	e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+	commitCost, err := e.txnMgr.Commit(tx)
+	e.charge(worker, vclock.Management, commitCost)
+	return err == nil
+}
+
+// execute dispatches one transaction to the design-specific path and returns
+// whether it committed.
+func (e *Engine) execute(worker topology.CoreID, t *workload.Transaction) bool {
+	switch e.cfg.Design {
+	case Centralized:
+		return e.executeCentralized(worker, t)
+	case SharedNothingExtreme, SharedNothingCoarse:
+		return e.executeSharedNothing(worker, t)
+	default:
+		return e.executePartitioned(worker, t)
+	}
+}

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
+)
+
+// RunOptions control one experiment run.
+type RunOptions struct {
+	// Transactions is the number of transactions to execute. Either
+	// Transactions or Duration (or both) must be positive; the run stops at
+	// whichever limit is hit first.
+	Transactions int
+	// Duration stops the run when the engine's virtual time passes it.
+	Duration vclock.Nanos
+	// MaxTransactions caps a duration-driven run as a safety net; zero means
+	// ten million.
+	MaxTransactions int
+	// Workers is the number of goroutines executing transactions; zero means
+	// min(GOMAXPROCS, alive cores).
+	Workers int
+	// Seed makes transaction generation deterministic.
+	Seed int64
+	// SampleWindow is the width of the throughput time-series buckets; zero
+	// means one virtual second.
+	SampleWindow vclock.Nanos
+	// Retries is how many times an aborted transaction (lock conflict) is
+	// retried before being counted as aborted, as a client library would.
+	// Negative disables retries; zero means the default of 2.
+	Retries int
+	// Events are fired once each when the engine's virtual time first passes
+	// their timestamp; the adaptivity experiments use them to change the
+	// environment mid-run (e.g. fail a socket at t=20s, Figure 12).
+	Events []Event
+}
+
+// Event is an environment change scheduled at a point of virtual time.
+type Event struct {
+	At vclock.Nanos
+	Do func(*Engine)
+}
+
+func (o RunOptions) withDefaults(e *Engine) (RunOptions, error) {
+	if o.Transactions <= 0 && o.Duration <= 0 {
+		return o, fmt.Errorf("engine: run needs a transaction count or a duration")
+	}
+	if o.MaxTransactions <= 0 {
+		o.MaxTransactions = 10_000_000
+	}
+	if o.Transactions <= 0 || o.Transactions > o.MaxTransactions {
+		if o.Duration > 0 {
+			o.Transactions = o.MaxTransactions
+		}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if n := len(e.cfg.Topology.AliveCores()); o.Workers > n {
+			o.Workers = n
+		}
+	}
+	if o.SampleWindow <= 0 {
+		o.SampleWindow = vclock.Nanos(time.Second)
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o, nil
+}
+
+// SocketThroughput is the committed throughput attributed to one socket.
+type SocketThroughput struct {
+	Socket     topology.SocketID
+	Throughput float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Design    Design
+	Workload  string
+	Committed int64
+	Aborted   int64
+	MultiSite int64
+	// VirtualTime is the busiest core's virtual time at the end of the run.
+	VirtualTime vclock.Nanos
+	// ThroughputTPS is Committed divided by VirtualTime.
+	ThroughputTPS float64
+	// Breakdown is the per-component virtual time summed over all cores.
+	Breakdown vclock.Breakdown
+	// UsefulFraction is execution time divided by total busy time across all
+	// cores; it is the reproduction's stand-in for the paper's IPC metric.
+	UsefulFraction float64
+	// PerSocket reports per-socket throughput (Table I).
+	PerSocket []SocketThroughput
+	// Series is the throughput time series (Figures 10-13).
+	Series []vclock.Sample
+	// Repartitions counts adaptive repartitioning events during the run.
+	Repartitions int64
+	// RepartitionTime is the total virtual time spent repartitioning.
+	RepartitionTime vclock.Nanos
+	// Interconnect summarizes the traffic counters of the run.
+	Interconnect topology.TrafficStats
+	// QPIToIMCRatio is the interconnect-to-memory-controller traffic ratio.
+	QPIToIMCRatio float64
+}
+
+// TimePerTransaction returns the average virtual time one transaction spent
+// in the given component (the Figure 4 breakdown), in nanoseconds.
+func (r *Result) TimePerTransaction(comp vclock.Component) float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.Breakdown.ByComp[comp]) / float64(r.Committed)
+}
+
+// Run executes the workload under the engine's design and returns the
+// measured result. It can be called repeatedly; each call starts from virtual
+// time zero but keeps the data loaded in the tables.
+func (e *Engine) Run(opts RunOptions) (*Result, error) {
+	opts, err := opts.withDefaults(e)
+	if err != nil {
+		return nil, err
+	}
+	e.resetAccounts()
+	e.cfg.Topology.ResetTraffic()
+	series := vclock.NewSeries(opts.SampleWindow)
+	if e.adaptive != nil {
+		e.adaptive.reset()
+	}
+
+	aliveAtStart := e.cfg.Topology.AliveCores()
+	if len(aliveAtStart) == 0 {
+		return nil, fmt.Errorf("engine: no alive cores to run on")
+	}
+
+	var (
+		issued    atomic.Int64
+		committed atomic.Int64
+		aborted   atomic.Int64
+		multiSite atomic.Int64
+	)
+	eventFired := make([]atomic.Bool, len(opts.Events))
+	var eventMu sync.Mutex
+	fireEvents := func(now vclock.Nanos) {
+		for i := range opts.Events {
+			if now >= opts.Events[i].At && !eventFired[i].Load() {
+				eventMu.Lock()
+				if !eventFired[i].Load() {
+					eventFired[i].Store(true)
+					if opts.Events[i].Do != nil {
+						opts.Events[i].Do(e)
+					}
+				}
+				eventMu.Unlock()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(workerIdx int) {
+			defer wg.Done()
+			src := &splitMix{}
+			rng := rand.New(src)
+			for {
+				n := issued.Add(1)
+				if int(n) > opts.Transactions {
+					return
+				}
+				now := e.virtualNow()
+				if opts.Duration > 0 && now >= opts.Duration {
+					return
+				}
+				if len(opts.Events) > 0 {
+					fireEvents(now)
+				}
+				// Round-robin the coordinating core over the machine; a core
+				// on a failed socket is replaced by its fallback.
+				alive := e.cfg.Topology.AliveCores()
+				if len(alive) == 0 {
+					return
+				}
+				coord := alive[int(n)%len(alive)].ID
+				at := e.coreTime(coord)
+				// Seed the generator from the transaction index, not the
+				// worker, so the generated workload does not depend on how
+				// the Go scheduler interleaves the worker goroutines.
+				src.seed(opts.Seed + n)
+				ctx := &workload.GenContext{
+					Rng:      rng,
+					At:       at,
+					HomeSite: e.siteOf(coord),
+					NumSites: e.numSites(),
+				}
+				t := e.wl.Generate(ctx)
+				if t.MultiSite {
+					multiSite.Add(1)
+				}
+				// Data-oriented designs dispatch the transaction to the
+				// worker thread that owns the partition doing most of its
+				// work, as DORA does; the coordinating core follows the data
+				// and the bulk of the actions execute locally.
+				if e.cfg.Design == PLP || e.cfg.Design == HWAware || e.cfg.Design == ATraPos {
+					if a, ok := dominantAction(t); ok {
+						if tp, ok := e.state.snapshot().placement.Table(a.Table); ok {
+							coord = e.effectiveCore(tp.CoreFor(a.Key))
+						}
+					}
+				}
+				ok := false
+				for attempt := 0; attempt <= opts.Retries; attempt++ {
+					if e.execute(coord, t) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					committed.Add(1)
+					e.accounts[coord].committed.Add(1)
+					series.Record(e.coreTime(coord), 1)
+				} else {
+					aborted.Add(1)
+				}
+				if e.adaptive != nil {
+					e.adaptive.maybeAdapt(committed.Load())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Design:    e.cfg.Design,
+		Workload:  e.wl.Name,
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		MultiSite: multiSite.Load(),
+		Series:    series.Samples(),
+	}
+	res.VirtualTime = e.virtualNow()
+	if res.VirtualTime > 0 {
+		res.ThroughputTPS = float64(res.Committed) / res.VirtualTime.Seconds()
+	}
+	res.Breakdown = e.breakdown()
+	var useful, total vclock.Nanos
+	for i := range e.accounts {
+		total += e.accounts[i].time()
+		useful += vclock.Nanos(e.accounts[i].comp[vclock.Execution].Load())
+	}
+	if total > 0 {
+		res.UsefulFraction = float64(useful) / float64(total)
+	}
+	res.PerSocket = e.perSocketThroughput()
+	if e.adaptive != nil {
+		res.Repartitions = e.adaptive.repartitions.Load()
+		res.RepartitionTime = vclock.Nanos(e.adaptive.repartitionCost.Load())
+	}
+	res.Interconnect = e.cfg.Topology.Traffic()
+	res.QPIToIMCRatio = e.cfg.Topology.QPIToIMCRatio()
+	return res, nil
+}
+
+func (e *Engine) siteOf(core topology.CoreID) int {
+	if e.siteOfCore == nil {
+		return 0
+	}
+	if s, ok := e.siteOfCore[core]; ok {
+		return s
+	}
+	return 0
+}
+
+func (e *Engine) numSites() int {
+	if len(e.sites) == 0 {
+		return 1
+	}
+	return len(e.sites)
+}
+
+// dominantAction returns the first action of the table that appears most
+// often in the transaction; the transaction is dispatched to that action's
+// partition owner so the largest share of its work stays thread-local.
+func dominantAction(t *workload.Transaction) (workload.Action, bool) {
+	if len(t.Actions) == 0 {
+		return workload.Action{}, false
+	}
+	counts := make(map[string]int, 4)
+	for _, a := range t.Actions {
+		counts[a.Table]++
+	}
+	bestTable := t.Actions[0].Table
+	best := 0
+	for _, a := range t.Actions {
+		if c := counts[a.Table]; c > best {
+			best = c
+			bestTable = a.Table
+		}
+	}
+	for _, a := range t.Actions {
+		if a.Table == bestTable {
+			return a, true
+		}
+	}
+	return t.Actions[0], true
+}
+
+// splitMix is a tiny allocation-free rand.Source64 (splitmix64) that can be
+// reseeded per transaction, making the generated workload a pure function of
+// the transaction index.
+type splitMix struct{ state uint64 }
+
+// seed places the generator at a pseudo-random point of the splitmix orbit.
+// The seed is avalanched first so that consecutive transaction indices do not
+// produce overlapping (shifted) output streams, which would make concurrent
+// transactions touch the same keys and conflict artificially.
+func (s *splitMix) seed(v int64) {
+	z := uint64(v) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	s.state = z ^ (z >> 31)
+}
+
+// Seed implements rand.Source.
+func (s *splitMix) Seed(v int64) { s.seed(v) }
+
+// Uint64 implements rand.Source64.
+func (s *splitMix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *splitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// perSocketThroughput attributes committed transactions to the socket of the
+// core that committed them and divides by the socket's busiest core time.
+func (e *Engine) perSocketThroughput() []SocketThroughput {
+	top := e.cfg.Topology
+	out := make([]SocketThroughput, top.Sockets())
+	for s := 0; s < top.Sockets(); s++ {
+		var committed int64
+		var busiest vclock.Nanos
+		for _, c := range top.CoresOn(topology.SocketID(s)) {
+			committed += e.accounts[c.ID].committed.Load()
+			if t := e.accounts[c.ID].time(); t > busiest {
+				busiest = t
+			}
+		}
+		st := SocketThroughput{Socket: topology.SocketID(s)}
+		if busiest > 0 {
+			st.Throughput = float64(committed) / busiest.Seconds()
+		}
+		out[s] = st
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package harness
+
+import (
+	"fmt"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/core"
+	"atrapos/internal/engine"
+	"atrapos/internal/numa"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: how efficiently each configuration uses the
+// processor on a perfectly partitionable workload as sockets grow. The paper
+// reports IPC from hardware counters; the reproduction reports the
+// useful-work fraction (execution time / total busy time), the same "how much
+// of the machine does real work" signal without hardware counters.
+func Fig1(s Scale) (*Table, error) {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Useful-work fraction on a perfectly partitionable workload (IPC proxy)",
+		Header: []string{"sockets", "extreme shared-nothing", "centralized", "plp"},
+		Notes: []string{
+			"The paper reports IPC; high centralized IPC there reflects spinning on contended locks.",
+			"The useful-work fraction makes the same point directly: the share of cycles doing transaction work.",
+		},
+	}
+	for _, n := range s.socketSweep() {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, d := range []engine.Design{engine.SharedNothingExtreme, engine.Centralized, engine.PLP} {
+			e, err := engine.New(engine.Config{Design: d, Workload: s.partitionableWorkload(), Topology: s.topologyWith(n)})
+			if err != nil {
+				return nil, err
+			}
+			res, err := e.Run(s.runOptions())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.UsefulFraction))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: throughput of extreme shared-nothing, centralized
+// and PLP on the perfectly partitionable single-row-read microbenchmark as
+// the number of sockets grows.
+func Fig2(s Scale) (*Table, error) {
+	return scalingFigure(s, "fig2",
+		"Throughput of the shared-nothing, centralized and PLP architectures",
+		[]engine.Design{engine.SharedNothingExtreme, engine.Centralized, engine.PLP})
+}
+
+// Fig5 reproduces Figure 5: the same scaling experiment including ATraPos and
+// the coarse shared-nothing configuration.
+func Fig5(s Scale) (*Table, error) {
+	return scalingFigure(s, "fig5",
+		"Throughput of a perfectly partitionable workload",
+		[]engine.Design{engine.SharedNothingExtreme, engine.SharedNothingCoarse, engine.ATraPos, engine.PLP})
+}
+
+func scalingFigure(s Scale, id, title string, designs []engine.Design) (*Table, error) {
+	header := []string{"sockets"}
+	for _, d := range designs {
+		header = append(header, d.String())
+	}
+	t := &Table{ID: id, Title: title, Header: header}
+	for _, n := range s.socketSweep() {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, d := range designs {
+			e, err := engine.New(engine.Config{Design: d, Workload: s.partitionableWorkload(), Topology: s.topologyWith(n)})
+			if err != nil {
+				return nil, err
+			}
+			tps, _, err := runThroughput(e, s.runOptions())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtTPS(tps))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: throughput of the shared-nothing configurations
+// and the centralized design as the percentage of multi-site update
+// transactions grows from 0 to 100.
+func Fig3(s Scale) (*Table, error) {
+	designs := []engine.Design{engine.SharedNothingExtreme, engine.SharedNothingCoarse, engine.Centralized}
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Throughput as the percentage of multi-site transactions increases",
+		Header: []string{"% multi-site", "extreme shared-nothing", "coarse shared-nothing", "centralized"},
+	}
+	for _, pct := range []int{0, 20, 40, 60, 80, 100} {
+		row := []string{fmt.Sprintf("%d", pct)}
+		for _, d := range designs {
+			wl := workload.MultisiteUpdate(s.MicroRows, pct)
+			e, err := engine.New(engine.Config{Design: d, Workload: wl, Topology: s.Topology()})
+			if err != nil {
+				return nil, err
+			}
+			tps, _, err := runThroughput(e, s.runOptions())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtTPS(tps))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: the per-transaction time breakdown of the coarse
+// shared-nothing configuration as the percentage of multi-site transactions
+// grows, split into the paper's five components.
+func Fig4(s Scale) (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Time breakdown per transaction, coarse shared-nothing (microseconds)",
+		Header: []string{"% multi-site", "xct management", "xct execution", "communication", "locking", "logging"},
+	}
+	for _, pct := range []int{0, 25, 50, 75, 100} {
+		wl := workload.MultisiteUpdate(s.MicroRows, pct)
+		e, err := engine.New(engine.Config{Design: engine.SharedNothingCoarse, Workload: wl, Topology: s.Topology()})
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(s.runOptions())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", pct)}
+		for _, comp := range vclock.Components() {
+			row = append(row, fmtMicros(res.TimePerTransaction(comp)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table I: per-socket throughput of one shared-nothing
+// instance per socket while the memory allocation policy varies between
+// local, central (all data on one node) and remote.
+func Table1(s Scale) (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: "Throughput (TPS per socket) for various memory allocation policies",
+	}
+	header := []string{"policy"}
+	for i := 0; i < s.MaxSockets; i++ {
+		header = append(header, fmt.Sprintf("socket%d", i+1))
+	}
+	header = append(header, "QPI/IMC")
+	t.Header = header
+
+	wl := workload.ReadHundred(s.MicroRows)
+	for _, policy := range []numa.AllocPolicy{numa.AllocLocal, numa.AllocCentral, numa.AllocRemote} {
+		e, err := engine.New(engine.Config{
+			Design:           engine.SharedNothingCoarse,
+			Workload:         wl,
+			Topology:         s.Topology(),
+			AllocPolicy:      policy,
+			CentralAllocNode: topology.SocketID(s.MaxSockets - 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run(s.runOptions())
+		if err != nil {
+			return nil, err
+		}
+		row := []string{policy.String()}
+		for _, st := range res.PerSocket {
+			row = append(row, fmt.Sprintf("%.0f", st.Throughput))
+		}
+		row = append(row, fmt.Sprintf("%.2f", res.QPIToIMCRatio))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "Local allocation should be fastest; central and remote lose single-digit percentages, and the interconnect-to-memory-controller traffic ratio jumps, as in the paper.")
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: the simple two-table transaction under the five
+// partitioning and placement strategies the paper compares.
+func Fig6(s Scale) (*Table, error) {
+	wl := workload.TwoTableSimple(s.MicroRows)
+	top := s.Topology()
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Throughput of a simple transaction with varying partitioning and placement strategies",
+		Header: []string{"strategy", "throughput", "vs centralized"},
+	}
+	type strategy struct {
+		name string
+		cfg  engine.Config
+	}
+	strategies := []strategy{
+		{"centralized", engine.Config{Design: engine.Centralized, Workload: wl, Topology: top}},
+		{"plp", engine.Config{Design: engine.PLP, Workload: wl, Topology: top}},
+		{"hw-aware (naive per-core)", engine.Config{Design: engine.HWAware, Workload: wl, Topology: top}},
+		{"workload-aware (oblivious placement)", engine.Config{
+			Design: engine.ATraPos, Workload: wl, Topology: top,
+			Placement: engine.DerivePlacement(wl, top, false),
+		}},
+		{"atrapos (workload+hardware aware)", engine.Config{
+			Design: engine.ATraPos, Workload: wl, Topology: top,
+			Placement: engine.DerivePlacement(wl, top, true),
+		}},
+	}
+	var base float64
+	for i, st := range strategies {
+		e, err := engine.New(st.cfg)
+		if err != nil {
+			return nil, err
+		}
+		tps, _, err := runThroughput(e, s.runOptions())
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = tps
+		}
+		rel := "1.00x"
+		if base > 0 {
+			rel = fmtFactor(tps / base)
+		}
+		t.AddRow(st.name, fmtTPS(tps), rel)
+	}
+	return t, nil
+}
+
+// Fig7 renders the TPC-C NewOrder transaction flow graph of Figure 7.
+func Fig7(Scale) (*Table, error) {
+	g := workload.NewOrderFlowGraph()
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Transaction flow graph for the TPC-C NewOrder transaction",
+		Header: []string{"node", "operation", "multiplicity"},
+	}
+	for i, n := range g.Nodes {
+		mult := "1"
+		if n.MinCount != n.MaxCount {
+			mult = fmt.Sprintf("%d-%d", n.MinCount, n.MaxCount)
+		}
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%s(%s)", n.Op, n.Table), mult)
+	}
+	for i, sp := range g.Syncs {
+		t.Notes = append(t.Notes, fmt.Sprintf("synchronization point %d joins nodes %v (%d bytes)", i+1, sp.Nodes, sp.Bytes))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: the throughput of ATraPos normalized over PLP for
+// individual TATP and TPC-C transactions and their standard mixes.
+func Fig8(s Scale) (*Table, error) {
+	top := s.Topology()
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Normalized throughput of ATraPos over PLP (y = ATraPos/PLP)",
+		Header: []string{"benchmark", "workload", "plp", "atrapos", "improvement"},
+	}
+	type point struct {
+		bench string
+		label string
+		wl    *workload.Workload
+	}
+	tatp := func(mix map[string]float64) *workload.Workload {
+		return workload.MustTATP(workload.TATPOptions{Subscribers: s.Subscribers, Mix: mix})
+	}
+	tpcc := func(mix map[string]float64) *workload.Workload {
+		return workload.MustTPCC(workload.TPCCOptions{
+			Warehouses:           s.Warehouses,
+			CustomersPerDistrict: s.CustomersPerDistrict,
+			Items:                s.Items,
+			Mix:                  mix,
+		})
+	}
+	points := []point{
+		{"TATP", "GetSubData", tatp(map[string]float64{workload.TATPGetSubData: 1})},
+		{"TATP", "GetNewDest", tatp(map[string]float64{workload.TATPGetNewDest: 1})},
+		{"TATP", "UpdSubData", tatp(map[string]float64{workload.TATPUpdSubData: 1})},
+		{"TATP", "TATP-Mix", tatp(nil)},
+		{"TPC-C", "StockLevel", tpcc(map[string]float64{workload.TPCCStockLevel: 1})},
+		{"TPC-C", "OrderStatus", tpcc(map[string]float64{workload.TPCCOrderStatus: 1})},
+		{"TPC-C", "TPCC-Mix", tpcc(nil)},
+	}
+	for _, p := range points {
+		plpEngine, err := engine.New(engine.Config{Design: engine.PLP, Workload: p.wl, Topology: top})
+		if err != nil {
+			return nil, err
+		}
+		plpTPS, _, err := runThroughput(plpEngine, s.runOptions())
+		if err != nil {
+			return nil, err
+		}
+		atrEngine, err := engine.New(engine.Config{
+			Design:    engine.ATraPos,
+			Workload:  p.wl,
+			Topology:  top,
+			Placement: engine.DerivePlacement(p.wl, top, true),
+		})
+		if err != nil {
+			return nil, err
+		}
+		atrTPS, _, err := runThroughput(atrEngine, s.runOptions())
+		if err != nil {
+			return nil, err
+		}
+		impr := 0.0
+		if plpTPS > 0 {
+			impr = atrTPS / plpTPS
+		}
+		t.AddRow(p.bench, p.label, fmtTPS(plpTPS), fmtTPS(atrTPS), fmtFactor(impr))
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: the throughput of TATP workloads with the
+// ATraPos monitoring mechanism disabled and enabled, and the overhead in
+// percent.
+func Table2(s Scale) (*Table, error) {
+	top := s.Topology()
+	t := &Table{
+		ID:     "table2",
+		Title:  "ATraPos monitoring overhead",
+		Header: []string{"workload", "no monitoring (TPS)", "monitoring (TPS)", "overhead"},
+	}
+	cases := []struct {
+		label string
+		mix   map[string]float64
+	}{
+		{"GetSubData", map[string]float64{workload.TATPGetSubData: 1}},
+		{"GetNewDest", map[string]float64{workload.TATPGetNewDest: 1}},
+		{"UpdSubData", map[string]float64{workload.TATPUpdSubData: 1}},
+		{"TATP-Mix", nil},
+	}
+	for _, c := range cases {
+		wl := workload.MustTATP(workload.TATPOptions{Subscribers: s.Subscribers, Mix: c.mix})
+		place := engine.DerivePlacement(wl, top, true)
+		run := func(monitoring bool) (float64, error) {
+			e, err := engine.New(engine.Config{
+				Design:     engine.ATraPos,
+				Workload:   wl,
+				Topology:   top,
+				Placement:  place,
+				Monitoring: monitoring,
+			})
+			if err != nil {
+				return 0, err
+			}
+			tps, _, err := runThroughput(e, s.runOptions())
+			return tps, err
+		}
+		off, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		overhead := 0.0
+		if off > 0 {
+			overhead = (off - on) / off
+		}
+		t.AddRow(c.label, fmt.Sprintf("%.0f", off), fmt.Sprintf("%.0f", on), fmtPercent(overhead))
+	}
+	t.Notes = append(t.Notes, "The paper reports at most 3.32% overhead (GetSubData worst case).")
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: the cost of merge, split and rearrange
+// repartitioning sequences as the number of repartitioning actions grows.
+func Fig9(s Scale) (*Table, error) {
+	top := s.Topology()
+	domain := numa.MustNewDomain(top, numa.DefaultCostModel())
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Repartitioning cost (ms) vs number of repartitioning actions",
+		Header: []string{"actions", "merge", "split", "rearrange"},
+	}
+	rows := s.MicroRows
+	def := func() *schema.Table {
+		cols := []schema.Column{{Name: "id", Type: schema.Int64}}
+		for i := 0; i < 10; i++ {
+			cols = append(cols, schema.Column{Name: fmt.Sprintf("c%d", i), Type: schema.Int64})
+		}
+		return &schema.Table{Name: "reparttbl", Columns: cols, PrimaryKey: []string{"id"}}
+	}
+	loadTable := func(parts int) (*storage.Manager, *storage.Table) {
+		store := storage.NewManager(domain)
+		tbl, err := store.CreateTable(def(), btree.UniformBounds(int64(rows), parts), nil)
+		if err != nil {
+			panic(err)
+		}
+		tbl.LoadFunc(rows, func(i int) schema.Row {
+			r := make(schema.Row, 11)
+			r[0] = int64(i)
+			for c := 1; c < 11; c++ {
+				r[c] = int64(i * c)
+			}
+			return r
+		})
+		return store, tbl
+	}
+	maxActions := top.NumCores()
+	for n := maxActions / 8; n <= maxActions; n += maxActions / 8 {
+		if n < 1 {
+			n = 1
+		}
+		// Merge: start with 2n partitions, merge n pairs.
+		mergeCost := measureReplan(domain, loadTable, 2*n, n+1, rows)
+		// Split: start with n+1 partitions, split each into two.
+		splitCost := measureReplan(domain, loadTable, n+1, 2*n+1, rows)
+		// Rearrange: change both boundaries and ownership (split+merge mix).
+		rearrangeCost := measureReplan(domain, loadTable, 2*n, 2*n, rows) + mergeCost/2 + splitCost/2
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", mergeCost.Seconds()*1e3),
+			fmt.Sprintf("%.1f", splitCost.Seconds()*1e3),
+			fmt.Sprintf("%.1f", rearrangeCost.Seconds()*1e3))
+	}
+	t.Notes = append(t.Notes, "Costs are virtual time; the paper's costliest sequence (80 rearrangements) stays under 200 ms.")
+	return t, nil
+}
+
+func measureReplan(domain *numa.Domain, load func(parts int) (*storage.Manager, *storage.Table), fromParts, toParts, rows int) vclock.Nanos {
+	store, _ := load(fromParts)
+	current := partition.NewPlacement()
+	current.Tables["reparttbl"] = &partition.TablePlacement{
+		Table:  "reparttbl",
+		Bounds: btree.UniformBounds(int64(rows), fromParts),
+		Cores:  coresFor(domain, fromParts),
+	}
+	desired := partition.NewPlacement()
+	desired.Tables["reparttbl"] = &partition.TablePlacement{
+		Table:  "reparttbl",
+		Bounds: btree.UniformBounds(int64(rows), toParts),
+		Cores:  coresForShifted(domain, toParts),
+	}
+	plan := core.BuildPlan(current, desired, domain.Top)
+	exec := core.NewExecutor(core.DefaultExecutorConfig(), domain, store)
+	out, err := exec.Execute(plan)
+	if err != nil {
+		return 0
+	}
+	return out.Cost
+}
+
+func coresFor(domain *numa.Domain, n int) []topology.CoreID {
+	cores := domain.Top.AliveCores()
+	out := make([]topology.CoreID, n)
+	for i := range out {
+		out[i] = cores[i%len(cores)].ID
+	}
+	return out
+}
+
+func coresForShifted(domain *numa.Domain, n int) []topology.CoreID {
+	cores := domain.Top.AliveCores()
+	out := make([]topology.CoreID, n)
+	shift := len(cores) / 2
+	for i := range out {
+		out[i] = cores[(i+shift)%len(cores)].ID
+	}
+	return out
+}

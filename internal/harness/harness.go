@@ -1,0 +1,293 @@
+// Package harness drives the experiments of the paper's evaluation section:
+// one driver per table and figure, each producing the same rows or series the
+// paper reports. The drivers are used by the root-level benchmarks and by the
+// atrapos-bench command.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atrapos/internal/engine"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
+)
+
+// Scale controls how large the experiments run. The paper's hardware is an
+// 8-socket, 80-core machine with multi-gigabyte datasets; the quick scale
+// keeps every experiment to a few seconds so the full suite can run in CI.
+type Scale struct {
+	// CoresPerSocket and MaxSockets describe the largest machine simulated.
+	CoresPerSocket int
+	MaxSockets     int
+	// MicroRows is the dataset size of the microbenchmarks.
+	MicroRows int
+	// Subscribers is the TATP population.
+	Subscribers int
+	// Warehouses and CustomersPerDistrict / Items scale TPC-C.
+	Warehouses           int
+	CustomersPerDistrict int
+	Items                int
+	// Transactions is the number of transactions per measured point.
+	Transactions int
+	// Workers is the number of executing goroutines (0 = automatic).
+	Workers int
+	// Seed makes runs repeatable.
+	Seed int64
+}
+
+// QuickScale returns a scale suitable for tests and benchmarks: a 4-socket,
+// 16-core Island machine and datasets in the thousands of rows.
+func QuickScale() Scale {
+	return Scale{
+		CoresPerSocket:       4,
+		MaxSockets:           4,
+		MicroRows:            8000,
+		Subscribers:          8000,
+		Warehouses:           2,
+		CustomersPerDistrict: 60,
+		Items:                2000,
+		Transactions:         2500,
+		Seed:                 42,
+	}
+}
+
+// PaperScale returns the paper's setup: 8 sockets of 10 cores, 800 K
+// subscribers, and larger per-point transaction counts. Running every
+// experiment at this scale takes minutes rather than seconds.
+func PaperScale() Scale {
+	return Scale{
+		CoresPerSocket:       10,
+		MaxSockets:           8,
+		MicroRows:            800_000,
+		Subscribers:          800_000,
+		Warehouses:           80,
+		CustomersPerDistrict: 3000,
+		Items:                100_000,
+		Transactions:         40_000,
+		Seed:                 42,
+	}
+}
+
+// topologyWith returns an Island machine with the given number of sockets.
+func (s Scale) topologyWith(sockets int) *topology.Topology {
+	return topology.MustNew(topology.Config{
+		Name:           fmt.Sprintf("%d-socket x %d-core", sockets, s.CoresPerSocket),
+		Sockets:        sockets,
+		CoresPerSocket: s.CoresPerSocket,
+	})
+}
+
+// Topology returns the largest machine of the scale.
+func (s Scale) Topology() *topology.Topology { return s.topologyWith(s.MaxSockets) }
+
+// socketSweep returns the socket counts used by the scaling figures
+// (1, 2, 4, ... up to MaxSockets), mirroring the paper's x-axis.
+func (s Scale) socketSweep() []int {
+	var out []int
+	for n := 1; n <= s.MaxSockets; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != s.MaxSockets {
+		out = append(out, s.MaxSockets)
+	}
+	return out
+}
+
+// Table is a rendered experiment result: a title, a header and rows of cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries commentary printed under the table (e.g. how a metric
+	// maps onto the paper's).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widthAt(widths, i, len(c)), c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func widthAt(widths []int, i, fallback int) int {
+	if i < len(widths) {
+		return widths[i]
+	}
+	return fallback
+}
+
+// Experiment is a named driver that reproduces one table or figure.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Scale) (*Table, error)
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Instructions retired per cycle (useful-work fraction proxy) on a perfectly partitionable workload", Fig1},
+		{"fig2", "Throughput of shared-nothing, centralized and PLP as sockets grow", Fig2},
+		{"fig3", "Throughput as the percentage of multi-site transactions grows", Fig3},
+		{"fig4", "Per-transaction time breakdown for coarse shared-nothing", Fig4},
+		{"table1", "Throughput per socket under local/central/remote memory allocation", Table1},
+		{"fig5", "Throughput of a perfectly partitionable workload including ATraPos", Fig5},
+		{"fig6", "Simple two-table transaction under different partitioning/placement strategies", Fig6},
+		{"fig7", "TPC-C NewOrder transaction flow graph", Fig7},
+		{"fig8", "TATP and TPC-C throughput of ATraPos normalized over PLP", Fig8},
+		{"table2", "Monitoring overhead on TATP", Table2},
+		{"fig9", "Repartitioning cost as the number of actions grows", Fig9},
+		{"fig10", "Adapting to workload changes (static vs ATraPos)", Fig10},
+		{"fig11", "Adapting to sudden workload skew", Fig11},
+		{"fig12", "Adapting to a processor failure", Fig12},
+		{"fig13", "Adapting to frequent workload changes", Fig13},
+		{"ablation-txnlist", "Ablation: centralized vs per-socket transaction list", AblationTxnList},
+		{"ablation-statelock", "Ablation: centralized vs per-socket state locks", AblationStateLock},
+		{"ablation-placement", "Ablation: placement step (Algorithm 2) on vs off", AblationPlacement},
+		{"ablation-subparts", "Ablation: sub-partition granularity of the monitor", AblationSubPartitions},
+		{"ablation-sli", "Ablation: speculative lock inheritance in the centralized design", AblationSLI},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registered experiment ids.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment at the given scale.
+func RunAll(s Scale) ([]*Table, error) {
+	var out []*Table
+	for _, e := range Registry() {
+		t, err := e.Run(s)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// --- shared helpers ---
+
+func (s Scale) runOptions() engine.RunOptions {
+	return engine.RunOptions{Transactions: s.Transactions, Seed: s.Seed, Workers: s.Workers}
+}
+
+func runThroughput(e *engine.Engine, opts engine.RunOptions) (float64, *engine.Result, error) {
+	res, err := e.Run(opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.ThroughputTPS, res, nil
+}
+
+func fmtTPS(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MTPS", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f KTPS", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f TPS", v)
+	}
+}
+
+func fmtFactor(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+func fmtMicros(ns float64) string { return fmt.Sprintf("%.1f", ns/1e3) }
+
+func fmtPercent(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// seriesTable renders one or more labelled throughput series, bucketed on a
+// common virtual-time axis.
+func seriesTable(id, title string, window vclock.Nanos, series map[string][]vclock.Sample, notes []string) *Table {
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	t := &Table{ID: id, Title: title, Header: append([]string{"t (s)"}, labels...), Notes: notes}
+	// Index samples by window.
+	byWindow := make(map[string]map[int64]float64)
+	var maxWin int64
+	for l, ss := range series {
+		byWindow[l] = make(map[int64]float64, len(ss))
+		for _, s := range ss {
+			w := int64(s.At) / int64(window)
+			byWindow[l][w] = s.Throughput
+			if w > maxWin {
+				maxWin = w
+			}
+		}
+	}
+	for w := int64(1); w <= maxWin; w++ {
+		row := []string{fmt.Sprintf("%.3f", float64(w)*window.Seconds())}
+		for _, l := range labels {
+			row = append(row, fmt.Sprintf("%.0f", byWindow[l][w]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// mixName gives the workload used by Figures 1, 2 and 5.
+func (s Scale) partitionableWorkload() *workload.Workload {
+	return workload.SingleRowRead(s.MicroRows)
+}

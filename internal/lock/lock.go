@@ -1,0 +1,261 @@
+// Package lock implements the locking substrate of the storage manager: a
+// hierarchical (table/row) lock table with intention modes, a centralized
+// lock manager whose buckets live on shared cache lines (the design that
+// collapses on multisockets), partition-local lock tables as used by PLP and
+// ATraPos, and speculative lock inheritance for hot table-level locks.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"atrapos/internal/schema"
+)
+
+// TxnID identifies a transaction for lock ownership purposes.
+type TxnID uint64
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// IS is intention-shared, taken on a table before row S locks.
+	IS Mode = iota
+	// IX is intention-exclusive, taken on a table before row X locks.
+	IX
+	// S is a shared lock.
+	S
+	// X is an exclusive lock.
+	X
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compatible reports whether two lock modes held by different transactions
+// can coexist on the same resource. The matrix is the classic hierarchical
+// locking compatibility matrix.
+func Compatible(a, b Mode) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	default:
+		return false
+	}
+}
+
+// stronger reports whether mode a subsumes mode b (holding a satisfies a
+// request for b by the same transaction).
+func stronger(a, b Mode) bool {
+	rank := func(m Mode) int {
+		switch m {
+		case IS:
+			return 0
+		case IX, S:
+			return 1
+		case X:
+			return 2
+		default:
+			return -1
+		}
+	}
+	if a == b {
+		return true
+	}
+	if a == IX && b == S || a == S && b == IX {
+		return false
+	}
+	return rank(a) >= rank(b)
+}
+
+// Kind distinguishes table-level from row-level resources.
+type Kind int
+
+const (
+	// TableKind is a table-granularity resource.
+	TableKind Kind = iota
+	// RowKind is a row-granularity resource.
+	RowKind
+)
+
+// ResourceID names a lockable resource.
+type ResourceID struct {
+	Table string
+	Key   schema.Key
+	Kind  Kind
+}
+
+// TableResource returns the table-granularity resource for a table.
+func TableResource(table string) ResourceID {
+	return ResourceID{Table: table, Kind: TableKind}
+}
+
+// RowResource returns the row-granularity resource for a key of a table.
+func RowResource(table string, key schema.Key) ResourceID {
+	return ResourceID{Table: table, Key: key, Kind: RowKind}
+}
+
+// ErrConflict is returned when a lock request cannot be granted because an
+// incompatible lock is held by another transaction. The storage manager uses
+// a no-wait policy: the requester aborts and retries, which avoids deadlocks
+// without a waits-for graph.
+var ErrConflict = errors.New("lock: conflicting lock held")
+
+type entry struct {
+	holders map[TxnID]Mode
+}
+
+// Table is one lock table: a bucket-striped hash map from resources to lock
+// entries. A Table on its own is NUMA-oblivious; the managers in manager.go
+// decide how many tables exist and which threads may touch them.
+type Table struct {
+	buckets []bucket
+}
+
+type bucket struct {
+	mu      sync.Mutex
+	entries map[ResourceID]*entry
+}
+
+// NewTable creates a lock table with the given number of buckets.
+func NewTable(nBuckets int) *Table {
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	t := &Table{buckets: make([]bucket, nBuckets)}
+	for i := range t.buckets {
+		t.buckets[i].entries = make(map[ResourceID]*entry)
+	}
+	return t
+}
+
+// BucketFor returns the bucket index for a resource; exported so managers can
+// attribute cache-line costs to the right bucket.
+func (t *Table) BucketFor(res ResourceID) int {
+	h := uint64(14695981039346656037)
+	for _, c := range res.Table {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= uint64(res.Key)
+	h *= 1099511628211
+	h ^= uint64(res.Kind)
+	return int(h % uint64(len(t.buckets)))
+}
+
+// Acquire grants mode on res to txn, or returns ErrConflict. Re-acquisition
+// by the same transaction succeeds if the held mode already subsumes the
+// request; otherwise the held mode is upgraded when no other holder conflicts.
+func (t *Table) Acquire(txn TxnID, res ResourceID, mode Mode) error {
+	b := &t.buckets[t.BucketFor(res)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[res]
+	if e == nil {
+		e = &entry{holders: make(map[TxnID]Mode, 2)}
+		b.entries[res] = e
+	}
+	if held, ok := e.holders[txn]; ok && stronger(held, mode) {
+		return nil
+	}
+	for other, otherMode := range e.holders {
+		if other == txn {
+			continue
+		}
+		if !Compatible(mode, otherMode) {
+			return ErrConflict
+		}
+	}
+	if held, ok := e.holders[txn]; !ok || !stronger(held, mode) {
+		e.holders[txn] = mode
+	}
+	return nil
+}
+
+// Release drops txn's lock on res.
+func (t *Table) Release(txn TxnID, res ResourceID) {
+	b := &t.buckets[t.BucketFor(res)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[res]; e != nil {
+		delete(e.holders, txn)
+		if len(e.holders) == 0 {
+			delete(b.entries, res)
+		}
+	}
+}
+
+// ReleaseAll drops every lock held by txn and returns how many were released.
+func (t *Table) ReleaseAll(txn TxnID) int {
+	released := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		for res, e := range b.entries {
+			if _, ok := e.holders[txn]; ok {
+				delete(e.holders, txn)
+				released++
+				if len(e.holders) == 0 {
+					delete(b.entries, res)
+				}
+			}
+		}
+		b.mu.Unlock()
+	}
+	return released
+}
+
+// Held returns the mode txn holds on res, if any.
+func (t *Table) Held(txn TxnID, res ResourceID) (Mode, bool) {
+	b := &t.buckets[t.BucketFor(res)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[res]; e != nil {
+		m, ok := e.holders[txn]
+		return m, ok
+	}
+	return 0, false
+}
+
+// Holders returns how many transactions hold a lock on res.
+func (t *Table) Holders(res ResourceID) int {
+	b := &t.buckets[t.BucketFor(res)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[res]; e != nil {
+		return len(e.holders)
+	}
+	return 0
+}
+
+// Len returns the number of locked resources (for observability and tests).
+func (t *Table) Len() int {
+	total := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		total += len(b.entries)
+		b.mu.Unlock()
+	}
+	return total
+}

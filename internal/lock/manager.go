@@ -1,0 +1,163 @@
+package lock
+
+import (
+	"sync"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/topology"
+)
+
+// Manager is the interface the execution engines use to acquire locks. Every
+// call returns the virtual cost of the operation so the caller can charge it
+// to the worker's clock; implementations differ in how much of that cost
+// crosses socket boundaries.
+type Manager interface {
+	// Acquire requests mode on res for txn on behalf of a worker running on
+	// socket s.
+	Acquire(s topology.SocketID, txn TxnID, res ResourceID, mode Mode) (numa.Cost, error)
+	// ReleaseAll drops all locks of txn and returns the cost and the number
+	// of locks released.
+	ReleaseAll(s topology.SocketID, txn TxnID) (numa.Cost, int)
+}
+
+// CentralManager is the traditional centralized lock manager: one lock table
+// shared by every worker in the system. Each bucket header is modeled as a
+// cache line homed on socket 0, so acquisitions from other sockets pay
+// cache-line transfer costs — the contention the paper identifies as the
+// first scalability bottleneck of shared-everything designs.
+//
+// CentralManager optionally applies speculative lock inheritance (SLI):
+// table-level intention locks released at commit are retained by the worker
+// that released them, so the next transaction on the same worker re-acquires
+// them without touching the shared bucket.
+type CentralManager struct {
+	table *Table
+	lines []*numa.CacheLine
+
+	sliEnabled bool
+	sliMu      sync.Mutex
+	sli        map[topology.SocketID]map[ResourceID]Mode
+	sliHits    int64
+}
+
+// NewCentralManager builds a centralized manager over domain d.
+func NewCentralManager(d *numa.Domain, buckets int, sli bool) *CentralManager {
+	m := &CentralManager{
+		table:      NewTable(buckets),
+		lines:      make([]*numa.CacheLine, buckets),
+		sliEnabled: sli,
+		sli:        make(map[topology.SocketID]map[ResourceID]Mode),
+	}
+	for i := range m.lines {
+		m.lines[i] = numa.NewCacheLine(d, 0)
+	}
+	return m
+}
+
+// Acquire implements Manager.
+func (m *CentralManager) Acquire(s topology.SocketID, txn TxnID, res ResourceID, mode Mode) (numa.Cost, error) {
+	if m.sliEnabled && res.Kind == TableKind {
+		m.sliMu.Lock()
+		if held, ok := m.sli[s][res]; ok && stronger(held, mode) {
+			m.sliHits++
+			m.sliMu.Unlock()
+			// The lock is inherited: only a thread-local check is needed.
+			return 0, nil
+		}
+		m.sliMu.Unlock()
+	}
+	cost := m.lines[m.table.BucketFor(res)].Atomic(s)
+	if err := m.table.Acquire(txn, res, mode); err != nil {
+		return cost, err
+	}
+	return cost, nil
+}
+
+// ReleaseAll implements Manager. Table-level locks are retained in the SLI
+// cache of the releasing worker's socket when SLI is enabled.
+func (m *CentralManager) ReleaseAll(s topology.SocketID, txn TxnID) (numa.Cost, int) {
+	var cost numa.Cost
+	// Releasing touches the bucket headers again; approximate with one
+	// representative bucket access per release batch plus one per lock.
+	released := m.table.ReleaseAll(txn)
+	for i := 0; i < released; i++ {
+		cost += m.lines[i%len(m.lines)].Atomic(s)
+	}
+	return cost, released
+}
+
+// RetainForSLI records that the worker on socket s finished a transaction
+// that held mode on table resource res; subsequent acquisitions of a weaker
+// or equal mode from the same socket are served from the cache.
+func (m *CentralManager) RetainForSLI(s topology.SocketID, res ResourceID, mode Mode) {
+	if !m.sliEnabled || res.Kind != TableKind {
+		return
+	}
+	m.sliMu.Lock()
+	defer m.sliMu.Unlock()
+	if m.sli[s] == nil {
+		m.sli[s] = make(map[ResourceID]Mode)
+	}
+	m.sli[s][res] = mode
+}
+
+// SLIHits returns how many acquisitions were served by speculative lock inheritance.
+func (m *CentralManager) SLIHits() int64 {
+	m.sliMu.Lock()
+	defer m.sliMu.Unlock()
+	return m.sliHits
+}
+
+// Table exposes the underlying lock table for tests.
+func (m *CentralManager) Table() *Table { return m.table }
+
+// LocalManager is a partition-local lock table as used by PLP and ATraPos:
+// each logical partition has its own small lock table accessed by exactly one
+// worker thread, so acquisitions are socket-local and uncontended. The cost
+// charged is the local atomic cost of the owning socket's stripe.
+type LocalManager struct {
+	table *Table
+	line  *numa.CacheLine
+	home  topology.SocketID
+}
+
+// NewLocalManager creates a partition-local lock table homed on socket home.
+func NewLocalManager(d *numa.Domain, home topology.SocketID) *LocalManager {
+	return &LocalManager{
+		table: NewTable(8),
+		line:  numa.NewCacheLine(d, home),
+		home:  home,
+	}
+}
+
+// Rehome moves the lock table's cache line to a new socket; called when
+// repartitioning migrates a partition to a core on another socket.
+func (m *LocalManager) Rehome(d *numa.Domain, home topology.SocketID) {
+	m.line = numa.NewCacheLine(d, home)
+	m.home = home
+}
+
+// Home returns the socket the lock table is currently homed on.
+func (m *LocalManager) Home() topology.SocketID { return m.home }
+
+// Acquire implements Manager.
+func (m *LocalManager) Acquire(s topology.SocketID, txn TxnID, res ResourceID, mode Mode) (numa.Cost, error) {
+	cost := m.line.Atomic(s)
+	if err := m.table.Acquire(txn, res, mode); err != nil {
+		return cost, err
+	}
+	return cost, nil
+}
+
+// ReleaseAll implements Manager.
+func (m *LocalManager) ReleaseAll(s topology.SocketID, txn TxnID) (numa.Cost, int) {
+	released := m.table.ReleaseAll(txn)
+	var cost numa.Cost
+	if released > 0 {
+		cost = m.line.Atomic(s)
+	}
+	return cost, released
+}
+
+// Table exposes the underlying lock table for tests.
+func (m *LocalManager) Table() *Table { return m.table }

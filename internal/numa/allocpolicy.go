@@ -1,0 +1,96 @@
+package numa
+
+import (
+	"fmt"
+
+	"atrapos/internal/topology"
+)
+
+// AllocPolicy decides on which memory node (socket) the data of a database
+// instance or partition is allocated. It reproduces the three numactl modes
+// of Section III-D: local, central (all instances allocate on a single node),
+// and remote (every instance allocates on a different remote node).
+type AllocPolicy int
+
+const (
+	// AllocLocal allocates each instance's memory on its own socket.
+	AllocLocal AllocPolicy = iota
+	// AllocCentral allocates every instance's memory on one designated socket.
+	AllocCentral
+	// AllocRemote allocates each instance's memory on a different remote socket.
+	AllocRemote
+)
+
+// String implements fmt.Stringer.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocLocal:
+		return "local"
+	case AllocCentral:
+		return "central"
+	case AllocRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// ParseAllocPolicy converts a string to an AllocPolicy.
+func ParseAllocPolicy(s string) (AllocPolicy, error) {
+	switch s {
+	case "local":
+		return AllocLocal, nil
+	case "central":
+		return AllocCentral, nil
+	case "remote":
+		return AllocRemote, nil
+	default:
+		return 0, fmt.Errorf("numa: unknown allocation policy %q", s)
+	}
+}
+
+// Placement maps each socket's instance to the memory node holding its data.
+type Placement struct {
+	policy AllocPolicy
+	node   []topology.SocketID
+}
+
+// NewPlacement computes the memory node of each socket's data under policy.
+// centralNode is only used by AllocCentral; the paper uses the last socket.
+func NewPlacement(top *topology.Topology, policy AllocPolicy, centralNode topology.SocketID) (*Placement, error) {
+	n := top.Sockets()
+	if policy == AllocCentral && (int(centralNode) < 0 || int(centralNode) >= n) {
+		return nil, fmt.Errorf("numa: central node %d out of range [0,%d)", centralNode, n)
+	}
+	p := &Placement{policy: policy, node: make([]topology.SocketID, n)}
+	for s := 0; s < n; s++ {
+		switch policy {
+		case AllocLocal:
+			p.node[s] = topology.SocketID(s)
+		case AllocCentral:
+			p.node[s] = centralNode
+		case AllocRemote:
+			// Every instance allocates on a different remote node: shift by
+			// half the machine so instance s never lands on itself.
+			p.node[s] = topology.SocketID((s + n/2 + n%2) % n)
+			if p.node[s] == topology.SocketID(s) {
+				p.node[s] = topology.SocketID((s + 1) % n)
+			}
+		default:
+			return nil, fmt.Errorf("numa: unknown allocation policy %v", policy)
+		}
+	}
+	return p, nil
+}
+
+// Policy returns the placement's policy.
+func (p *Placement) Policy() AllocPolicy { return p.policy }
+
+// NodeFor returns the memory node that holds the data of the instance bound
+// to socket s.
+func (p *Placement) NodeFor(s topology.SocketID) topology.SocketID {
+	if int(s) < 0 || int(s) >= len(p.node) {
+		return 0
+	}
+	return p.node[s]
+}

@@ -1,0 +1,161 @@
+package numa
+
+import (
+	"sync/atomic"
+
+	"atrapos/internal/topology"
+)
+
+// CacheLine models the coherence behaviour of one contended cache line, such
+// as the head of Shore-MT's lock-free transaction list, a lock-table bucket
+// header, or the tail of the log buffer.
+//
+// Each access records the socket of the accessor and charges the cost of
+// transferring ownership from the previous owner's socket. When a single
+// socket uses the line, every access is socket-local and cheap; when threads
+// on many sockets hammer the same line, ownership ping-pongs across the
+// interconnect and the per-access cost grows with the machine's distances.
+// This is exactly the effect that makes centralized data structures the
+// scalability bottleneck the paper describes in Sections III and IV.
+type CacheLine struct {
+	owner   atomic.Int64 // last owning socket
+	domain  *Domain
+	access  atomic.Int64 // total accesses (observability)
+	remote  atomic.Int64 // accesses that crossed a socket boundary
+	seeded  atomic.Bool
+	penalty atomic.Int64 // accumulated cost, virtual ns
+	// window tracks the sockets that touched the line recently (a bitmask in
+	// the low bits and an access counter in the high bits). Atomic operations
+	// on a line contended by several sockets pay a retry term proportional to
+	// the number of contending sockets, modeling CAS retries and cache-line
+	// ping-pong under contention.
+	window atomic.Uint64
+}
+
+const contentionWindow = 64
+
+// NewCacheLine returns a cache line that is initially owned by socket home.
+func NewCacheLine(d *Domain, home topology.SocketID) *CacheLine {
+	cl := &CacheLine{domain: d}
+	cl.owner.Store(int64(home))
+	cl.seeded.Store(true)
+	return cl
+}
+
+// Touch performs a plain read/write access from socket s and returns its cost.
+func (cl *CacheLine) Touch(s topology.SocketID) Cost {
+	return cl.record(s, false)
+}
+
+// Atomic performs an atomic (CAS-like) access from socket s and returns its cost.
+func (cl *CacheLine) Atomic(s topology.SocketID) Cost {
+	return cl.record(s, true)
+}
+
+func (cl *CacheLine) record(s topology.SocketID, atomicOp bool) Cost {
+	prev := topology.SocketID(cl.owner.Swap(int64(s)))
+	var c Cost
+	if atomicOp {
+		c = cl.domain.AtomicCost(s, prev)
+		if n := cl.noteContender(s); n > 1 {
+			c += Cost(n-1) * cl.domain.Model.RemoteTransferPerHop
+		}
+	} else {
+		c = cl.domain.AccessCost(s, prev)
+	}
+	cl.access.Add(1)
+	if prev != s {
+		cl.remote.Add(1)
+	}
+	cl.domain.Top.RecordTraffic(s, prev, 64)
+	cl.penalty.Add(int64(c))
+	return c
+}
+
+// noteContender records that socket s touched the line and returns the
+// number of distinct sockets seen in the current contention window.
+func (cl *CacheLine) noteContender(s topology.SocketID) int {
+	bit := uint64(1)
+	if s > 0 && int(s) < 48 {
+		bit = 1 << uint(s)
+	}
+	for {
+		old := cl.window.Load()
+		count := old >> 48
+		mask := old & ((1 << 48) - 1)
+		var next uint64
+		if count >= contentionWindow {
+			next = (1 << 48) | bit
+		} else {
+			next = ((count + 1) << 48) | mask | bit
+		}
+		if cl.window.CompareAndSwap(old, next) {
+			return popcount(next & ((1 << 48) - 1))
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Owner returns the socket that last touched the line.
+func (cl *CacheLine) Owner() topology.SocketID {
+	return topology.SocketID(cl.owner.Load())
+}
+
+// Stats describes the observed behaviour of a cache line.
+type Stats struct {
+	Accesses       int64
+	RemoteMisses   int64
+	TotalCost      Cost
+	RemoteFraction float64
+}
+
+// Stats returns access counters for the line.
+func (cl *CacheLine) Stats() Stats {
+	acc := cl.access.Load()
+	rem := cl.remote.Load()
+	st := Stats{
+		Accesses:     acc,
+		RemoteMisses: rem,
+		TotalCost:    Cost(cl.penalty.Load()),
+	}
+	if acc > 0 {
+		st.RemoteFraction = float64(rem) / float64(acc)
+	}
+	return st
+}
+
+// Striped is a set of per-socket cache lines. NUMA-aware data structures use
+// one stripe per socket so the critical path only ever touches the local
+// stripe; background operations may touch all stripes.
+type Striped struct {
+	lines []*CacheLine
+}
+
+// NewStriped builds one cache line per socket, each homed on its socket.
+func NewStriped(d *Domain) *Striped {
+	s := &Striped{lines: make([]*CacheLine, d.Top.Sockets())}
+	for i := range s.lines {
+		s.lines[i] = NewCacheLine(d, topology.SocketID(i))
+	}
+	return s
+}
+
+// Local returns the stripe for socket s. Out-of-range sockets map to stripe 0
+// so that callers with a failed or unknown socket still make progress.
+func (s *Striped) Local(sock topology.SocketID) *CacheLine {
+	if int(sock) < 0 || int(sock) >= len(s.lines) {
+		return s.lines[0]
+	}
+	return s.lines[sock]
+}
+
+// All returns every stripe, for background traversals.
+func (s *Striped) All() []*CacheLine { return s.lines }

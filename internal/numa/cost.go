@@ -1,0 +1,205 @@
+// Package numa provides the NUMA cost primitives that the rest of the system
+// uses to model non-uniform memory access on hardware Islands: a configurable
+// cost model, a cache-line ownership model that makes accesses to shared
+// mutable state more expensive the more sockets touch it, NUMA-aware
+// (per-socket) reader/writer locks, and memory-allocation placement policies.
+//
+// Everything in this package accounts cost in virtual nanoseconds; it never
+// sleeps. Engines charge the returned costs to per-worker virtual clocks.
+package numa
+
+import (
+	"fmt"
+
+	"atrapos/internal/topology"
+)
+
+// Cost is a duration expressed in virtual nanoseconds.
+type Cost int64
+
+// CostModel holds the base latencies used to convert topology distances into
+// virtual time. The defaults are calibrated to the published latencies of
+// Westmere-EX class machines: an L3 hit around 20 ns, a local atomic
+// operation in the tens of nanoseconds, and a cache line transfer over one
+// QPI hop in the low hundreds of nanoseconds.
+type CostModel struct {
+	// LocalAccess is the cost of reading or writing data that is already in
+	// a socket-local cache.
+	LocalAccess Cost
+	// LocalAtomic is the cost of an atomic operation (CAS, fetch-and-add) on
+	// a cache line owned by the local socket.
+	LocalAtomic Cost
+	// RemoteTransferPerHop is the additional cost of pulling a cache line
+	// from a socket that is one interconnect hop away. Multi-hop transfers
+	// scale linearly with the hop count.
+	RemoteTransferPerHop Cost
+	// LocalDRAM is the cost of a miss to the local memory node.
+	LocalDRAM Cost
+	// RemoteDRAMPerHop is the additional DRAM access cost per interconnect hop.
+	RemoteDRAMPerHop Cost
+	// MessagePerHop is the cost of a shared-memory message between instances
+	// whose receiving thread is one hop away (used by the distributed
+	// transaction layer of shared-nothing configurations).
+	MessagePerHop Cost
+	// MessageLocal is the cost of a shared-memory message delivered within a socket.
+	MessageLocal Cost
+	// ByteTransferPerHop is the per-byte cost of moving payload data between
+	// sockets at a synchronization point.
+	ByteTransferPerHop Cost
+	// RowWork is the CPU cost of processing one row inside an action
+	// (instruction execution, predicate evaluation, tuple copy), independent
+	// of where the row's memory lives. OLTP row processing dominates the raw
+	// memory latency, which is why the paper measures only single-digit
+	// percentage effects from remote memory placement (Table I).
+	RowWork Cost
+}
+
+// DefaultCostModel returns the cost model used throughout the evaluation.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LocalAccess:          20,
+		LocalAtomic:          60,
+		RemoteTransferPerHop: 320,
+		LocalDRAM:            90,
+		RemoteDRAMPerHop:     60,
+		MessagePerHop:        900,
+		MessageLocal:         350,
+		ByteTransferPerHop:   2,
+		RowWork:              9000,
+	}
+}
+
+// Validate reports whether the cost model is usable.
+func (m CostModel) Validate() error {
+	if m.LocalAccess <= 0 || m.LocalAtomic <= 0 || m.LocalDRAM <= 0 {
+		return fmt.Errorf("numa: local costs must be positive: %+v", m)
+	}
+	if m.RemoteTransferPerHop < 0 || m.RemoteDRAMPerHop < 0 || m.MessagePerHop < 0 ||
+		m.MessageLocal < 0 || m.ByteTransferPerHop < 0 || m.RowWork < 0 {
+		return fmt.Errorf("numa: costs must be non-negative: %+v", m)
+	}
+	return nil
+}
+
+// Domain couples a topology with a cost model. It is the object the engines
+// consult for every cost decision.
+type Domain struct {
+	Top   *topology.Topology
+	Model CostModel
+}
+
+// NewDomain builds a Domain, validating the cost model.
+func NewDomain(top *topology.Topology, model CostModel) (*Domain, error) {
+	if top == nil {
+		return nil, fmt.Errorf("numa: nil topology")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Domain{Top: top, Model: model}, nil
+}
+
+// MustNewDomain is like NewDomain but panics on error.
+func MustNewDomain(top *topology.Topology, model CostModel) *Domain {
+	d, err := NewDomain(top, model)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DefaultDomain returns a Domain over the paper's 8x10 topology with the
+// default cost model.
+func DefaultDomain() *Domain {
+	return MustNewDomain(topology.Default(), DefaultCostModel())
+}
+
+// AtomicCost returns the cost of an atomic operation issued by a thread on
+// socket `from` against a cache line last owned by socket `owner`.
+func (d *Domain) AtomicCost(from, owner topology.SocketID) Cost {
+	c := d.Model.LocalAtomic
+	if from != owner {
+		c += Cost(d.Top.Distance(from, owner)) * d.Model.RemoteTransferPerHop
+	}
+	return c
+}
+
+// AccessCost returns the cost of a plain read/write of shared data that
+// currently lives in the cache of socket `owner`.
+func (d *Domain) AccessCost(from, owner topology.SocketID) Cost {
+	c := d.Model.LocalAccess
+	if from != owner {
+		c += Cost(d.Top.Distance(from, owner)) * d.Model.RemoteTransferPerHop
+	}
+	return c
+}
+
+// DRAMCost returns the cost of a memory access from socket `from` to a page
+// allocated on memory node `node`.
+func (d *Domain) DRAMCost(from, node topology.SocketID) Cost {
+	c := d.Model.LocalDRAM
+	if from != node {
+		c += Cost(d.Top.Distance(from, node)) * d.Model.RemoteDRAMPerHop
+	}
+	return c
+}
+
+// MessageCost returns the cost of delivering one message from a thread on
+// socket `from` to a thread on socket `to` over shared memory channels.
+func (d *Domain) MessageCost(from, to topology.SocketID) Cost {
+	if from == to {
+		return d.Model.MessageLocal
+	}
+	return d.Model.MessageLocal + Cost(d.Top.Distance(from, to))*d.Model.MessagePerHop
+}
+
+// SyncPointCost implements the paper's synchronization-point formula
+// C(s) = (nsocket(s)-1) * Distance(s) * Size(s), where Distance(s) is the
+// average pairwise distance between the participating sockets and Size(s)
+// the number of bytes exchanged.
+func (d *Domain) SyncPointCost(sockets []topology.SocketID, bytes int) Cost {
+	uniq := UniqueSockets(sockets)
+	n := len(uniq)
+	if n <= 1 {
+		return 0
+	}
+	dist := avgPairwiseDistance(d.Top, uniq)
+	return Cost(n-1) * Cost(dist*float64(bytes)*float64(d.Model.ByteTransferPerHop))
+}
+
+// UniqueSockets returns the distinct sockets in ids, preserving first-seen order.
+func UniqueSockets(ids []topology.SocketID) []topology.SocketID {
+	seen := make(map[topology.SocketID]struct{}, len(ids))
+	out := make([]topology.SocketID, 0, len(ids))
+	for _, s := range ids {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+func avgPairwiseDistance(top *topology.Topology, sockets []topology.SocketID) float64 {
+	if len(sockets) < 2 {
+		return 0
+	}
+	sum, n := 0, 0
+	for i := 0; i < len(sockets); i++ {
+		for j := i + 1; j < len(sockets); j++ {
+			sum += top.Distance(sockets[i], sockets[j])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// AvgPairwiseDistance exposes the average pairwise distance between a set of
+// sockets; the ATraPos cost model uses it as Distance(s).
+func (d *Domain) AvgPairwiseDistance(sockets []topology.SocketID) float64 {
+	return avgPairwiseDistance(d.Top, UniqueSockets(sockets))
+}

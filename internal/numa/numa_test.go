@@ -1,0 +1,372 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"atrapos/internal/topology"
+)
+
+func testDomain(t *testing.T, sockets, cores int) *Domain {
+	t.Helper()
+	top := topology.MustNew(topology.Config{Sockets: sockets, CoresPerSocket: cores})
+	return MustNewDomain(top, DefaultCostModel())
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatalf("default cost model invalid: %v", err)
+	}
+	bad := DefaultCostModel()
+	bad.LocalAccess = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero LocalAccess should be invalid")
+	}
+	bad = DefaultCostModel()
+	bad.RemoteTransferPerHop = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative RemoteTransferPerHop should be invalid")
+	}
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	if _, err := NewDomain(nil, DefaultCostModel()); err == nil {
+		t.Error("nil topology should error")
+	}
+	bad := DefaultCostModel()
+	bad.LocalAtomic = 0
+	if _, err := NewDomain(topology.Small(), bad); err == nil {
+		t.Error("invalid cost model should error")
+	}
+	if d := DefaultDomain(); d.Top.Sockets() != 8 {
+		t.Errorf("DefaultDomain has %d sockets, want 8", d.Top.Sockets())
+	}
+}
+
+func TestCostsGrowWithDistance(t *testing.T) {
+	d := testDomain(t, 8, 2)
+	local := d.AtomicCost(0, 0)
+	remote := d.AtomicCost(0, 7)
+	if local >= remote {
+		t.Errorf("local atomic %d should be cheaper than remote %d", local, remote)
+	}
+	if d.AccessCost(1, 1) >= d.AccessCost(1, 6) {
+		t.Error("remote access should cost more than local access")
+	}
+	if d.DRAMCost(2, 2) >= d.DRAMCost(2, 5) {
+		t.Error("remote DRAM should cost more than local DRAM")
+	}
+	if d.MessageCost(3, 3) >= d.MessageCost(3, 4) {
+		t.Error("cross-socket message should cost more than local message")
+	}
+}
+
+func TestSyncPointCost(t *testing.T) {
+	d := testDomain(t, 8, 2)
+	if c := d.SyncPointCost(nil, 100); c != 0 {
+		t.Errorf("empty sync point cost = %d, want 0", c)
+	}
+	if c := d.SyncPointCost([]topology.SocketID{3, 3, 3}, 100); c != 0 {
+		t.Errorf("single-socket sync point cost = %d, want 0", c)
+	}
+	two := d.SyncPointCost([]topology.SocketID{0, 4}, 100)
+	if two <= 0 {
+		t.Errorf("two-socket sync point cost = %d, want > 0", two)
+	}
+	four := d.SyncPointCost([]topology.SocketID{0, 2, 4, 6}, 100)
+	if four <= two {
+		t.Errorf("four-socket cost %d should exceed two-socket cost %d", four, two)
+	}
+	zeroBytes := d.SyncPointCost([]topology.SocketID{0, 4}, 0)
+	if zeroBytes != 0 {
+		t.Errorf("zero-byte sync point cost = %d, want 0", zeroBytes)
+	}
+}
+
+func TestUniqueSockets(t *testing.T) {
+	got := UniqueSockets([]topology.SocketID{3, 1, 3, 2, 1})
+	want := []topology.SocketID{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("UniqueSockets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UniqueSockets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAvgPairwiseDistance(t *testing.T) {
+	d := testDomain(t, 4, 1)
+	if v := d.AvgPairwiseDistance([]topology.SocketID{1}); v != 0 {
+		t.Errorf("single socket distance = %f, want 0", v)
+	}
+	if v := d.AvgPairwiseDistance([]topology.SocketID{0, 1, 2, 3}); v <= 0 {
+		t.Errorf("multi socket distance = %f, want > 0", v)
+	}
+}
+
+func TestCacheLineOwnershipMigration(t *testing.T) {
+	d := testDomain(t, 4, 2)
+	cl := NewCacheLine(d, 0)
+	if cl.Owner() != 0 {
+		t.Fatalf("initial owner = %d, want 0", cl.Owner())
+	}
+	// Repeated access from the home socket stays cheap.
+	c1 := cl.Atomic(0)
+	c2 := cl.Atomic(0)
+	if c1 != c2 || c1 != d.Model.LocalAtomic {
+		t.Errorf("local atomics cost %d then %d, want %d", c1, c2, d.Model.LocalAtomic)
+	}
+	// An access from a remote socket pays the transfer and steals ownership.
+	c3 := cl.Atomic(2)
+	if c3 <= d.Model.LocalAtomic {
+		t.Errorf("remote atomic cost %d, want > local %d", c3, d.Model.LocalAtomic)
+	}
+	if cl.Owner() != 2 {
+		t.Errorf("owner after remote access = %d, want 2", cl.Owner())
+	}
+	// The original socket now pays to take the line back.
+	c4 := cl.Atomic(0)
+	if c4 <= d.Model.LocalAtomic {
+		t.Errorf("bounce-back atomic cost %d, want > local", c4)
+	}
+	st := cl.Stats()
+	if st.Accesses != 4 || st.RemoteMisses != 2 {
+		t.Errorf("stats = %+v, want 4 accesses / 2 remote", st)
+	}
+	if st.RemoteFraction <= 0 || st.RemoteFraction >= 1 {
+		t.Errorf("remote fraction = %f, want in (0,1)", st.RemoteFraction)
+	}
+	if st.TotalCost != Cost(int64(c1)+int64(c2)+int64(c3)+int64(c4)) {
+		t.Errorf("total cost %d does not match sum of accesses", st.TotalCost)
+	}
+}
+
+func TestCacheLineTouchVsAtomic(t *testing.T) {
+	d := testDomain(t, 2, 1)
+	cl := NewCacheLine(d, 0)
+	if cl.Touch(0) != d.Model.LocalAccess {
+		t.Error("local touch should cost LocalAccess")
+	}
+	if cl.Atomic(0) != d.Model.LocalAtomic {
+		t.Error("local atomic should cost LocalAtomic")
+	}
+}
+
+func TestCacheLineConcurrentAccessIsSafe(t *testing.T) {
+	d := testDomain(t, 4, 4)
+	cl := NewCacheLine(d, 0)
+	var wg sync.WaitGroup
+	const perSocket = 200
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(sock topology.SocketID) {
+			defer wg.Done()
+			for i := 0; i < perSocket; i++ {
+				cl.Atomic(sock)
+			}
+		}(topology.SocketID(s))
+	}
+	wg.Wait()
+	st := cl.Stats()
+	if st.Accesses != 4*perSocket {
+		t.Errorf("accesses = %d, want %d", st.Accesses, 4*perSocket)
+	}
+	if st.TotalCost <= 0 {
+		t.Error("total cost should be positive")
+	}
+}
+
+func TestMoreSocketsMakeSharedLineMoreExpensive(t *testing.T) {
+	// Average per-access cost of a line hammered by 1 socket vs 8 sockets.
+	avgCost := func(sockets int) float64 {
+		top := topology.MustNew(topology.Config{Sockets: 8, CoresPerSocket: 1})
+		d := MustNewDomain(top, DefaultCostModel())
+		cl := NewCacheLine(d, 0)
+		var total Cost
+		const rounds = 400
+		for i := 0; i < rounds; i++ {
+			total += cl.Atomic(topology.SocketID(i % sockets))
+		}
+		return float64(total) / rounds
+	}
+	one := avgCost(1)
+	eight := avgCost(8)
+	if eight <= one*2 {
+		t.Errorf("8-socket contention avg %.1f should be much larger than single-socket %.1f", eight, one)
+	}
+}
+
+func TestStriped(t *testing.T) {
+	d := testDomain(t, 4, 2)
+	s := NewStriped(d)
+	if len(s.All()) != 4 {
+		t.Fatalf("striped has %d stripes, want 4", len(s.All()))
+	}
+	// Local stripes keep accesses socket-local and therefore cheap.
+	for sock := 0; sock < 4; sock++ {
+		c := s.Local(topology.SocketID(sock)).Atomic(topology.SocketID(sock))
+		if c != d.Model.LocalAtomic {
+			t.Errorf("stripe %d local atomic cost %d, want %d", sock, c, d.Model.LocalAtomic)
+		}
+	}
+	if s.Local(topology.SocketID(-3)) != s.All()[0] {
+		t.Error("out-of-range socket should map to stripe 0")
+	}
+}
+
+func TestCentralVsPartitionedStateLock(t *testing.T) {
+	d := testDomain(t, 8, 1)
+	central := NewCentralRWLock(d)
+	parted := NewPartitionedRWLock(d)
+
+	costOf := func(l StateLock) Cost {
+		var total Cost
+		for i := 0; i < 200; i++ {
+			s := topology.SocketID(i % 8)
+			total += l.RLock(s)
+			total += l.RUnlock(s)
+		}
+		return total
+	}
+	centralCost := costOf(central)
+	partedCost := costOf(parted)
+	if partedCost*2 >= centralCost {
+		t.Errorf("partitioned read lock cost %d should be well below centralized %d", partedCost, centralCost)
+	}
+}
+
+func TestPartitionedWriteLockExcludesAllReaders(t *testing.T) {
+	d := testDomain(t, 4, 1)
+	l := NewPartitionedRWLock(d)
+	c := l.Lock(0)
+	if c <= 0 {
+		t.Error("write lock should have positive cost")
+	}
+	done := make(chan struct{})
+	go func() {
+		l.RLock(3)
+		l.RUnlock(3)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("reader on socket 3 acquired the lock while writer holds it")
+	default:
+	}
+	l.Unlock(0)
+	<-done
+}
+
+func TestCentralRWLockWriteCycle(t *testing.T) {
+	d := testDomain(t, 2, 1)
+	l := NewCentralRWLock(d)
+	if c := l.Lock(1); c <= 0 {
+		t.Error("write lock cost should be positive")
+	}
+	if c := l.Unlock(1); c <= 0 {
+		t.Error("unlock cost should be positive")
+	}
+	if c := l.RLock(0); c <= 0 {
+		t.Error("read lock cost should be positive")
+	}
+	l.RUnlock(0)
+}
+
+func TestPartitionedRWLockUnknownSocket(t *testing.T) {
+	d := testDomain(t, 2, 1)
+	l := NewPartitionedRWLock(d)
+	// Unknown sockets fall back to stripe 0 rather than panicking.
+	l.RLock(topology.SocketID(42))
+	l.RUnlock(topology.SocketID(42))
+}
+
+func TestAllocPolicyString(t *testing.T) {
+	if AllocLocal.String() != "local" || AllocCentral.String() != "central" || AllocRemote.String() != "remote" {
+		t.Error("unexpected AllocPolicy string values")
+	}
+	if AllocPolicy(42).String() == "" {
+		t.Error("unknown policy should still produce a string")
+	}
+	for _, s := range []string{"local", "central", "remote"} {
+		p, err := ParseAllocPolicy(s)
+		if err != nil {
+			t.Errorf("ParseAllocPolicy(%q) error: %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %v", s, p)
+		}
+	}
+	if _, err := ParseAllocPolicy("bogus"); err == nil {
+		t.Error("bogus policy should not parse")
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 8, CoresPerSocket: 1})
+
+	local, err := NewPlacement(top, AllocLocal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if local.NodeFor(topology.SocketID(s)) != topology.SocketID(s) {
+			t.Errorf("local placement for socket %d is %d", s, local.NodeFor(topology.SocketID(s)))
+		}
+	}
+
+	central, err := NewPlacement(top, AllocCentral, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if central.NodeFor(topology.SocketID(s)) != 7 {
+			t.Errorf("central placement for socket %d is %d, want 7", s, central.NodeFor(topology.SocketID(s)))
+		}
+	}
+	if central.Policy() != AllocCentral {
+		t.Error("policy accessor mismatch")
+	}
+
+	remote, err := NewPlacement(top, AllocRemote, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if remote.NodeFor(topology.SocketID(s)) == topology.SocketID(s) {
+			t.Errorf("remote placement for socket %d landed on itself", s)
+		}
+	}
+
+	if _, err := NewPlacement(top, AllocCentral, 99); err == nil {
+		t.Error("central node out of range should error")
+	}
+	if _, err := NewPlacement(top, AllocPolicy(9), 0); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if n := local.NodeFor(topology.SocketID(-1)); n != 0 {
+		t.Errorf("NodeFor(-1) = %d, want fallback 0", n)
+	}
+}
+
+func TestPlacementRemoteNeverLocalProperty(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%10) + 2 // 2..11 sockets
+		top := topology.MustNew(topology.Config{Sockets: n, CoresPerSocket: 1})
+		p, err := NewPlacement(top, AllocRemote, 0)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < n; s++ {
+			if p.NodeFor(topology.SocketID(s)) == topology.SocketID(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

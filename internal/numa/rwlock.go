@@ -1,0 +1,133 @@
+package numa
+
+import (
+	"sync"
+
+	"atrapos/internal/topology"
+)
+
+// StateLock is the interface of the read/write locks that protect global
+// system state (the volume lock, the checkpoint mutex, ...). Transactions
+// acquire them in read mode in the critical path; background operations
+// (checkpointing, page cleaning) acquire them in write mode.
+//
+// Both implementations do the real synchronization with sync.RWMutex and
+// additionally return the virtual cost of the acquisition so the caller can
+// charge it to its worker clock.
+type StateLock interface {
+	// RLock acquires the lock in read mode on behalf of a thread running on
+	// socket s and returns the virtual cost of doing so.
+	RLock(s topology.SocketID) Cost
+	// RUnlock releases a read acquisition made from socket s.
+	RUnlock(s topology.SocketID) Cost
+	// Lock acquires the lock in write mode (background operations only).
+	Lock(s topology.SocketID) Cost
+	// Unlock releases a write acquisition.
+	Unlock(s topology.SocketID) Cost
+}
+
+// CentralRWLock is the traditional centralized reader/writer lock: one lock,
+// one cache line, shared by every thread in the system. Read acquisitions
+// from different sockets bounce the line across the interconnect.
+type CentralRWLock struct {
+	mu   sync.RWMutex
+	line *CacheLine
+}
+
+// NewCentralRWLock builds a centralized state lock homed on socket 0.
+func NewCentralRWLock(d *Domain) *CentralRWLock {
+	return &CentralRWLock{line: NewCacheLine(d, 0)}
+}
+
+// RLock implements StateLock.
+func (l *CentralRWLock) RLock(s topology.SocketID) Cost {
+	c := l.line.Atomic(s)
+	l.mu.RLock()
+	return c
+}
+
+// RUnlock implements StateLock.
+func (l *CentralRWLock) RUnlock(s topology.SocketID) Cost {
+	l.mu.RUnlock()
+	return l.line.Atomic(s)
+}
+
+// Lock implements StateLock.
+func (l *CentralRWLock) Lock(s topology.SocketID) Cost {
+	c := l.line.Atomic(s)
+	l.mu.Lock()
+	return c
+}
+
+// Unlock implements StateLock.
+func (l *CentralRWLock) Unlock(s topology.SocketID) Cost {
+	l.mu.Unlock()
+	return l.line.Atomic(s)
+}
+
+// PartitionedRWLock is the NUMA-aware state lock of Section IV: one
+// reader/writer lock per socket. Readers only ever touch their socket-local
+// lock; writers must acquire every per-socket lock, which is acceptable
+// because write acquisitions never happen in the critical path.
+type PartitionedRWLock struct {
+	domain *Domain
+	locks  []sync.RWMutex
+	lines  []*CacheLine
+}
+
+// NewPartitionedRWLock builds one reader/writer lock per socket.
+func NewPartitionedRWLock(d *Domain) *PartitionedRWLock {
+	n := d.Top.Sockets()
+	p := &PartitionedRWLock{
+		domain: d,
+		locks:  make([]sync.RWMutex, n),
+		lines:  make([]*CacheLine, n),
+	}
+	for i := range p.lines {
+		p.lines[i] = NewCacheLine(d, topology.SocketID(i))
+	}
+	return p
+}
+
+func (l *PartitionedRWLock) stripe(s topology.SocketID) int {
+	if int(s) < 0 || int(s) >= len(l.locks) {
+		return 0
+	}
+	return int(s)
+}
+
+// RLock implements StateLock: readers acquire only the socket-local stripe.
+func (l *PartitionedRWLock) RLock(s topology.SocketID) Cost {
+	i := l.stripe(s)
+	c := l.lines[i].Atomic(s)
+	l.locks[i].RLock()
+	return c
+}
+
+// RUnlock implements StateLock.
+func (l *PartitionedRWLock) RUnlock(s topology.SocketID) Cost {
+	i := l.stripe(s)
+	l.locks[i].RUnlock()
+	return l.lines[i].Atomic(s)
+}
+
+// Lock implements StateLock: writers grab every per-socket stripe, in order,
+// to exclude all readers on all sockets.
+func (l *PartitionedRWLock) Lock(s topology.SocketID) Cost {
+	var c Cost
+	for i := range l.locks {
+		c += l.lines[i].Atomic(s)
+		l.locks[i].Lock()
+	}
+	return c
+}
+
+// Unlock implements StateLock.
+func (l *PartitionedRWLock) Unlock(s topology.SocketID) Cost {
+	var c Cost
+	for i := len(l.locks) - 1; i >= 0; i-- {
+		l.locks[i].Unlock()
+		c += l.lines[i].Atomic(s)
+	}
+	return c
+}

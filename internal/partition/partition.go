@@ -1,0 +1,333 @@
+// Package partition describes logical partitioning and placement: which key
+// ranges of which tables form logical partitions, and which processor core
+// owns each partition. It also provides the router used by data-oriented
+// execution to map a row access to the partition (and hence the worker
+// thread) responsible for it, and the partition-local runtime state (the
+// local lock table) that makes the critical path socket-local.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/lock"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+// TablePlacement is the partitioning and placement of one table: partition i
+// covers keys in [Bounds[i], Bounds[i+1]) and is owned by core Cores[i].
+type TablePlacement struct {
+	Table  string
+	Bounds []schema.Key
+	Cores  []topology.CoreID
+}
+
+// Validate checks structural invariants.
+func (tp *TablePlacement) Validate() error {
+	if tp.Table == "" {
+		return fmt.Errorf("partition: placement with empty table name")
+	}
+	if len(tp.Bounds) == 0 {
+		return fmt.Errorf("partition: table %s has no partitions", tp.Table)
+	}
+	if tp.Bounds[0] != 0 {
+		return fmt.Errorf("partition: table %s first bound must be 0", tp.Table)
+	}
+	for i := 1; i < len(tp.Bounds); i++ {
+		if tp.Bounds[i] <= tp.Bounds[i-1] {
+			return fmt.Errorf("partition: table %s bounds not ascending at %d", tp.Table, i)
+		}
+	}
+	if len(tp.Cores) != len(tp.Bounds) {
+		return fmt.Errorf("partition: table %s has %d bounds but %d core assignments", tp.Table, len(tp.Bounds), len(tp.Cores))
+	}
+	return nil
+}
+
+// NumPartitions returns the number of partitions.
+func (tp *TablePlacement) NumPartitions() int { return len(tp.Bounds) }
+
+// PartitionFor returns the partition index owning key.
+func (tp *TablePlacement) PartitionFor(key schema.Key) int {
+	i := sort.Search(len(tp.Bounds), func(i int) bool { return tp.Bounds[i] > key })
+	return i - 1
+}
+
+// CoreFor returns the core owning key.
+func (tp *TablePlacement) CoreFor(key schema.Key) topology.CoreID {
+	return tp.Cores[tp.PartitionFor(key)]
+}
+
+// Clone returns a deep copy.
+func (tp *TablePlacement) Clone() *TablePlacement {
+	return &TablePlacement{
+		Table:  tp.Table,
+		Bounds: append([]schema.Key(nil), tp.Bounds...),
+		Cores:  append([]topology.CoreID(nil), tp.Cores...),
+	}
+}
+
+// Placement is the partitioning and placement of every table in the database.
+type Placement struct {
+	Tables map[string]*TablePlacement
+}
+
+// NewPlacement returns an empty placement.
+func NewPlacement() *Placement {
+	return &Placement{Tables: make(map[string]*TablePlacement)}
+}
+
+// Validate checks every table placement.
+func (p *Placement) Validate() error {
+	for name, tp := range p.Tables {
+		if name != tp.Table {
+			return fmt.Errorf("partition: placement key %q does not match table %q", name, tp.Table)
+		}
+		if err := tp.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the placement.
+func (p *Placement) Clone() *Placement {
+	out := NewPlacement()
+	for name, tp := range p.Tables {
+		out.Tables[name] = tp.Clone()
+	}
+	return out
+}
+
+// Table returns the placement of one table.
+func (p *Placement) Table(name string) (*TablePlacement, bool) {
+	tp, ok := p.Tables[name]
+	return tp, ok
+}
+
+// TableNames returns the table names in sorted order.
+func (p *Placement) TableNames() []string {
+	out := make([]string, 0, len(p.Tables))
+	for name := range p.Tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPartitions returns the number of partitions across all tables.
+func (p *Placement) TotalPartitions() int {
+	total := 0
+	for _, tp := range p.Tables {
+		total += tp.NumPartitions()
+	}
+	return total
+}
+
+// CoresUsed returns the distinct cores that own at least one partition.
+func (p *Placement) CoresUsed() []topology.CoreID {
+	seen := make(map[topology.CoreID]struct{})
+	for _, tp := range p.Tables {
+		for _, c := range tp.Cores {
+			seen[c] = struct{}{}
+		}
+	}
+	out := make([]topology.CoreID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PartitionsPerCore returns how many partitions each core owns.
+func (p *Placement) PartitionsPerCore() map[topology.CoreID]int {
+	out := make(map[topology.CoreID]int)
+	for _, tp := range p.Tables {
+		for _, c := range tp.Cores {
+			out[c]++
+		}
+	}
+	return out
+}
+
+// TableSpec describes one table when building a placement: its name and the
+// maximum integer primary key (exclusive) used for range partitioning.
+type TableSpec struct {
+	Name   string
+	MaxKey int64
+}
+
+// NaivePerCore builds the naïve hardware-aware placement of Section IV: every
+// table is range partitioned with one partition per alive core, assigned in
+// core order. With T tables, every core owns T partitions (one per table),
+// which is the oversaturation the Figure 6 experiment demonstrates.
+func NaivePerCore(top *topology.Topology, tables []TableSpec) *Placement {
+	cores := top.AliveCores()
+	p := NewPlacement()
+	for _, spec := range tables {
+		n := len(cores)
+		if n < 1 {
+			n = 1
+		}
+		bounds := btree.UniformBounds(spec.MaxKey, n)
+		tp := &TablePlacement{
+			Table:  spec.Name,
+			Bounds: bounds,
+			Cores:  make([]topology.CoreID, len(bounds)),
+		}
+		for i := range tp.Cores {
+			if len(cores) > 0 {
+				tp.Cores[i] = cores[i%len(cores)].ID
+			}
+		}
+		p.Tables[spec.Name] = tp
+	}
+	return p
+}
+
+// SpreadAcrossCores builds a placement with one partition per core in total
+// (not per table): the available cores are divided between the tables
+// proportionally to the supplied weights, so no core owns more than one
+// partition. With hardwareAware false the partitions are assigned to cores
+// round-robin across sockets (the "Workload-aware" strategy of Figure 6);
+// with hardwareAware true the partitions of each table are packed onto
+// consecutive cores so dependent tables share sockets (the ATraPos placement).
+func SpreadAcrossCores(top *topology.Topology, tables []TableSpec, weights []float64, hardwareAware bool) *Placement {
+	cores := top.AliveCores()
+	p := NewPlacement()
+	if len(tables) == 0 {
+		return p
+	}
+	if len(weights) != len(tables) {
+		weights = make([]float64, len(tables))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var totalWeight float64
+	for _, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		totalWeight += w
+	}
+	// Assign a contiguous (hardware-aware) or strided (oblivious) share of the
+	// cores to each table.
+	counts := make([]int, len(tables))
+	assigned := 0
+	for i := range tables {
+		w := weights[i]
+		if w <= 0 {
+			w = 1
+		}
+		counts[i] = int(float64(len(cores)) * w / totalWeight)
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+	}
+	// Trim or grow to the number of cores available.
+	for assigned > len(cores) && assigned > len(tables) {
+		for i := range counts {
+			if counts[i] > 1 && assigned > len(cores) {
+				counts[i]--
+				assigned--
+			}
+		}
+	}
+	next := 0
+	for ti, spec := range tables {
+		bounds := btree.UniformBounds(spec.MaxKey, counts[ti])
+		n := len(bounds)
+		tp := &TablePlacement{
+			Table:  spec.Name,
+			Bounds: bounds,
+			Cores:  make([]topology.CoreID, n),
+		}
+		for i := 0; i < n; i++ {
+			var core topology.Core
+			if hardwareAware {
+				core = cores[(next+i)%len(cores)]
+			} else {
+				// Hardware-oblivious: stride the partitions of this table
+				// across the machine so consecutive partitions land on
+				// different sockets.
+				stride := len(cores)/n + 1
+				core = cores[(next+i*stride)%len(cores)]
+			}
+			tp.Cores[i] = core.ID
+		}
+		next += n
+		p.Tables[spec.Name] = tp
+	}
+	return p
+}
+
+// PerSocket builds a placement with one partition per alive socket for each
+// table, owned by the first core of the socket. It mirrors the coarse
+// shared-nothing configuration's data layout.
+func PerSocket(top *topology.Topology, tables []TableSpec) *Placement {
+	sockets := top.AliveSockets()
+	p := NewPlacement()
+	for _, spec := range tables {
+		n := len(sockets)
+		if n < 1 {
+			n = 1
+		}
+		bounds := btree.UniformBounds(spec.MaxKey, n)
+		tp := &TablePlacement{
+			Table:  spec.Name,
+			Bounds: bounds,
+			Cores:  make([]topology.CoreID, len(bounds)),
+		}
+		for i := range tp.Cores {
+			if len(sockets) > 0 {
+				tp.Cores[i] = top.CoresOn(sockets[i%len(sockets)])[0].ID
+			}
+		}
+		p.Tables[spec.Name] = tp
+	}
+	return p
+}
+
+// Runtime is the per-partition runtime state of data-oriented execution: one
+// entry per (table, partition) with its owning core and its partition-local
+// lock table.
+type Runtime struct {
+	domain *numa.Domain
+	locks  map[string][]*lock.LocalManager
+}
+
+// NewRuntime builds the partition-local lock tables for a placement.
+func NewRuntime(d *numa.Domain, p *Placement) *Runtime {
+	r := &Runtime{domain: d, locks: make(map[string][]*lock.LocalManager)}
+	for name, tp := range p.Tables {
+		ms := make([]*lock.LocalManager, len(tp.Cores))
+		for i, core := range tp.Cores {
+			ms[i] = lock.NewLocalManager(d, d.Top.SocketOf(core))
+		}
+		r.locks[name] = ms
+	}
+	return r
+}
+
+// Locks returns the local lock manager of partition idx of table name.
+func (r *Runtime) Locks(name string, idx int) (*lock.LocalManager, error) {
+	ms, ok := r.locks[name]
+	if !ok {
+		return nil, fmt.Errorf("partition: no runtime state for table %q", name)
+	}
+	if idx < 0 || idx >= len(ms) {
+		return nil, fmt.Errorf("partition: table %q has no partition %d", name, idx)
+	}
+	return ms[idx], nil
+}
+
+// NumPartitions returns the number of partitions of table name in the runtime.
+func (r *Runtime) NumPartitions(name string) int {
+	return len(r.locks[name])
+}

@@ -1,0 +1,231 @@
+package partition
+
+import (
+	"testing"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+func smallTop() *topology.Topology {
+	return topology.MustNew(topology.Config{Sockets: 4, CoresPerSocket: 4})
+}
+
+func TestTablePlacementValidate(t *testing.T) {
+	ok := &TablePlacement{
+		Table:  "t",
+		Bounds: btree.UniformBounds(100, 4),
+		Cores:  []topology.CoreID{0, 1, 2, 3},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	bad := []*TablePlacement{
+		{Table: "", Bounds: []schema.Key{0}, Cores: []topology.CoreID{0}},
+		{Table: "t", Bounds: nil, Cores: nil},
+		{Table: "t", Bounds: []schema.Key{5}, Cores: []topology.CoreID{0}},
+		{Table: "t", Bounds: []schema.Key{0, 10, 10}, Cores: []topology.CoreID{0, 1, 2}},
+		{Table: "t", Bounds: []schema.Key{0, 10}, Cores: []topology.CoreID{0}},
+	}
+	for i, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTablePlacementRouting(t *testing.T) {
+	tp := &TablePlacement{
+		Table:  "t",
+		Bounds: btree.UniformBounds(100, 4),
+		Cores:  []topology.CoreID{3, 5, 7, 9},
+	}
+	if tp.NumPartitions() != 4 {
+		t.Errorf("NumPartitions = %d", tp.NumPartitions())
+	}
+	if tp.PartitionFor(schema.KeyFromInt(0)) != 0 || tp.PartitionFor(schema.KeyFromInt(99)) != 3 {
+		t.Error("PartitionFor routed wrong")
+	}
+	if tp.CoreFor(schema.KeyFromInt(30)) != 5 {
+		t.Errorf("CoreFor(30) = %d, want 5", tp.CoreFor(schema.KeyFromInt(30)))
+	}
+	clone := tp.Clone()
+	clone.Cores[0] = 99
+	if tp.Cores[0] == 99 {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestPlacementAggregates(t *testing.T) {
+	p := NewPlacement()
+	p.Tables["a"] = &TablePlacement{Table: "a", Bounds: btree.UniformBounds(100, 2), Cores: []topology.CoreID{0, 1}}
+	p.Tables["b"] = &TablePlacement{Table: "b", Bounds: btree.UniformBounds(100, 3), Cores: []topology.CoreID{1, 2, 3}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalPartitions() != 5 {
+		t.Errorf("TotalPartitions = %d", p.TotalPartitions())
+	}
+	names := p.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("TableNames = %v", names)
+	}
+	cores := p.CoresUsed()
+	if len(cores) != 4 {
+		t.Errorf("CoresUsed = %v", cores)
+	}
+	per := p.PartitionsPerCore()
+	if per[1] != 2 || per[0] != 1 {
+		t.Errorf("PartitionsPerCore = %v", per)
+	}
+	if _, ok := p.Table("a"); !ok {
+		t.Error("Table(a) missing")
+	}
+	if _, ok := p.Table("zzz"); ok {
+		t.Error("unexpected table")
+	}
+	clone := p.Clone()
+	clone.Tables["a"].Cores[0] = 42
+	if p.Tables["a"].Cores[0] == 42 {
+		t.Error("Clone shares memory")
+	}
+	// Mismatched key fails validation.
+	p.Tables["c"] = &TablePlacement{Table: "x", Bounds: []schema.Key{0}, Cores: []topology.CoreID{0}}
+	if err := p.Validate(); err == nil {
+		t.Error("mismatched placement key should fail validation")
+	}
+	delete(p.Tables, "c")
+	p.Tables["d"] = &TablePlacement{Table: "d"}
+	if err := p.Validate(); err == nil {
+		t.Error("invalid table placement should fail validation")
+	}
+}
+
+func TestNaivePerCore(t *testing.T) {
+	top := smallTop()
+	specs := []TableSpec{{Name: "a", MaxKey: 1600}, {Name: "b", MaxKey: 1600}}
+	p := NaivePerCore(top, specs)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		tp := p.Tables[name]
+		if tp.NumPartitions() != 16 {
+			t.Errorf("table %s has %d partitions, want one per core (16)", name, tp.NumPartitions())
+		}
+	}
+	// Every core owns exactly one partition of each table (two in total).
+	for core, n := range p.PartitionsPerCore() {
+		if n != 2 {
+			t.Errorf("core %d owns %d partitions, want 2", core, n)
+		}
+	}
+	// A failed socket is excluded.
+	top.FailSocket(3)
+	p2 := NaivePerCore(top, specs)
+	if p2.Tables["a"].NumPartitions() != 12 {
+		t.Errorf("after socket failure: %d partitions, want 12", p2.Tables["a"].NumPartitions())
+	}
+	for _, c := range p2.CoresUsed() {
+		if top.SocketOf(c) == 3 {
+			t.Errorf("core %d on failed socket still used", c)
+		}
+	}
+}
+
+func TestSpreadAcrossCores(t *testing.T) {
+	top := smallTop()
+	specs := []TableSpec{{Name: "a", MaxKey: 1000}, {Name: "b", MaxKey: 1000}}
+
+	for _, hw := range []bool{true, false} {
+		p := SpreadAcrossCores(top, specs, []float64{1, 1}, hw)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.TotalPartitions() != 16 {
+			t.Errorf("hw=%v: total partitions %d, want 16 (one per core)", hw, p.TotalPartitions())
+		}
+		// No core is oversaturated.
+		for core, n := range p.PartitionsPerCore() {
+			if n > 2 {
+				t.Errorf("hw=%v: core %d owns %d partitions", hw, core, n)
+			}
+		}
+	}
+
+	// The hardware-aware variant packs each table's partitions onto fewer
+	// sockets than the oblivious variant spreads them over.
+	socketsOf := func(p *Placement, table string) int {
+		seen := map[topology.SocketID]struct{}{}
+		for _, c := range p.Tables[table].Cores {
+			seen[top.SocketOf(c)] = struct{}{}
+		}
+		return len(seen)
+	}
+	aware := SpreadAcrossCores(top, specs, []float64{1, 1}, true)
+	oblivious := SpreadAcrossCores(top, specs, []float64{1, 1}, false)
+	if socketsOf(aware, "a") > socketsOf(oblivious, "a") {
+		t.Errorf("hardware-aware placement uses %d sockets for table a, oblivious uses %d",
+			socketsOf(aware, "a"), socketsOf(oblivious, "a"))
+	}
+
+	// Weighted placement gives the heavier table more cores.
+	weighted := SpreadAcrossCores(top, specs, []float64{3, 1}, true)
+	if weighted.Tables["a"].NumPartitions() <= weighted.Tables["b"].NumPartitions() {
+		t.Errorf("weights ignored: a=%d b=%d partitions",
+			weighted.Tables["a"].NumPartitions(), weighted.Tables["b"].NumPartitions())
+	}
+
+	// Degenerate inputs.
+	if p := SpreadAcrossCores(top, nil, nil, true); p.TotalPartitions() != 0 {
+		t.Error("no tables should produce an empty placement")
+	}
+	if p := SpreadAcrossCores(top, specs, []float64{1}, true); p.TotalPartitions() == 0 {
+		t.Error("mismatched weights should fall back to equal weights")
+	}
+	if p := SpreadAcrossCores(top, specs, []float64{-1, 0}, true); p.TotalPartitions() == 0 {
+		t.Error("non-positive weights should be clamped")
+	}
+}
+
+func TestPerSocket(t *testing.T) {
+	top := smallTop()
+	p := PerSocket(top, []TableSpec{{Name: "a", MaxKey: 400}})
+	if p.Tables["a"].NumPartitions() != 4 {
+		t.Errorf("per-socket placement has %d partitions", p.Tables["a"].NumPartitions())
+	}
+	for i, c := range p.Tables["a"].Cores {
+		if top.SocketOf(c) != topology.SocketID(i) {
+			t.Errorf("partition %d owned by core %d on socket %d", i, c, top.SocketOf(c))
+		}
+	}
+}
+
+func TestRuntime(t *testing.T) {
+	top := smallTop()
+	d := numa.MustNewDomain(top, numa.DefaultCostModel())
+	p := NaivePerCore(top, []TableSpec{{Name: "a", MaxKey: 1600}})
+	r := NewRuntime(d, p)
+	if r.NumPartitions("a") != 16 {
+		t.Errorf("runtime has %d partitions", r.NumPartitions("a"))
+	}
+	lm, err := r.Locks("a", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lock table of partition 5 is homed on the socket of core 5.
+	if lm.Home() != top.SocketOf(p.Tables["a"].Cores[5]) {
+		t.Errorf("lock table homed on %d, want %d", lm.Home(), top.SocketOf(p.Tables["a"].Cores[5]))
+	}
+	if _, err := r.Locks("zzz", 0); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := r.Locks("a", 99); err == nil {
+		t.Error("unknown partition should error")
+	}
+	if r.NumPartitions("zzz") != 0 {
+		t.Error("unknown table should have zero partitions")
+	}
+}

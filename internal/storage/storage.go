@@ -1,0 +1,367 @@
+// Package storage implements the physical storage manager that every engine
+// configuration shares: tables stored in multi-rooted B-trees, per-partition
+// data placement on memory nodes, and row operations that charge NUMA-aware
+// virtual costs for index traversal and data access. It is the stand-in for
+// Shore-MT, the open-source storage manager the paper prototypes ATraPos on.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+// ErrNotFound is returned when a key does not exist in a table.
+var ErrNotFound = errors.New("storage: key not found")
+
+// ErrDuplicate is returned when inserting a key that already exists.
+var ErrDuplicate = errors.New("storage: duplicate key")
+
+// Manager owns the catalog and the physical tables.
+type Manager struct {
+	domain  *numa.Domain
+	catalog *schema.Catalog
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewManager creates an empty storage manager over the given NUMA domain.
+func NewManager(domain *numa.Domain) *Manager {
+	return &Manager{
+		domain:  domain,
+		catalog: schema.NewCatalog(),
+		tables:  make(map[string]*Table),
+	}
+}
+
+// Domain returns the NUMA domain the manager charges costs against.
+func (m *Manager) Domain() *numa.Domain { return m.domain }
+
+// Catalog returns the schema catalog.
+func (m *Manager) Catalog() *schema.Catalog { return m.catalog }
+
+// CreateTable registers def and creates its physical table with the given
+// partition lower bounds and per-partition memory homes. If homes is nil all
+// partitions are homed on socket 0; if it is shorter than bounds the last
+// home is repeated.
+func (m *Manager) CreateTable(def *schema.Table, bounds []schema.Key, homes []topology.SocketID) (*Table, error) {
+	if err := m.catalog.Add(def); err != nil {
+		return nil, err
+	}
+	if len(bounds) == 0 {
+		bounds = []schema.Key{0}
+	}
+	tree, err := btree.NewMultiRooted(bounds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		def:    def,
+		domain: m.domain,
+		tree:   tree,
+		homes:  normalizeHomes(homes, len(bounds)),
+	}
+	m.mu.Lock()
+	m.tables[def.Name] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+func normalizeHomes(homes []topology.SocketID, n int) []topology.SocketID {
+	out := make([]topology.SocketID, n)
+	for i := range out {
+		switch {
+		case i < len(homes):
+			out[i] = homes[i]
+		case len(homes) > 0:
+			out[i] = homes[len(homes)-1]
+		default:
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Table returns the physical table with the given name.
+func (m *Manager) Table(name string) (*Table, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns all physical tables sorted by name.
+func (m *Manager) Tables() []*Table {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Table, 0, len(m.tables))
+	for _, t := range m.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].def.Name < out[j].def.Name })
+	return out
+}
+
+// TotalRows returns the total number of rows across all tables.
+func (m *Manager) TotalRows() int {
+	total := 0
+	for _, t := range m.Tables() {
+		total += t.Len()
+	}
+	return total
+}
+
+// Table is one physical table: a multi-rooted B-tree plus the memory node
+// each partition's data lives on. All row operations return the virtual cost
+// of the access as observed from the caller's socket.
+type Table struct {
+	def    *schema.Table
+	domain *numa.Domain
+	tree   *btree.MultiRooted
+
+	mu    sync.RWMutex
+	homes []topology.SocketID
+
+	// avgRowBytes tracks an approximate row size for traffic accounting.
+	avgRowBytes int
+}
+
+// Definition returns the table's schema definition.
+func (t *Table) Definition() *schema.Table { return t.def }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.def.Name }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.tree.Len() }
+
+// NumPartitions returns the number of physical partitions.
+func (t *Table) NumPartitions() int { return t.tree.NumPartitions() }
+
+// Bounds returns the partition lower bounds.
+func (t *Table) Bounds() []schema.Key { return t.tree.Bounds() }
+
+// PartitionSizes returns the number of rows in each partition.
+func (t *Table) PartitionSizes() []int { return t.tree.PartitionSizes() }
+
+// PartitionFor returns the index of the partition owning key.
+func (t *Table) PartitionFor(key schema.Key) int { return t.tree.PartitionFor(key) }
+
+// Home returns the memory node of partition i.
+func (t *Table) Home(i int) topology.SocketID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.homes) {
+		return 0
+	}
+	return t.homes[i]
+}
+
+// SetHome moves partition i's data to memory node s. (The data itself is in
+// Go heap memory; only the cost model placement changes, which is the aspect
+// the experiments measure.)
+func (t *Table) SetHome(i int, s topology.SocketID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.homes) {
+		return fmt.Errorf("storage: partition %d out of range [0,%d)", i, len(t.homes))
+	}
+	t.homes[i] = s
+	return nil
+}
+
+// Homes returns a copy of the per-partition memory nodes.
+func (t *Table) Homes() []topology.SocketID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]topology.SocketID(nil), t.homes...)
+}
+
+// indexProbeCost models a root-to-leaf B-tree traversal within a partition
+// whose data lives on memory node home, performed from socket from. The row
+// payload spans rowBytes/64 cache lines, each of which pays the DRAM
+// placement cost; on top of that comes the fixed per-row CPU work.
+func (t *Table) indexProbeCost(from, home topology.SocketID, rowBytes int) numa.Cost {
+	lines := numa.Cost(rowBytes / 64)
+	if lines < 1 {
+		lines = 1
+	}
+	return t.domain.Model.RowWork + 2*t.domain.Model.LocalAccess + lines*t.domain.DRAMCost(from, home)
+}
+
+func (t *Table) accessCost(from topology.SocketID, key schema.Key, rowBytes int) numa.Cost {
+	p := t.tree.PartitionFor(key)
+	home := t.Home(p)
+	t.domain.Top.RecordTraffic(from, home, int64(rowBytes))
+	return t.indexProbeCost(from, home, rowBytes)
+}
+
+// Read returns the row stored under key.
+func (t *Table) Read(from topology.SocketID, key schema.Key) (schema.Row, numa.Cost, error) {
+	cost := t.accessCost(from, key, t.rowBytes())
+	row, ok := t.tree.Get(key)
+	if !ok {
+		return nil, cost, ErrNotFound
+	}
+	return row, cost, nil
+}
+
+// Insert adds a new row under key; it fails with ErrDuplicate if the key exists.
+func (t *Table) Insert(from topology.SocketID, key schema.Key, row schema.Row) (numa.Cost, error) {
+	cost := t.accessCost(from, key, row.Size())
+	if _, exists := t.tree.Get(key); exists {
+		return cost, ErrDuplicate
+	}
+	t.tree.Insert(key, row)
+	t.observeRowSize(row.Size())
+	return cost + t.domain.Model.LocalAccess, nil
+}
+
+// Update applies fn to the row under key.
+func (t *Table) Update(from topology.SocketID, key schema.Key, fn func(schema.Row) schema.Row) (numa.Cost, error) {
+	cost := t.accessCost(from, key, t.rowBytes())
+	if !t.tree.Update(key, fn) {
+		return cost, ErrNotFound
+	}
+	return cost + t.domain.Model.LocalAccess, nil
+}
+
+// Delete removes the row under key.
+func (t *Table) Delete(from topology.SocketID, key schema.Key) (numa.Cost, error) {
+	cost := t.accessCost(from, key, t.rowBytes())
+	if !t.tree.Delete(key) {
+		return cost, ErrNotFound
+	}
+	return cost, nil
+}
+
+// Scan visits rows in [from, to) in key order and returns the access cost,
+// charged per partition touched.
+func (t *Table) Scan(caller topology.SocketID, from, to schema.Key, fn func(schema.Key, schema.Row) bool) numa.Cost {
+	var cost numa.Cost
+	start := t.tree.PartitionFor(from)
+	endKey := to
+	if endKey > 0 {
+		endKey--
+	}
+	end := t.tree.PartitionFor(endKey)
+	for p := start; p <= end && p < t.tree.NumPartitions(); p++ {
+		cost += t.indexProbeCost(caller, t.Home(p), t.rowBytes())
+	}
+	rows := 0
+	t.tree.Scan(from, to, func(k schema.Key, r schema.Row) bool {
+		rows++
+		return fn(k, r)
+	})
+	cost += numa.Cost(rows) * t.domain.Model.LocalAccess
+	return cost
+}
+
+// Load bulk-inserts rows without cost accounting; it is used to populate
+// datasets before an experiment starts.
+func (t *Table) Load(rows []schema.Row) error {
+	for _, r := range rows {
+		key, err := schema.RowKey(t.def, r)
+		if err != nil {
+			return err
+		}
+		t.tree.Insert(key, r)
+		t.observeRowSize(r.Size())
+	}
+	return nil
+}
+
+// LoadFunc generates and inserts n rows produced by gen(i).
+func (t *Table) LoadFunc(n int, gen func(i int) schema.Row) error {
+	for i := 0; i < n; i++ {
+		r := gen(i)
+		key, err := schema.RowKey(t.def, r)
+		if err != nil {
+			return err
+		}
+		t.tree.Insert(key, r)
+		t.observeRowSize(r.Size())
+	}
+	return nil
+}
+
+func (t *Table) observeRowSize(size int) {
+	t.mu.Lock()
+	if t.avgRowBytes == 0 {
+		t.avgRowBytes = size
+	} else {
+		t.avgRowBytes = (t.avgRowBytes*15 + size) / 16
+	}
+	t.mu.Unlock()
+}
+
+func (t *Table) rowBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.avgRowBytes == 0 {
+		return 64
+	}
+	return t.avgRowBytes
+}
+
+// RowBytes returns the observed average row size in bytes.
+func (t *Table) RowBytes() int { return t.rowBytes() }
+
+// Split divides the partition owning key at into two and homes the new
+// partition on the same node as the original. It returns the index of the new
+// partition and the number of rows that moved into it.
+func (t *Table) Split(at schema.Key) (int, int, error) {
+	oldIdx := t.tree.PartitionFor(at)
+	newIdx, err := t.tree.Split(at)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.mu.Lock()
+	home := t.homes[oldIdx]
+	t.homes = append(t.homes, 0)
+	copy(t.homes[newIdx+1:], t.homes[newIdx:])
+	t.homes[newIdx] = home
+	t.mu.Unlock()
+	moved := t.tree.PartitionSizes()[newIdx]
+	return newIdx, moved, nil
+}
+
+// Merge combines partitions i and i+1; the merged partition keeps partition
+// i's memory home. It returns the number of rows that moved.
+func (t *Table) Merge(i int) (int, error) {
+	sizes := t.tree.PartitionSizes()
+	if i < 0 || i+1 >= len(sizes) {
+		return 0, fmt.Errorf("storage: cannot merge partition %d of %d", i, len(sizes))
+	}
+	moved := sizes[i+1]
+	if err := t.tree.Merge(i); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.homes = append(t.homes[:i+1], t.homes[i+2:]...)
+	t.mu.Unlock()
+	return moved, nil
+}
+
+// Repartition rebuilds the table around new bounds and homes. It returns the
+// number of rows whose partition changed.
+func (t *Table) Repartition(bounds []schema.Key, homes []topology.SocketID) (int, error) {
+	moved, err := t.tree.Repartition(bounds)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.homes = normalizeHomes(homes, len(bounds))
+	t.mu.Unlock()
+	return moved, nil
+}

@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+func testManager(t *testing.T) *Manager {
+	t.Helper()
+	top := topology.MustNew(topology.Config{Sockets: 4, CoresPerSocket: 2})
+	return NewManager(numa.MustNewDomain(top, numa.DefaultCostModel()))
+}
+
+func accountsDef() *schema.Table {
+	return &schema.Table{
+		Name: "accounts",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.Int64},
+			{Name: "balance", Type: schema.Int64},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func TestCreateTableAndCatalog(t *testing.T) {
+	m := testManager(t)
+	tbl, err := m.CreateTable(accountsDef(), btree.UniformBounds(1000, 4), []topology.SocketID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "accounts" || tbl.NumPartitions() != 4 {
+		t.Errorf("table %s has %d partitions", tbl.Name(), tbl.NumPartitions())
+	}
+	if _, err := m.CreateTable(accountsDef(), nil, nil); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := m.CreateTable(&schema.Table{Name: "bad"}, nil, nil); err == nil {
+		t.Error("invalid definition should fail")
+	}
+	if _, err := m.CreateTable(&schema.Table{
+		Name:       "badbounds",
+		Columns:    []schema.Column{{Name: "id", Type: schema.Int64}},
+		PrimaryKey: []string{"id"},
+	}, []schema.Key{5}, nil); err == nil {
+		t.Error("invalid bounds should fail")
+	}
+	if _, err := m.Table("accounts"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.Table("nope"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if len(m.Tables()) != 1 {
+		t.Errorf("Tables() returned %d", len(m.Tables()))
+	}
+	if m.Domain() == nil || m.Catalog() == nil {
+		t.Error("nil accessors")
+	}
+	// Default bounds and homes.
+	def2 := accountsDef()
+	def2.Name = "accounts2"
+	tbl2, err := m.CreateTable(def2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NumPartitions() != 1 || tbl2.Home(0) != 0 {
+		t.Errorf("default table has %d partitions homed on %d", tbl2.NumPartitions(), tbl2.Home(0))
+	}
+}
+
+func TestRowOperations(t *testing.T) {
+	m := testManager(t)
+	tbl, _ := m.CreateTable(accountsDef(), btree.UniformBounds(100, 4), []topology.SocketID{0, 1, 2, 3})
+
+	key := schema.KeyFromInt(10)
+	row := schema.Row{int64(10), int64(500)}
+
+	cost, err := tbl.Insert(0, key, row)
+	if err != nil || cost <= 0 {
+		t.Fatalf("Insert cost %d err %v", cost, err)
+	}
+	if _, err := tbl.Insert(0, key, row); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate insert err = %v", err)
+	}
+	got, cost, err := tbl.Read(0, key)
+	if err != nil || cost <= 0 {
+		t.Fatalf("Read cost %d err %v", cost, err)
+	}
+	if got[1].(int64) != 500 {
+		t.Errorf("Read returned %v", got)
+	}
+	if _, _, err := tbl.Read(0, schema.KeyFromInt(55)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing read err = %v", err)
+	}
+	if _, err := tbl.Update(0, key, func(r schema.Row) schema.Row {
+		return schema.Row{r[0], r[1].(int64) + 1}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = tbl.Read(0, key)
+	if got[1].(int64) != 501 {
+		t.Errorf("update not applied: %v", got)
+	}
+	if _, err := tbl.Update(0, schema.KeyFromInt(55), func(r schema.Row) schema.Row { return r }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing update err = %v", err)
+	}
+	if _, err := tbl.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Delete(0, key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if m.TotalRows() != 0 {
+		t.Errorf("TotalRows = %d", m.TotalRows())
+	}
+}
+
+func TestRemoteAccessCostsMore(t *testing.T) {
+	m := testManager(t)
+	tbl, _ := m.CreateTable(accountsDef(), btree.UniformBounds(100, 4), []topology.SocketID{0, 1, 2, 3})
+	key := schema.KeyFromInt(90) // partition 3, homed on socket 3
+	tbl.Insert(3, key, schema.Row{int64(90), int64(1)})
+
+	_, localCost, err := tbl.Read(3, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, remoteCost, err := tbl.Read(0, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteCost <= localCost {
+		t.Errorf("remote read cost %d should exceed local %d", remoteCost, localCost)
+	}
+	// Traffic counters observed the accesses.
+	if m.Domain().Top.Traffic().InterconnectBytes == 0 {
+		t.Error("remote read should have recorded interconnect traffic")
+	}
+}
+
+func TestLoadAndScan(t *testing.T) {
+	m := testManager(t)
+	tbl, _ := m.CreateTable(accountsDef(), btree.UniformBounds(1000, 4), nil)
+	if err := tbl.LoadFunc(1000, func(i int) schema.Row {
+		return schema.Row{int64(i), int64(i * 2)}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.RowBytes() == 0 {
+		t.Error("RowBytes should be observed after load")
+	}
+	var visited int
+	cost := tbl.Scan(0, schema.KeyFromInt(100), schema.KeyFromInt(200), func(k schema.Key, r schema.Row) bool {
+		visited++
+		return true
+	})
+	if visited != 100 || cost <= 0 {
+		t.Errorf("scan visited %d rows at cost %d", visited, cost)
+	}
+	// Load with explicit rows and a bad row.
+	if err := tbl.Load([]schema.Row{{int64(2000), int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load([]schema.Row{{1.5, int64(1)}}); err == nil {
+		t.Error("bad primary key type should fail")
+	}
+	if err := tbl.LoadFunc(1, func(int) schema.Row { return schema.Row{2.5, int64(1)} }); err == nil {
+		t.Error("bad generated key should fail")
+	}
+}
+
+func TestHomes(t *testing.T) {
+	m := testManager(t)
+	tbl, _ := m.CreateTable(accountsDef(), btree.UniformBounds(100, 2), []topology.SocketID{1})
+	// homes shorter than bounds: last value repeated.
+	if tbl.Home(0) != 1 || tbl.Home(1) != 1 {
+		t.Errorf("homes = %v", tbl.Homes())
+	}
+	if err := tbl.SetHome(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Home(1) != 3 {
+		t.Error("SetHome not applied")
+	}
+	if err := tbl.SetHome(9, 1); err == nil {
+		t.Error("out of range SetHome should fail")
+	}
+	if tbl.Home(9) != 0 {
+		t.Error("out of range Home should return 0")
+	}
+	if len(tbl.Homes()) != 2 {
+		t.Errorf("Homes = %v", tbl.Homes())
+	}
+	if tbl.Definition().Name != "accounts" {
+		t.Error("Definition accessor mismatch")
+	}
+}
+
+func TestSplitMergeRepartition(t *testing.T) {
+	m := testManager(t)
+	tbl, _ := m.CreateTable(accountsDef(), []schema.Key{0}, []topology.SocketID{2})
+	tbl.LoadFunc(100, func(i int) schema.Row { return schema.Row{int64(i), int64(i)} })
+
+	newIdx, moved, err := tbl.Split(schema.KeyFromInt(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIdx != 1 || moved != 50 {
+		t.Errorf("Split -> idx %d moved %d", newIdx, moved)
+	}
+	if tbl.Home(1) != 2 {
+		t.Errorf("new partition should inherit home 2, got %d", tbl.Home(1))
+	}
+	if _, _, err := tbl.Split(schema.KeyFromInt(50)); err == nil {
+		t.Error("split at existing bound should fail")
+	}
+
+	movedBack, err := tbl.Merge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if movedBack != 50 || tbl.NumPartitions() != 1 {
+		t.Errorf("Merge moved %d rows, %d partitions left", movedBack, tbl.NumPartitions())
+	}
+	if _, err := tbl.Merge(0); err == nil {
+		t.Error("merging the only partition should fail")
+	}
+	if _, err := tbl.Merge(-1); err == nil {
+		t.Error("negative merge index should fail")
+	}
+
+	moved, err = tbl.Repartition(btree.UniformBounds(100, 5), []topology.SocketID{0, 1, 2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumPartitions() != 5 || tbl.Len() != 100 {
+		t.Errorf("after repartition: %d partitions, %d rows", tbl.NumPartitions(), tbl.Len())
+	}
+	if tbl.Home(3) != 3 {
+		t.Errorf("home 3 = %d", tbl.Home(3))
+	}
+	if _, err := tbl.Repartition(nil, nil); err == nil {
+		t.Error("invalid repartition bounds should fail")
+	}
+	sizes := tbl.PartitionSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 100 {
+		t.Errorf("partition sizes sum to %d", total)
+	}
+	if tbl.PartitionFor(schema.KeyFromInt(99)) != 4 {
+		t.Errorf("PartitionFor(99) = %d", tbl.PartitionFor(schema.KeyFromInt(99)))
+	}
+	if len(tbl.Bounds()) != 5 {
+		t.Errorf("Bounds = %v", tbl.Bounds())
+	}
+	_ = moved
+}

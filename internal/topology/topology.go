@@ -1,0 +1,408 @@
+// Package topology models the hardware Islands of a multisocket multicore
+// server: processor sockets, the cores they contain, and the non-uniform
+// communication distances between sockets.
+//
+// The paper's experimental platform is an 8-socket, 10-core-per-socket Intel
+// Westmere server whose sockets are connected in a twisted-cube QPI topology.
+// Because the Go runtime offers no thread pinning or NUMA placement control,
+// this package provides an explicit software model of that hardware: engines
+// bind logical workers to Core identities and charge communication costs
+// derived from the Distance matrix. Everything that depends on "which socket
+// does this thread / cache line / memory page live on" is answered here.
+package topology
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CoreID identifies a logical processor core within a Topology.
+// Cores are numbered densely from 0 across all sockets.
+type CoreID int
+
+// SocketID identifies a processor socket (a hardware Island).
+type SocketID int
+
+// InvalidSocket is returned for cores that do not exist in the topology.
+const InvalidSocket SocketID = -1
+
+// Core describes one logical processor core.
+type Core struct {
+	ID     CoreID
+	Socket SocketID
+	// Index of the core within its socket (0..CoresPerSocket-1).
+	LocalIndex int
+}
+
+// Topology describes a multisocket machine: how many sockets it has, which
+// cores belong to which socket, and the relative communication distance
+// between every pair of sockets.
+//
+// Distances are unitless multipliers applied by the cost model: a distance of
+// 0 means "same socket" (communication through the shared last-level cache),
+// 1 means "one interconnect hop", 2 means "two hops", and so on.
+type Topology struct {
+	name       string
+	sockets    int
+	perSocket  int
+	cores      []Core
+	distance   [][]int
+	failed     []atomic.Bool
+	qpiBytes   []atomic.Int64 // interconnect traffic counters, indexed by socket
+	localBytes []atomic.Int64 // memory-controller (local) traffic counters
+}
+
+// Config describes a topology to build.
+type Config struct {
+	// Name is a human readable label ("8-socket twisted cube").
+	Name string
+	// Sockets is the number of processor sockets (Islands). Must be >= 1.
+	Sockets int
+	// CoresPerSocket is the number of cores on each socket. Must be >= 1.
+	CoresPerSocket int
+	// Distance is an optional Sockets x Sockets matrix of inter-socket hop
+	// counts. Distance[i][i] must be 0. If nil, a distance matrix for a
+	// twisted-cube-like topology is generated.
+	Distance [][]int
+}
+
+// New builds a Topology from cfg.
+func New(cfg Config) (*Topology, error) {
+	if cfg.Sockets < 1 {
+		return nil, fmt.Errorf("topology: sockets must be >= 1, got %d", cfg.Sockets)
+	}
+	if cfg.CoresPerSocket < 1 {
+		return nil, fmt.Errorf("topology: cores per socket must be >= 1, got %d", cfg.CoresPerSocket)
+	}
+	dist := cfg.Distance
+	if dist == nil {
+		dist = TwistedCubeDistance(cfg.Sockets)
+	}
+	if len(dist) != cfg.Sockets {
+		return nil, fmt.Errorf("topology: distance matrix has %d rows, want %d", len(dist), cfg.Sockets)
+	}
+	for i, row := range dist {
+		if len(row) != cfg.Sockets {
+			return nil, fmt.Errorf("topology: distance row %d has %d columns, want %d", i, len(row), cfg.Sockets)
+		}
+		if row[i] != 0 {
+			return nil, fmt.Errorf("topology: distance[%d][%d] must be 0, got %d", i, i, row[i])
+		}
+		for j, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("topology: negative distance[%d][%d] = %d", i, j, d)
+			}
+			if dist[j][i] != d {
+				return nil, fmt.Errorf("topology: distance matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("%d-socket x %d-core", cfg.Sockets, cfg.CoresPerSocket)
+	}
+	t := &Topology{
+		name:       name,
+		sockets:    cfg.Sockets,
+		perSocket:  cfg.CoresPerSocket,
+		distance:   dist,
+		failed:     make([]atomic.Bool, cfg.Sockets),
+		qpiBytes:   make([]atomic.Int64, cfg.Sockets),
+		localBytes: make([]atomic.Int64, cfg.Sockets),
+	}
+	t.cores = make([]Core, 0, cfg.Sockets*cfg.CoresPerSocket)
+	for s := 0; s < cfg.Sockets; s++ {
+		for c := 0; c < cfg.CoresPerSocket; c++ {
+			t.cores = append(t.cores, Core{
+				ID:         CoreID(len(t.cores)),
+				Socket:     SocketID(s),
+				LocalIndex: c,
+			})
+		}
+	}
+	return t, nil
+}
+
+// MustNew is like New but panics on error. It is intended for tests and for
+// preset topologies whose configuration is known to be valid.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Default returns the paper's experimental platform: 8 sockets of 10 cores
+// connected in a twisted cube.
+func Default() *Topology {
+	return MustNew(Config{Name: "8-socket x 10-core twisted cube", Sockets: 8, CoresPerSocket: 10})
+}
+
+// Small returns a 4-socket by 4-core topology that keeps tests and examples fast.
+func Small() *Topology {
+	return MustNew(Config{Name: "4-socket x 4-core", Sockets: 4, CoresPerSocket: 4})
+}
+
+// Name returns the topology's human readable label.
+func (t *Topology) Name() string { return t.name }
+
+// Sockets returns the number of sockets.
+func (t *Topology) Sockets() int { return t.sockets }
+
+// CoresPerSocket returns the number of cores on each socket.
+func (t *Topology) CoresPerSocket() int { return t.perSocket }
+
+// NumCores returns the total number of cores.
+func (t *Topology) NumCores() int { return len(t.cores) }
+
+// Cores returns all cores in the topology. The returned slice must not be modified.
+func (t *Topology) Cores() []Core { return t.cores }
+
+// Core returns the core with the given id.
+func (t *Topology) Core(id CoreID) (Core, error) {
+	if int(id) < 0 || int(id) >= len(t.cores) {
+		return Core{}, fmt.Errorf("topology: core %d out of range [0,%d)", id, len(t.cores))
+	}
+	return t.cores[id], nil
+}
+
+// SocketOf returns the socket that core id belongs to, or InvalidSocket if
+// the core does not exist.
+func (t *Topology) SocketOf(id CoreID) SocketID {
+	if int(id) < 0 || int(id) >= len(t.cores) {
+		return InvalidSocket
+	}
+	return t.cores[id].Socket
+}
+
+// CoresOn returns the cores that belong to socket s.
+func (t *Topology) CoresOn(s SocketID) []Core {
+	if int(s) < 0 || int(s) >= t.sockets {
+		return nil
+	}
+	start := int(s) * t.perSocket
+	return t.cores[start : start+t.perSocket]
+}
+
+// Distance returns the number of interconnect hops between sockets a and b.
+// Same-socket distance is 0. Unknown sockets report the maximum distance in
+// the machine so that mistakes are conservatively expensive.
+func (t *Topology) Distance(a, b SocketID) int {
+	if int(a) < 0 || int(a) >= t.sockets || int(b) < 0 || int(b) >= t.sockets {
+		return t.MaxDistance()
+	}
+	return t.distance[a][b]
+}
+
+// CoreDistance returns the socket distance between the sockets of two cores.
+func (t *Topology) CoreDistance(a, b CoreID) int {
+	return t.Distance(t.SocketOf(a), t.SocketOf(b))
+}
+
+// MaxDistance returns the largest inter-socket distance in the machine.
+func (t *Topology) MaxDistance() int {
+	max := 0
+	for _, row := range t.distance {
+		for _, d := range row {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AvgRemoteDistance returns the average distance between distinct sockets.
+// For a single-socket machine it returns 0.
+func (t *Topology) AvgRemoteDistance() float64 {
+	if t.sockets <= 1 {
+		return 0
+	}
+	sum, n := 0, 0
+	for i := 0; i < t.sockets; i++ {
+		for j := 0; j < t.sockets; j++ {
+			if i == j {
+				continue
+			}
+			sum += t.distance[i][j]
+			n++
+		}
+	}
+	return float64(sum) / float64(n)
+}
+
+// FailSocket marks socket s as failed. Failed sockets remain part of the
+// topology (distances are still defined) but report Alive() == false; engines
+// exclude their cores from scheduling, which is how the paper simulates a
+// processor failure (Section VI-D3).
+func (t *Topology) FailSocket(s SocketID) error {
+	if int(s) < 0 || int(s) >= t.sockets {
+		return fmt.Errorf("topology: cannot fail unknown socket %d", s)
+	}
+	t.failed[s].Store(true)
+	return nil
+}
+
+// RestoreSocket clears the failed flag of socket s.
+func (t *Topology) RestoreSocket(s SocketID) error {
+	if int(s) < 0 || int(s) >= t.sockets {
+		return fmt.Errorf("topology: cannot restore unknown socket %d", s)
+	}
+	t.failed[s].Store(false)
+	return nil
+}
+
+// Alive reports whether socket s is operational.
+func (t *Topology) Alive(s SocketID) bool {
+	if int(s) < 0 || int(s) >= t.sockets {
+		return false
+	}
+	return !t.failed[s].Load()
+}
+
+// AliveSockets returns the ids of all operational sockets.
+func (t *Topology) AliveSockets() []SocketID {
+	out := make([]SocketID, 0, t.sockets)
+	for s := 0; s < t.sockets; s++ {
+		if t.Alive(SocketID(s)) {
+			out = append(out, SocketID(s))
+		}
+	}
+	return out
+}
+
+// AliveCores returns all cores that belong to operational sockets.
+func (t *Topology) AliveCores() []Core {
+	out := make([]Core, 0, len(t.cores))
+	for _, c := range t.cores {
+		if t.Alive(c.Socket) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RecordTraffic accounts bytes moved on behalf of socket from to data on
+// socket to. Local traffic is charged to the memory-controller counter,
+// remote traffic to the interconnect (QPI) counter. The counters feed the
+// Table I discussion (QPI/IMC traffic ratio).
+func (t *Topology) RecordTraffic(from, to SocketID, bytes int64) {
+	if int(from) < 0 || int(from) >= t.sockets {
+		return
+	}
+	if from == to {
+		t.localBytes[from].Add(bytes)
+		return
+	}
+	t.qpiBytes[from].Add(bytes)
+}
+
+// TrafficStats summarizes the interconnect and memory-controller traffic
+// recorded so far.
+type TrafficStats struct {
+	InterconnectBytes int64
+	LocalBytes        int64
+}
+
+// Traffic returns the accumulated traffic counters across all sockets.
+func (t *Topology) Traffic() TrafficStats {
+	var st TrafficStats
+	for s := 0; s < t.sockets; s++ {
+		st.InterconnectBytes += t.qpiBytes[s].Load()
+		st.LocalBytes += t.localBytes[s].Load()
+	}
+	return st
+}
+
+// ResetTraffic zeroes the traffic counters.
+func (t *Topology) ResetTraffic() {
+	for s := 0; s < t.sockets; s++ {
+		t.qpiBytes[s].Store(0)
+		t.localBytes[s].Store(0)
+	}
+}
+
+// QPIToIMCRatio returns the ratio of interconnect traffic to local memory
+// controller traffic, the metric the paper reports for Table I (0.01 local,
+// 1.36 central, 1.49 remote). Returns 0 when no local traffic was recorded.
+func (t *Topology) QPIToIMCRatio() float64 {
+	st := t.Traffic()
+	if st.LocalBytes == 0 {
+		return 0
+	}
+	return float64(st.InterconnectBytes) / float64(st.LocalBytes)
+}
+
+// String implements fmt.Stringer.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%s (%d sockets x %d cores)", t.name, t.sockets, t.perSocket)
+}
+
+// TwistedCubeDistance generates a symmetric hop-count matrix for n sockets
+// arranged like the twisted-cube QPI topology of large Westmere-EX servers:
+// every socket reaches a subset of sockets in one hop and the rest in two.
+// For n <= 4 the sockets are fully connected (distance 1). For larger n the
+// matrix is derived from a hypercube-like neighbourhood.
+func TwistedCubeDistance(n int) [][]int {
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+	}
+	if n <= 1 {
+		return dist
+	}
+	if n <= 4 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					dist[i][j] = 1
+				}
+			}
+		}
+		return dist
+	}
+	// Hypercube neighbourhood: sockets differing in exactly one bit are one
+	// hop apart; the "twist" adds a direct link between diagonally opposite
+	// sockets; everything else is two hops.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			x := i ^ j
+			oneBit := x&(x-1) == 0
+			opposite := j == n-1-i
+			if oneBit || opposite {
+				dist[i][j] = 1
+			} else {
+				dist[i][j] = 2
+			}
+		}
+	}
+	return dist
+}
+
+// MeshDistance generates a hop-count matrix for cores organized in a
+// rows x cols mesh, as in the Tilera chips mentioned in Section II-A. It is
+// provided for experiments with Islands that form within a single chip.
+func MeshDistance(rows, cols int) [][]int {
+	n := rows * cols
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		ri, ci := i/cols, i%cols
+		for j := 0; j < n; j++ {
+			rj, cj := j/cols, j%cols
+			dist[i][j] = abs(ri-rj) + abs(ci-cj)
+		}
+	}
+	return dist
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

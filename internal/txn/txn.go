@@ -1,0 +1,302 @@
+// Package txn implements transaction management: transaction identities and
+// state, the list of active transactions (in both its centralized and its
+// NUMA-aware per-socket form), the transaction manager that the engines drive,
+// and the two-phase-commit helper used for distributed transactions in
+// shared-nothing configurations.
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/topology"
+)
+
+// ID identifies a transaction.
+type ID uint64
+
+// State is the lifecycle state of a transaction.
+type State int
+
+const (
+	// Active means the transaction is executing.
+	Active State = iota
+	// Preparing means the transaction has voted in 2PC and awaits the decision.
+	Preparing
+	// Committed is the terminal success state.
+	Committed
+	// Aborted is the terminal failure state.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Preparing:
+		return "preparing"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Txn is one transaction. A transaction is created, executed and finished by
+// a single worker thread; its fields are not protected by a mutex.
+type Txn struct {
+	ID     ID
+	State  State
+	Core   topology.CoreID
+	Socket topology.SocketID
+	// Reads and Writes count row accesses, for observability.
+	Reads  int
+	Writes int
+	// Distributed marks transactions that span more than one shared-nothing instance.
+	Distributed bool
+}
+
+// ActiveList is the list of in-flight transactions. Shore-MT keeps it as one
+// lock-free list whose head every beginning and finishing transaction CASes;
+// ATraPos partitions it per socket (Section IV, "List of transactions").
+type ActiveList interface {
+	// Add registers t as active on behalf of a worker on socket s.
+	Add(s topology.SocketID, t *Txn) numa.Cost
+	// Remove unregisters t; it must be called from the same socket that
+	// added it (thread binding guarantees this in ATraPos).
+	Remove(s topology.SocketID, t *Txn) numa.Cost
+	// Snapshot returns the ids of all active transactions; it is used by
+	// background operations (checkpointing) and may touch all sockets.
+	Snapshot(s topology.SocketID) ([]ID, numa.Cost)
+	// Len returns the number of active transactions.
+	Len() int
+}
+
+// CentralList is the traditional single list of active transactions. Every
+// Add/Remove does an atomic on the shared list head.
+type CentralList struct {
+	head *numa.CacheLine
+	mu   sync.Mutex
+	set  map[ID]*Txn
+}
+
+// NewCentralList builds a centralized active-transaction list homed on socket 0.
+func NewCentralList(d *numa.Domain) *CentralList {
+	return &CentralList{head: numa.NewCacheLine(d, 0), set: make(map[ID]*Txn)}
+}
+
+// Add implements ActiveList.
+func (l *CentralList) Add(s topology.SocketID, t *Txn) numa.Cost {
+	c := l.head.Atomic(s)
+	l.mu.Lock()
+	l.set[t.ID] = t
+	l.mu.Unlock()
+	return c
+}
+
+// Remove implements ActiveList.
+func (l *CentralList) Remove(s topology.SocketID, t *Txn) numa.Cost {
+	c := l.head.Atomic(s)
+	l.mu.Lock()
+	delete(l.set, t.ID)
+	l.mu.Unlock()
+	return c
+}
+
+// Snapshot implements ActiveList.
+func (l *CentralList) Snapshot(s topology.SocketID) ([]ID, numa.Cost) {
+	c := l.head.Touch(s)
+	l.mu.Lock()
+	out := make([]ID, 0, len(l.set))
+	for id := range l.set {
+		out = append(out, id)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, c
+}
+
+// Len implements ActiveList.
+func (l *CentralList) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.set)
+}
+
+// PartitionedList keeps one active-transaction list per socket, so adding and
+// removing a transaction in the critical path never crosses a socket.
+type PartitionedList struct {
+	domain *numa.Domain
+	lines  *numa.Striped
+	mu     []sync.Mutex
+	sets   []map[ID]*Txn
+}
+
+// NewPartitionedList builds one list per socket of the domain.
+func NewPartitionedList(d *numa.Domain) *PartitionedList {
+	n := d.Top.Sockets()
+	p := &PartitionedList{
+		domain: d,
+		lines:  numa.NewStriped(d),
+		mu:     make([]sync.Mutex, n),
+		sets:   make([]map[ID]*Txn, n),
+	}
+	for i := range p.sets {
+		p.sets[i] = make(map[ID]*Txn)
+	}
+	return p
+}
+
+func (p *PartitionedList) stripe(s topology.SocketID) int {
+	if int(s) < 0 || int(s) >= len(p.sets) {
+		return 0
+	}
+	return int(s)
+}
+
+// Add implements ActiveList.
+func (p *PartitionedList) Add(s topology.SocketID, t *Txn) numa.Cost {
+	i := p.stripe(s)
+	c := p.lines.Local(s).Atomic(s)
+	p.mu[i].Lock()
+	p.sets[i][t.ID] = t
+	p.mu[i].Unlock()
+	return c
+}
+
+// Remove implements ActiveList.
+func (p *PartitionedList) Remove(s topology.SocketID, t *Txn) numa.Cost {
+	i := p.stripe(s)
+	c := p.lines.Local(s).Atomic(s)
+	p.mu[i].Lock()
+	delete(p.sets[i], t.ID)
+	p.mu[i].Unlock()
+	return c
+}
+
+// Snapshot implements ActiveList: background operations traverse every
+// per-socket list, paying cross-socket costs outside the critical path.
+func (p *PartitionedList) Snapshot(s topology.SocketID) ([]ID, numa.Cost) {
+	var cost numa.Cost
+	var out []ID
+	for i := range p.sets {
+		cost += p.lines.Local(topology.SocketID(i)).Touch(s)
+		p.mu[i].Lock()
+		for id := range p.sets[i] {
+			out = append(out, id)
+		}
+		p.mu[i].Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, cost
+}
+
+// Len implements ActiveList.
+func (p *PartitionedList) Len() int {
+	total := 0
+	for i := range p.sets {
+		p.mu[i].Lock()
+		total += len(p.sets[i])
+		p.mu[i].Unlock()
+	}
+	return total
+}
+
+// Manager creates, commits and aborts transactions. It owns the id sequence,
+// the active list and the global state lock that transactions acquire in read
+// mode during begin (the "volume lock" of Shore-MT). Both the active list and
+// the state lock are injected, so the same manager code runs with centralized
+// structures (the baseline designs) or NUMA-aware ones (ATraPos).
+type Manager struct {
+	domain *numa.Domain
+	nextID atomic.Uint64
+	active ActiveList
+	state  numa.StateLock
+
+	begun     atomic.Int64
+	committed atomic.Int64
+	aborted   atomic.Int64
+}
+
+// NewManager builds a transaction manager.
+func NewManager(d *numa.Domain, active ActiveList, state numa.StateLock) *Manager {
+	return &Manager{domain: d, active: active, state: state}
+}
+
+// Begin starts a transaction on the given core and returns it together with
+// the virtual cost of transaction initialization (id assignment, volume lock
+// in read mode, insertion into the active list).
+func (m *Manager) Begin(core topology.CoreID) (*Txn, numa.Cost) {
+	s := m.domain.Top.SocketOf(core)
+	t := &Txn{
+		ID:     ID(m.nextID.Add(1)),
+		State:  Active,
+		Core:   core,
+		Socket: s,
+	}
+	var cost numa.Cost
+	cost += m.state.RLock(s)
+	cost += m.state.RUnlock(s)
+	cost += m.active.Add(s, t)
+	m.begun.Add(1)
+	return t, cost
+}
+
+// Commit finishes t successfully and removes it from the active list.
+func (m *Manager) Commit(t *Txn) (numa.Cost, error) {
+	if t.State != Active && t.State != Preparing {
+		return 0, fmt.Errorf("txn: commit of transaction %d in state %v", t.ID, t.State)
+	}
+	t.State = Committed
+	cost := m.active.Remove(t.Socket, t)
+	m.committed.Add(1)
+	return cost, nil
+}
+
+// Abort rolls t back and removes it from the active list.
+func (m *Manager) Abort(t *Txn) (numa.Cost, error) {
+	if t.State == Committed {
+		return 0, fmt.Errorf("txn: abort of committed transaction %d", t.ID)
+	}
+	if t.State == Aborted {
+		return 0, nil
+	}
+	t.State = Aborted
+	cost := m.active.Remove(t.Socket, t)
+	m.aborted.Add(1)
+	return cost, nil
+}
+
+// Active returns the number of in-flight transactions.
+func (m *Manager) Active() int { return m.active.Len() }
+
+// Stats describes the manager's lifetime counters.
+type Stats struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+}
+
+// Stats returns the lifetime counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Begun: m.begun.Load(), Committed: m.committed.Load(), Aborted: m.aborted.Load()}
+}
+
+// Checkpoint simulates the background checkpointing operation: it takes the
+// state lock in write mode (excluding state changes) and snapshots the active
+// list. It returns the number of active transactions observed and the cost,
+// which the caller attributes to a background worker, not to the critical path.
+func (m *Manager) Checkpoint(s topology.SocketID) (int, numa.Cost) {
+	var cost numa.Cost
+	cost += m.state.Lock(s)
+	ids, c := m.active.Snapshot(s)
+	cost += c
+	cost += m.state.Unlock(s)
+	return len(ids), cost
+}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"fmt"
+
+	"atrapos/internal/schema"
+)
+
+// RowStore is the subset of a table's interface recovery needs: it applies
+// redo records without cost accounting. storage.Table satisfies it through a
+// small adapter in the caller; tests use an in-memory map.
+type RowStore interface {
+	ApplyInsert(key schema.Key, row schema.Row)
+	ApplyDelete(key schema.Key)
+}
+
+// RecoveryStats summarizes a log replay.
+type RecoveryStats struct {
+	Scanned     int
+	Redone      int
+	Skipped     int
+	LoserTxns   int
+	WinnerTxns  int
+	HighestLSN  LSN
+	DurableOnly bool
+}
+
+// Recover replays the retained records of a log into the given tables using
+// redo-only recovery: records of transactions that committed (a Commit record
+// appears for their transaction id) are re-applied in LSN order, records of
+// loser transactions are skipped. Only records up to the durable LSN are
+// considered when durableOnly is set, mirroring the durability boundary of
+// group commit.
+//
+// The reproduction keeps pages in memory, so recovery is exercised by tests
+// and by the example tooling rather than by a restart path; it exists because
+// a storage manager without a usable log replay would not be a faithful
+// Shore-MT stand-in.
+func Recover(records []Record, durable LSN, durableOnly bool, tables map[string]RowStore) (RecoveryStats, error) {
+	stats := RecoveryStats{DurableOnly: durableOnly}
+	if tables == nil {
+		return stats, fmt.Errorf("wal: recovery needs a table map")
+	}
+	// Pass 1: find winner transactions.
+	winners := make(map[uint64]bool)
+	for _, rec := range records {
+		if durableOnly && rec.LSN > durable {
+			continue
+		}
+		if rec.Type == Commit || rec.Type == EndOfDistributed {
+			winners[rec.Txn] = true
+		}
+	}
+	losers := make(map[uint64]bool)
+	// Pass 2: redo winner records in order.
+	for _, rec := range records {
+		stats.Scanned++
+		if rec.LSN > stats.HighestLSN {
+			stats.HighestLSN = rec.LSN
+		}
+		if durableOnly && rec.LSN > durable {
+			stats.Skipped++
+			continue
+		}
+		switch rec.Type {
+		case Commit, Abort, Prepare, EndOfDistributed:
+			continue
+		}
+		if !winners[rec.Txn] {
+			losers[rec.Txn] = true
+			stats.Skipped++
+			continue
+		}
+		store, ok := tables[rec.Table]
+		if !ok {
+			stats.Skipped++
+			continue
+		}
+		switch rec.Type {
+		case Insert, Update:
+			// The reproduction's records carry no after-image payload (their
+			// Size models it); redo re-establishes key presence.
+			store.ApplyInsert(rec.Key, schema.Row{int64(rec.Key)})
+			stats.Redone++
+		case Delete:
+			store.ApplyDelete(rec.Key)
+			stats.Redone++
+		default:
+			stats.Skipped++
+		}
+	}
+	stats.WinnerTxns = len(winners)
+	stats.LoserTxns = len(losers)
+	return stats, nil
+}

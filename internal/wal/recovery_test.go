@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"testing"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+// mapStore is a trivial RowStore for recovery tests.
+type mapStore struct {
+	rows map[schema.Key]schema.Row
+}
+
+func newMapStore() *mapStore { return &mapStore{rows: make(map[schema.Key]schema.Row)} }
+
+func (m *mapStore) ApplyInsert(key schema.Key, row schema.Row) { m.rows[key] = row }
+func (m *mapStore) ApplyDelete(key schema.Key)                 { delete(m.rows, key) }
+
+func TestRecoverRedoesOnlyWinners(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 1})
+	d := numa.MustNewDomain(top, numa.DefaultCostModel())
+	l := NewCentralLog(d, 0, DefaultConfig())
+
+	// Winner transaction 1: two updates and a commit.
+	l.Append(0, Record{Txn: 1, Type: Update, Table: "t", Key: 10, Size: 32})
+	l.Append(0, Record{Txn: 1, Type: Insert, Table: "t", Key: 11, Size: 32})
+	commitLSN, _ := l.Append(0, Record{Txn: 1, Type: Commit, Size: 16})
+	// Loser transaction 2: an update with no commit.
+	l.Append(1, Record{Txn: 2, Type: Update, Table: "t", Key: 20, Size: 32})
+	// Winner transaction 3: a delete.
+	l.Append(1, Record{Txn: 3, Type: Delete, Table: "t", Key: 11, Size: 16})
+	l.Append(1, Record{Txn: 3, Type: Commit, Size: 16})
+	// A record for an unknown table is skipped gracefully.
+	l.Append(0, Record{Txn: 3, Type: Update, Table: "unknown", Key: 1, Size: 16})
+
+	store := newMapStore()
+	stats, err := Recover(l.Records(), commitLSN, false, map[string]RowStore{"t": store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WinnerTxns != 2 || stats.LoserTxns != 1 {
+		t.Errorf("winners=%d losers=%d", stats.WinnerTxns, stats.LoserTxns)
+	}
+	if stats.Redone != 3 {
+		t.Errorf("redone=%d, want 3 (two winner writes + one delete)", stats.Redone)
+	}
+	if _, ok := store.rows[10]; !ok {
+		t.Error("winner update on key 10 not redone")
+	}
+	if _, ok := store.rows[11]; ok {
+		t.Error("delete of key 11 by winner txn 3 not applied")
+	}
+	if _, ok := store.rows[20]; ok {
+		t.Error("loser transaction 2's update must not be redone")
+	}
+	if stats.HighestLSN == 0 || stats.Scanned != 7 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRecoverDurableBoundary(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 1, CoresPerSocket: 1})
+	d := numa.MustNewDomain(top, numa.DefaultCostModel())
+	cfg := DefaultConfig()
+	cfg.GroupSize = 1
+	l := NewCentralLog(d, 0, cfg)
+
+	l.Append(0, Record{Txn: 1, Type: Update, Table: "t", Key: 1, Size: 16})
+	lsn, _ := l.Append(0, Record{Txn: 1, Type: Commit, Size: 16})
+	l.Flush(0, lsn)
+	// Transaction 2 commits after the durability horizon.
+	l.Append(0, Record{Txn: 2, Type: Update, Table: "t", Key: 2, Size: 16})
+	l.Append(0, Record{Txn: 2, Type: Commit, Size: 16})
+
+	store := newMapStore()
+	stats, err := Recover(l.Records(), l.Durable(), true, map[string]RowStore{"t": store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.rows[1]; !ok {
+		t.Error("durable winner not redone")
+	}
+	if _, ok := store.rows[2]; ok {
+		t.Error("record beyond the durable LSN must not be redone when durableOnly is set")
+	}
+	if !stats.DurableOnly || stats.Skipped == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRecoverValidation(t *testing.T) {
+	if _, err := Recover(nil, 0, false, nil); err == nil {
+		t.Error("nil table map should error")
+	}
+	stats, err := Recover(nil, 0, false, map[string]RowStore{})
+	if err != nil || stats.Scanned != 0 {
+		t.Errorf("empty recovery: %+v, %v", stats, err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package wal implements the write-ahead log of the storage manager. The
+// centralized log follows the Aether design used by Shore-MT: transactions
+// append records to a single log buffer whose tail is a heavily contended
+// cache line, and commits are made durable with group commit. Shared-nothing
+// configurations use one Log per instance, so every append stays socket-local;
+// the centralized shared-everything configuration shares one Log across the
+// whole machine, which is one of the contention points the paper measures.
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+// LSN is a log sequence number.
+type LSN uint64
+
+// RecordType labels the kind of log record.
+type RecordType int
+
+const (
+	// Update is a regular redo/undo record for a row modification.
+	Update RecordType = iota
+	// Insert records a row insertion.
+	Insert
+	// Delete records a row deletion.
+	Delete
+	// Commit records a transaction commit.
+	Commit
+	// Abort records a transaction rollback.
+	Abort
+	// Prepare is the 2PC prepare record written by distributed transactions.
+	Prepare
+	// EndOfDistributed is the 2PC end record written by the coordinator.
+	EndOfDistributed
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	case Prepare:
+		return "prepare"
+	case EndOfDistributed:
+		return "end-distributed"
+	default:
+		return fmt.Sprintf("RecordType(%d)", int(t))
+	}
+}
+
+// Record is one log record.
+type Record struct {
+	LSN   LSN
+	Txn   uint64
+	Type  RecordType
+	Table string
+	Key   schema.Key
+	Size  int
+}
+
+// Log is the interface of a write-ahead log.
+type Log interface {
+	// Append adds a record on behalf of a worker on socket s and returns the
+	// assigned LSN and the virtual cost of the insert.
+	Append(s topology.SocketID, rec Record) (LSN, numa.Cost)
+	// Flush makes everything up to lsn durable (group commit) and returns the cost.
+	Flush(s topology.SocketID, lsn LSN) numa.Cost
+	// Durable returns the highest durable LSN.
+	Durable() LSN
+	// Tail returns the highest assigned LSN.
+	Tail() LSN
+}
+
+// Config tunes the log cost model.
+type Config struct {
+	// PerByteCost is the cost of copying one byte into the log buffer.
+	PerByteCost numa.Cost
+	// FlushCost is the device latency of one group-commit flush.
+	FlushCost numa.Cost
+	// GroupSize is the number of commits amortized by one flush.
+	GroupSize int
+	// Keep is the maximum number of records retained in memory for
+	// inspection; older records are discarded (the "archive"). Zero keeps all.
+	Keep int
+}
+
+// DefaultConfig returns the log configuration used by the evaluation:
+// memory-mapped log device with group commit.
+func DefaultConfig() Config {
+	return Config{PerByteCost: 1, FlushCost: 12000, GroupSize: 8, Keep: 4096}
+}
+
+// CentralLog is an Aether-style centralized log. The buffer tail is modeled
+// as a cache line; every append performs one atomic on it (the LSN/space
+// reservation), so appends from many sockets pay coherence traffic.
+type CentralLog struct {
+	cfg  Config
+	tail *numa.CacheLine
+
+	mu      sync.Mutex
+	next    LSN
+	durable LSN
+	pending int
+	records []Record
+
+	appends int64
+	flushes int64
+}
+
+// NewCentralLog creates a centralized log homed on socket home.
+func NewCentralLog(d *numa.Domain, home topology.SocketID, cfg Config) *CentralLog {
+	if cfg.GroupSize < 1 {
+		cfg.GroupSize = 1
+	}
+	if cfg.PerByteCost < 0 {
+		cfg.PerByteCost = 0
+	}
+	return &CentralLog{cfg: cfg, tail: numa.NewCacheLine(d, home), next: 1}
+}
+
+// Append implements Log.
+func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
+	cost := l.tail.Atomic(s) + numa.Cost(rec.Size)*l.cfg.PerByteCost
+	l.mu.Lock()
+	rec.LSN = l.next
+	l.next++
+	l.records = append(l.records, rec)
+	if l.cfg.Keep > 0 && len(l.records) > l.cfg.Keep {
+		l.records = l.records[len(l.records)-l.cfg.Keep:]
+	}
+	l.appends++
+	l.mu.Unlock()
+	return rec.LSN, cost
+}
+
+// Flush implements Log. Group commit: a flush is charged only once per
+// GroupSize committing transactions; other commits ride along for free.
+func (l *CentralLog) Flush(s topology.SocketID, lsn LSN) numa.Cost {
+	cost := l.tail.Touch(s)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.durable {
+		l.pending++
+		if l.pending >= l.cfg.GroupSize {
+			l.pending = 0
+			l.flushes++
+			cost += l.cfg.FlushCost
+		} else {
+			// Riding on a group commit still pays a fraction of the flush
+			// latency (waiting for the group to form).
+			cost += l.cfg.FlushCost / numa.Cost(l.cfg.GroupSize)
+		}
+		if lsn > l.durable {
+			l.durable = lsn
+		}
+	}
+	return cost
+}
+
+// Durable implements Log.
+func (l *CentralLog) Durable() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Tail implements Log.
+func (l *CentralLog) Tail() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Records returns the retained records (most recent Keep entries).
+func (l *CentralLog) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Stats summarizes log activity.
+type Stats struct {
+	Appends int64
+	Flushes int64
+}
+
+// Stats returns append/flush counters.
+func (l *CentralLog) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Flushes: l.flushes}
+}
+
+// PartitionedLog gives each socket its own CentralLog, as in a shared-nothing
+// deployment with one instance per socket, or in a log-per-Island design.
+// Appends and flushes are routed to the socket-local log.
+type PartitionedLog struct {
+	logs []*CentralLog
+}
+
+// NewPartitionedLog builds one log per socket of the domain.
+func NewPartitionedLog(d *numa.Domain, cfg Config) *PartitionedLog {
+	p := &PartitionedLog{logs: make([]*CentralLog, d.Top.Sockets())}
+	for i := range p.logs {
+		p.logs[i] = NewCentralLog(d, topology.SocketID(i), cfg)
+	}
+	return p
+}
+
+func (p *PartitionedLog) logFor(s topology.SocketID) *CentralLog {
+	if int(s) < 0 || int(s) >= len(p.logs) {
+		return p.logs[0]
+	}
+	return p.logs[s]
+}
+
+// Append implements Log.
+func (p *PartitionedLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
+	return p.logFor(s).Append(s, rec)
+}
+
+// Flush implements Log.
+func (p *PartitionedLog) Flush(s topology.SocketID, lsn LSN) numa.Cost {
+	return p.logFor(s).Flush(s, lsn)
+}
+
+// Durable implements Log; it returns the minimum durable LSN across sockets,
+// which is the conservative system-wide durability horizon.
+func (p *PartitionedLog) Durable() LSN {
+	min := LSN(^uint64(0))
+	for _, l := range p.logs {
+		if d := l.Durable(); d < min {
+			min = d
+		}
+	}
+	if min == LSN(^uint64(0)) {
+		return 0
+	}
+	return min
+}
+
+// Tail implements Log; it returns the maximum assigned LSN across sockets.
+func (p *PartitionedLog) Tail() LSN {
+	var max LSN
+	for _, l := range p.logs {
+		if t := l.Tail(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// SocketLog exposes the per-socket log for tests and instance-local recovery.
+func (p *PartitionedLog) SocketLog(s topology.SocketID) *CentralLog {
+	return p.logFor(s)
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// tenColumnTable builds the microbenchmark table of Section III: an integer
+// primary key plus ten integer payload columns.
+func tenColumnTable(name string) *schema.Table {
+	cols := []schema.Column{{Name: "id", Type: schema.Int64}}
+	for i := 0; i < 10; i++ {
+		cols = append(cols, schema.Column{Name: fmtCol(i), Type: schema.Int64})
+	}
+	return &schema.Table{Name: name, Columns: cols, PrimaryKey: []string{"id"}}
+}
+
+func fmtCol(i int) string { return "c" + string(rune('0'+i)) }
+
+func tenColumnRow(i int) schema.Row {
+	row := make(schema.Row, 11)
+	row[0] = int64(i)
+	for c := 1; c < 11; c++ {
+		row[c] = int64(i * c)
+	}
+	return row
+}
+
+// SingleRowRead is the perfectly partitionable microbenchmark of Figures 1, 2
+// and 5: every transaction reads one row of a ten-integer-column table.
+func SingleRowRead(rows int) *Workload {
+	return SingleRowReadSkewed(rows, Skew{})
+}
+
+// SingleRowReadSkewed is SingleRowRead with a hot-set skew, used by the
+// Figure 11 experiment (50% of requests to 20% of the data after t=20s).
+func SingleRowReadSkewed(rows int, skew Skew) *Workload {
+	const class = "ReadOne"
+	table := "mbr"
+	w := &Workload{
+		Name: "single-row-read",
+		Tables: []TableDef{{
+			Schema: tenColumnTable(table),
+			Rows:   rows,
+			MaxKey: int64(rows),
+			RowGen: tenColumnRow,
+		}},
+		Graphs: map[string]*FlowGraph{
+			class: {
+				Class: class,
+				Nodes: []FlowNode{{Table: table, Op: Read, MinCount: 1, MaxCount: 1}},
+			},
+		},
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			return map[string]float64{class: 1}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		var key int64
+		if ctx.NumSites > 1 && !skew.Active(ctx.At) {
+			// Perfectly partitionable: each client only asks its own
+			// instance's key range, as in the paper's Figure 2/5 setup.
+			siteRows := int64(rows) / int64(ctx.NumSites)
+			if siteRows < 1 {
+				siteRows = int64(rows)
+			}
+			key = int64(ctx.HomeSite)*siteRows + ctx.Rng.Int63n(siteRows)
+		} else {
+			key = skew.Pick(ctx.Rng, int64(rows), ctx.At)
+		}
+		return &Transaction{
+			Class:    class,
+			ReadOnly: true,
+			Actions:  []Action{{Table: table, Op: Read, Key: schema.KeyFromInt(key)}},
+		}
+	}
+	return w
+}
+
+// ReadHundred is the remote-memory microbenchmark of Section III-D (Table I):
+// each transaction reads 100 rows chosen uniformly at random from a large
+// table, defeating caches and prefetchers.
+func ReadHundred(rows int) *Workload {
+	const class = "Read100"
+	table := "mbig"
+	w := &Workload{
+		Name: "read-100-random-rows",
+		Tables: []TableDef{{
+			Schema: tenColumnTable(table),
+			Rows:   rows,
+			MaxKey: int64(rows),
+			RowGen: tenColumnRow,
+		}},
+		Graphs: map[string]*FlowGraph{
+			class: {
+				Class: class,
+				Nodes: []FlowNode{{Table: table, Op: Read, MinCount: 100, MaxCount: 100}},
+			},
+		},
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			return map[string]float64{class: 1}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		t := &Transaction{Class: class, ReadOnly: true}
+		// Each client reads from its own instance's dataset; the allocation
+		// policy experiment (Table I) varies only where that dataset's memory
+		// lives, not which instance serves the request.
+		lo, span := int64(0), int64(rows)
+		if ctx.NumSites > 1 {
+			span = int64(rows) / int64(ctx.NumSites)
+			if span < 1 {
+				span = int64(rows)
+			}
+			lo = int64(ctx.HomeSite) * span
+		}
+		for i := 0; i < 100; i++ {
+			key := lo + ctx.Rng.Int63n(span)
+			t.Actions = append(t.Actions, Action{Table: table, Op: Read, Key: schema.KeyFromInt(key)})
+		}
+		return t
+	}
+	return w
+}
+
+// MultisiteUpdate is the microbenchmark of Figures 3 and 4: local
+// transactions update 10 rows of the generating worker's own site, while
+// multi-site transactions update 1 local row and 9 rows chosen uniformly from
+// the whole dataset. pctMultiSite is the percentage (0..100) of multi-site
+// transactions.
+func MultisiteUpdate(rows int, pctMultiSite int) *Workload {
+	const (
+		localClass = "UpdateLocal10"
+		multiClass = "UpdateMultiSite"
+	)
+	table := "mupd"
+	if pctMultiSite < 0 {
+		pctMultiSite = 0
+	}
+	if pctMultiSite > 100 {
+		pctMultiSite = 100
+	}
+	w := &Workload{
+		Name: "multisite-update",
+		Tables: []TableDef{{
+			Schema: tenColumnTable(table),
+			Rows:   rows,
+			MaxKey: int64(rows),
+			RowGen: tenColumnRow,
+		}},
+		Graphs: map[string]*FlowGraph{
+			localClass: {
+				Class: localClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+			},
+			multiClass: {
+				Class: multiClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+				Syncs: []FlowSync{{Nodes: []int{0}, Bytes: 88}},
+			},
+		},
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			return map[string]float64{
+				localClass: float64(100 - pctMultiSite),
+				multiClass: float64(pctMultiSite),
+			}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		numSites := ctx.NumSites
+		if numSites < 1 {
+			numSites = 1
+		}
+		siteRows := int64(rows) / int64(numSites)
+		if siteRows < 1 {
+			siteRows = int64(rows)
+		}
+		localBase := int64(ctx.HomeSite) * siteRows
+		localKey := func() schema.Key {
+			return schema.KeyFromInt(localBase + ctx.Rng.Int63n(siteRows))
+		}
+		multi := ctx.Rng.Intn(100) < pctMultiSite
+		t := &Transaction{MultiSite: multi}
+		if !multi {
+			t.Class = localClass
+			for i := 0; i < 10; i++ {
+				t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: localKey()})
+			}
+			return t
+		}
+		t.Class = multiClass
+		t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: localKey()})
+		for i := 0; i < 9; i++ {
+			key := ctx.Rng.Int63n(int64(rows))
+			t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: schema.KeyFromInt(key)})
+		}
+		// All ten updates synchronize at commit.
+		sp := SyncPoint{Bytes: 88}
+		for i := range t.Actions {
+			sp.Actions = append(sp.Actions, i)
+		}
+		t.SyncPoints = []SyncPoint{sp}
+		return t
+	}
+	return w
+}
+
+// TwoTableSimple is the simple transaction of Figure 6: two tables A and B;
+// each transaction reads one row of A and the matching row of B, so the two
+// actions must synchronize to combine their results.
+func TwoTableSimple(rows int) *Workload {
+	const class = "SimpleAB"
+	w := &Workload{
+		Name: "two-table-simple",
+		Tables: []TableDef{
+			{Schema: twoTableDef("A", ""), Rows: rows, MaxKey: int64(rows), RowGen: tenColumnRow},
+			{Schema: twoTableDef("B", "A"), Rows: rows, MaxKey: int64(rows), RowGen: tenColumnRow},
+		},
+		Graphs: map[string]*FlowGraph{
+			class: {
+				Class: class,
+				Nodes: []FlowNode{
+					{Table: "A", Op: Read, MinCount: 1, MaxCount: 1},
+					{Table: "B", Op: Read, MinCount: 1, MaxCount: 1},
+				},
+				Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 88}},
+			},
+		},
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			return map[string]float64{class: 1}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		id := ctx.Rng.Int63n(int64(rows))
+		key := schema.KeyFromInt(id)
+		return &Transaction{
+			Class:    class,
+			ReadOnly: true,
+			Actions: []Action{
+				{Table: "A", Op: Read, Key: key},
+				{Table: "B", Op: Read, Key: key},
+			},
+			SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 88}},
+		}
+	}
+	return w
+}
+
+func twoTableDef(name, ref string) *schema.Table {
+	t := tenColumnTable(name)
+	if ref != "" {
+		t.ForeignKeys = []schema.ForeignKey{{Column: "id", RefTable: ref, RefColumn: "id"}}
+	}
+	return t
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"fmt"
+
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// TATP transaction class names.
+const (
+	TATPGetSubData  = "GetSubData"
+	TATPGetNewDest  = "GetNewDest"
+	TATPGetAccData  = "GetAccData"
+	TATPUpdSubData  = "UpdSubData"
+	TATPUpdLocation = "UpdLocation"
+	TATPInsCallFwd  = "InsCallFwd"
+	TATPDelCallFwd  = "DelCallFwd"
+)
+
+// TATPStandardMix returns the standard TATP transaction mix.
+func TATPStandardMix() map[string]float64 {
+	return map[string]float64{
+		TATPGetSubData:  35,
+		TATPGetNewDest:  10,
+		TATPGetAccData:  35,
+		TATPUpdSubData:  2,
+		TATPUpdLocation: 14,
+		TATPInsCallFwd:  2,
+		TATPDelCallFwd:  2,
+	}
+}
+
+// TATPOptions configures the TATP workload.
+type TATPOptions struct {
+	// Subscribers is the number of rows in the Subscriber table; the paper
+	// uses 800,000.
+	Subscribers int
+	// Mix gives the weight of each transaction class. Nil means the standard
+	// TATP mix. A single-entry map runs only that class, as the paper does
+	// for the per-transaction results of Figure 8.
+	Mix map[string]float64
+	// MixAt optionally makes the mix a function of virtual time, overriding
+	// Mix, for the adaptivity experiments (Figures 10 and 13).
+	MixAt func(at vclock.Nanos) map[string]float64
+	// Skew optionally skews the subscriber id distribution (Figure 11).
+	Skew Skew
+}
+
+// TATP builds the TATP telecom benchmark: 4 tables perfectly partitionable on
+// the subscriber id, 7 transaction classes in 3 groups (single-table
+// read-only, multi-table read-only, update).
+//
+// Secondary tables use integer surrogate keys derived from the subscriber id
+// (AccessInfo and SpecialFacility: s_id*4 + type; CallForwarding:
+// s_id*96 + sf_type*24 + start_hour) so that range partitioning by key aligns
+// all four tables on subscriber boundaries.
+func TATP(opts TATPOptions) (*Workload, error) {
+	if opts.Subscribers <= 0 {
+		return nil, fmt.Errorf("workload: TATP needs a positive subscriber count")
+	}
+	subs := int64(opts.Subscribers)
+	mixFn := opts.MixAt
+	if mixFn == nil {
+		mix := opts.Mix
+		if mix == nil {
+			mix = TATPStandardMix()
+		}
+		for class := range mix {
+			if _, ok := tatpGraphs()[class]; !ok {
+				return nil, fmt.Errorf("workload: unknown TATP class %q", class)
+			}
+		}
+		mixFn = func(vclock.Nanos) map[string]float64 { return mix }
+	}
+
+	w := &Workload{
+		Name: "TATP",
+		Tables: []TableDef{
+			{
+				Schema: &schema.Table{
+					Name: "Subscriber",
+					Columns: []schema.Column{
+						{Name: "s_id", Type: schema.Int64},
+						{Name: "sub_nbr", Type: schema.String},
+						{Name: "bit_1", Type: schema.Int64},
+						{Name: "msc_location", Type: schema.Int64},
+						{Name: "vlr_location", Type: schema.Int64},
+					},
+					PrimaryKey: []string{"s_id"},
+				},
+				Rows:   opts.Subscribers,
+				MaxKey: subs,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), fmt.Sprintf("%015d", i), int64(i % 2), int64(i * 7 % 1000), int64(i * 13 % 1000)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "AccessInfo",
+					Columns: []schema.Column{
+						{Name: "ai_id", Type: schema.Int64},
+						{Name: "s_id", Type: schema.Int64},
+						{Name: "ai_type", Type: schema.Int64},
+						{Name: "data1", Type: schema.Int64},
+					},
+					PrimaryKey:  []string{"ai_id"},
+					ForeignKeys: []schema.ForeignKey{{Column: "s_id", RefTable: "Subscriber", RefColumn: "s_id"}},
+				},
+				Rows:   opts.Subscribers * 4,
+				MaxKey: subs * 4,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), int64(i / 4), int64(i%4 + 1), int64(i % 256)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "SpecialFacility",
+					Columns: []schema.Column{
+						{Name: "sf_id", Type: schema.Int64},
+						{Name: "s_id", Type: schema.Int64},
+						{Name: "sf_type", Type: schema.Int64},
+						{Name: "is_active", Type: schema.Int64},
+					},
+					PrimaryKey:  []string{"sf_id"},
+					ForeignKeys: []schema.ForeignKey{{Column: "s_id", RefTable: "Subscriber", RefColumn: "s_id"}},
+				},
+				Rows:   opts.Subscribers * 4,
+				MaxKey: subs * 4,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), int64(i / 4), int64(i%4 + 1), int64(1)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "CallForwarding",
+					Columns: []schema.Column{
+						{Name: "cf_id", Type: schema.Int64},
+						{Name: "s_id", Type: schema.Int64},
+						{Name: "sf_type", Type: schema.Int64},
+						{Name: "start_hour", Type: schema.Int64},
+						{Name: "number_x", Type: schema.String},
+					},
+					PrimaryKey:  []string{"cf_id"},
+					ForeignKeys: []schema.ForeignKey{{Column: "s_id", RefTable: "SpecialFacility", RefColumn: "sf_id"}},
+				},
+				Rows:   opts.Subscribers * 4, // ~1 forwarding record per facility on average
+				MaxKey: subs * 96,
+				RowGen: func(i int) schema.Row {
+					sID := int64(i / 4)
+					sfType := int64(i%4 + 1)
+					startHour := int64((i * 8) % 24)
+					cfID := sID*96 + (sfType-1)*24 + startHour
+					return schema.Row{cfID, sID, sfType, startHour, fmt.Sprintf("%015d", i)}
+				},
+			},
+		},
+		Graphs:       tatpGraphs(),
+		ClassWeights: mixFn,
+	}
+
+	skew := opts.Skew
+	w.Generate = func(ctx *GenContext) *Transaction {
+		class := pickWeighted(ctx.Rng, mixFn(ctx.At))
+		sID := skew.Pick(ctx.Rng, subs, ctx.At)
+		subKey := schema.KeyFromInt(sID)
+		aiKey := schema.KeyFromInt(sID*4 + ctx.Rng.Int63n(4))
+		sfType := ctx.Rng.Int63n(4)
+		sfKey := schema.KeyFromInt(sID*4 + sfType)
+		startHour := ctx.Rng.Int63n(3) * 8
+		cfKey := schema.KeyFromInt(sID*96 + sfType*24 + startHour)
+
+		switch class {
+		case TATPGetSubData:
+			return &Transaction{
+				Class:    class,
+				ReadOnly: true,
+				Actions:  []Action{{Table: "Subscriber", Op: Read, Key: subKey}},
+			}
+		case TATPGetAccData:
+			return &Transaction{
+				Class:    class,
+				ReadOnly: true,
+				Actions:  []Action{{Table: "AccessInfo", Op: Read, Key: aiKey}},
+			}
+		case TATPGetNewDest:
+			t := &Transaction{
+				Class:    class,
+				ReadOnly: true,
+				Actions: []Action{
+					{Table: "SpecialFacility", Op: Read, Key: sfKey},
+					{Table: "CallForwarding", Op: Read, Key: cfKey},
+				},
+				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 48}},
+			}
+			return t
+		case TATPUpdSubData:
+			return &Transaction{
+				Class: class,
+				Actions: []Action{
+					{Table: "Subscriber", Op: Update, Key: subKey},
+					{Table: "SpecialFacility", Op: Update, Key: sfKey},
+				},
+				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 16}},
+			}
+		case TATPUpdLocation:
+			return &Transaction{
+				Class:   class,
+				Actions: []Action{{Table: "Subscriber", Op: Update, Key: subKey}},
+			}
+		case TATPInsCallFwd:
+			row := schema.Row{cfKey.Int(), sID, sfType, startHour, "forward"}
+			return &Transaction{
+				Class: class,
+				Actions: []Action{
+					{Table: "Subscriber", Op: Read, Key: subKey},
+					{Table: "SpecialFacility", Op: Read, Key: sfKey},
+					{Table: "CallForwarding", Op: Insert, Key: cfKey, Row: row},
+				},
+				SyncPoints: []SyncPoint{{Actions: []int{0, 1, 2}, Bytes: 64}},
+			}
+		case TATPDelCallFwd:
+			return &Transaction{
+				Class: class,
+				Actions: []Action{
+					{Table: "Subscriber", Op: Read, Key: subKey},
+					{Table: "CallForwarding", Op: Delete, Key: cfKey},
+				},
+				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 16}},
+			}
+		default:
+			// Unknown or empty mix: fall back to the cheapest read-only class.
+			return &Transaction{
+				Class:    TATPGetSubData,
+				ReadOnly: true,
+				Actions:  []Action{{Table: "Subscriber", Op: Read, Key: subKey}},
+			}
+		}
+	}
+	return w, nil
+}
+
+// MustTATP is TATP but panics on configuration errors; intended for benches
+// and examples with known-good options.
+func MustTATP(opts TATPOptions) *Workload {
+	w, err := TATP(opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func tatpGraphs() map[string]*FlowGraph {
+	return map[string]*FlowGraph{
+		TATPGetSubData: {
+			Class: TATPGetSubData,
+			Nodes: []FlowNode{{Table: "Subscriber", Op: Read, MinCount: 1, MaxCount: 1}},
+		},
+		TATPGetAccData: {
+			Class: TATPGetAccData,
+			Nodes: []FlowNode{{Table: "AccessInfo", Op: Read, MinCount: 1, MaxCount: 1}},
+		},
+		TATPGetNewDest: {
+			Class: TATPGetNewDest,
+			Nodes: []FlowNode{
+				{Table: "SpecialFacility", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "CallForwarding", Op: Read, MinCount: 1, MaxCount: 3},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 48}},
+		},
+		TATPUpdSubData: {
+			Class: TATPUpdSubData,
+			Nodes: []FlowNode{
+				{Table: "Subscriber", Op: Update, MinCount: 1, MaxCount: 1},
+				{Table: "SpecialFacility", Op: Update, MinCount: 1, MaxCount: 1},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 16}},
+		},
+		TATPUpdLocation: {
+			Class: TATPUpdLocation,
+			Nodes: []FlowNode{{Table: "Subscriber", Op: Update, MinCount: 1, MaxCount: 1}},
+		},
+		TATPInsCallFwd: {
+			Class: TATPInsCallFwd,
+			Nodes: []FlowNode{
+				{Table: "Subscriber", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "SpecialFacility", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "CallForwarding", Op: Insert, MinCount: 1, MaxCount: 1},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1, 2}, Bytes: 64}},
+		},
+		TATPDelCallFwd: {
+			Class: TATPDelCallFwd,
+			Nodes: []FlowNode{
+				{Table: "Subscriber", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "CallForwarding", Op: Delete, MinCount: 1, MaxCount: 1},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 16}},
+		},
+	}
+}

@@ -1,0 +1,421 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// TPC-C transaction class names.
+const (
+	TPCCNewOrder    = "NewOrder"
+	TPCCPayment     = "Payment"
+	TPCCOrderStatus = "OrderStatus"
+	TPCCDelivery    = "Delivery"
+	TPCCStockLevel  = "StockLevel"
+)
+
+// TPC-C sizing constants (per warehouse).
+const (
+	tpccDistrictsPerWarehouse = 10
+	tpccCustomersPerDistrict  = 3000
+	tpccItems                 = 100000
+	tpccInitialOrdersPerDist  = 3000
+	// tpccOrderRangePerDistrict is the surrogate-key range reserved for each
+	// district's orders. New orders wrap around within their district's
+	// range (overwriting the oldest ones), which keeps the key space dense so
+	// range partitioning spreads both the initial and the newly inserted
+	// orders evenly.
+	tpccOrderRangePerDistrict = tpccInitialOrdersPerDist
+)
+
+// TPCCStandardMix returns the standard TPC-C transaction mix.
+func TPCCStandardMix() map[string]float64 {
+	return map[string]float64{
+		TPCCNewOrder:    45,
+		TPCCPayment:     43,
+		TPCCOrderStatus: 4,
+		TPCCDelivery:    4,
+		TPCCStockLevel:  4,
+	}
+}
+
+// TPCCOptions configures the TPC-C workload.
+type TPCCOptions struct {
+	// Warehouses is the scaling factor; the paper uses 80.
+	Warehouses int
+	// Mix gives the weight of each transaction class; nil means the standard mix.
+	Mix map[string]float64
+	// CustomersPerDistrict overrides the TPC-C population for faster tests;
+	// zero keeps the standard 3000.
+	CustomersPerDistrict int
+	// Items overrides the item count; zero keeps the standard 100000.
+	Items int
+}
+
+// TPCC builds the TPC-C wholesale-supplier benchmark: 9 tables and 5
+// transaction classes, all of which touch 3 or more tables. Surrogate integer
+// keys are derived from (warehouse, district, ...) so that range partitioning
+// aligns the tables on warehouse boundaries.
+func TPCC(opts TPCCOptions) (*Workload, error) {
+	if opts.Warehouses <= 0 {
+		return nil, fmt.Errorf("workload: TPC-C needs a positive warehouse count")
+	}
+	mix := opts.Mix
+	if mix == nil {
+		mix = TPCCStandardMix()
+	}
+	for class := range mix {
+		if _, ok := tpccGraphs()[class]; !ok {
+			return nil, fmt.Errorf("workload: unknown TPC-C class %q", class)
+		}
+	}
+	custPerDist := opts.CustomersPerDistrict
+	if custPerDist <= 0 {
+		custPerDist = tpccCustomersPerDistrict
+	}
+	items := opts.Items
+	if items <= 0 {
+		items = tpccItems
+	}
+
+	w := int64(opts.Warehouses)
+	districts := w * tpccDistrictsPerWarehouse
+	customers := districts * int64(custPerDist)
+	stock := w * int64(items)
+	// Order surrogate keys are strided per district so that orders inserted
+	// at run time stay within their district's key range (and hence its
+	// partitions), exactly as TPC-C's per-district order ids do.
+	maxOrders := districts * tpccOrderRangePerDistrict
+	orderKey := func(dist, seq int64) int64 { return dist*tpccOrderRangePerDistrict + seq }
+
+	intCol := func(names ...string) []schema.Column {
+		cols := make([]schema.Column, len(names))
+		for i, n := range names {
+			cols[i] = schema.Column{Name: n, Type: schema.Int64}
+		}
+		return cols
+	}
+	fk := func(col, refTable, refCol string) schema.ForeignKey {
+		return schema.ForeignKey{Column: col, RefTable: refTable, RefColumn: refCol}
+	}
+
+	wl := &Workload{
+		Name: "TPC-C",
+		Tables: []TableDef{
+			{
+				Schema: &schema.Table{Name: "Warehouse", Columns: intCol("w_id", "w_tax", "w_ytd"), PrimaryKey: []string{"w_id"}},
+				Rows:   int(w), MaxKey: w,
+				RowGen: func(i int) schema.Row { return schema.Row{int64(i), int64(7), int64(0)} },
+			},
+			{
+				Schema: &schema.Table{
+					Name: "District", Columns: intCol("d_id", "d_w_id", "d_tax", "d_next_o_id", "d_ytd"),
+					PrimaryKey:  []string{"d_id"},
+					ForeignKeys: []schema.ForeignKey{fk("d_w_id", "Warehouse", "w_id")},
+				},
+				Rows: int(districts), MaxKey: districts,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), int64(i / tpccDistrictsPerWarehouse), int64(5), int64(tpccInitialOrdersPerDist), int64(0)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "Customer", Columns: intCol("c_id", "c_d_id", "c_w_id", "c_balance", "c_ytd_payment", "c_payment_cnt"),
+					PrimaryKey:  []string{"c_id"},
+					ForeignKeys: []schema.ForeignKey{fk("c_d_id", "District", "d_id")},
+				},
+				Rows: int(customers), MaxKey: customers,
+				RowGen: func(i int) schema.Row {
+					d := int64(i) / int64(custPerDist)
+					return schema.Row{int64(i), d, d / tpccDistrictsPerWarehouse, int64(-10), int64(10), int64(1)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "History", Columns: intCol("h_id", "h_c_id", "h_d_id", "h_amount"),
+					PrimaryKey:  []string{"h_id"},
+					ForeignKeys: []schema.ForeignKey{fk("h_c_id", "Customer", "c_id")},
+				},
+				Rows: int(customers), MaxKey: customers * 4,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), int64(i), int64(i) / int64(custPerDist), int64(10)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "NewOrder", Columns: intCol("no_o_id", "no_d_id", "no_w_id"),
+					PrimaryKey:  []string{"no_o_id"},
+					ForeignKeys: []schema.ForeignKey{fk("no_d_id", "District", "d_id")},
+				},
+				Rows: int(districts) * 900, MaxKey: maxOrders,
+				RowGen: func(i int) schema.Row {
+					d := int64(i) / 900
+					o := orderKey(d, int64(tpccInitialOrdersPerDist)-900+int64(i)%900)
+					return schema.Row{o, d, d / tpccDistrictsPerWarehouse}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "Order", Columns: intCol("o_id", "o_d_id", "o_w_id", "o_c_id", "o_ol_cnt"),
+					PrimaryKey:  []string{"o_id"},
+					ForeignKeys: []schema.ForeignKey{fk("o_d_id", "District", "d_id"), fk("o_c_id", "Customer", "c_id")},
+				},
+				Rows: int(districts) * tpccInitialOrdersPerDist, MaxKey: maxOrders,
+				RowGen: func(i int) schema.Row {
+					d := int64(i) / tpccInitialOrdersPerDist
+					o := orderKey(d, int64(i)%tpccInitialOrdersPerDist)
+					return schema.Row{o, d, d / tpccDistrictsPerWarehouse, d*int64(custPerDist) + int64(i)%int64(custPerDist), int64(10)}
+				},
+			},
+			{
+				Schema: &schema.Table{
+					Name: "OrderLine", Columns: intCol("ol_id", "ol_o_id", "ol_d_id", "ol_i_id", "ol_amount"),
+					PrimaryKey:  []string{"ol_id"},
+					ForeignKeys: []schema.ForeignKey{fk("ol_o_id", "Order", "o_id"), fk("ol_i_id", "Item", "i_id")},
+				},
+				Rows: int(districts) * tpccInitialOrdersPerDist * 10, MaxKey: maxOrders * 15,
+				RowGen: func(i int) schema.Row {
+					d := int64(i) / (tpccInitialOrdersPerDist * 10)
+					o := orderKey(d, (int64(i)/10)%tpccInitialOrdersPerDist)
+					return schema.Row{o*15 + int64(i)%10, o, d, int64(i) % int64(items), int64(42)}
+				},
+			},
+			{
+				Schema: &schema.Table{Name: "Item", Columns: intCol("i_id", "i_price", "i_im_id"), PrimaryKey: []string{"i_id"}},
+				Rows:   items, MaxKey: int64(items),
+				RowGen: func(i int) schema.Row { return schema.Row{int64(i), int64(i%100 + 1), int64(i % 10000)} },
+			},
+			{
+				Schema: &schema.Table{
+					Name: "Stock", Columns: intCol("s_id", "s_w_id", "s_i_id", "s_quantity", "s_ytd", "s_order_cnt"),
+					PrimaryKey:  []string{"s_id"},
+					ForeignKeys: []schema.ForeignKey{fk("s_w_id", "Warehouse", "w_id"), fk("s_i_id", "Item", "i_id")},
+				},
+				Rows: int(stock), MaxKey: stock,
+				RowGen: func(i int) schema.Row {
+					return schema.Row{int64(i), int64(i) / int64(items), int64(i) % int64(items), int64(50), int64(0), int64(0)}
+				},
+			},
+		},
+		Graphs: tpccGraphs(),
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			return mix
+		},
+	}
+
+	// One order-id sequence per district, as in TPC-C's d_next_o_id.
+	orderSeqs := make([]atomic.Int64, districts)
+	for d := range orderSeqs {
+		orderSeqs[d].Store(tpccInitialOrdersPerDist)
+	}
+	nextOrder := func(dist int64) int64 {
+		seq := orderSeqs[dist].Add(1) % tpccOrderRangePerDistrict
+		return orderKey(dist, seq)
+	}
+
+	wl.Generate = func(ctx *GenContext) *Transaction {
+		class := pickWeighted(ctx.Rng, mix)
+		wh := ctx.Rng.Int63n(w)
+		dist := wh*tpccDistrictsPerWarehouse + ctx.Rng.Int63n(tpccDistrictsPerWarehouse)
+		cust := dist*int64(custPerDist) + ctx.Rng.Int63n(int64(custPerDist))
+		switch class {
+		case TPCCPayment:
+			hID := cust*4 + ctx.Rng.Int63n(4)
+			return &Transaction{
+				Class: class,
+				Actions: []Action{
+					{Table: "Warehouse", Op: Update, Key: schema.KeyFromInt(wh)},
+					{Table: "District", Op: Update, Key: schema.KeyFromInt(dist)},
+					{Table: "Customer", Op: Update, Key: schema.KeyFromInt(cust)},
+					{Table: "History", Op: Insert, Key: schema.KeyFromInt(hID), Row: schema.Row{hID, cust, dist, int64(10)}},
+				},
+				SyncPoints: []SyncPoint{
+					{Actions: []int{0, 1}, Bytes: 16},
+					{Actions: []int{2, 3}, Bytes: 32},
+				},
+			}
+		case TPCCOrderStatus:
+			order := orderKey(dist, ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)))
+			t := &Transaction{Class: class, ReadOnly: true}
+			t.Actions = append(t.Actions,
+				Action{Table: "Customer", Op: Read, Key: schema.KeyFromInt(cust)},
+				Action{Table: "Order", Op: Read, Key: schema.KeyFromInt(order)},
+			)
+			lines := 5 + ctx.Rng.Int63n(11)
+			for l := int64(0); l < lines; l++ {
+				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Read, Key: schema.KeyFromInt(order*15 + l%10)})
+			}
+			t.SyncPoints = []SyncPoint{{Actions: []int{0, 1}, Bytes: 32}, {Actions: seq(1, len(t.Actions)), Bytes: 24 * int(lines)}}
+			return t
+		case TPCCDelivery:
+			t := &Transaction{Class: class}
+			base := wh * tpccDistrictsPerWarehouse
+			for d := int64(0); d < tpccDistrictsPerWarehouse; d++ {
+				dst := base + d
+				order := orderKey(dst, ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)))
+				custD := dst*int64(custPerDist) + ctx.Rng.Int63n(int64(custPerDist))
+				t.Actions = append(t.Actions,
+					Action{Table: "NewOrder", Op: Delete, Key: schema.KeyFromInt(order)},
+					Action{Table: "Order", Op: Update, Key: schema.KeyFromInt(order)},
+					Action{Table: "OrderLine", Op: Update, Key: schema.KeyFromInt(order * 15)},
+					Action{Table: "Customer", Op: Update, Key: schema.KeyFromInt(custD)},
+				)
+			}
+			t.SyncPoints = []SyncPoint{{Actions: seq(0, len(t.Actions)), Bytes: 200}}
+			return t
+		case TPCCStockLevel:
+			t := &Transaction{Class: class, ReadOnly: true}
+			t.Actions = append(t.Actions, Action{Table: "District", Op: Read, Key: schema.KeyFromInt(dist)})
+			order := orderKey(dist, 20+ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)-20))
+			for l := int64(0); l < 20; l++ {
+				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Read, Key: schema.KeyFromInt((order-l%20)*15 + l%10)})
+			}
+			for l := int64(0); l < 20; l++ {
+				item := ctx.Rng.Int63n(int64(items))
+				t.Actions = append(t.Actions, Action{Table: "Stock", Op: Read, Key: schema.KeyFromInt(wh*int64(items) + item)})
+			}
+			t.SyncPoints = []SyncPoint{
+				{Actions: seq(0, 21), Bytes: 160},
+				{Actions: seq(21, len(t.Actions)), Bytes: 160},
+			}
+			return t
+		default: // NewOrder
+			t := &Transaction{Class: TPCCNewOrder}
+			// Fixed part.
+			t.Actions = append(t.Actions,
+				Action{Table: "Warehouse", Op: Read, Key: schema.KeyFromInt(wh)},
+				Action{Table: "Customer", Op: Read, Key: schema.KeyFromInt(cust)},
+				Action{Table: "District", Op: Read, Key: schema.KeyFromInt(dist)},
+				Action{Table: "District", Op: Update, Key: schema.KeyFromInt(dist)},
+			)
+			fixedEnd := len(t.Actions)
+			// Variable part: 5-15 items.
+			lines := 5 + ctx.Rng.Int63n(11)
+			oID := nextOrder(dist)
+			var itemActs, stockActs []int
+			for l := int64(0); l < lines; l++ {
+				item := ctx.Rng.Int63n(int64(items))
+				itemActs = append(itemActs, len(t.Actions))
+				t.Actions = append(t.Actions, Action{Table: "Item", Op: Read, Key: schema.KeyFromInt(item)})
+				stockKey := wh*int64(items) + item
+				stockActs = append(stockActs, len(t.Actions))
+				t.Actions = append(t.Actions,
+					Action{Table: "Stock", Op: Read, Key: schema.KeyFromInt(stockKey)},
+					Action{Table: "Stock", Op: Update, Key: schema.KeyFromInt(stockKey)},
+				)
+			}
+			insStart := len(t.Actions)
+			t.Actions = append(t.Actions,
+				Action{Table: "Order", Op: Insert, Key: schema.KeyFromInt(oID), Row: schema.Row{oID, dist, wh, cust, lines}},
+				Action{Table: "NewOrder", Op: Insert, Key: schema.KeyFromInt(oID), Row: schema.Row{oID, dist, wh}},
+			)
+			for l := int64(0); l < lines; l++ {
+				olID := oID*15 + l
+				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Insert, Key: schema.KeyFromInt(olID),
+					Row: schema.Row{olID, oID, dist, ctx.Rng.Int63n(int64(items)), int64(42)}})
+			}
+			// The four synchronization points of Figure 7.
+			t.SyncPoints = []SyncPoint{
+				{Actions: seq(0, fixedEnd), Bytes: 64},
+				{Actions: append([]int{3}, insStart, insStart+1), Bytes: 48},
+				{Actions: append(append([]int(nil), itemActs...), stockActs...), Bytes: 24 * int(lines)},
+				{Actions: seq(insStart, len(t.Actions)), Bytes: 32 * int(lines)},
+			}
+			return t
+		}
+	}
+	return wl, nil
+}
+
+// MustTPCC is TPCC but panics on configuration errors.
+func MustTPCC(opts TPCCOptions) *Workload {
+	w, err := TPCC(opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func seq(from, to int) []int {
+	if to <= from {
+		return nil
+	}
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func tpccGraphs() map[string]*FlowGraph {
+	return map[string]*FlowGraph{
+		TPCCNewOrder: {
+			Class: TPCCNewOrder,
+			Nodes: []FlowNode{
+				{Table: "Warehouse", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "Customer", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "District", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "District", Op: Update, MinCount: 1, MaxCount: 1},
+				{Table: "Item", Op: Read, MinCount: 5, MaxCount: 15},
+				{Table: "Stock", Op: Read, MinCount: 5, MaxCount: 15},
+				{Table: "Stock", Op: Update, MinCount: 5, MaxCount: 15},
+				{Table: "Order", Op: Insert, MinCount: 1, MaxCount: 1},
+				{Table: "NewOrder", Op: Insert, MinCount: 1, MaxCount: 1},
+				{Table: "OrderLine", Op: Insert, MinCount: 5, MaxCount: 15},
+			},
+			Syncs: []FlowSync{
+				{Nodes: []int{0, 1, 2, 3}, Bytes: 64},
+				{Nodes: []int{3, 7, 8}, Bytes: 48},
+				{Nodes: []int{4, 5, 6}, Bytes: 240},
+				{Nodes: []int{7, 8, 9}, Bytes: 320},
+			},
+		},
+		TPCCPayment: {
+			Class: TPCCPayment,
+			Nodes: []FlowNode{
+				{Table: "Warehouse", Op: Update, MinCount: 1, MaxCount: 1},
+				{Table: "District", Op: Update, MinCount: 1, MaxCount: 1},
+				{Table: "Customer", Op: Update, MinCount: 1, MaxCount: 1},
+				{Table: "History", Op: Insert, MinCount: 1, MaxCount: 1},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 16}, {Nodes: []int{2, 3}, Bytes: 32}},
+		},
+		TPCCOrderStatus: {
+			Class: TPCCOrderStatus,
+			Nodes: []FlowNode{
+				{Table: "Customer", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "Order", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "OrderLine", Op: Read, MinCount: 5, MaxCount: 15},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 32}, {Nodes: []int{1, 2}, Bytes: 240}},
+		},
+		TPCCDelivery: {
+			Class: TPCCDelivery,
+			Nodes: []FlowNode{
+				{Table: "NewOrder", Op: Delete, MinCount: 10, MaxCount: 10},
+				{Table: "Order", Op: Update, MinCount: 10, MaxCount: 10},
+				{Table: "OrderLine", Op: Update, MinCount: 10, MaxCount: 10},
+				{Table: "Customer", Op: Update, MinCount: 10, MaxCount: 10},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1, 2, 3}, Bytes: 200}},
+		},
+		TPCCStockLevel: {
+			Class: TPCCStockLevel,
+			Nodes: []FlowNode{
+				{Table: "District", Op: Read, MinCount: 1, MaxCount: 1},
+				{Table: "OrderLine", Op: Read, MinCount: 20, MaxCount: 20},
+				{Table: "Stock", Op: Read, MinCount: 20, MaxCount: 20},
+			},
+			Syncs: []FlowSync{{Nodes: []int{0, 1}, Bytes: 160}, {Nodes: []int{1, 2}, Bytes: 160}},
+		},
+	}
+}
+
+// NewOrderFlowGraph returns the TPC-C NewOrder flow graph of the paper's
+// Figure 7, for display by examples and the harness.
+func NewOrderFlowGraph() *FlowGraph {
+	return tpccGraphs()[TPCCNewOrder]
+}

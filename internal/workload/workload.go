@@ -1,0 +1,282 @@
+// Package workload defines the transactional workloads of the evaluation: the
+// transaction model (actions, synchronization points, transaction classes and
+// their flow graphs), the paper's microbenchmarks, and the standard TATP and
+// TPC-C benchmarks. Workloads generate transactions deterministically from a
+// seeded random source, optionally varying over virtual time (for the
+// adaptivity experiments) and skewing their key distribution.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// OpType is the kind of storage access an action performs.
+type OpType int
+
+const (
+	// Read fetches one row.
+	Read OpType = iota
+	// Update rewrites one row.
+	Update
+	// Insert adds one row.
+	Insert
+	// Delete removes one row.
+	Delete
+)
+
+// String implements fmt.Stringer, using the paper's R/U/I/D shorthand.
+func (o OpType) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Update:
+		return "U"
+	case Insert:
+		return "I"
+	case Delete:
+		return "D"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// IsWrite reports whether the operation modifies data.
+func (o OpType) IsWrite() bool { return o != Read }
+
+// Action is one storage access of a generated transaction instance.
+type Action struct {
+	Table string
+	Op    OpType
+	Key   schema.Key
+	// Row is the row to insert (Insert) or the new column values (Update);
+	// nil updates are applied as an in-place increment by the engine.
+	Row schema.Row
+}
+
+// SyncPoint is a rendezvous between actions of the same transaction: the
+// listed actions must exchange Bytes bytes of intermediate data before the
+// transaction can proceed (Section V-A).
+type SyncPoint struct {
+	Actions []int
+	Bytes   int
+}
+
+// Transaction is one generated transaction instance.
+type Transaction struct {
+	Class      string
+	Actions    []Action
+	SyncPoints []SyncPoint
+	ReadOnly   bool
+	// MultiSite marks microbenchmark transactions that intentionally touch
+	// rows owned by other shared-nothing instances.
+	MultiSite bool
+}
+
+// Tables returns the distinct tables the transaction touches.
+func (t *Transaction) Tables() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, a := range t.Actions {
+		if _, ok := seen[a.Table]; ok {
+			continue
+		}
+		seen[a.Table] = struct{}{}
+		out = append(out, a.Table)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlowNode is one node of a transaction class's flow graph: an access to a
+// table, possibly repeated (e.g. one OrderLine insert per ordered item).
+type FlowNode struct {
+	Table    string
+	Op       OpType
+	MinCount int
+	MaxCount int
+}
+
+// FlowSync is a synchronization point of the flow graph, between the listed
+// node indices.
+type FlowSync struct {
+	Nodes []int
+	Bytes int
+}
+
+// FlowGraph is the static execution plan of a transaction class, as in the
+// paper's Figure 7 for TPC-C NewOrder. ATraPos derives the static workload
+// information of its cost model from these graphs.
+type FlowGraph struct {
+	Class string
+	Nodes []FlowNode
+	Syncs []FlowSync
+}
+
+// TableCounts returns the expected number of actions per table for one
+// execution of the class (using the midpoint of variable multiplicities).
+func (g *FlowGraph) TableCounts() map[string]float64 {
+	out := make(map[string]float64)
+	for _, n := range g.Nodes {
+		out[n.Table] += float64(n.MinCount+n.MaxCount) / 2
+	}
+	return out
+}
+
+// String renders the flow graph in a compact textual form.
+func (g *FlowGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", g.Class)
+	for i, n := range g.Nodes {
+		if n.MinCount == n.MaxCount && n.MinCount == 1 {
+			fmt.Fprintf(&b, "  [%d] %s(%s)\n", i, n.Op, n.Table)
+		} else {
+			fmt.Fprintf(&b, "  [%d] %s(%s) x(%d-%d)\n", i, n.Op, n.Table, n.MinCount, n.MaxCount)
+		}
+	}
+	for i, s := range g.Syncs {
+		fmt.Fprintf(&b, "  sync %d: nodes %v, %d bytes\n", i, s.Nodes, s.Bytes)
+	}
+	return b.String()
+}
+
+// TableDef describes one table of a workload: its schema, its population and
+// the generator of its rows.
+type TableDef struct {
+	Schema *schema.Table
+	Rows   int
+	MaxKey int64
+	RowGen func(i int) schema.Row
+}
+
+// GenContext is the context available when generating one transaction.
+type GenContext struct {
+	// Rng is the caller's deterministic random source.
+	Rng *rand.Rand
+	// At is the current virtual time; time-varying workloads change their mix
+	// and skew based on it.
+	At vclock.Nanos
+	// HomeSite and NumSites describe the shared-nothing instance of the
+	// generating worker, for workloads that distinguish local from multi-site
+	// transactions. Engines with a single instance pass 0 and 1.
+	HomeSite int
+	NumSites int
+}
+
+// Workload couples a dataset with a transaction generator.
+type Workload struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Tables lists the dataset.
+	Tables []TableDef
+	// Graphs holds the flow graph of every transaction class.
+	Graphs map[string]*FlowGraph
+	// Generate produces the next transaction.
+	Generate func(ctx *GenContext) *Transaction
+	// ClassWeights returns the probability of each class at virtual time at;
+	// ATraPos uses it as the dynamic workload information of its cost model
+	// and the harness prints it for reference.
+	ClassWeights func(at vclock.Nanos) map[string]float64
+}
+
+// TableSpecs converts the dataset description to the partition.TableSpec form
+// used when building placements.
+func (w *Workload) TableSpecs() []partition.TableSpec {
+	out := make([]partition.TableSpec, len(w.Tables))
+	for i, t := range w.Tables {
+		out[i] = partition.TableSpec{Name: t.Schema.Name, MaxKey: t.MaxKey}
+	}
+	return out
+}
+
+// TableDef returns the definition of the named table.
+func (w *Workload) TableDef(name string) (TableDef, bool) {
+	for _, t := range w.Tables {
+		if t.Schema.Name == name {
+			return t, true
+		}
+	}
+	return TableDef{}, false
+}
+
+// Graph returns the flow graph of a class.
+func (w *Workload) Graph(class string) (*FlowGraph, bool) {
+	g, ok := w.Graphs[class]
+	return g, ok
+}
+
+// Classes returns the transaction class names in sorted order.
+func (w *Workload) Classes() []string {
+	out := make([]string, 0, len(w.Graphs))
+	for c := range w.Graphs {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickWeighted selects a key from weights proportionally to its weight.
+func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
+	keys := make([]string, 0, len(weights))
+	total := 0.0
+	for k, w := range weights {
+		if w > 0 {
+			keys = append(keys, k)
+			total += w
+		}
+	}
+	sort.Strings(keys)
+	if total <= 0 || len(keys) == 0 {
+		return ""
+	}
+	x := rng.Float64() * total
+	for _, k := range keys {
+		x -= weights[k]
+		if x <= 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Skew describes a hot-set access skew: HotAccessFraction of the requests go
+// to the first HotDataFraction of the key space, starting at virtual time
+// Start. A zero Skew means uniform access.
+type Skew struct {
+	HotDataFraction   float64
+	HotAccessFraction float64
+	Start             vclock.Nanos
+}
+
+// Active reports whether the skew applies at virtual time at.
+func (s Skew) Active(at vclock.Nanos) bool {
+	return s.HotDataFraction > 0 && s.HotAccessFraction > 0 && at >= s.Start
+}
+
+// Pick selects a key in [0, maxKey) according to the skew at time at.
+func (s Skew) Pick(rng *rand.Rand, maxKey int64, at vclock.Nanos) int64 {
+	if maxKey <= 0 {
+		return 0
+	}
+	if !s.Active(at) {
+		return rng.Int63n(maxKey)
+	}
+	hotKeys := int64(float64(maxKey) * s.HotDataFraction)
+	if hotKeys < 1 {
+		hotKeys = 1
+	}
+	if rng.Float64() < s.HotAccessFraction {
+		return rng.Int63n(hotKeys)
+	}
+	cold := maxKey - hotKeys
+	if cold < 1 {
+		return rng.Int63n(maxKey)
+	}
+	return hotKeys + rng.Int63n(cold)
+}

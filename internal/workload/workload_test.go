@@ -1,0 +1,494 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"atrapos/internal/vclock"
+)
+
+func ctx(seed int64) *GenContext {
+	return &GenContext{Rng: rand.New(rand.NewSource(seed)), NumSites: 1}
+}
+
+func TestOpTypeString(t *testing.T) {
+	for _, o := range []OpType{Read, Update, Insert, Delete, OpType(9)} {
+		if o.String() == "" {
+			t.Errorf("op %d has empty string", o)
+		}
+	}
+	if Read.IsWrite() || !Update.IsWrite() || !Insert.IsWrite() || !Delete.IsWrite() {
+		t.Error("IsWrite misclassifies operations")
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	weights := map[string]float64{"a": 1, "b": 3, "zero": 0}
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[pickWeighted(rng, weights)]++
+	}
+	if counts["zero"] != 0 {
+		t.Error("zero-weight class was picked")
+	}
+	if counts["b"] <= counts["a"] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+	if pickWeighted(rng, map[string]float64{}) != "" {
+		t.Error("empty weights should return empty string")
+	}
+	if pickWeighted(rng, map[string]float64{"x": 0}) != "" {
+		t.Error("all-zero weights should return empty string")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	none := Skew{}
+	if none.Active(0) {
+		t.Error("zero skew should be inactive")
+	}
+	s := Skew{HotDataFraction: 0.2, HotAccessFraction: 0.5, Start: Seconds(20)}
+	if s.Active(Seconds(10)) {
+		t.Error("skew should not be active before its start time")
+	}
+	if !s.Active(Seconds(25)) {
+		t.Error("skew should be active after its start time")
+	}
+	rng := rand.New(rand.NewSource(2))
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Pick(rng, 1000, Seconds(25)) < 200 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("hot fraction = %.3f, want ~0.5", frac)
+	}
+	// Uniform before the start time.
+	hot = 0
+	for i := 0; i < n; i++ {
+		if s.Pick(rng, 1000, Seconds(5)) < 200 {
+			hot++
+		}
+	}
+	frac = float64(hot) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("pre-skew hot fraction = %.3f, want ~0.2", frac)
+	}
+	if s.Pick(rng, 0, 0) != 0 {
+		t.Error("non-positive key space should return 0")
+	}
+	always := Skew{HotDataFraction: 1, HotAccessFraction: 1}
+	if k := always.Pick(rng, 10, 0); k < 0 || k >= 10 {
+		t.Errorf("degenerate skew picked %d", k)
+	}
+}
+
+func TestSkewPickInRangeProperty(t *testing.T) {
+	prop := func(seed int64, maxRaw uint16) bool {
+		max := int64(maxRaw%1000) + 1
+		s := Skew{HotDataFraction: 0.2, HotAccessFraction: 0.8}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			k := s.Pick(rng, max, 0)
+			if k < 0 || k >= max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleRowRead(t *testing.T) {
+	w := SingleRowRead(1000)
+	if len(w.Tables) != 1 || w.Tables[0].Rows != 1000 {
+		t.Fatalf("unexpected tables: %+v", w.Tables)
+	}
+	if len(w.TableSpecs()) != 1 || w.TableSpecs()[0].MaxKey != 1000 {
+		t.Errorf("TableSpecs = %v", w.TableSpecs())
+	}
+	tx := w.Generate(ctx(1))
+	if !tx.ReadOnly || len(tx.Actions) != 1 || tx.Actions[0].Op != Read {
+		t.Errorf("unexpected transaction %+v", tx)
+	}
+	if len(tx.Tables()) != 1 {
+		t.Errorf("Tables() = %v", tx.Tables())
+	}
+	if _, ok := w.Graph("ReadOne"); !ok {
+		t.Error("missing flow graph")
+	}
+	if _, ok := w.Graph("nope"); ok {
+		t.Error("unexpected flow graph")
+	}
+	if _, ok := w.TableDef("mbr"); !ok {
+		t.Error("missing table def")
+	}
+	if _, ok := w.TableDef("nope"); ok {
+		t.Error("unexpected table def")
+	}
+	if len(w.Classes()) != 1 {
+		t.Errorf("Classes = %v", w.Classes())
+	}
+	if w.ClassWeights(0)["ReadOne"] != 1 {
+		t.Error("class weights should be 1 for the only class")
+	}
+	// Row generator produces valid rows for the schema.
+	row := w.Tables[0].RowGen(5)
+	if len(row) != len(w.Tables[0].Schema.Columns) {
+		t.Errorf("row has %d values for %d columns", len(row), len(w.Tables[0].Schema.Columns))
+	}
+}
+
+func TestReadHundred(t *testing.T) {
+	w := ReadHundred(10000)
+	tx := w.Generate(ctx(3))
+	if len(tx.Actions) != 100 || !tx.ReadOnly {
+		t.Errorf("Read100 generated %d actions", len(tx.Actions))
+	}
+}
+
+func TestMultisiteUpdate(t *testing.T) {
+	w := MultisiteUpdate(8000, 50)
+	local, multi := 0, 0
+	gen := &GenContext{Rng: rand.New(rand.NewSource(4)), HomeSite: 2, NumSites: 8}
+	for i := 0; i < 2000; i++ {
+		tx := w.Generate(gen)
+		if len(tx.Actions) != 10 {
+			t.Fatalf("transaction has %d actions, want 10", len(tx.Actions))
+		}
+		if tx.MultiSite {
+			multi++
+			if len(tx.SyncPoints) != 1 {
+				t.Error("multi-site transaction should have a sync point")
+			}
+		} else {
+			local++
+			// Local transactions only touch the home site's key range.
+			for _, a := range tx.Actions {
+				id := a.Key.Int()
+				if id < 2000 || id >= 3000 {
+					t.Fatalf("local transaction touched key %d outside home range [2000,3000)", id)
+				}
+			}
+		}
+	}
+	if multi < 800 || multi > 1200 {
+		t.Errorf("multi-site fraction off: %d of 2000", multi)
+	}
+	// Percentage clamping and single-site degenerate case.
+	w0 := MultisiteUpdate(100, -5)
+	if tx := w0.Generate(ctx(1)); tx.MultiSite {
+		t.Error("0%% multi-site should never generate multi-site transactions")
+	}
+	w100 := MultisiteUpdate(100, 300)
+	if tx := w100.Generate(ctx(1)); !tx.MultiSite {
+		t.Error("100%% multi-site should always generate multi-site transactions")
+	}
+	if got := w.ClassWeights(0)["UpdateMultiSite"]; got != 50 {
+		t.Errorf("class weight = %f", got)
+	}
+}
+
+func TestTwoTableSimple(t *testing.T) {
+	w := TwoTableSimple(500)
+	tx := w.Generate(ctx(5))
+	if len(tx.Actions) != 2 || tx.Actions[0].Table != "A" || tx.Actions[1].Table != "B" {
+		t.Errorf("unexpected actions %+v", tx.Actions)
+	}
+	if tx.Actions[0].Key != tx.Actions[1].Key {
+		t.Error("A and B should be probed with the same id")
+	}
+	if len(tx.SyncPoints) != 1 || len(tx.SyncPoints[0].Actions) != 2 {
+		t.Error("missing sync point")
+	}
+	// Table B declares its dependency on A.
+	def, _ := w.TableDef("B")
+	if len(def.Schema.ForeignKeys) != 1 || def.Schema.ForeignKeys[0].RefTable != "A" {
+		t.Error("B should reference A")
+	}
+}
+
+func TestTATPValidation(t *testing.T) {
+	if _, err := TATP(TATPOptions{Subscribers: 0}); err == nil {
+		t.Error("zero subscribers should fail")
+	}
+	if _, err := TATP(TATPOptions{Subscribers: 100, Mix: map[string]float64{"Nope": 1}}); err == nil {
+		t.Error("unknown class should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTATP should panic on bad options")
+		}
+	}()
+	MustTATP(TATPOptions{})
+}
+
+func TestTATPGeneratesAllClasses(t *testing.T) {
+	w := MustTATP(TATPOptions{Subscribers: 1000})
+	if len(w.Tables) != 4 {
+		t.Fatalf("TATP has %d tables", len(w.Tables))
+	}
+	if len(w.Classes()) != 7 {
+		t.Errorf("TATP has %d classes", len(w.Classes()))
+	}
+	gen := ctx(7)
+	seen := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		tx := w.Generate(gen)
+		seen[tx.Class]++
+		if len(tx.Actions) == 0 {
+			t.Fatal("empty transaction")
+		}
+		for _, a := range tx.Actions {
+			if a.Key.Int() < 0 {
+				t.Fatalf("negative key in %s", tx.Class)
+			}
+		}
+		g, ok := w.Graph(tx.Class)
+		if !ok {
+			t.Fatalf("class %s has no flow graph", tx.Class)
+		}
+		if len(g.TableCounts()) == 0 {
+			t.Fatal("empty table counts")
+		}
+	}
+	for _, class := range []string{TATPGetSubData, TATPGetNewDest, TATPGetAccData, TATPUpdSubData, TATPUpdLocation} {
+		if seen[class] == 0 {
+			t.Errorf("class %s never generated", class)
+		}
+	}
+	// GetSubData and GetAccData dominate the standard mix.
+	if seen[TATPGetSubData] < seen[TATPUpdSubData] {
+		t.Error("mix weights not respected")
+	}
+	// Single-class mix generates only that class.
+	w2 := MustTATP(TATPOptions{Subscribers: 100, Mix: map[string]float64{TATPGetNewDest: 1}})
+	for i := 0; i < 50; i++ {
+		if tx := w2.Generate(gen); tx.Class != TATPGetNewDest {
+			t.Fatalf("unexpected class %s", tx.Class)
+		}
+	}
+	// Row generators are schema-compatible.
+	for _, td := range w.Tables {
+		row := td.RowGen(3)
+		if len(row) != len(td.Schema.Columns) {
+			t.Errorf("table %s: row has %d values for %d columns", td.Schema.Name, len(row), len(td.Schema.Columns))
+		}
+	}
+}
+
+func TestTATPRowGeneratorsAlignWithSubscriber(t *testing.T) {
+	w := MustTATP(TATPOptions{Subscribers: 100})
+	ai, _ := w.TableDef("AccessInfo")
+	row := ai.RowGen(41)
+	if row[0].(int64) != 41 || row[1].(int64) != 10 {
+		t.Errorf("AccessInfo row 41 = %v", row)
+	}
+	cf, _ := w.TableDef("CallForwarding")
+	row = cf.RowGen(10)
+	// i=10: s_id=2, sf_type=3, start=(80)%24=8 -> cf_id=2*96+2*24+8=248.
+	if row[0].(int64) != 248 {
+		t.Errorf("CallForwarding surrogate key = %v", row[0])
+	}
+}
+
+func TestTPCCValidationAndGeneration(t *testing.T) {
+	if _, err := TPCC(TPCCOptions{Warehouses: 0}); err == nil {
+		t.Error("zero warehouses should fail")
+	}
+	if _, err := TPCC(TPCCOptions{Warehouses: 1, Mix: map[string]float64{"Nope": 1}}); err == nil {
+		t.Error("unknown class should fail")
+	}
+	w := MustTPCC(TPCCOptions{Warehouses: 2, CustomersPerDistrict: 30, Items: 1000})
+	if len(w.Tables) != 9 {
+		t.Fatalf("TPC-C has %d tables, want 9", len(w.Tables))
+	}
+	if len(w.Classes()) != 5 {
+		t.Errorf("TPC-C has %d classes", len(w.Classes()))
+	}
+	gen := ctx(11)
+	seen := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		tx := w.Generate(gen)
+		seen[tx.Class]++
+		if len(tx.Actions) == 0 {
+			t.Fatal("empty transaction")
+		}
+		// Every TPC-C transaction touches at least 3 tables except Payment
+		// variants; all touch at least 2.
+		if len(tx.Tables()) < 2 {
+			t.Errorf("%s touches only %v", tx.Class, tx.Tables())
+		}
+		if len(tx.SyncPoints) == 0 {
+			t.Errorf("%s has no sync points", tx.Class)
+		}
+	}
+	for class := range TPCCStandardMix() {
+		if seen[class] == 0 {
+			t.Errorf("class %s never generated", class)
+		}
+	}
+	// NewOrder structure: 5-15 order lines, 4 sync points.
+	w2 := MustTPCC(TPCCOptions{Warehouses: 1, CustomersPerDistrict: 30, Items: 500, Mix: map[string]float64{TPCCNewOrder: 1}})
+	for i := 0; i < 50; i++ {
+		tx := w2.Generate(gen)
+		if tx.Class != TPCCNewOrder {
+			t.Fatal("mix ignored")
+		}
+		if len(tx.SyncPoints) != 4 {
+			t.Errorf("NewOrder has %d sync points, want 4", len(tx.SyncPoints))
+		}
+		var orderLines int
+		for _, a := range tx.Actions {
+			if a.Table == "OrderLine" && a.Op == Insert {
+				orderLines++
+			}
+		}
+		if orderLines < 5 || orderLines > 15 {
+			t.Errorf("NewOrder inserted %d order lines", orderLines)
+		}
+	}
+	// Row generators are schema-compatible.
+	for _, td := range w.Tables {
+		row := td.RowGen(7)
+		if len(row) != len(td.Schema.Columns) {
+			t.Errorf("table %s: row width mismatch", td.Schema.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTPCC should panic on bad options")
+		}
+	}()
+	MustTPCC(TPCCOptions{})
+}
+
+func TestNewOrderFlowGraph(t *testing.T) {
+	g := NewOrderFlowGraph()
+	if g.Class != TPCCNewOrder {
+		t.Fatalf("class = %s", g.Class)
+	}
+	if len(g.Nodes) != 10 {
+		t.Errorf("NewOrder flow graph has %d nodes", len(g.Nodes))
+	}
+	if len(g.Syncs) != 4 {
+		t.Errorf("NewOrder flow graph has %d sync points, want 4", len(g.Syncs))
+	}
+	counts := g.TableCounts()
+	if counts["Item"] != 10 {
+		t.Errorf("expected ~10 Item accesses, got %f", counts["Item"])
+	}
+	s := g.String()
+	if !strings.Contains(s, "I(OrderLine) x(5-15)") || !strings.Contains(s, "sync") {
+		t.Errorf("flow graph rendering missing pieces:\n%s", s)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	if _, err := Schedule(nil); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	if _, err := Schedule([]Phase{{Duration: 0, Mix: map[string]float64{"a": 1}}}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := Schedule([]Phase{{Duration: Seconds(1)}}); err == nil {
+		t.Error("empty mix should fail")
+	}
+	phases := []Phase{
+		{Label: "A", Duration: Seconds(10), Mix: map[string]float64{"a": 1}},
+		{Label: "B", Duration: Seconds(20), Mix: map[string]float64{"b": 1}},
+	}
+	mixAt, err := Schedule(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixAt(Seconds(5))["a"] != 1 {
+		t.Error("phase A should be active at t=5s")
+	}
+	if mixAt(Seconds(15))["b"] != 1 {
+		t.Error("phase B should be active at t=15s")
+	}
+	// Cycles after the last phase.
+	if mixAt(Seconds(35))["a"] != 1 {
+		t.Error("schedule should cycle back to phase A at t=35s")
+	}
+	if mixAt(-5)["a"] != 1 {
+		t.Error("negative times clamp to the first phase")
+	}
+	if PhaseLabelAt(phases, Seconds(15)) != "B" {
+		t.Error("PhaseLabelAt mismatch")
+	}
+	if PhaseLabelAt(phases, Seconds(95)) == "" {
+		t.Error("PhaseLabelAt should cycle")
+	}
+	if PhaseLabelAt(nil, 0) != "" {
+		t.Error("empty phases should return empty label")
+	}
+	if PhaseLabelAt([]Phase{{Label: "X"}}, Seconds(1)) != "X" {
+		t.Error("zero-duration phases fall back to the first label")
+	}
+}
+
+func TestDynamicScenarios(t *testing.T) {
+	w, phases, err := TATPWorkloadChange(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Errorf("workload change has %d phases", len(phases))
+	}
+	gen := ctx(13)
+	gen.At = Seconds(5)
+	if tx := w.Generate(gen); tx.Class != TATPUpdSubData {
+		t.Errorf("phase 1 generated %s", tx.Class)
+	}
+	gen.At = Seconds(35)
+	if tx := w.Generate(gen); tx.Class != TATPGetNewDest {
+		t.Errorf("phase 2 generated %s", tx.Class)
+	}
+
+	w2, phases2, err := TATPFrequentChanges(1000, Seconds(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases2) != 2 {
+		t.Errorf("frequent changes has %d phases", len(phases2))
+	}
+	gen.At = Seconds(5)
+	if tx := w2.Generate(gen); tx.Class != TATPGetNewDest {
+		t.Errorf("workload A generated %s", tx.Class)
+	}
+
+	w3, err := TATPSuddenSkew(1000, Seconds(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.At = Seconds(25)
+	hot := 0
+	for i := 0; i < 3000; i++ {
+		tx := w3.Generate(gen)
+		if tx.Class != TATPGetSubData {
+			t.Fatalf("skew scenario generated %s", tx.Class)
+		}
+		if tx.Actions[0].Key.Int() < 200 {
+			hot++
+		}
+	}
+	if hot < 1200 {
+		t.Errorf("post-skew hot accesses = %d of 3000, want roughly half", hot)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1.5) != vclock.Nanos(1_500_000_000) {
+		t.Errorf("Seconds(1.5) = %d", Seconds(1.5))
+	}
+}
