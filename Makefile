@@ -1,0 +1,37 @@
+# Development workflow for the ATraPos reproduction.
+#
+#   make check        - everything CI runs: format, vet, build, test, bench smoke
+#   make bench        - full hot-path microbenchmarks with allocation stats
+#   make bench-json   - write the BENCH.json perf-trajectory record
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke bench bench-json
+
+check: fmt vet build test bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# A short benchmark pass so hot-path regressions (time or allocations) fail
+# loudly in review; see DESIGN.md section 7 for the invariants.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkExecute -benchtime 100x -benchmem ./internal/engine
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkExecute -benchmem ./internal/engine
+
+bench-json:
+	$(GO) run ./cmd/atrapos-bench -json

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"atrapos"
+)
+
+// DesignRecord is the measured hot-path profile of one design.
+type DesignRecord struct {
+	Design string `json:"design"`
+	// Transactions is the number of measured transactions.
+	Transactions int64 `json:"transactions"`
+	// WallNanos is the host wall-clock time of the measured run.
+	WallNanos int64 `json:"wall_nanos"`
+	// WallTxnPerSec is how many simulated transactions the simulator itself
+	// executes per host second: the number the hot-path work optimizes.
+	WallTxnPerSec float64 `json:"wall_txn_per_sec"`
+	// AllocsPerTxn is the average number of heap allocations per transaction
+	// on the steady-state path (measured over the whole run, so per-run setup
+	// is amortized; the partitioned designs must stay ~0).
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	// BytesPerTxn is the average number of heap bytes per transaction.
+	BytesPerTxn float64 `json:"bytes_per_txn"`
+	// VirtualTPS is the modeled throughput of the design (virtual time),
+	// recorded so a hot-path change that accidentally shifts the simulated
+	// results is visible in the same file.
+	VirtualTPS float64 `json:"virtual_tps"`
+	Committed  int64   `json:"committed"`
+	Aborted    int64   `json:"aborted"`
+}
+
+// BenchRecord is the BENCH.json document: one perf trajectory point.
+type BenchRecord struct {
+	GeneratedAt  string         `json:"generated_at"`
+	GoVersion    string         `json:"go_version"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	Workers      int            `json:"workers"`
+	Seed         int64          `json:"seed"`
+	Transactions int            `json:"transactions"`
+	Workload     string         `json:"workload"`
+	Topology     string         `json:"topology"`
+	Designs      []DesignRecord `json:"designs"`
+}
+
+// runBenchJSON measures every design's transaction hot path on the TATP mix
+// and writes the result to path. The measurement intentionally bypasses the
+// experiment harness: it calls System.Run directly so the recorded numbers
+// are the per-transaction simulator cost, comparable across commits.
+func runBenchJSON(path string, txns int, workers int, seed int64) error {
+	if txns < 4 {
+		return fmt.Errorf("-txns must be at least 4, got %d", txns)
+	}
+	const subscribers = 4000
+	top, err := atrapos.NewTopology(4, 2)
+	if err != nil {
+		return err
+	}
+	rec := BenchRecord{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Seed:         seed,
+		Transactions: txns,
+		Workload:     "TATP",
+		Topology:     top.String(),
+	}
+	for _, d := range atrapos.Designs() {
+		wl, err := atrapos.TATP(atrapos.TATPOptions{Subscribers: subscribers})
+		if err != nil {
+			return err
+		}
+		opts := atrapos.Options{Design: d, Workload: wl, Topology: top}
+		if d == atrapos.DesignATraPos {
+			opts.Adaptive = true
+		}
+		sys, err := atrapos.Open(opts)
+		if err != nil {
+			return fmt.Errorf("%v: %w", d, err)
+		}
+		// Warm up the reusable buffers, pools and caches.
+		if _, err := sys.Run(atrapos.RunOptions{Transactions: txns / 4, Seed: seed, Workers: workers}); err != nil {
+			return fmt.Errorf("%v warmup: %w", d, err)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := sys.Run(atrapos.RunOptions{Transactions: txns, Seed: seed + 1, Workers: workers})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("%v: %w", d, err)
+		}
+		n := res.Committed + res.Aborted
+		dr := DesignRecord{
+			Design:       d.String(),
+			Transactions: n,
+			WallNanos:    wall.Nanoseconds(),
+			VirtualTPS:   res.ThroughputTPS,
+			Committed:    res.Committed,
+			Aborted:      res.Aborted,
+		}
+		if n > 0 {
+			dr.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(n)
+			dr.BytesPerTxn = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+		}
+		if wall > 0 {
+			dr.WallTxnPerSec = float64(n) / wall.Seconds()
+		}
+		rec.Designs = append(rec.Designs, dr)
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n%s", path, out)
+	return nil
+}

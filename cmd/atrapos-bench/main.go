@@ -29,8 +29,23 @@ func main() {
 		list       = flag.Bool("list", false, "list the available experiments and exit")
 		seed       = flag.Int64("seed", 42, "random seed")
 		workers    = flag.Int("workers", 0, "number of worker goroutines (0 = automatic)")
+		jsonBench  = flag.Bool("json", false, "measure the per-design transaction hot path and write BENCH.json")
+		jsonOut    = flag.String("out", "BENCH.json", "output path of the -json benchmark record")
+		jsonTxns   = flag.Int("txns", 40000, "transactions measured per design in -json mode")
 	)
 	flag.Parse()
+
+	if *jsonBench {
+		w := *workers
+		if w <= 0 {
+			w = 1 // single worker: stable per-transaction numbers
+		}
+		if err := runBenchJSON(*jsonOut, *jsonTxns, w, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

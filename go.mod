@@ -1,0 +1,3 @@
+module atrapos
+
+go 1.22

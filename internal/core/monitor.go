@@ -30,7 +30,11 @@ type Monitor struct {
 
 	mu     sync.Mutex
 	tables map[string]*tableMonitor
-	syncs  map[string]*syncAgg
+	// syncs is keyed by an order-independent hash of the participant set, so
+	// recording a synchronization point in the transaction hot path performs
+	// no allocations (the previous string key allocated per record). The
+	// participants themselves are stored once, on first sight of a signature.
+	syncs  map[uint64]*syncAgg
 	window vclock.Nanos
 }
 
@@ -56,7 +60,7 @@ func NewMonitor(subParts int) *Monitor {
 	return &Monitor{
 		subParts: subParts,
 		tables:   make(map[string]*tableMonitor),
-		syncs:    make(map[string]*syncAgg),
+		syncs:    make(map[uint64]*syncAgg),
 	}
 }
 
@@ -130,12 +134,13 @@ func (m *Monitor) RecordAction(table string, key schema.Key, cost vclock.Nanos) 
 }
 
 // RecordSync records one occurrence of a synchronization point between the
-// given partitions moving bytes bytes.
+// given partitions moving bytes bytes. The participant slice is only read;
+// callers may reuse its backing array after the call returns.
 func (m *Monitor) RecordSync(participants []PartitionRef, bytes int) {
 	if len(participants) == 0 {
 		return
 	}
-	key := syncKey(participants)
+	key := syncHash(participants)
 	m.mu.Lock()
 	agg, ok := m.syncs[key]
 	if !ok {
@@ -145,6 +150,24 @@ func (m *Monitor) RecordSync(participants []PartitionRef, bytes int) {
 	agg.count++
 	agg.bytes += int64(bytes)
 	m.mu.Unlock()
+}
+
+// syncHash returns an order-independent hash of a participant set: the sum of
+// the per-participant FNV hashes commutes, so permutations of the same set
+// collapse to one signature without sorting or allocating.
+func syncHash(refs []PartitionRef) uint64 {
+	var sum uint64
+	for _, r := range refs {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(r.Table); i++ {
+			h ^= uint64(r.Table[i])
+			h *= 1099511628211
+		}
+		h ^= uint64(r.Partition)
+		h *= 1099511628211
+		sum += h
+	}
+	return sum
 }
 
 // AdvanceWindow extends the virtual-time span the current statistics cover.
@@ -198,7 +221,7 @@ func (m *Monitor) Aggregate() *Stats {
 	sort.Slice(stats.Syncs, func(i, j int) bool {
 		return syncKey(stats.Syncs[i].Participants) < syncKey(stats.Syncs[j].Participants)
 	})
-	m.syncs = make(map[string]*syncAgg)
+	m.syncs = make(map[uint64]*syncAgg)
 	m.window = 0
 	return stats
 }

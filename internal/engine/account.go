@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"atrapos/internal/numa"
@@ -15,10 +14,17 @@ import (
 // goroutines may charge costs to the same core (e.g. data-oriented execution
 // attributes action costs to the partition-owning core, not to the
 // coordinating worker).
+//
+// The struct is padded to exactly one 64-byte cache line so that adjacent
+// accounts in the engine's accounts array never share a line: with 80 cores
+// and tens of workers hammering their own account, false sharing between
+// neighbouring elements would otherwise put real (host-machine) coherence
+// traffic on the simulator's hottest write path.
 type coreAccount struct {
-	busy      atomic.Int64
-	comp      [5]atomic.Int64
-	committed atomic.Int64
+	busy      atomic.Int64    // 8 bytes
+	comp      [5]atomic.Int64 // 40 bytes
+	committed atomic.Int64    // 8 bytes
+	_         [8]byte         // pad 56 -> 64 bytes
 }
 
 func newAccounts(n int) []coreAccount {
@@ -51,17 +57,54 @@ func (e *Engine) chargeAll(comp vclock.Component, c numa.Cost) {
 	for i := range e.accounts {
 		e.accounts[i].charge(comp, c)
 	}
+	e.noteTime(0)
 }
 
-// virtualNow returns the engine-wide virtual time: the busiest core's clock.
+// virtualNow returns the engine-wide virtual time as tracked by the monotonic
+// high-water mark. It is a lower bound on the exact value (the busiest core's
+// clock) that workers advance once per transaction; because coordinators
+// round-robin over all alive cores, the mark tracks the exact value closely.
+// Use virtualNowExact at sample/event boundaries where exactness matters.
 func (e *Engine) virtualNow() vclock.Nanos {
+	return vclock.Nanos(e.hwm.Load())
+}
+
+// virtualNowExact recomputes the engine-wide virtual time exactly by scanning
+// every core's clock, and folds the result back into the high-water mark. It
+// is O(cores) and intended for run boundaries, monitoring-interval checks and
+// final results — not the per-transaction path.
+func (e *Engine) virtualNowExact() vclock.Nanos {
 	var max int64
 	for i := range e.accounts {
 		if b := e.accounts[i].busy.Load(); b > max {
 			max = b
 		}
 	}
-	return vclock.Nanos(max)
+	for {
+		cur := e.hwm.Load()
+		if max <= cur {
+			return vclock.Nanos(cur)
+		}
+		if e.hwm.CompareAndSwap(cur, max) {
+			return vclock.Nanos(max)
+		}
+	}
+}
+
+// noteTime folds core's current clock into the engine's virtual-time
+// high-water mark. Workers call it once per transaction for the core they
+// coordinated on.
+func (e *Engine) noteTime(core topology.CoreID) {
+	if int(core) < 0 || int(core) >= len(e.accounts) {
+		return
+	}
+	t := e.accounts[core].busy.Load()
+	for {
+		cur := e.hwm.Load()
+		if t <= cur || e.hwm.CompareAndSwap(cur, t) {
+			return
+		}
+	}
 }
 
 // coreTime returns one core's virtual time.
@@ -97,35 +140,41 @@ func (e *Engine) resetAccounts() {
 			e.accounts[i].comp[c].Store(0)
 		}
 	}
+	e.hwm.Store(0)
 }
 
 // partitionedState is the mutable partitioning/placement state shared by the
-// workers and the adaptive controller. Workers take a read snapshot per
-// transaction; repartitioning installs a new snapshot atomically.
+// workers and the adaptive controller. Workers take exactly one read snapshot
+// per transaction via a single atomic pointer load; repartitioning installs a
+// new snapshot atomically. (The previous RWMutex implementation put two
+// contended atomic ops on every snapshot; the pointer load is wait-free.)
 type partitionedState struct {
-	mu   sync.RWMutex
-	snap *stateSnapshot
+	snap atomic.Pointer[stateSnapshot]
 }
 
 // stateSnapshot bundles everything that changes together during repartitioning.
 type stateSnapshot struct {
 	placement *partition.Placement
 	runtime   *partition.Runtime
-	// activePerCore is the number of active partitions each core hosts, used
-	// by the oversaturation penalty.
-	activePerCore map[topology.CoreID]int
+	// activePerCore is the number of active partitions each core hosts,
+	// indexed by CoreID; the oversaturation penalty reads it per action.
+	activePerCore []int32
 }
 
-func (s *partitionedState) install(p *partition.Placement, rt *partition.Runtime, active map[topology.CoreID]int) {
-	s.mu.Lock()
-	s.snap = &stateSnapshot{placement: p, runtime: rt, activePerCore: active}
-	s.mu.Unlock()
+// active returns the number of active partitions hosted by core c.
+func (s *stateSnapshot) active(c topology.CoreID) int {
+	if int(c) < 0 || int(c) >= len(s.activePerCore) {
+		return 0
+	}
+	return int(s.activePerCore[c])
+}
+
+func (s *partitionedState) install(p *partition.Placement, rt *partition.Runtime, active []int32) {
+	s.snap.Store(&stateSnapshot{placement: p, runtime: rt, activePerCore: active})
 }
 
 func (s *partitionedState) snapshot() *stateSnapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.snap
+	return s.snap.Load()
 }
 
 // saturationFactor returns the execution cost multiplier of a core that hosts

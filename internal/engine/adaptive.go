@@ -25,8 +25,10 @@ type adaptiveState struct {
 	controller *core.IntervalController
 	maxKeys    map[string]schema.Key
 
-	mu            sync.Mutex
-	nextCheck     vclock.Nanos
+	mu sync.Mutex
+	// nextCheck is read on every transaction (outside the mutex) to decide
+	// whether a monitoring boundary was crossed, so it is atomic.
+	nextCheck     atomic.Int64
 	lastCheckAt   vclock.Nanos
 	lastCommitted int64
 	// cooldown counts monitoring intervals to sit out after a repartitioning,
@@ -63,7 +65,7 @@ func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
 	a.planner = core.NewPlanner(core.CostModel{Domain: e.domain}, a.monitor.SubPartitions())
 	a.controller = core.NewIntervalController(e.cfg.AdaptiveInterval)
 	a.monitor.RegisterPlacement(p, maxKeys)
-	a.nextCheck = a.controller.Interval()
+	a.nextCheck.Store(int64(a.controller.Interval()))
 	return a
 }
 
@@ -72,7 +74,7 @@ func (a *adaptiveState) reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.controller = core.NewIntervalController(a.e.cfg.AdaptiveInterval)
-	a.nextCheck = a.controller.Interval()
+	a.nextCheck.Store(int64(a.controller.Interval()))
 	a.lastCheckAt = 0
 	a.lastCommitted = 0
 	a.cooldown = 0
@@ -112,15 +114,18 @@ func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
 	if !a.e.cfg.Adaptive {
 		return
 	}
-	now := a.e.virtualNow()
-	if now < a.nextCheck {
+	// Cheap boundary test against the virtual-time high-water mark; the exact
+	// (O(cores)) recomputation happens only after the boundary is crossed and
+	// the TryLock is won.
+	if int64(a.e.virtualNow()) < a.nextCheck.Load() {
 		return
 	}
 	if !a.mu.TryLock() {
 		return
 	}
 	defer a.mu.Unlock()
-	if now < a.nextCheck {
+	now := a.e.virtualNowExact()
+	if int64(now) < a.nextCheck.Load() {
 		return
 	}
 
@@ -134,7 +139,7 @@ func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
 	a.monitor.AdvanceWindow(window)
 
 	decision := a.controller.Observe(throughput)
-	a.nextCheck = now + a.controller.Interval()
+	a.nextCheck.Store(int64(now + a.controller.Interval()))
 	if a.cooldown > 0 {
 		a.cooldown--
 		return
@@ -175,7 +180,7 @@ func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
 	a.e.state.install(proposed, partition.NewRuntime(a.e.domain, proposed), a.e.activePartitionsPerCore(proposed, now))
 	a.monitor.RegisterPlacement(proposed, a.maxKeys)
 	a.controller.Repartitioned()
-	a.nextCheck = now + a.controller.Interval()
+	a.nextCheck.Store(int64(now + a.controller.Interval()))
 	a.cooldown = 2
 	a.repartitions.Add(1)
 	a.repartitionCost.Add(int64(outcome.Cost))

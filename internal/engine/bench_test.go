@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atrapos/internal/workload"
+)
+
+// benchEngine builds a TATP engine on a small machine for hot-path benches.
+func benchEngine(b *testing.B, cfg Config) *Engine {
+	b.Helper()
+	cfg.Workload = workload.MustTATP(workload.TATPOptions{Subscribers: 4000})
+	cfg.Topology = smallTopology()
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchSteadyState measures the per-transaction cost of the steady-state
+// execution path of one design: generate, dispatch and execute, exactly as
+// one worker of Run does, without the per-run setup. The first iterations
+// grow the reusable buffers; after the warmup below, the partitioned designs
+// must report 0 allocs/op (the hot-path invariant DESIGN.md documents).
+func benchSteadyState(b *testing.B, e *Engine, adapt bool) {
+	b.Helper()
+	src := &splitMix{}
+	rng := rand.New(src)
+	sc := newExecScratch()
+	ctx := workload.GenContext{Rng: rng, NumSites: e.numSites()}
+
+	runOne := func(n int64) {
+		alive := e.aliveCores()
+		coord := alive[int(n)%len(alive)].ID
+		src.seed(n)
+		ctx.At = e.coreTime(coord)
+		ctx.HomeSite = e.siteOf(coord)
+		t := e.wl.Generate(&ctx)
+		sc.snap = e.state.snapshot()
+		if e.cfg.Design == PLP || e.cfg.Design == HWAware || e.cfg.Design == ATraPos {
+			if a, ok := dominantAction(t); ok {
+				if tp, ok := sc.snap.placement.Table(a.Table); ok {
+					coord = e.effectiveCore(tp.CoreFor(a.Key))
+				}
+			}
+		}
+		committed := e.execute(coord, t, sc)
+		e.noteTime(coord)
+		if committed {
+			e.accounts[coord].committed.Add(1)
+		}
+		if adapt && e.adaptive != nil {
+			e.adaptive.maybeAdapt(e.accounts[coord].committed.Load())
+		}
+	}
+
+	// Warm up: grow every reusable buffer, pool and cache to its steady size.
+	for i := int64(0); i < 2000; i++ {
+		runOne(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne(int64(i) + 2000)
+	}
+}
+
+// BenchmarkExecute reports the simulator's real (wall-clock and allocation)
+// cost per simulated transaction for every design on the TATP mix.
+//
+//	go test -bench BenchmarkExecute -benchmem ./internal/engine
+func BenchmarkExecute(b *testing.B) {
+	b.Run("centralized", func(b *testing.B) {
+		benchSteadyState(b, benchEngine(b, Config{Design: Centralized}), false)
+	})
+	b.Run("shared-nothing-extreme", func(b *testing.B) {
+		benchSteadyState(b, benchEngine(b, Config{Design: SharedNothingExtreme}), false)
+	})
+	b.Run("plp", func(b *testing.B) {
+		benchSteadyState(b, benchEngine(b, Config{Design: PLP}), false)
+	})
+	b.Run("atrapos", func(b *testing.B) {
+		// Monitoring on: the steady-state ATraPos path records every action
+		// and synchronization point into the monitor.
+		benchSteadyState(b, benchEngine(b, Config{Design: ATraPos, Monitoring: true}), false)
+	})
+	b.Run("atrapos-adaptive", func(b *testing.B) {
+		// Full adaptive loop including the per-transaction boundary check.
+		benchSteadyState(b, benchEngine(b, Config{Design: ATraPos, Adaptive: true}), true)
+	})
+}

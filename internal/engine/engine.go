@@ -16,6 +16,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"atrapos/internal/core"
 	"atrapos/internal/lock"
@@ -177,12 +178,38 @@ type Engine struct {
 	// Partitioned designs: placement and per-partition runtime state.
 	state partitionedState
 
-	// Shared-nothing instance mapping.
+	// Shared-nothing instance mapping. siteOfCore is indexed by CoreID.
 	sites      []topology.Core
-	siteOfCore map[topology.CoreID]int
+	siteOfCore []int32
 
 	accounts []coreAccount
 	adaptive *adaptiveState
+
+	// hwm is the monotonic high-water mark of the engine-wide virtual time;
+	// see virtualNow/virtualNowExact in account.go.
+	hwm atomic.Int64
+
+	// alive caches the topology's alive-core list keyed by its liveness
+	// epoch, so the per-transaction path never rebuilds the slice.
+	alive atomic.Pointer[aliveCoreCache]
+}
+
+// aliveCoreCache is one epoch's view of the alive cores.
+type aliveCoreCache struct {
+	epoch uint64
+	cores []topology.Core
+}
+
+// aliveCores returns the alive cores of the topology, rebuilt only when the
+// topology's liveness epoch changes. The returned slice must not be modified.
+func (e *Engine) aliveCores() []topology.Core {
+	ep := e.cfg.Topology.Epoch()
+	if c := e.alive.Load(); c != nil && c.epoch == ep {
+		return c.cores
+	}
+	cores := e.cfg.Topology.AliveCores()
+	e.alive.Store(&aliveCoreCache{epoch: ep, cores: cores})
+	return cores
 }
 
 // New builds an engine: it creates and loads the physical tables and wires
@@ -381,12 +408,12 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 // (extreme) or per socket (coarse), in the same order the per-site data
 // partitioning was built, so site index == partition index.
 func (e *Engine) buildSites() {
-	e.siteOfCore = make(map[topology.CoreID]int)
+	e.siteOfCore = make([]int32, e.cfg.Topology.NumCores())
 	e.sites = nil
 	if e.cfg.Design == SharedNothingExtreme {
 		for i, c := range e.cfg.Topology.AliveCores() {
 			e.sites = append(e.sites, c)
-			e.siteOfCore[c.ID] = i
+			e.siteOfCore[c.ID] = int32(i)
 		}
 		return
 	}
@@ -394,15 +421,15 @@ func (e *Engine) buildSites() {
 		cores := e.cfg.Topology.CoresOn(s)
 		e.sites = append(e.sites, cores[0])
 		for _, c := range cores {
-			e.siteOfCore[c.ID] = i
+			e.siteOfCore[c.ID] = int32(i)
 		}
 	}
 }
 
 // activePartitionsPerCore counts, for every core, the partitions of tables
 // the workload touches at virtual time at; it drives the oversaturation
-// penalty of the data-oriented designs.
-func (e *Engine) activePartitionsPerCore(p *partition.Placement, at vclock.Nanos) map[topology.CoreID]int {
+// penalty of the data-oriented designs. The result is indexed by CoreID.
+func (e *Engine) activePartitionsPerCore(p *partition.Placement, at vclock.Nanos) []int32 {
 	active := make(map[string]bool)
 	weights := e.wl.ClassWeights(at)
 	for class, w := range weights {
@@ -415,13 +442,15 @@ func (e *Engine) activePartitionsPerCore(p *partition.Placement, at vclock.Nanos
 			}
 		}
 	}
-	counts := make(map[topology.CoreID]int)
+	counts := make([]int32, e.cfg.Topology.NumCores())
 	for name, tp := range p.Tables {
 		if len(active) > 0 && !active[name] {
 			continue
 		}
 		for _, c := range tp.Cores {
-			counts[c]++
+			if int(c) >= 0 && int(c) < len(counts) {
+				counts[c]++
+			}
 		}
 	}
 	return counts

@@ -99,14 +99,26 @@ type lockedPartition struct {
 	sock  topology.SocketID
 }
 
+// releaseLocal releases every partition-local lock table the transaction
+// touched, exactly once per distinct (table, partition). The release cost is
+// charged to the owner recorded by the partition's most recent acquisition:
+// if a partition was re-locked from a different core mid-transaction (a
+// socket failure redirected ownership), the last recorded owner is the core
+// that actually holds the lock table, so the cost lands there consistently
+// rather than on whichever entry happened to be recorded first.
 func (e *Engine) releaseLocal(snap *stateSnapshot, id lock.TxnID, locked []lockedPartition) {
-	seen := make(map[lockedPartition]bool, len(locked))
-	for _, lp := range locked {
-		key := lockedPartition{table: lp.table, idx: lp.idx}
-		if seen[key] {
+	for i := range locked {
+		last := true
+		for j := i + 1; j < len(locked); j++ {
+			if locked[j].table == locked[i].table && locked[j].idx == locked[i].idx {
+				last = false
+				break
+			}
+		}
+		if !last {
 			continue
 		}
-		seen[key] = true
+		lp := locked[i]
 		if lm, err := snap.runtime.Locks(lp.table, lp.idx); err == nil {
 			cost, _ := lm.ReleaseAll(lp.sock, id)
 			e.charge(lp.core, vclock.Locking, cost)
@@ -116,10 +128,10 @@ func (e *Engine) releaseLocal(snap *stateSnapshot, id lock.TxnID, locked []locke
 
 // executeCentralized runs one transaction under the traditional centralized
 // shared-everything design. All costs are charged to the coordinating worker.
-func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transaction) bool {
+func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transaction, sc *execScratch) bool {
 	s := e.cfg.Topology.SocketOf(worker)
-	tx, beginCost := e.txnMgr.Begin(worker)
-	e.charge(worker, vclock.Management, beginCost)
+	tx := &sc.txn
+	e.charge(worker, vclock.Management, e.txnMgr.BeginInto(tx, worker))
 
 	abort := func() bool {
 		cost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
@@ -130,15 +142,12 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 	}
 
 	// Table-level intention locks first (hierarchical locking), then row locks.
-	tableModes := make(map[string]lock.Mode)
 	for _, a := range t.Actions {
 		_, tm := lockModeFor(a.Op)
-		if cur, ok := tableModes[a.Table]; !ok || (tm == lock.IX && cur == lock.IS) {
-			tableModes[a.Table] = tm
-		}
+		sc.upsertTableMode(a.Table, tm)
 	}
-	for table, mode := range tableModes {
-		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.TableResource(table), mode)
+	for _, tm := range sc.tableModes {
+		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.TableResource(tm.table), tm.mode)
 		e.charge(worker, vclock.Locking, cost)
 		if err != nil {
 			return abort()
@@ -171,8 +180,8 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 	}
 	relCost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
 	e.charge(worker, vclock.Locking, relCost)
-	for table, mode := range tableModes {
-		e.centralLocks.RetainForSLI(s, lock.TableResource(table), mode)
+	for _, tm := range sc.tableModes {
+		e.centralLocks.RetainForSLI(s, lock.TableResource(tm.table), tm.mode)
 	}
 	commitCost, err := e.txnMgr.Commit(tx)
 	e.charge(worker, vclock.Management, commitCost)
@@ -182,16 +191,13 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 // executeSharedNothing runs one transaction under the shared-nothing designs.
 // The worker's own instance coordinates; actions owned by other instances are
 // shipped over shared-memory channels and, for updates, committed with 2PC.
-func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transaction) bool {
-	homeSite, ok := e.siteOfCore[worker]
-	if !ok {
-		homeSite = 0
-	}
+func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transaction, sc *execScratch) bool {
+	homeSite := e.siteOf(worker)
 	homeSocket := e.cfg.Topology.SocketOf(worker)
-	snap := e.state.snapshot()
+	snap := sc.snap
 
-	tx, beginCost := e.txnMgr.Begin(worker)
-	e.charge(worker, vclock.Management, beginCost)
+	tx := &sc.txn
+	e.charge(worker, vclock.Management, e.txnMgr.BeginInto(tx, worker))
 
 	// siteInfo returns the core that executes an action owned by site: work on
 	// the coordinator's own instance runs on the coordinating core, work on a
@@ -220,13 +226,10 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		return c.ID, c.Socket
 	}
 
-	var locked []lockedPartition
-	participantSockets := make(map[topology.SocketID]bool)
-	remoteExecCores := make(map[topology.CoreID]bool)
 	remote := false
 
 	abort := func() bool {
-		e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+		e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 		abortCost, _ := e.txnMgr.Abort(tx)
 		e.charge(worker, vclock.Management, abortCost)
 		return false
@@ -240,10 +243,10 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		}
 		site := tp.PartitionFor(a.Key)
 		siteCore, siteSock := siteInfo(site)
-		participantSockets[siteSock] = true
+		sc.addParticipant(siteSock)
 		if site != homeSite {
 			remote = true
-			remoteExecCores[siteCore] = true
+			sc.addRemoteCore(siteCore)
 			// Request and response over the shared-memory channel.
 			msg := e.domain.MessageCost(homeSocket, siteSock) + e.domain.MessageCost(siteSock, homeSocket)
 			e.charge(worker, vclock.Communication, msg)
@@ -255,7 +258,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		rowMode, _ := lockModeFor(a.Op)
 		lockCost, lockErr := lm.Acquire(siteSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
 		e.charge(siteCore, vclock.Locking, lockCost)
-		locked = append(locked, lockedPartition{table: a.Table, idx: site, core: siteCore, sock: siteSock})
+		sc.locked = append(sc.locked, lockedPartition{table: a.Table, idx: site, core: siteCore, sock: siteSock})
 		if lockErr != nil {
 			return abort()
 		}
@@ -274,14 +277,10 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 	committed2PC := true
 	if remote && wrote {
 		// Distributed commit with the standard two-phase commit protocol.
-		participants := make([]topology.SocketID, 0, len(participantSockets))
-		for s := range participantSockets {
-			participants = append(participants, s)
-		}
-		if out, err := e.coordinator.Run(tx, homeSocket, participants, false); err == nil {
+		if out, err := e.coordinator.Run(tx, homeSocket, sc.participants, false); err == nil {
 			committed2PC = out.Committed
 			for comp, cost := range out.ByComponent {
-				e.charge(worker, comp, cost)
+				e.charge(worker, vclock.Component(comp), cost)
 			}
 			// The participant instances' worker threads stay blocked, holding
 			// their locks, until the protocol reaches its decision: charge
@@ -289,7 +288,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 			// dominant overhead of distributed update transactions the paper
 			// analyzes in Figure 4.
 			hold := out.ByComponent[vclock.Communication] + out.ByComponent[vclock.Logging]
-			for c := range remoteExecCores {
+			for _, c := range sc.remoteCores {
 				e.charge(c, vclock.Locking, hold)
 			}
 		}
@@ -299,7 +298,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		e.charge(worker, vclock.Logging, e.instLogs.Flush(homeSocket, e.instLogs.SocketLog(homeSocket).Tail()))
 	}
 
-	e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 
 	if !committed2PC {
 		abortCost, _ := e.txnMgr.Abort(tx)
@@ -315,18 +314,26 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 // (PLP, HWAware, ATraPos): actions are routed to partition-owning cores,
 // partition-local lock tables replace the centralized lock manager, and
 // synchronization points pay the paper's cross-socket rendezvous cost.
-func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transaction) bool {
+func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transaction, sc *execScratch) bool {
 	coordSocket := e.cfg.Topology.SocketOf(worker)
-	snap := e.state.snapshot()
+	snap := sc.snap
 
-	tx, beginCost := e.txnMgr.Begin(worker)
-	e.charge(worker, vclock.Management, beginCost)
+	tx := &sc.txn
+	e.charge(worker, vclock.Management, e.txnMgr.BeginInto(tx, worker))
 
-	owners := make([]lockedPartition, len(t.Actions))
-	var locked []lockedPartition
+	// owners records, per action index, the partition that executed it; the
+	// synchronization points below index into it.
+	if cap(sc.owners) < len(t.Actions) {
+		sc.owners = make([]lockedPartition, len(t.Actions))
+	} else {
+		sc.owners = sc.owners[:len(t.Actions)]
+	}
+	for i := range sc.owners {
+		sc.owners[i] = lockedPartition{}
+	}
 
 	abort := func() bool {
-		e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+		e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 		abortCost, _ := e.txnMgr.Abort(tx)
 		e.charge(worker, vclock.Management, abortCost)
 		return false
@@ -342,7 +349,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		owner := e.effectiveCore(tp.Cores[idx])
 		oSock := e.cfg.Topology.SocketOf(owner)
 		pr := lockedPartition{table: a.Table, idx: idx, core: owner, sock: oSock}
-		owners[i] = pr
+		sc.owners[i] = pr
 
 		// Action routing to the owning worker thread: an enqueue on the
 		// partition's action queue, i.e. an atomic on a cache line owned by
@@ -359,14 +366,14 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		rowMode, _ := lockModeFor(a.Op)
 		lockCost, lockErr := lm.Acquire(oSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
 		e.charge(pr.core, vclock.Locking, lockCost)
-		locked = append(locked, pr)
+		sc.locked = append(sc.locked, pr)
 		if lockErr != nil {
 			return abort()
 		}
 		// Execute the action on the owning core, inflated by the
 		// oversaturation factor if that core hosts several partition workers.
 		execCost, err := performAction(e.tables[a.Table], a, oSock)
-		factor := saturationFactor(e.cfg.OversaturationPenalty, snap.activePerCore[tp.Cores[idx]])
+		factor := saturationFactor(e.cfg.OversaturationPenalty, snap.active(tp.Cores[idx]))
 		execCost = numa.Cost(float64(execCost) * factor)
 		e.charge(pr.core, vclock.Execution, execCost)
 		if err != nil {
@@ -387,19 +394,19 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 	// Synchronization points: actions running on different sockets must
 	// exchange their intermediate results.
 	for _, sp := range t.SyncPoints {
-		var sockets []topology.SocketID
-		var refs []core.PartitionRef
+		sc.syncSockets = sc.syncSockets[:0]
+		sc.syncRefs = sc.syncRefs[:0]
 		for _, ai := range sp.Actions {
-			if ai < 0 || ai >= len(owners) || owners[ai].table == "" {
+			if ai < 0 || ai >= len(sc.owners) || sc.owners[ai].table == "" {
 				continue
 			}
-			sockets = append(sockets, owners[ai].sock)
-			refs = append(refs, core.PartitionRef{Table: owners[ai].table, Partition: owners[ai].idx})
+			sc.syncSockets = append(sc.syncSockets, sc.owners[ai].sock)
+			sc.syncRefs = append(sc.syncRefs, core.PartitionRef{Table: sc.owners[ai].table, Partition: sc.owners[ai].idx})
 		}
-		syncCost := e.domain.SyncPointCost(sockets, sp.Bytes)
+		syncCost := e.domain.SyncPointCost(sc.syncSockets, sp.Bytes)
 		e.charge(worker, vclock.Communication, syncCost)
 		if e.adaptive != nil {
-			e.adaptive.recordSync(refs, sp.Bytes)
+			e.adaptive.recordSync(sc.syncRefs, sp.Bytes)
 		}
 	}
 
@@ -408,21 +415,22 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		e.charge(worker, vclock.Logging, logCost)
 		e.charge(worker, vclock.Logging, e.log.Flush(coordSocket, e.log.Tail()))
 	}
-	e.releaseLocal(snap, lock.TxnID(tx.ID), locked)
+	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 	commitCost, err := e.txnMgr.Commit(tx)
 	e.charge(worker, vclock.Management, commitCost)
 	return err == nil
 }
 
 // execute dispatches one transaction to the design-specific path and returns
-// whether it committed.
-func (e *Engine) execute(worker topology.CoreID, t *workload.Transaction) bool {
+// whether it committed. The caller owns sc and must have set sc.snap.
+func (e *Engine) execute(worker topology.CoreID, t *workload.Transaction, sc *execScratch) bool {
+	sc.reset()
 	switch e.cfg.Design {
 	case Centralized:
-		return e.executeCentralized(worker, t)
+		return e.executeCentralized(worker, t, sc)
 	case SharedNothingExtreme, SharedNothingCoarse:
-		return e.executeSharedNothing(worker, t)
+		return e.executeSharedNothing(worker, t, sc)
 	default:
-		return e.executePartitioned(worker, t)
+		return e.executePartitioned(worker, t, sc)
 	}
 }

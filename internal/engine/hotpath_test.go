@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atrapos/internal/lock"
+	"atrapos/internal/topology"
+	"atrapos/internal/workload"
+)
+
+// TestReleaseLocalDedupChargesRecordedOwner is the regression test for the
+// release-dedup fix: when the same (table, partition) appears in the locked
+// list under two different recorded owners (a socket failure redirected
+// ownership mid-transaction), the partition is released exactly once and the
+// release cost is charged to the most recently recorded owner — not to
+// whichever entry happened to come first.
+func TestReleaseLocalDedupChargesRecordedOwner(t *testing.T) {
+	wl := workload.SingleRowRead(100)
+	e := MustNew(Config{Design: PLP, Workload: wl, Topology: smallTopology(), SkipLoad: true})
+	snap := e.state.snapshot()
+	lm, err := snap.runtime.Locks("mbr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txnID = lock.TxnID(7)
+	if _, err := lm.Acquire(0, txnID, lock.RowResource("mbr", 1), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	locked := []lockedPartition{
+		{table: "mbr", idx: 0, core: 1, sock: 0},
+		{table: "mbr", idx: 0, core: 9, sock: 2}, // re-locked from another socket
+	}
+	e.resetAccounts()
+	e.releaseLocal(snap, txnID, locked)
+	if n := lm.Table().Len(); n != 0 {
+		t.Errorf("expected all locks released, %d remain", n)
+	}
+	if got := e.accounts[1].time(); got != 0 {
+		t.Errorf("first recorded core was charged %v; the release belongs to the current owner", got)
+	}
+	if got := e.accounts[9].time(); got == 0 {
+		t.Error("most recently recorded owner core was not charged the release cost")
+	}
+}
+
+// TestEffectiveCoreWrapsPastDeadSockets covers the socket-failure fallback:
+// the redirect must skip any number of consecutive dead sockets, wrap around
+// the socket ring, and keep the core's local index.
+func TestEffectiveCoreWrapsPastDeadSockets(t *testing.T) {
+	top := smallTopology() // 4 sockets x 4 cores
+	e := MustNew(Config{Design: PLP, Workload: workload.SingleRowRead(100), Topology: top, SkipLoad: true})
+
+	coreOn := func(s topology.SocketID, local int) topology.CoreID {
+		return top.CoresOn(s)[local].ID
+	}
+	if got := e.effectiveCore(coreOn(1, 2)); got != coreOn(1, 2) {
+		t.Errorf("alive socket should not redirect, got core %d", got)
+	}
+	// Fail sockets 1 and 2: work owned by socket 1 must skip dead socket 2
+	// and land on socket 3, same local index.
+	for _, s := range []topology.SocketID{1, 2} {
+		if err := top.FailSocket(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := e.effectiveCore(coreOn(1, 2)), coreOn(3, 2); got != want {
+		t.Errorf("redirect past one dead socket: got core %d, want %d", got, want)
+	}
+	// Fail socket 3 as well: socket 2's work wraps past 3 to socket 0.
+	if err := top.FailSocket(3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.effectiveCore(coreOn(2, 1)), coreOn(0, 1); got != want {
+		t.Errorf("wrap-around redirect: got core %d, want %d", got, want)
+	}
+	// All sockets dead: the core is returned unchanged (no alive fallback).
+	if err := top.FailSocket(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.effectiveCore(coreOn(2, 1)); got != coreOn(2, 1) {
+		t.Errorf("with no alive socket the core should be unchanged, got %d", got)
+	}
+}
+
+// fingerprintTxn captures everything observable about a generated transaction
+// (the Transaction object itself is reused between generations).
+func fingerprintTxn(t *workload.Transaction) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ro=%v ms=%v", t.Class, t.ReadOnly, t.MultiSite)
+	for _, a := range t.Actions {
+		fmt.Fprintf(&b, " %s/%v/%d", a.Table, a.Op, a.Key)
+	}
+	for _, sp := range t.SyncPoints {
+		fmt.Fprintf(&b, " sync%v@%d", sp.Actions, sp.Bytes)
+	}
+	return b.String()
+}
+
+// TestGenerationDeterministicAcrossWorkerInterleavings verifies the seeding
+// contract of the run loop: because the splitMix source is reseeded from
+// (seed + transaction index) before every generation, the transaction
+// generated for index n is a pure function of n — independent of which worker
+// generates it and in which order the workers are interleaved.
+func TestGenerationDeterministicAcrossWorkerInterleavings(t *testing.T) {
+	wl := workload.MustTATP(workload.TATPOptions{Subscribers: 2000})
+	const seed, n = int64(42), int64(64)
+
+	generate := func(order []int64) map[int64]string {
+		// Each simulated worker owns its source and context, as in Run.
+		workers := make([]struct {
+			src *splitMix
+			ctx workload.GenContext
+		}, 3)
+		for i := range workers {
+			workers[i].src = &splitMix{}
+			workers[i].ctx = workload.GenContext{Rng: rand.New(workers[i].src), NumSites: 1}
+		}
+		out := make(map[int64]string, len(order))
+		for i, idx := range order {
+			w := &workers[i%len(workers)]
+			w.src.seed(seed + idx)
+			out[idx] = fingerprintTxn(wl.Generate(&w.ctx))
+		}
+		return out
+	}
+
+	ascending := make([]int64, n)
+	reversed := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		ascending[i] = i
+		reversed[n-1-i] = i
+	}
+	a, b := generate(ascending), generate(reversed)
+	for i := int64(0); i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("transaction %d depends on worker interleaving:\n asc: %s\n rev: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunDeterministicMultiSiteAcrossWorkerCounts runs the same seeded
+// workload with different worker counts: every issued transaction index
+// generates the same transaction, so the multi-site count must not depend on
+// the degree of parallelism.
+func TestRunDeterministicMultiSiteAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) int64 {
+		wl := workload.MultisiteUpdate(4000, 30)
+		e := MustNew(Config{Design: SharedNothingCoarse, Workload: wl, Topology: smallTopology()})
+		res, err := e.Run(RunOptions{Transactions: 300, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MultiSite
+	}
+	if one, four := run(1), run(4); one != four {
+		t.Errorf("multi-site count depends on worker count: 1 worker %d, 4 workers %d", one, four)
+	}
+}
+
+// TestSplitMixSeedDecorrelation checks that reseeding with consecutive values
+// produces decorrelated streams (the avalanche step), which the generator
+// relies on to avoid artificial key conflicts between concurrent transactions.
+func TestSplitMixSeedDecorrelation(t *testing.T) {
+	var a, b splitMix
+	a.seed(100)
+	b.seed(101)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("consecutive seeds produced %d identical outputs of 64", same)
+	}
+	// Reseeding with the same value replays the same stream.
+	a.seed(100)
+	b.seed(100)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must replay the same stream")
+		}
+	}
+}
+
+// TestAliveCoreCacheFollowsEpoch verifies that the engine's cached alive-core
+// list is invalidated by socket failures and restorations mid-run.
+func TestAliveCoreCacheFollowsEpoch(t *testing.T) {
+	top := smallTopology()
+	e := MustNew(Config{Design: PLP, Workload: workload.SingleRowRead(100), Topology: top, SkipLoad: true})
+	if got := len(e.aliveCores()); got != 16 {
+		t.Fatalf("expected 16 alive cores, got %d", got)
+	}
+	if err := top.FailSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.aliveCores()); got != 12 {
+		t.Errorf("after failing a socket the cache should refresh: got %d cores, want 12", got)
+	}
+	if err := top.RestoreSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.aliveCores()); got != 16 {
+		t.Errorf("after restoring the socket: got %d cores, want 16", got)
+	}
+}
+
+// TestVirtualNowHighWaterMark checks the two-level virtual clock: the cheap
+// per-transaction view lags monotonically behind the exact scan and catches
+// up when a worker notes its core or an exact recomputation runs.
+func TestVirtualNowHighWaterMark(t *testing.T) {
+	e := MustNew(Config{Design: PLP, Workload: workload.SingleRowRead(100), Topology: smallTopology(), SkipLoad: true})
+	e.resetAccounts()
+	e.charge(5, 1, 1000)
+	if now := e.virtualNow(); now != 0 {
+		t.Errorf("high-water mark should lag until noted, got %v", now)
+	}
+	e.noteTime(5)
+	if now := e.virtualNow(); now != 1000 {
+		t.Errorf("after noteTime the mark should be 1000, got %v", now)
+	}
+	e.charge(6, 1, 2500)
+	if now := e.virtualNowExact(); now != 2500 {
+		t.Errorf("exact recomputation should see 2500, got %v", now)
+	}
+	if now := e.virtualNow(); now != 2500 {
+		t.Errorf("exact recomputation should fold into the mark, got %v", now)
+	}
+}

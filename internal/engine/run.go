@@ -173,6 +173,10 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 			defer wg.Done()
 			src := &splitMix{}
 			rng := rand.New(src)
+			// All per-transaction state lives in worker-owned reusable
+			// buffers: the steady-state loop body allocates nothing.
+			sc := newExecScratch()
+			ctx := workload.GenContext{Rng: rng, NumSites: e.numSites()}
 			for {
 				n := issued.Add(1)
 				if int(n) > opts.Transactions {
@@ -186,45 +190,45 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 					fireEvents(now)
 				}
 				// Round-robin the coordinating core over the machine; a core
-				// on a failed socket is replaced by its fallback.
-				alive := e.cfg.Topology.AliveCores()
+				// on a failed socket is replaced by its fallback. The alive
+				// list is cached behind the topology's liveness epoch.
+				alive := e.aliveCores()
 				if len(alive) == 0 {
 					return
 				}
 				coord := alive[int(n)%len(alive)].ID
-				at := e.coreTime(coord)
 				// Seed the generator from the transaction index, not the
 				// worker, so the generated workload does not depend on how
 				// the Go scheduler interleaves the worker goroutines.
 				src.seed(opts.Seed + n)
-				ctx := &workload.GenContext{
-					Rng:      rng,
-					At:       at,
-					HomeSite: e.siteOf(coord),
-					NumSites: e.numSites(),
-				}
-				t := e.wl.Generate(ctx)
+				ctx.At = e.coreTime(coord)
+				ctx.HomeSite = e.siteOf(coord)
+				t := e.wl.Generate(&ctx)
 				if t.MultiSite {
 					multiSite.Add(1)
 				}
+				// One partitioning snapshot per transaction: dispatch and
+				// execution read the same atomically-published snapshot.
+				sc.snap = e.state.snapshot()
 				// Data-oriented designs dispatch the transaction to the
 				// worker thread that owns the partition doing most of its
 				// work, as DORA does; the coordinating core follows the data
 				// and the bulk of the actions execute locally.
 				if e.cfg.Design == PLP || e.cfg.Design == HWAware || e.cfg.Design == ATraPos {
 					if a, ok := dominantAction(t); ok {
-						if tp, ok := e.state.snapshot().placement.Table(a.Table); ok {
+						if tp, ok := sc.snap.placement.Table(a.Table); ok {
 							coord = e.effectiveCore(tp.CoreFor(a.Key))
 						}
 					}
 				}
 				ok := false
 				for attempt := 0; attempt <= opts.Retries; attempt++ {
-					if e.execute(coord, t) {
+					if e.execute(coord, t, sc) {
 						ok = true
 						break
 					}
 				}
+				e.noteTime(coord)
 				if ok {
 					committed.Add(1)
 					e.accounts[coord].committed.Add(1)
@@ -248,7 +252,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		MultiSite: multiSite.Load(),
 		Series:    series.Samples(),
 	}
-	res.VirtualTime = e.virtualNow()
+	res.VirtualTime = e.virtualNowExact()
 	if res.VirtualTime > 0 {
 		res.ThroughputTPS = float64(res.Committed) / res.VirtualTime.Seconds()
 	}
@@ -272,13 +276,10 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 }
 
 func (e *Engine) siteOf(core topology.CoreID) int {
-	if e.siteOfCore == nil {
+	if int(core) < 0 || int(core) >= len(e.siteOfCore) {
 		return 0
 	}
-	if s, ok := e.siteOfCore[core]; ok {
-		return s
-	}
-	return 0
+	return int(e.siteOfCore[core])
 }
 
 func (e *Engine) numSites() int {
@@ -286,33 +287,6 @@ func (e *Engine) numSites() int {
 		return 1
 	}
 	return len(e.sites)
-}
-
-// dominantAction returns the first action of the table that appears most
-// often in the transaction; the transaction is dispatched to that action's
-// partition owner so the largest share of its work stays thread-local.
-func dominantAction(t *workload.Transaction) (workload.Action, bool) {
-	if len(t.Actions) == 0 {
-		return workload.Action{}, false
-	}
-	counts := make(map[string]int, 4)
-	for _, a := range t.Actions {
-		counts[a.Table]++
-	}
-	bestTable := t.Actions[0].Table
-	best := 0
-	for _, a := range t.Actions {
-		if c := counts[a.Table]; c > best {
-			best = c
-			bestTable = a.Table
-		}
-	}
-	for _, a := range t.Actions {
-		if a.Table == bestTable {
-			return a, true
-		}
-	}
-	return t.Actions[0], true
 }
 
 // splitMix is a tiny allocation-free rand.Source64 (splitmix64) that can be

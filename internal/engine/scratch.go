@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"atrapos/internal/core"
+	"atrapos/internal/lock"
+	"atrapos/internal/topology"
+	"atrapos/internal/txn"
+	"atrapos/internal/workload"
+)
+
+// execScratch is the per-worker reusable state of the transaction hot path.
+// Every buffer is reset with a re-slice to length zero and keeps its backing
+// array, so after the first few transactions the steady-state execution of a
+// transaction performs no heap allocations at all. One scratch is owned by
+// exactly one worker goroutine and is threaded through all three design paths
+// (centralized, shared-nothing, partitioned).
+type execScratch struct {
+	// snap is the partitioning snapshot taken once per transaction; dispatch
+	// and execution read the same snapshot so a concurrent repartitioning can
+	// never split a transaction across two placements.
+	snap *stateSnapshot
+
+	// txn is the reusable transaction object filled by Manager.BeginInto.
+	txn txn.Txn
+
+	// owners records, per action index, the partition that executed it.
+	owners []lockedPartition
+	// locked records every partition whose local lock table holds locks on
+	// behalf of the running transaction (possibly with duplicates).
+	locked []lockedPartition
+
+	// tableModes collects the table-level intention modes of the centralized
+	// path; transactions touch at most ~10 distinct tables, so a linear scan
+	// beats a map and allocates nothing.
+	tableModes []tableMode
+
+	// syncSockets/syncRefs are the per-synchronization-point participant
+	// buffers of the partitioned path.
+	syncSockets []topology.SocketID
+	syncRefs    []core.PartitionRef
+
+	// participants/remoteCores are the distinct 2PC participant sockets and
+	// remote executor cores of the shared-nothing path.
+	participants []topology.SocketID
+	remoteCores  []topology.CoreID
+}
+
+type tableMode struct {
+	table string
+	mode  lock.Mode
+}
+
+// newExecScratch returns a scratch with capacity for a typical transaction;
+// larger transactions grow the buffers once and then reuse them.
+func newExecScratch() *execScratch {
+	return &execScratch{
+		owners:       make([]lockedPartition, 0, 32),
+		locked:       make([]lockedPartition, 0, 32),
+		tableModes:   make([]tableMode, 0, 8),
+		syncSockets:  make([]topology.SocketID, 0, 16),
+		syncRefs:     make([]core.PartitionRef, 0, 16),
+		participants: make([]topology.SocketID, 0, 8),
+		remoteCores:  make([]topology.CoreID, 0, 8),
+	}
+}
+
+// reset prepares the scratch for one transaction attempt.
+func (sc *execScratch) reset() {
+	sc.owners = sc.owners[:0]
+	sc.locked = sc.locked[:0]
+	sc.tableModes = sc.tableModes[:0]
+	sc.participants = sc.participants[:0]
+	sc.remoteCores = sc.remoteCores[:0]
+}
+
+// upsertTableMode records the strongest intention mode seen for a table.
+func (sc *execScratch) upsertTableMode(table string, mode lock.Mode) {
+	for i := range sc.tableModes {
+		if sc.tableModes[i].table == table {
+			if mode == lock.IX && sc.tableModes[i].mode == lock.IS {
+				sc.tableModes[i].mode = lock.IX
+			}
+			return
+		}
+	}
+	sc.tableModes = append(sc.tableModes, tableMode{table: table, mode: mode})
+}
+
+// addParticipant records a distinct 2PC participant socket.
+func (sc *execScratch) addParticipant(s topology.SocketID) {
+	for _, p := range sc.participants {
+		if p == s {
+			return
+		}
+	}
+	sc.participants = append(sc.participants, s)
+}
+
+// addRemoteCore records a distinct remote executor core.
+func (sc *execScratch) addRemoteCore(c topology.CoreID) {
+	for _, r := range sc.remoteCores {
+		if r == c {
+			return
+		}
+	}
+	sc.remoteCores = append(sc.remoteCores, c)
+}
+
+// dominantAction returns the first action of the table that appears most
+// often in the transaction; the transaction is dispatched to that action's
+// partition owner so the largest share of its work stays thread-local.
+// Ties go to the table that appears first, as before; the count map of the
+// previous implementation is replaced by linear scans over the (short) action
+// list so dispatch allocates nothing.
+func dominantAction(t *workload.Transaction) (workload.Action, bool) {
+	if len(t.Actions) == 0 {
+		return workload.Action{}, false
+	}
+	bestTable := t.Actions[0].Table
+	best := 0
+	for i := range t.Actions {
+		table := t.Actions[i].Table
+		seen := false
+		for j := 0; j < i; j++ {
+			if t.Actions[j].Table == table {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		count := 0
+		for j := i; j < len(t.Actions); j++ {
+			if t.Actions[j].Table == table {
+				count++
+			}
+		}
+		if count > best {
+			best = count
+			bestTable = table
+		}
+		if best > len(t.Actions)/2 {
+			break // absolute majority: no other table can beat it
+		}
+	}
+	for i := range t.Actions {
+		if t.Actions[i].Table == bestTable {
+			return t.Actions[i], true
+		}
+	}
+	return t.Actions[0], true
+}

@@ -157,14 +157,41 @@ func (d *Domain) MessageCost(from, to topology.SocketID) Cost {
 // C(s) = (nsocket(s)-1) * Distance(s) * Size(s), where Distance(s) is the
 // average pairwise distance between the participating sockets and Size(s)
 // the number of bytes exchanged.
+//
+// It runs on the transaction hot path, so duplicates are skipped with linear
+// scans over the (short, bounded by the socket count) participant list
+// instead of building a set: the function performs no heap allocations.
 func (d *Domain) SyncPointCost(sockets []topology.SocketID, bytes int) Cost {
-	uniq := UniqueSockets(sockets)
-	n := len(uniq)
-	if n <= 1 {
+	n := 0
+	sum, pairs := 0, 0
+	for i := range sockets {
+		if !firstOccurrence(sockets, i) {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if !firstOccurrence(sockets, j) {
+				continue
+			}
+			sum += d.Top.Distance(sockets[i], sockets[j])
+			pairs++
+		}
+		n++
+	}
+	if n <= 1 || pairs == 0 {
 		return 0
 	}
-	dist := avgPairwiseDistance(d.Top, uniq)
+	dist := float64(sum) / float64(pairs)
 	return Cost(n-1) * Cost(dist*float64(bytes)*float64(d.Model.ByteTransferPerHop))
+}
+
+// firstOccurrence reports whether sockets[i] does not appear before index i.
+func firstOccurrence(sockets []topology.SocketID, i int) bool {
+	for j := 0; j < i; j++ {
+		if sockets[j] == sockets[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // UniqueSockets returns the distinct sockets in ids, preserving first-seen order.

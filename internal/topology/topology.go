@@ -50,6 +50,10 @@ type Topology struct {
 	failed     []atomic.Bool
 	qpiBytes   []atomic.Int64 // interconnect traffic counters, indexed by socket
 	localBytes []atomic.Int64 // memory-controller (local) traffic counters
+	// epoch increments on every liveness change (FailSocket/RestoreSocket).
+	// Engines key their cached alive-core lists on it so the transaction hot
+	// path never has to rebuild the list.
+	epoch atomic.Uint64
 }
 
 // Config describes a topology to build.
@@ -241,6 +245,7 @@ func (t *Topology) FailSocket(s SocketID) error {
 		return fmt.Errorf("topology: cannot fail unknown socket %d", s)
 	}
 	t.failed[s].Store(true)
+	t.epoch.Add(1)
 	return nil
 }
 
@@ -250,8 +255,14 @@ func (t *Topology) RestoreSocket(s SocketID) error {
 		return fmt.Errorf("topology: cannot restore unknown socket %d", s)
 	}
 	t.failed[s].Store(false)
+	t.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the liveness epoch: a counter that increments whenever a
+// socket fails or is restored. A cached view of the alive cores is valid for
+// as long as the epoch it was built under stays current.
+func (t *Topology) Epoch() uint64 { return t.epoch.Load() }
 
 // Alive reports whether socket s is operational.
 func (t *Topology) Alive(s SocketID) bool {

@@ -16,10 +16,12 @@ import (
 // the paper's Figure 4 breakdown attributes 2PC overhead to communication,
 // logging and locking.
 type TwoPCOutcome struct {
-	Committed   bool
-	Messages    int
-	LogRecords  int
-	ByComponent map[vclock.Component]numa.Cost
+	Committed  bool
+	Messages   int
+	LogRecords int
+	// ByComponent is indexed by vclock.Component; a fixed array keeps the
+	// per-transaction 2PC path free of map allocations.
+	ByComponent [vclock.NumComponents]numa.Cost
 }
 
 // TotalCost returns the sum over all components.
@@ -55,16 +57,26 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 	if t == nil {
 		return TwoPCOutcome{}, fmt.Errorf("txn: nil transaction")
 	}
-	uniq := numa.UniqueSockets(participants)
-	if len(uniq) == 0 {
+	// Duplicate participants are skipped with linear scans (the participant
+	// count is bounded by the socket count) so the protocol allocates nothing.
+	nUniq := 0
+	for i := range participants {
+		if firstParticipant(participants, i) {
+			nUniq++
+		}
+	}
+	if nUniq == 0 {
 		return TwoPCOutcome{}, fmt.Errorf("txn: distributed transaction %d has no participants", t.ID)
 	}
-	out := TwoPCOutcome{ByComponent: make(map[vclock.Component]numa.Cost)}
+	var out TwoPCOutcome
 	t.Distributed = true
 	t.State = Preparing
 
 	// Phase 1: prepare requests, participant prepare records, votes back.
-	for _, p := range uniq {
+	for i, p := range participants {
+		if !firstParticipant(participants, i) {
+			continue
+		}
 		out.ByComponent[vclock.Communication] += c.domain.MessageCost(coord, p)
 		_, logCost := c.logs.Append(p, wal.Record{Txn: uint64(t.ID), Type: wal.Prepare, Size: 96})
 		out.ByComponent[vclock.Logging] += logCost
@@ -86,7 +98,10 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 	out.LogRecords++
 
 	// Phase 2: decision messages, participant end records, acknowledgements.
-	for _, p := range uniq {
+	for i, p := range participants {
+		if !firstParticipant(participants, i) {
+			continue
+		}
 		out.ByComponent[vclock.Communication] += c.domain.MessageCost(coord, p)
 		_, endCost := c.logs.Append(p, wal.Record{Txn: uint64(t.ID), Type: wal.EndOfDistributed, Size: 48})
 		out.ByComponent[vclock.Logging] += endCost
@@ -98,13 +113,23 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 	// Locks are held for the whole protocol on every participant: account the
 	// extra hold time as locking overhead proportional to the protocol cost.
 	hold := out.ByComponent[vclock.Communication] + out.ByComponent[vclock.Logging]
-	out.ByComponent[vclock.Locking] += numa.Cost(len(uniq)) * hold / 4
+	out.ByComponent[vclock.Locking] += numa.Cost(nUniq) * hold / 4
 
 	// Coordinator bookkeeping (participant table, transaction state).
-	out.ByComponent[vclock.Management] += numa.Cost(len(uniq)) * 200
+	out.ByComponent[vclock.Management] += numa.Cost(nUniq) * 200
 
 	// The transaction stays in the Preparing state; the caller finishes it
 	// through the transaction manager according to out.Committed, so the
 	// active-transaction list is maintained in one place.
 	return out, nil
+}
+
+// firstParticipant reports whether participants[i] does not appear earlier.
+func firstParticipant(participants []topology.SocketID, i int) bool {
+	for j := 0; j < i; j++ {
+		if participants[j] == participants[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -233,8 +233,18 @@ func NewManager(d *numa.Domain, active ActiveList, state numa.StateLock) *Manage
 // the virtual cost of transaction initialization (id assignment, volume lock
 // in read mode, insertion into the active list).
 func (m *Manager) Begin(core topology.CoreID) (*Txn, numa.Cost) {
+	t := new(Txn)
+	cost := m.BeginInto(t, core)
+	return t, cost
+}
+
+// BeginInto is Begin writing into a caller-owned Txn, so a worker can reuse
+// one Txn for its whole run instead of allocating one per transaction. The
+// Txn must not be in the active list (i.e. its previous use must have ended
+// in Commit or Abort).
+func (m *Manager) BeginInto(t *Txn, core topology.CoreID) numa.Cost {
 	s := m.domain.Top.SocketOf(core)
-	t := &Txn{
+	*t = Txn{
 		ID:     ID(m.nextID.Add(1)),
 		State:  Active,
 		Core:   core,
@@ -245,7 +255,7 @@ func (m *Manager) Begin(core topology.CoreID) (*Txn, numa.Cost) {
 	cost += m.state.RUnlock(s)
 	cost += m.active.Add(s, t)
 	m.begun.Add(1)
-	return t, cost
+	return cost
 }
 
 // Commit finishes t successfully and removes it from the active list.

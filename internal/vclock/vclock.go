@@ -45,6 +45,10 @@ const (
 	numComponents
 )
 
+// NumComponents is the number of cost components; fixed-size per-component
+// cost arrays are indexed by Component.
+const NumComponents = int(numComponents)
+
 // Components lists all cost components in display order.
 func Components() []Component {
 	return []Component{Management, Execution, Communication, Locking, Logging}

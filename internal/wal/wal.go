@@ -114,7 +114,13 @@ type CentralLog struct {
 	next    LSN
 	durable LSN
 	pending int
-	records []Record
+	// Retained records live in a fixed-capacity ring so the append hot path
+	// never allocates: ring[(start+i)%len(ring)] for i in [0,count) are the
+	// most recent records, oldest first. With Keep == 0 the ring grows
+	// without bound instead (recovery tests rely on a complete log).
+	ring  []Record
+	start int
+	count int
 
 	appends int64
 	flushes int64
@@ -137,9 +143,21 @@ func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
 	l.mu.Lock()
 	rec.LSN = l.next
 	l.next++
-	l.records = append(l.records, rec)
-	if l.cfg.Keep > 0 && len(l.records) > l.cfg.Keep {
-		l.records = l.records[len(l.records)-l.cfg.Keep:]
+	if l.cfg.Keep > 0 {
+		if l.ring == nil {
+			l.ring = make([]Record, l.cfg.Keep)
+		}
+		if l.count == len(l.ring) {
+			// Overwrite the oldest record (the "archive" discards it).
+			l.ring[l.start] = rec
+			l.start = (l.start + 1) % len(l.ring)
+		} else {
+			l.ring[(l.start+l.count)%len(l.ring)] = rec
+			l.count++
+		}
+	} else {
+		l.ring = append(l.ring, rec)
+		l.count = len(l.ring)
 	}
 	l.appends++
 	l.mu.Unlock()
@@ -184,12 +202,14 @@ func (l *CentralLog) Tail() LSN {
 	return l.next - 1
 }
 
-// Records returns the retained records (most recent Keep entries).
+// Records returns the retained records (most recent Keep entries), oldest first.
 func (l *CentralLog) Records() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Record, len(l.records))
-	copy(out, l.records)
+	out := make([]Record, l.count)
+	for i := 0; i < l.count; i++ {
+		out[i] = l.ring[(l.start+i)%len(l.ring)]
+	}
 	return out
 }
 

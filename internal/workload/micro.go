@@ -68,11 +68,10 @@ func SingleRowReadSkewed(rows int, skew Skew) *Workload {
 		} else {
 			key = skew.Pick(ctx.Rng, int64(rows), ctx.At)
 		}
-		return &Transaction{
-			Class:    class,
-			ReadOnly: true,
-			Actions:  []Action{{Table: table, Op: Read, Key: schema.KeyFromInt(key)}},
-		}
+		t := ctx.Txn(class)
+		t.ReadOnly = true
+		t.Add(table, Read, schema.KeyFromInt(key))
+		return t
 	}
 	return w
 }
@@ -102,7 +101,8 @@ func ReadHundred(rows int) *Workload {
 		},
 	}
 	w.Generate = func(ctx *GenContext) *Transaction {
-		t := &Transaction{Class: class, ReadOnly: true}
+		t := ctx.Txn(class)
+		t.ReadOnly = true
 		// Each client reads from its own instance's dataset; the allocation
 		// policy experiment (Table I) varies only where that dataset's memory
 		// lives, not which instance serves the request.
@@ -116,7 +116,7 @@ func ReadHundred(rows int) *Workload {
 		}
 		for i := 0; i < 100; i++ {
 			key := lo + ctx.Rng.Int63n(span)
-			t.Actions = append(t.Actions, Action{Table: table, Op: Read, Key: schema.KeyFromInt(key)})
+			t.Add(table, Read, schema.KeyFromInt(key))
 		}
 		return t
 	}
@@ -180,26 +180,22 @@ func MultisiteUpdate(rows int, pctMultiSite int) *Workload {
 			return schema.KeyFromInt(localBase + ctx.Rng.Int63n(siteRows))
 		}
 		multi := ctx.Rng.Intn(100) < pctMultiSite
-		t := &Transaction{MultiSite: multi}
 		if !multi {
-			t.Class = localClass
+			t := ctx.Txn(localClass)
 			for i := 0; i < 10; i++ {
-				t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: localKey()})
+				t.Add(table, Update, localKey())
 			}
 			return t
 		}
-		t.Class = multiClass
-		t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: localKey()})
+		t := ctx.Txn(multiClass)
+		t.MultiSite = true
+		t.Add(table, Update, localKey())
 		for i := 0; i < 9; i++ {
 			key := ctx.Rng.Int63n(int64(rows))
-			t.Actions = append(t.Actions, Action{Table: table, Op: Update, Key: schema.KeyFromInt(key)})
+			t.Add(table, Update, schema.KeyFromInt(key))
 		}
 		// All ten updates synchronize at commit.
-		sp := SyncPoint{Bytes: 88}
-		for i := range t.Actions {
-			sp.Actions = append(sp.Actions, i)
-		}
-		t.SyncPoints = []SyncPoint{sp}
+		t.AddSyncRange(88, 0, len(t.Actions))
 		return t
 	}
 	return w
@@ -233,15 +229,12 @@ func TwoTableSimple(rows int) *Workload {
 	w.Generate = func(ctx *GenContext) *Transaction {
 		id := ctx.Rng.Int63n(int64(rows))
 		key := schema.KeyFromInt(id)
-		return &Transaction{
-			Class:    class,
-			ReadOnly: true,
-			Actions: []Action{
-				{Table: "A", Op: Read, Key: key},
-				{Table: "B", Op: Read, Key: key},
-			},
-			SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 88}},
-		}
+		t := ctx.Txn(class)
+		t.ReadOnly = true
+		t.Add("A", Read, key)
+		t.Add("B", Read, key)
+		t.AddSync(88, 0, 1)
+		return t
 	}
 	return w
 }

@@ -161,7 +161,7 @@ func TATP(opts TATPOptions) (*Workload, error) {
 
 	skew := opts.Skew
 	w.Generate = func(ctx *GenContext) *Transaction {
-		class := pickWeighted(ctx.Rng, mixFn(ctx.At))
+		class := ctx.PickClass(mixFn(ctx.At))
 		sID := skew.Pick(ctx.Rng, subs, ctx.At)
 		subKey := schema.KeyFromInt(sID)
 		aiKey := schema.KeyFromInt(sID*4 + ctx.Rng.Int63n(4))
@@ -170,72 +170,44 @@ func TATP(opts TATPOptions) (*Workload, error) {
 		startHour := ctx.Rng.Int63n(3) * 8
 		cfKey := schema.KeyFromInt(sID*96 + sfType*24 + startHour)
 
+		t := ctx.Txn(class)
 		switch class {
 		case TATPGetSubData:
-			return &Transaction{
-				Class:    class,
-				ReadOnly: true,
-				Actions:  []Action{{Table: "Subscriber", Op: Read, Key: subKey}},
-			}
+			t.ReadOnly = true
+			t.Add("Subscriber", Read, subKey)
 		case TATPGetAccData:
-			return &Transaction{
-				Class:    class,
-				ReadOnly: true,
-				Actions:  []Action{{Table: "AccessInfo", Op: Read, Key: aiKey}},
-			}
+			t.ReadOnly = true
+			t.Add("AccessInfo", Read, aiKey)
 		case TATPGetNewDest:
-			t := &Transaction{
-				Class:    class,
-				ReadOnly: true,
-				Actions: []Action{
-					{Table: "SpecialFacility", Op: Read, Key: sfKey},
-					{Table: "CallForwarding", Op: Read, Key: cfKey},
-				},
-				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 48}},
-			}
-			return t
+			t.ReadOnly = true
+			t.Add("SpecialFacility", Read, sfKey)
+			t.Add("CallForwarding", Read, cfKey)
+			t.AddSync(48, 0, 1)
 		case TATPUpdSubData:
-			return &Transaction{
-				Class: class,
-				Actions: []Action{
-					{Table: "Subscriber", Op: Update, Key: subKey},
-					{Table: "SpecialFacility", Op: Update, Key: sfKey},
-				},
-				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 16}},
-			}
+			t.Add("Subscriber", Update, subKey)
+			t.Add("SpecialFacility", Update, sfKey)
+			t.AddSync(16, 0, 1)
 		case TATPUpdLocation:
-			return &Transaction{
-				Class:   class,
-				Actions: []Action{{Table: "Subscriber", Op: Update, Key: subKey}},
-			}
+			t.Add("Subscriber", Update, subKey)
 		case TATPInsCallFwd:
+			// Inserted rows are retained by the storage layer, so this is the
+			// one TATP class whose generation genuinely allocates.
 			row := schema.Row{cfKey.Int(), sID, sfType, startHour, "forward"}
-			return &Transaction{
-				Class: class,
-				Actions: []Action{
-					{Table: "Subscriber", Op: Read, Key: subKey},
-					{Table: "SpecialFacility", Op: Read, Key: sfKey},
-					{Table: "CallForwarding", Op: Insert, Key: cfKey, Row: row},
-				},
-				SyncPoints: []SyncPoint{{Actions: []int{0, 1, 2}, Bytes: 64}},
-			}
+			t.Add("Subscriber", Read, subKey)
+			t.Add("SpecialFacility", Read, sfKey)
+			t.AddRow("CallForwarding", Insert, cfKey, row)
+			t.AddSync(64, 0, 1, 2)
 		case TATPDelCallFwd:
-			return &Transaction{
-				Class: class,
-				Actions: []Action{
-					{Table: "Subscriber", Op: Read, Key: subKey},
-					{Table: "CallForwarding", Op: Delete, Key: cfKey},
-				},
-				SyncPoints: []SyncPoint{{Actions: []int{0, 1}, Bytes: 16}},
-			}
+			t.Add("Subscriber", Read, subKey)
+			t.Add("CallForwarding", Delete, cfKey)
+			t.AddSync(16, 0, 1)
 		default:
 			// Unknown or empty mix: fall back to the cheapest read-only class.
-			return &Transaction{
-				Class:    TATPGetSubData,
-				ReadOnly: true,
-				Actions:  []Action{{Table: "Subscriber", Op: Read, Key: subKey}},
-			}
+			t.Reset(TATPGetSubData)
+			t.ReadOnly = true
+			t.Add("Subscriber", Read, subKey)
 		}
+		return t
 	}
 	return w, nil
 }

@@ -217,113 +217,99 @@ func TPCC(opts TPCCOptions) (*Workload, error) {
 	}
 
 	wl.Generate = func(ctx *GenContext) *Transaction {
-		class := pickWeighted(ctx.Rng, mix)
+		class := ctx.PickClass(mix)
 		wh := ctx.Rng.Int63n(w)
 		dist := wh*tpccDistrictsPerWarehouse + ctx.Rng.Int63n(tpccDistrictsPerWarehouse)
 		cust := dist*int64(custPerDist) + ctx.Rng.Int63n(int64(custPerDist))
+		t := ctx.Txn(class)
 		switch class {
 		case TPCCPayment:
 			hID := cust*4 + ctx.Rng.Int63n(4)
-			return &Transaction{
-				Class: class,
-				Actions: []Action{
-					{Table: "Warehouse", Op: Update, Key: schema.KeyFromInt(wh)},
-					{Table: "District", Op: Update, Key: schema.KeyFromInt(dist)},
-					{Table: "Customer", Op: Update, Key: schema.KeyFromInt(cust)},
-					{Table: "History", Op: Insert, Key: schema.KeyFromInt(hID), Row: schema.Row{hID, cust, dist, int64(10)}},
-				},
-				SyncPoints: []SyncPoint{
-					{Actions: []int{0, 1}, Bytes: 16},
-					{Actions: []int{2, 3}, Bytes: 32},
-				},
-			}
+			t.Add("Warehouse", Update, schema.KeyFromInt(wh))
+			t.Add("District", Update, schema.KeyFromInt(dist))
+			t.Add("Customer", Update, schema.KeyFromInt(cust))
+			t.AddRow("History", Insert, schema.KeyFromInt(hID), schema.Row{hID, cust, dist, int64(10)})
+			t.AddSync(16, 0, 1)
+			t.AddSync(32, 2, 3)
+			return t
 		case TPCCOrderStatus:
 			order := orderKey(dist, ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)))
-			t := &Transaction{Class: class, ReadOnly: true}
-			t.Actions = append(t.Actions,
-				Action{Table: "Customer", Op: Read, Key: schema.KeyFromInt(cust)},
-				Action{Table: "Order", Op: Read, Key: schema.KeyFromInt(order)},
-			)
+			t.ReadOnly = true
+			t.Add("Customer", Read, schema.KeyFromInt(cust))
+			t.Add("Order", Read, schema.KeyFromInt(order))
 			lines := 5 + ctx.Rng.Int63n(11)
 			for l := int64(0); l < lines; l++ {
-				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Read, Key: schema.KeyFromInt(order*15 + l%10)})
+				t.Add("OrderLine", Read, schema.KeyFromInt(order*15+l%10))
 			}
-			t.SyncPoints = []SyncPoint{{Actions: []int{0, 1}, Bytes: 32}, {Actions: seq(1, len(t.Actions)), Bytes: 24 * int(lines)}}
+			t.AddSync(32, 0, 1)
+			t.AddSyncRange(24*int(lines), 1, len(t.Actions))
 			return t
 		case TPCCDelivery:
-			t := &Transaction{Class: class}
 			base := wh * tpccDistrictsPerWarehouse
 			for d := int64(0); d < tpccDistrictsPerWarehouse; d++ {
 				dst := base + d
 				order := orderKey(dst, ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)))
 				custD := dst*int64(custPerDist) + ctx.Rng.Int63n(int64(custPerDist))
-				t.Actions = append(t.Actions,
-					Action{Table: "NewOrder", Op: Delete, Key: schema.KeyFromInt(order)},
-					Action{Table: "Order", Op: Update, Key: schema.KeyFromInt(order)},
-					Action{Table: "OrderLine", Op: Update, Key: schema.KeyFromInt(order * 15)},
-					Action{Table: "Customer", Op: Update, Key: schema.KeyFromInt(custD)},
-				)
+				t.Add("NewOrder", Delete, schema.KeyFromInt(order))
+				t.Add("Order", Update, schema.KeyFromInt(order))
+				t.Add("OrderLine", Update, schema.KeyFromInt(order*15))
+				t.Add("Customer", Update, schema.KeyFromInt(custD))
 			}
-			t.SyncPoints = []SyncPoint{{Actions: seq(0, len(t.Actions)), Bytes: 200}}
+			t.AddSyncRange(200, 0, len(t.Actions))
 			return t
 		case TPCCStockLevel:
-			t := &Transaction{Class: class, ReadOnly: true}
-			t.Actions = append(t.Actions, Action{Table: "District", Op: Read, Key: schema.KeyFromInt(dist)})
+			t.ReadOnly = true
+			t.Add("District", Read, schema.KeyFromInt(dist))
 			order := orderKey(dist, 20+ctx.Rng.Int63n(int64(tpccInitialOrdersPerDist)-20))
 			for l := int64(0); l < 20; l++ {
-				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Read, Key: schema.KeyFromInt((order-l%20)*15 + l%10)})
+				t.Add("OrderLine", Read, schema.KeyFromInt((order-l%20)*15+l%10))
 			}
 			for l := int64(0); l < 20; l++ {
 				item := ctx.Rng.Int63n(int64(items))
-				t.Actions = append(t.Actions, Action{Table: "Stock", Op: Read, Key: schema.KeyFromInt(wh*int64(items) + item)})
+				t.Add("Stock", Read, schema.KeyFromInt(wh*int64(items)+item))
 			}
-			t.SyncPoints = []SyncPoint{
-				{Actions: seq(0, 21), Bytes: 160},
-				{Actions: seq(21, len(t.Actions)), Bytes: 160},
-			}
+			t.AddSyncRange(160, 0, 21)
+			t.AddSyncRange(160, 21, len(t.Actions))
 			return t
 		default: // NewOrder
-			t := &Transaction{Class: TPCCNewOrder}
+			t.Reset(TPCCNewOrder)
 			// Fixed part.
-			t.Actions = append(t.Actions,
-				Action{Table: "Warehouse", Op: Read, Key: schema.KeyFromInt(wh)},
-				Action{Table: "Customer", Op: Read, Key: schema.KeyFromInt(cust)},
-				Action{Table: "District", Op: Read, Key: schema.KeyFromInt(dist)},
-				Action{Table: "District", Op: Update, Key: schema.KeyFromInt(dist)},
-			)
+			t.Add("Warehouse", Read, schema.KeyFromInt(wh))
+			t.Add("Customer", Read, schema.KeyFromInt(cust))
+			t.Add("District", Read, schema.KeyFromInt(dist))
+			t.Add("District", Update, schema.KeyFromInt(dist))
 			fixedEnd := len(t.Actions)
-			// Variable part: 5-15 items.
+			// Variable part: 5-15 items. The item and stock *read* indices
+			// feed Figure 7's third synchronization point, so collect them in
+			// the context's scratch (item reads first, then stock reads, as
+			// the point was originally specified).
 			lines := 5 + ctx.Rng.Int63n(11)
 			oID := nextOrder(dist)
-			var itemActs, stockActs []int
+			ctx.idx = ctx.idx[:0]
 			for l := int64(0); l < lines; l++ {
 				item := ctx.Rng.Int63n(int64(items))
-				itemActs = append(itemActs, len(t.Actions))
-				t.Actions = append(t.Actions, Action{Table: "Item", Op: Read, Key: schema.KeyFromInt(item)})
+				ctx.idx = append(ctx.idx, len(t.Actions))
+				t.Add("Item", Read, schema.KeyFromInt(item))
 				stockKey := wh*int64(items) + item
-				stockActs = append(stockActs, len(t.Actions))
-				t.Actions = append(t.Actions,
-					Action{Table: "Stock", Op: Read, Key: schema.KeyFromInt(stockKey)},
-					Action{Table: "Stock", Op: Update, Key: schema.KeyFromInt(stockKey)},
-				)
+				t.Add("Stock", Read, schema.KeyFromInt(stockKey))
+				t.Add("Stock", Update, schema.KeyFromInt(stockKey))
+			}
+			itemCount := len(ctx.idx)
+			for i := 0; i < itemCount; i++ {
+				ctx.idx = append(ctx.idx, ctx.idx[i]+1) // the stock read follows its item read
 			}
 			insStart := len(t.Actions)
-			t.Actions = append(t.Actions,
-				Action{Table: "Order", Op: Insert, Key: schema.KeyFromInt(oID), Row: schema.Row{oID, dist, wh, cust, lines}},
-				Action{Table: "NewOrder", Op: Insert, Key: schema.KeyFromInt(oID), Row: schema.Row{oID, dist, wh}},
-			)
+			t.AddRow("Order", Insert, schema.KeyFromInt(oID), schema.Row{oID, dist, wh, cust, lines})
+			t.AddRow("NewOrder", Insert, schema.KeyFromInt(oID), schema.Row{oID, dist, wh})
 			for l := int64(0); l < lines; l++ {
 				olID := oID*15 + l
-				t.Actions = append(t.Actions, Action{Table: "OrderLine", Op: Insert, Key: schema.KeyFromInt(olID),
-					Row: schema.Row{olID, oID, dist, ctx.Rng.Int63n(int64(items)), int64(42)}})
+				t.AddRow("OrderLine", Insert, schema.KeyFromInt(olID), schema.Row{olID, oID, dist, ctx.Rng.Int63n(int64(items)), int64(42)})
 			}
 			// The four synchronization points of Figure 7.
-			t.SyncPoints = []SyncPoint{
-				{Actions: seq(0, fixedEnd), Bytes: 64},
-				{Actions: append([]int{3}, insStart, insStart+1), Bytes: 48},
-				{Actions: append(append([]int(nil), itemActs...), stockActs...), Bytes: 24 * int(lines)},
-				{Actions: seq(insStart, len(t.Actions)), Bytes: 32 * int(lines)},
-			}
+			t.AddSyncRange(64, 0, fixedEnd)
+			t.AddSync(48, 3, insStart, insStart+1)
+			t.AddSync(24*int(lines), ctx.idx...)
+			t.AddSyncRange(32*int(lines), insStart, len(t.Actions))
 			return t
 		}
 	}
@@ -337,17 +323,6 @@ func MustTPCC(opts TPCCOptions) *Workload {
 		panic(err)
 	}
 	return w
-}
-
-func seq(from, to int) []int {
-	if to <= from {
-		return nil
-	}
-	out := make([]int, 0, to-from)
-	for i := from; i < to; i++ {
-		out = append(out, i)
-	}
-	return out
 }
 
 func tpccGraphs() map[string]*FlowGraph {

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -69,6 +70,11 @@ type SyncPoint struct {
 }
 
 // Transaction is one generated transaction instance.
+//
+// Transactions built through a GenContext are reused: the engine consumes the
+// returned transaction fully before asking the same context for the next one,
+// and the builder methods below recycle the Actions/SyncPoints backing arrays
+// so steady-state generation performs no heap allocations.
 type Transaction struct {
 	Class      string
 	Actions    []Action
@@ -77,6 +83,48 @@ type Transaction struct {
 	// MultiSite marks microbenchmark transactions that intentionally touch
 	// rows owned by other shared-nothing instances.
 	MultiSite bool
+
+	// syncIdx is the shared backing array the SyncPoints' Actions slices
+	// point into when the transaction is built with AddSync/AddSyncRange.
+	syncIdx []int
+}
+
+// Reset clears the transaction for reuse under a new class, keeping the
+// backing arrays of its slices.
+func (t *Transaction) Reset(class string) {
+	t.Class = class
+	t.Actions = t.Actions[:0]
+	t.SyncPoints = t.SyncPoints[:0]
+	t.ReadOnly = false
+	t.MultiSite = false
+	t.syncIdx = t.syncIdx[:0]
+}
+
+// Add appends one action.
+func (t *Transaction) Add(table string, op OpType, key schema.Key) {
+	t.Actions = append(t.Actions, Action{Table: table, Op: op, Key: key})
+}
+
+// AddRow appends one action carrying a row payload (inserts, explicit updates).
+func (t *Transaction) AddRow(table string, op OpType, key schema.Key, row schema.Row) {
+	t.Actions = append(t.Actions, Action{Table: table, Op: op, Key: key, Row: row})
+}
+
+// AddSync appends a synchronization point between the given action indices.
+// The indices are copied into the transaction's backing storage.
+func (t *Transaction) AddSync(bytes int, actions ...int) {
+	start := len(t.syncIdx)
+	t.syncIdx = append(t.syncIdx, actions...)
+	t.SyncPoints = append(t.SyncPoints, SyncPoint{Actions: t.syncIdx[start:len(t.syncIdx):len(t.syncIdx)], Bytes: bytes})
+}
+
+// AddSyncRange appends a synchronization point between actions [from, to).
+func (t *Transaction) AddSyncRange(bytes, from, to int) {
+	start := len(t.syncIdx)
+	for i := from; i < to; i++ {
+		t.syncIdx = append(t.syncIdx, i)
+	}
+	t.SyncPoints = append(t.SyncPoints, SyncPoint{Actions: t.syncIdx[start:len(t.syncIdx):len(t.syncIdx)], Bytes: bytes})
 }
 
 // Tables returns the distinct tables the transaction touches.
@@ -155,7 +203,10 @@ type TableDef struct {
 	RowGen func(i int) schema.Row
 }
 
-// GenContext is the context available when generating one transaction.
+// GenContext is the context available when generating one transaction. One
+// context is owned by exactly one worker and reused across transactions: it
+// carries the worker's reusable Transaction and the per-worker caches that
+// make generation allocation-free in steady state.
 type GenContext struct {
 	// Rng is the caller's deterministic random source.
 	Rng *rand.Rand
@@ -167,6 +218,104 @@ type GenContext struct {
 	// transactions. Engines with a single instance pass 0 and 1.
 	HomeSite int
 	NumSites int
+
+	txn   Transaction
+	mixes mixCache
+	// idx is scratch for generators that assemble irregular sync-point
+	// member lists (e.g. TPC-C NewOrder) before copying them into the
+	// transaction.
+	idx []int
+}
+
+// Txn returns the context's reusable transaction, reset for the given class.
+// The caller must fully consume the previously returned transaction first.
+func (ctx *GenContext) Txn(class string) *Transaction {
+	ctx.txn.Reset(class)
+	return &ctx.txn
+}
+
+// PickClass selects a transaction class from weights proportionally to its
+// weight, deterministically in the caller's Rng. The weights map is compiled
+// into a cumulative table once and cached per map identity, so the per-call
+// path neither sorts nor allocates. Passing a freshly built map on every call
+// defeats the cache; reuse the same map (or the same per-phase maps) instead.
+func (ctx *GenContext) PickClass(weights map[string]float64) string {
+	return ctx.mixes.get(weights).pick(ctx.Rng)
+}
+
+// classMix is a compiled weighted chooser over transaction classes.
+type classMix struct {
+	classes []string
+	cum     []float64
+	total   float64
+}
+
+// compileMix builds a classMix, ordering classes alphabetically exactly like
+// pickWeighted so seeded runs generate the same class sequence.
+func compileMix(weights map[string]float64) *classMix {
+	m := &classMix{}
+	for k, w := range weights {
+		if w > 0 {
+			m.classes = append(m.classes, k)
+		}
+	}
+	sort.Strings(m.classes)
+	m.cum = make([]float64, len(m.classes))
+	for i, k := range m.classes {
+		m.total += weights[k]
+		m.cum[i] = m.total
+	}
+	return m
+}
+
+func (m *classMix) pick(rng *rand.Rand) string {
+	if m.total <= 0 || len(m.classes) == 0 {
+		return ""
+	}
+	x := rng.Float64() * m.total
+	for i, c := range m.cum {
+		if x <= c {
+			return m.classes[i]
+		}
+	}
+	return m.classes[len(m.classes)-1]
+}
+
+// mixCache memoizes compiled mixes by map identity. Workloads hand out a
+// small, stable set of weight maps (one per phase), so a short linear list
+// suffices; if a workload cycles through more maps than the cache holds, the
+// oldest entry is overwritten. Each entry retains the map it was compiled
+// from: a cached address can therefore never be recycled by the allocator
+// for a different map, which makes the pointer-identity comparison sound
+// even for callers that build short-lived maps.
+type mixCache struct {
+	entries [8]mixEntry
+	n       int
+	next    int
+}
+
+type mixEntry struct {
+	src map[string]float64
+	mix *classMix
+}
+
+func (c *mixCache) get(weights map[string]float64) *classMix {
+	p := reflect.ValueOf(weights).Pointer()
+	for i := 0; i < c.n; i++ {
+		if reflect.ValueOf(c.entries[i].src).Pointer() == p {
+			return c.entries[i].mix
+		}
+	}
+	m := compileMix(weights)
+	e := mixEntry{src: weights, mix: m}
+	if c.n < len(c.entries) {
+		c.entries[c.n] = e
+		c.n++
+	} else {
+		c.entries[c.next] = e
+		c.next = (c.next + 1) % len(c.entries)
+	}
+	return m
 }
 
 // Workload couples a dataset with a transaction generator.
