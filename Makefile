@@ -1,14 +1,15 @@
 # Development workflow for the ATraPos reproduction.
 #
-#   make check        - everything CI runs: format, vet, build, test, bench smoke
+#   make check        - everything CI runs: format, vet, build, test, race, bench smoke
+#   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
-#   make bench-json   - write the BENCH.json perf-trajectory record
+#   make bench-json   - append a BENCH.json perf-trajectory record
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench bench-json
+.PHONY: check fmt vet build test race bench-smoke bench bench-json
 
-check: fmt vet build test bench-smoke
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,6 +25,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The packages where the planner goroutine installs snapshots concurrently
+# with executing workers; the concurrent-adaptation tests must stay clean
+# under the race detector.
+race:
+	$(GO) test -race ./internal/engine ./internal/partition
 
 # A short benchmark pass so hot-path regressions (time or allocations) fail
 # loudly in review; see DESIGN.md section 7 for the invariants.

@@ -111,6 +111,18 @@ type Skew = workload.Skew
 // TATP builds the TATP telecom benchmark workload.
 func TATP(opts TATPOptions) (*Workload, error) { return workload.TATP(opts) }
 
+// TATPDriftingHotspot builds the continuous-drift adaptivity scenario: a hot
+// window over the subscribers that slides to the next position every period.
+func TATPDriftingHotspot(subscribers int, period VirtualTime) (*Workload, error) {
+	return workload.TATPDriftingHotspot(subscribers, period)
+}
+
+// TATPSkewOscillation builds the skew-oscillation adaptivity scenario: the
+// access distribution alternates between skewed and uniform every period.
+func TATPSkewOscillation(subscribers int, period VirtualTime) (*Workload, error) {
+	return workload.TATPSkewOscillation(subscribers, period)
+}
+
 // MustTATP is TATP but panics on configuration errors.
 func MustTATP(opts TATPOptions) *Workload { return workload.MustTATP(opts) }
 
@@ -210,6 +222,10 @@ type RunOptions = engine.RunOptions
 
 // Result is the outcome of a run.
 type Result = engine.Result
+
+// RepartitionDiff summarizes one adaptive repartitioning event: how much of
+// the placement it touched and how much of the previous runtime it reused.
+type RepartitionDiff = engine.RepartitionDiff
 
 // Event is an environment change scheduled at a point of virtual time.
 type Event = engine.Event

@@ -32,6 +32,24 @@ type DesignRecord struct {
 	VirtualTPS float64 `json:"virtual_tps"`
 	Committed  int64   `json:"committed"`
 	Aborted    int64   `json:"aborted"`
+	// Repartitions and RepartitionDiffs record the adaptive pipeline's
+	// activity during the measured run (adaptive designs only): how often it
+	// repartitioned and how large each diff was.
+	Repartitions     int64        `json:"repartitions,omitempty"`
+	RepartitionDiffs []DiffRecord `json:"repartition_diffs,omitempty"`
+	// AdaptationCostShare is the fraction of total core busy time spent on
+	// migration pauses.
+	AdaptationCostShare float64 `json:"adaptation_cost_share,omitempty"`
+}
+
+// DiffRecord is the per-repartitioning diff size: how much of the placement
+// one adaptation touched and how much runtime state it reused.
+type DiffRecord struct {
+	ChangedTables    int `json:"changed_tables"`
+	UnchangedTables  int `json:"unchanged_tables"`
+	MovedPartitions  int `json:"moved_partitions"`
+	ReusedLockTables int `json:"reused_lock_tables"`
+	AffectedCores    int `json:"affected_cores"`
 }
 
 // BenchRecord is the BENCH.json document: one perf trajectory point.
@@ -113,9 +131,33 @@ func runBenchJSON(path string, txns int, workers int, seed int64) error {
 		if wall > 0 {
 			dr.WallTxnPerSec = float64(n) / wall.Seconds()
 		}
+		dr.Repartitions = res.Repartitions
+		dr.AdaptationCostShare = res.AdaptationCostShare
+		for _, d := range res.RepartitionDiffs {
+			dr.RepartitionDiffs = append(dr.RepartitionDiffs, DiffRecord{
+				ChangedTables:    d.ChangedTables,
+				UnchangedTables:  d.UnchangedTables,
+				MovedPartitions:  d.MovedPartitions,
+				ReusedLockTables: d.ReusedLockTables,
+				AffectedCores:    d.AffectedCores,
+			})
+		}
 		rec.Designs = append(rec.Designs, dr)
 	}
-	out, err := json.MarshalIndent(rec, "", "  ")
+	// One extra point exercises the incremental adaptation pipeline: the
+	// drifting-hotspot scenario keeps the planner repartitioning, so the
+	// recorded diff sizes show how much of each migration was incremental
+	// (unchanged tables, reused lock tables) commit over commit.
+	driftRec, err := runDriftRecord(subscribers, top, txns, workers, seed)
+	if err != nil {
+		return err
+	}
+	rec.Designs = append(rec.Designs, driftRec)
+	records, err := appendTrajectory(path, rec)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -123,6 +165,96 @@ func runBenchJSON(path string, txns int, workers int, seed int64) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s:\n%s", path, out)
+	fmt.Printf("wrote %s (%d trajectory point(s)); latest:\n", path, len(records))
+	latest, _ := json.MarshalIndent(rec, "", "  ")
+	fmt.Printf("%s\n", latest)
 	return nil
+}
+
+// runDriftRecord measures the adaptive design under the drifting-hotspot
+// workload, whose moving hot window forces repeated repartitionings: the
+// resulting record carries real repartition diff sizes and the adaptation
+// cost share.
+func runDriftRecord(subscribers int, top *atrapos.Topology, txns, workers int, seed int64) (DesignRecord, error) {
+	wl, err := atrapos.TATPDriftingHotspot(subscribers, atrapos.Seconds(0.005))
+	if err != nil {
+		return DesignRecord{}, err
+	}
+	sys, err := atrapos.Open(atrapos.Options{
+		Design:   atrapos.DesignATraPos,
+		Workload: wl,
+		Topology: top,
+		Adaptive: true,
+		AdaptiveInterval: atrapos.IntervalConfig{
+			Initial: atrapos.Seconds(0.001),
+			Max:     atrapos.Seconds(0.008),
+		},
+		TimeCompression: 1000,
+	})
+	if err != nil {
+		return DesignRecord{}, err
+	}
+	if _, err := sys.Run(atrapos.RunOptions{Transactions: txns / 4, Seed: seed, Workers: workers}); err != nil {
+		return DesignRecord{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := sys.Run(atrapos.RunOptions{Transactions: txns, Seed: seed + 1, Workers: workers})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return DesignRecord{}, err
+	}
+	n := res.Committed + res.Aborted
+	dr := DesignRecord{
+		Design:              "atrapos-adaptive-drift",
+		Transactions:        n,
+		WallNanos:           wall.Nanoseconds(),
+		VirtualTPS:          res.ThroughputTPS,
+		Committed:           res.Committed,
+		Aborted:             res.Aborted,
+		Repartitions:        res.Repartitions,
+		AdaptationCostShare: res.AdaptationCostShare,
+	}
+	if n > 0 {
+		dr.AllocsPerTxn = float64(after.Mallocs-before.Mallocs) / float64(n)
+		dr.BytesPerTxn = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	}
+	if wall > 0 {
+		dr.WallTxnPerSec = float64(n) / wall.Seconds()
+	}
+	for _, d := range res.RepartitionDiffs {
+		dr.RepartitionDiffs = append(dr.RepartitionDiffs, DiffRecord{
+			ChangedTables:    d.ChangedTables,
+			UnchangedTables:  d.UnchangedTables,
+			MovedPartitions:  d.MovedPartitions,
+			ReusedLockTables: d.ReusedLockTables,
+			AffectedCores:    d.AffectedCores,
+		})
+	}
+	return dr, nil
+}
+
+// appendTrajectory loads the existing BENCH.json trajectory and appends rec.
+// The file is a JSON array of per-commit records; a legacy single-record
+// file is promoted to a one-element array first.
+func appendTrajectory(path string, rec BenchRecord) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return []BenchRecord{rec}, nil
+		}
+		return nil, err
+	}
+	var records []BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		var single BenchRecord
+		if err2 := json.Unmarshal(data, &single); err2 != nil {
+			return nil, fmt.Errorf("bench: %s is neither a record array nor a single record: %w", path, err)
+		}
+		records = []BenchRecord{single}
+	}
+	return append(records, rec), nil
 }

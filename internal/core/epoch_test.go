@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+)
+
+// TestMonitorSealWhileRecording drives recorders concurrently with repeated
+// seals and checks that every recorded action is eventually aggregated
+// exactly once: the double buffer may defer a racing record to the next
+// epoch, but it never loses or duplicates it.
+func TestMonitorSealWhileRecording(t *testing.T) {
+	m := NewMonitor(4)
+	m.Register("a", []schema.Key{0, 500}, schema.KeyFromInt(1000))
+
+	const workers = 4
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.RecordAction("a", schema.KeyFromInt(int64((w*perWorker+i)%1000)), 1)
+				if i%10 == 0 {
+					m.RecordSync([]PartitionRef{{Table: "a", Partition: 0}, {Table: "a", Partition: 1}}, 64)
+				}
+			}
+		}(w)
+	}
+
+	var total int64
+	var syncCount int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			stats := m.Seal()
+			for _, parts := range stats.Sub {
+				for _, subs := range parts {
+					for _, sl := range subs {
+						total += sl.Actions
+					}
+				}
+			}
+			for _, s := range stats.Syncs {
+				syncCount += s.Count
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// Two final seals drain both epochs (a racing record may sit in either).
+	for i := 0; i < 2; i++ {
+		stats := m.Seal()
+		for _, parts := range stats.Sub {
+			for _, subs := range parts {
+				for _, sl := range subs {
+					total += sl.Actions
+				}
+			}
+		}
+		for _, s := range stats.Syncs {
+			syncCount += s.Count
+		}
+	}
+
+	if want := int64(workers * perWorker); total != want {
+		t.Errorf("aggregated %d actions across epochs, want %d", total, want)
+	}
+	if want := int64(workers * perWorker / 10); syncCount != want {
+		t.Errorf("aggregated %d sync occurrences, want %d", syncCount, want)
+	}
+}
+
+// TestMonitorWindowLandsInSealedEpoch checks AdvanceWindow applies to the
+// epoch the next Seal returns, and that the flip resets it.
+func TestMonitorWindowLandsInSealedEpoch(t *testing.T) {
+	m := NewMonitor(2)
+	m.Register("a", []schema.Key{0}, schema.KeyFromInt(100))
+	m.AdvanceWindow(vclock.Nanos(1234))
+	if w := m.Seal().Window; w != 1234 {
+		t.Errorf("sealed window = %d, want 1234", w)
+	}
+	if w := m.Seal().Window; w != 0 {
+		t.Errorf("fresh epoch window = %d, want 0", w)
+	}
+}
+
+// TestChoosePartitioningPreservesIdleTables checks that tables with no load
+// in the monitoring window keep their current placement verbatim, so the
+// plan diff reports them unchanged and repartitioning skips them.
+func TestChoosePartitioningPreservesIdleTables(t *testing.T) {
+	d := testDomain()
+	planner := NewPlanner(CostModel{Domain: d}, 10)
+	planner.PreserveIdle = true
+
+	current := partition.NewPlacement()
+	current.Tables["hot"] = &partition.TablePlacement{
+		Table:  "hot",
+		Bounds: btree.UniformBounds(1000, 4),
+		Cores:  []topology.CoreID{0, 1, 2, 3},
+	}
+	current.Tables["idle"] = &partition.TablePlacement{
+		Table:  "idle",
+		Bounds: btree.UniformBounds(1000, 3),
+		Cores:  []topology.CoreID{5, 6, 7},
+	}
+	maxKeys := map[string]schema.Key{"hot": schema.KeyFromInt(1000), "idle": schema.KeyFromInt(1000)}
+
+	stats := &Stats{
+		Sub:     map[string][][]SubLoad{"hot": make([][]SubLoad, 4), "idle": make([][]SubLoad, 3)},
+		Bounds:  map[string][]schema.Key{"hot": btree.UniformBounds(1000, 4), "idle": btree.UniformBounds(1000, 3)},
+		MaxKeys: maxKeys,
+	}
+	for p := 0; p < 4; p++ {
+		stats.Sub["hot"][p] = make([]SubLoad, 10)
+		stats.Sub["hot"][p][0] = SubLoad{Cost: 1000, Actions: 10}
+	}
+	for p := 0; p < 3; p++ {
+		stats.Sub["idle"][p] = make([]SubLoad, 10)
+	}
+
+	proposed := planner.ChoosePartitioning(current, stats, maxKeys)
+	if err := proposed.Validate(); err != nil {
+		t.Fatalf("proposed placement invalid: %v", err)
+	}
+	diff := partition.Diff(current, proposed)
+	td := diff.Tables["idle"]
+	if td == nil || td.Kind != partition.TableUnchanged {
+		t.Errorf("idle table should be unchanged in the diff, got %+v", td)
+	}
+
+	// After a socket failure the idle table's placement must be re-derived.
+	if err := d.Top.FailSocket(1); err != nil { // cores 4..7 die on the 4x4 box
+		t.Fatal(err)
+	}
+	proposed = planner.ChoosePartitioning(current, stats, maxKeys)
+	if err := proposed.Validate(); err != nil {
+		t.Fatalf("post-failure placement invalid: %v", err)
+	}
+	for i, c := range proposed.Tables["idle"].Cores {
+		if !d.Top.Alive(d.Top.SocketOf(c)) {
+			t.Errorf("idle table partition %d still on dead core %d", i, c)
+		}
+	}
+}

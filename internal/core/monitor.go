@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"atrapos/internal/partition"
 	"atrapos/internal/schema"
@@ -19,7 +20,15 @@ const DefaultSubPartitions = 10
 // Monitor is the lightweight monitoring mechanism: per-partition arrays of
 // sub-partition action costs plus synchronization-point counters. The engine
 // records every executed action and synchronization point; a monitoring pass
-// aggregates the arrays into Stats and resets them.
+// seals the current epoch and aggregates it into Stats.
+//
+// The arrays are double-buffered into two epochs so that monitoring runs
+// concurrently with evaluation: workers record into the active epoch while
+// the planner thread reads (and clears) the sealed one. Seal flips the
+// active epoch with a single atomic store; a worker that loaded the old
+// epoch index just before the flip finishes its record into the sealed
+// buffer, where it is picked up by the next seal — records are never lost,
+// at worst attributed one epoch late.
 //
 // The space overhead is fixed per partition (it does not depend on the table
 // size or the transaction arrival rate), mirroring the paper's design. The
@@ -27,7 +36,12 @@ const DefaultSubPartitions = 10
 // engine (MonitoringCostPerAction).
 type Monitor struct {
 	subParts int
+	active   atomic.Int32
+	epochs   [2]*monitorEpoch
+}
 
+// monitorEpoch is one buffer of the double-buffered monitoring arrays.
+type monitorEpoch struct {
 	mu     sync.Mutex
 	tables map[string]*tableMonitor
 	// syncs is keyed by an order-independent hash of the participant set, so
@@ -57,34 +71,40 @@ func NewMonitor(subParts int) *Monitor {
 	if subParts <= 0 {
 		subParts = DefaultSubPartitions
 	}
-	return &Monitor{
-		subParts: subParts,
-		tables:   make(map[string]*tableMonitor),
-		syncs:    make(map[uint64]*syncAgg),
+	m := &Monitor{subParts: subParts}
+	for i := range m.epochs {
+		m.epochs[i] = &monitorEpoch{
+			tables: make(map[string]*tableMonitor),
+			syncs:  make(map[uint64]*syncAgg),
+		}
 	}
+	return m
 }
 
 // SubPartitions returns the number of sub-partitions tracked per partition.
 func (m *Monitor) SubPartitions() int { return m.subParts }
 
 // Register (re-)initializes the monitoring arrays for a table under the given
-// placement bounds and maximum key. It is called when the monitor is created
-// and after every repartitioning, which is when the paper's design also
-// re-initializes its arrays.
+// placement bounds and maximum key, in both epochs. It is called when the
+// monitor is created and, after a repartitioning, for exactly the tables the
+// plan diff touched — unchanged tables keep accumulating into their existing
+// arrays, which is what makes repartitioning cost proportional to the diff.
 func (m *Monitor) Register(table string, bounds []schema.Key, maxKey schema.Key) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tm := &tableMonitor{
-		bounds: append([]schema.Key(nil), bounds...),
-		maxKey: maxKey,
-		costs:  make([][]vclock.Nanos, len(bounds)),
-		counts: make([][]int64, len(bounds)),
+	for _, e := range m.epochs {
+		tm := &tableMonitor{
+			bounds: append([]schema.Key(nil), bounds...),
+			maxKey: maxKey,
+			costs:  make([][]vclock.Nanos, len(bounds)),
+			counts: make([][]int64, len(bounds)),
+		}
+		for i := range tm.costs {
+			tm.costs[i] = make([]vclock.Nanos, m.subParts)
+			tm.counts[i] = make([]int64, m.subParts)
+		}
+		e.mu.Lock()
+		e.tables[table] = tm
+		e.mu.Unlock()
 	}
-	for i := range tm.costs {
-		tm.costs[i] = make([]vclock.Nanos, m.subParts)
-		tm.counts[i] = make([]int64, m.subParts)
-	}
-	m.tables[table] = tm
 }
 
 // RegisterPlacement registers every table of a placement, using the supplied
@@ -121,16 +141,22 @@ func (tm *tableMonitor) locate(key schema.Key, subParts int) (int, int) {
 	return p, sp
 }
 
+// activeEpoch returns the epoch workers currently record into.
+func (m *Monitor) activeEpoch() *monitorEpoch {
+	return m.epochs[m.active.Load()&1]
+}
+
 // RecordAction records that an action on table touched key and cost cost.
 func (m *Monitor) RecordAction(table string, key schema.Key, cost vclock.Nanos) {
-	m.mu.Lock()
-	tm, ok := m.tables[table]
+	e := m.activeEpoch()
+	e.mu.Lock()
+	tm, ok := e.tables[table]
 	if ok {
 		p, sp := tm.locate(key, m.subParts)
 		tm.costs[p][sp] += cost
 		tm.counts[p][sp]++
 	}
-	m.mu.Unlock()
+	e.mu.Unlock()
 }
 
 // RecordSync records one occurrence of a synchronization point between the
@@ -141,15 +167,16 @@ func (m *Monitor) RecordSync(participants []PartitionRef, bytes int) {
 		return
 	}
 	key := syncHash(participants)
-	m.mu.Lock()
-	agg, ok := m.syncs[key]
+	e := m.activeEpoch()
+	e.mu.Lock()
+	agg, ok := e.syncs[key]
 	if !ok {
 		agg = &syncAgg{participants: append([]PartitionRef(nil), participants...)}
-		m.syncs[key] = agg
+		e.syncs[key] = agg
 	}
 	agg.count++
 	agg.bytes += int64(bytes)
-	m.mu.Unlock()
+	e.mu.Unlock()
 }
 
 // syncHash returns an order-independent hash of a participant set: the sum of
@@ -170,29 +197,37 @@ func syncHash(refs []PartitionRef) uint64 {
 	return sum
 }
 
-// AdvanceWindow extends the virtual-time span the current statistics cover.
+// AdvanceWindow extends the virtual-time span the active epoch's statistics
+// cover. The planner calls it just before Seal, so the window lands in the
+// epoch about to be sealed.
 func (m *Monitor) AdvanceWindow(d vclock.Nanos) {
 	if d <= 0 {
 		return
 	}
-	m.mu.Lock()
-	m.window += d
-	m.mu.Unlock()
+	e := m.activeEpoch()
+	e.mu.Lock()
+	e.window += d
+	e.mu.Unlock()
 }
 
-// Aggregate returns the statistics collected since the last Aggregate (or
-// since creation) and clears the arrays, as the monitoring thread does after
-// each evaluation.
-func (m *Monitor) Aggregate() *Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// Seal flips the double buffer and aggregates the epoch that was active
+// until now: workers immediately start recording into the other epoch, and
+// the sealed arrays are read and cleared without ever blocking recording.
+// Records from workers that raced the flip land in the sealed (now idle)
+// buffer and are picked up by the next Seal.
+func (m *Monitor) Seal() *Stats {
+	idx := m.active.Load() & 1
+	m.active.Store(1 - idx)
+	sealed := m.epochs[idx]
+	sealed.mu.Lock()
+	defer sealed.mu.Unlock()
 	stats := &Stats{
-		Sub:     make(map[string][][]SubLoad, len(m.tables)),
-		Bounds:  make(map[string][]schema.Key, len(m.tables)),
-		MaxKeys: make(map[string]schema.Key, len(m.tables)),
-		Window:  m.window,
+		Sub:     make(map[string][][]SubLoad, len(sealed.tables)),
+		Bounds:  make(map[string][]schema.Key, len(sealed.tables)),
+		MaxKeys: make(map[string]schema.Key, len(sealed.tables)),
+		Window:  sealed.window,
 	}
-	for name, tm := range m.tables {
+	for name, tm := range sealed.tables {
 		stats.Bounds[name] = append([]schema.Key(nil), tm.bounds...)
 		stats.MaxKeys[name] = tm.maxKey
 		parts := make([][]SubLoad, len(tm.costs))
@@ -207,7 +242,7 @@ func (m *Monitor) Aggregate() *Stats {
 		}
 		stats.Sub[name] = parts
 	}
-	for _, agg := range m.syncs {
+	for _, agg := range sealed.syncs {
 		avgBytes := int64(0)
 		if agg.count > 0 {
 			avgBytes = agg.bytes / agg.count
@@ -221,10 +256,15 @@ func (m *Monitor) Aggregate() *Stats {
 	sort.Slice(stats.Syncs, func(i, j int) bool {
 		return syncKey(stats.Syncs[i].Participants) < syncKey(stats.Syncs[j].Participants)
 	})
-	m.syncs = make(map[uint64]*syncAgg)
-	m.window = 0
+	sealed.syncs = make(map[uint64]*syncAgg)
+	sealed.window = 0
 	return stats
 }
+
+// Aggregate returns the statistics collected since the last Aggregate (or
+// since creation) and clears the arrays. It is Seal under the name the
+// single-threaded callers (static placement derivation, ablations) use.
+func (m *Monitor) Aggregate() *Stats { return m.Seal() }
 
 func syncKey(refs []PartitionRef) string {
 	parts := make([]string, len(refs))

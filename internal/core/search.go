@@ -16,6 +16,15 @@ type Planner struct {
 	// SubPartitions is the sub-partition granularity the statistics were
 	// collected at; it bounds how finely Algorithm 1 can split partitions.
 	SubPartitions int
+	// PreserveIdle makes ChoosePartitioning keep the current placement of
+	// tables that received no load in the statistics window, so they diff as
+	// unchanged and repartitioning skips them. The run-time adaptive planner
+	// sets it: at run time an idle table says nothing about the future and
+	// migrating it is pure cost. Static derivation (DerivePlacement) leaves
+	// it off: there the statistics are synthesized from the full workload
+	// description, so an unloaded table really is expected to stay cold and
+	// is packed into a single partition.
+	PreserveIdle bool
 }
 
 // NewPlanner builds a planner over the given cost model.
@@ -171,8 +180,28 @@ func (pl *Planner) ChoosePartitioning(current *partition.Placement, stats *Stats
 		}
 		assign(name)
 	}
+	// With PreserveIdle, tables that received no load keep their current
+	// placement verbatim (their partitions carry no work, so they cannot
+	// unbalance anything, and an identical placement means the
+	// repartitioning diff skips them entirely). Only when a current
+	// assignment touches a dead socket is the table re-assigned.
+	top := pl.Model.Domain.Top
 	for _, name := range tables {
 		if totalCost > 0 && stats.TableCost(name) == 0 {
+			if pl.PreserveIdle {
+				tp := current.Tables[name]
+				allAlive := true
+				for _, c := range tp.Cores {
+					if !top.Alive(top.SocketOf(c)) {
+						allAlive = false
+						break
+					}
+				}
+				if allAlive {
+					out.Tables[name] = tp.Clone()
+					continue
+				}
+			}
 			assign(name)
 		}
 	}

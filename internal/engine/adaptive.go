@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -13,22 +14,40 @@ import (
 )
 
 // adaptiveState wires the ATraPos monitoring and adaptation machinery of the
-// core package into the engine: workers record actions and synchronization
-// points into the monitor, and after every monitoring interval one worker
-// evaluates the cost model and, if beneficial, repartitions the system while
-// regular execution is paused (its cost is charged to every core).
+// core package into the engine as a concurrent pipeline: workers record
+// actions and synchronization points into the active monitor epoch and do a
+// single atomic boundary check per transaction; a dedicated planner
+// goroutine — the paper's monitoring thread — consumes boundary crossings,
+// consults the interval controller, seals the monitor epoch, runs the
+// two-step search and, when the cost model predicts an improvement, installs
+// a snapshot derived incrementally from the previous one via
+// Runtime.ApplyDiff. The migration pause is charged only to the cores whose
+// partitions actually moved; cores owning unchanged partitions keep working.
 type adaptiveState struct {
-	e          *Engine
-	monitor    *core.Monitor
-	planner    *core.Planner
-	executor   *core.Executor
-	controller *core.IntervalController
-	maxKeys    map[string]schema.Key
+	e        *Engine
+	monitor  *core.Monitor
+	planner  *core.Planner
+	executor *core.Executor
+	maxKeys  map[string]schema.Key
 
-	mu sync.Mutex
-	// nextCheck is read on every transaction (outside the mutex) to decide
-	// whether a monitoring boundary was crossed, so it is atomic.
-	nextCheck     atomic.Int64
+	// nextCheck is read on every transaction (outside any lock) to decide
+	// whether a monitoring boundary was crossed; only the planner goroutine
+	// writes it.
+	nextCheck atomic.Int64
+
+	// kick wakes the planner goroutine after a boundary crossing. It is
+	// buffered so the worker-side send never blocks; redundant crossings
+	// coalesce into the one buffered token.
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	// committed points at the run's committed-transaction counter while a
+	// run is active; the planner reads it to measure interval throughput.
+	committed *atomic.Int64
+
+	// The fields below are owned by the planner goroutine between start and
+	// stopPlanner; reset touches them only while no planner is running.
+	controller    *core.IntervalController
 	lastCheckAt   vclock.Nanos
 	lastCommitted int64
 	// cooldown counts monitoring intervals to sit out after a repartitioning,
@@ -38,6 +57,40 @@ type adaptiveState struct {
 
 	repartitions    atomic.Int64
 	repartitionCost atomic.Int64
+	// adaptCharged is the total virtual time actually charged to cores for
+	// migrations (cost x affected cores); it feeds AdaptationCostShare.
+	adaptCharged atomic.Int64
+
+	diffMu sync.Mutex
+	diffs  []RepartitionDiff
+}
+
+// RepartitionDiff summarizes one adaptive repartitioning event: when it
+// happened, how much of the placement it touched and how much of the
+// previous runtime it reused. It is the per-event record behind the
+// "repartitioning cost scales with the diff" property.
+type RepartitionDiff struct {
+	// At is the virtual time of the event.
+	At vclock.Nanos
+	// ChangedTables / UnchangedTables split the tables by whether the plan
+	// touched them; unchanged tables keep their runtime and monitor arrays.
+	ChangedTables   int
+	UnchangedTables int
+	// ReboundTables counts tables whose partition boundaries changed.
+	ReboundTables int
+	// MovedPartitions is the number of partitions whose key range or owning
+	// core changed — the size of the migration.
+	MovedPartitions int
+	// ReusedLockTables / RebuiltLockTables count partition lock tables
+	// carried over from, respectively built fresh against, the previous
+	// runtime.
+	ReusedLockTables  int
+	RebuiltLockTables int
+	// AffectedCores is how many cores paused for the migration.
+	AffectedCores int
+	// Cost is the modeled virtual time of the migration (charged to each
+	// affected core).
+	Cost vclock.Nanos
 }
 
 func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
@@ -63,16 +116,18 @@ func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
 		executor: core.NewExecutor(execCfg, e.domain, e.store),
 	}
 	a.planner = core.NewPlanner(core.CostModel{Domain: e.domain}, a.monitor.SubPartitions())
+	// At run time an idle table says nothing about future load; keeping its
+	// placement makes it diff as unchanged, so repartitioning skips it.
+	a.planner.PreserveIdle = true
 	a.controller = core.NewIntervalController(e.cfg.AdaptiveInterval)
 	a.monitor.RegisterPlacement(p, maxKeys)
 	a.nextCheck.Store(int64(a.controller.Interval()))
 	return a
 }
 
-// reset prepares the adaptive state for a fresh run.
+// reset prepares the adaptive state for a fresh run. It must only be called
+// while no planner goroutine is running.
 func (a *adaptiveState) reset() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.controller = core.NewIntervalController(a.e.cfg.AdaptiveInterval)
 	a.nextCheck.Store(int64(a.controller.Interval()))
 	a.lastCheckAt = 0
@@ -80,14 +135,74 @@ func (a *adaptiveState) reset() {
 	a.cooldown = 0
 	a.repartitions.Store(0)
 	a.repartitionCost.Store(0)
+	a.adaptCharged.Store(0)
+	a.diffMu.Lock()
+	a.diffs = nil
+	a.diffMu.Unlock()
 	a.monitor.RegisterPlacement(a.e.state.snapshot().placement, a.maxKeys)
 }
 
-// Interval returns the current monitoring interval, for observability.
-func (a *adaptiveState) interval() vclock.Nanos {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.controller.Interval()
+// start launches the planner goroutine for one run. committed is the run's
+// committed-transaction counter.
+func (a *adaptiveState) start(committed *atomic.Int64) {
+	a.committed = committed
+	a.kick = make(chan struct{}, 1)
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.plannerLoop()
+}
+
+// stopPlanner asks the planner goroutine to finish and waits for it. A kick
+// pending at stop time is still processed, so short runs whose last boundary
+// crossing raced the end of the workload still evaluate it.
+func (a *adaptiveState) stopPlanner() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	<-a.done
+	a.stop = nil
+}
+
+// plannerLoop is the dedicated adaptation goroutine: it blocks until a
+// worker reports a monitoring-boundary crossing, then runs the evaluation
+// (and possibly a repartitioning) concurrently with regular execution.
+func (a *adaptiveState) plannerLoop() {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stop:
+			select {
+			case <-a.kick:
+				a.adaptOnce()
+			default:
+			}
+			return
+		case <-a.kick:
+			a.adaptOnce()
+		}
+	}
+}
+
+// noteBoundary is the workers' entire obligation to the adaptation pipeline,
+// called once per transaction: one atomic load against the next monitoring
+// boundary and, at most once per boundary, a non-blocking send to wake the
+// planner. The evaluation itself never runs on a worker.
+func (a *adaptiveState) noteBoundary() {
+	if !a.e.cfg.Adaptive {
+		return
+	}
+	if int64(a.e.virtualNow()) < a.nextCheck.Load() {
+		return
+	}
+	select {
+	case a.kick <- struct{}{}:
+		// Hand the host CPU to the planner goroutine so the evaluation starts
+		// promptly even when every processor is saturated with workers (e.g.
+		// GOMAXPROCS=1). This runs at most once per monitoring boundary.
+		runtime.Gosched()
+	default:
+	}
 }
 
 func (a *adaptiveState) recordAction(table string, key schema.Key, cost vclock.Nanos) {
@@ -104,27 +219,14 @@ func (a *adaptiveState) recordSync(refs []core.PartitionRef, bytes int) {
 	a.monitor.RecordSync(refs, bytes)
 }
 
-// maybeAdapt is called by workers after every transaction. When the virtual
-// time crosses the next monitoring boundary, one worker (the one that wins
-// the TryLock) plays the role of the monitoring thread: it measures the
-// throughput of the interval, consults the interval controller, and when the
-// controller asks for an evaluation it runs the two-step search and
-// repartitions if the cost model predicts an improvement.
-func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
-	if !a.e.cfg.Adaptive {
-		return
-	}
-	// Cheap boundary test against the virtual-time high-water mark; the exact
-	// (O(cores)) recomputation happens only after the boundary is crossed and
-	// the TryLock is won.
-	if int64(a.e.virtualNow()) < a.nextCheck.Load() {
-		return
-	}
-	if !a.mu.TryLock() {
-		return
-	}
-	defer a.mu.Unlock()
-	now := a.e.virtualNowExact()
+// adaptOnce processes one monitoring boundary: it measures the throughput of
+// the interval, consults the interval controller, and when the controller
+// asks for an evaluation it runs the two-step search and repartitions if the
+// cost model predicts an improvement. It runs on the planner goroutine,
+// concurrently with regular execution.
+func (a *adaptiveState) adaptOnce() {
+	e := a.e
+	now := e.virtualNowExact()
 	if int64(now) < a.nextCheck.Load() {
 		return
 	}
@@ -133,6 +235,7 @@ func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
 	if window <= 0 {
 		window = a.controller.Interval()
 	}
+	committedSoFar := a.committed.Load()
 	throughput := float64(committedSoFar-a.lastCommitted) / window.Seconds()
 	a.lastCommitted = committedSoFar
 	a.lastCheckAt = now
@@ -154,36 +257,89 @@ func (a *adaptiveState) maybeAdapt(committedSoFar int64) {
 		return
 	}
 
-	stats := a.monitor.Aggregate()
+	// Seal the monitoring epoch: workers keep recording into the flipped
+	// buffer while the search below reads the sealed statistics.
+	stats := a.monitor.Seal()
 	if stats.TotalCost() == 0 {
 		return
 	}
-	current := a.e.state.snapshot().placement
+	snap := e.state.snapshot()
+	current := snap.placement
 	proposed := a.planner.Plan(current, stats, a.maxKeys)
 	if err := proposed.Validate(); err != nil {
+		return
+	}
+	// Never install a placement that routes work to dead hardware.
+	if err := proposed.ValidateAlive(e.cfg.Topology); err != nil {
 		return
 	}
 	if !a.improves(current, proposed, stats) {
 		return
 	}
-	plan := core.BuildPlan(current, proposed, a.e.cfg.Topology)
-	if plan.Empty() {
+	diff := partition.Diff(current, proposed)
+	if diff.Empty() {
 		return
 	}
+	// Derive the new runtime incrementally: unchanged tables keep their lock
+	// tables (and NUMA homes); only moved partitions are rebuilt. The
+	// invariant check refuses a runtime that is not equivalent to a fresh
+	// build, so a diffing bug degrades to a skipped repartitioning rather
+	// than a torn snapshot — which is why it must run before the executor
+	// touches the physical tables.
+	rt, applied := snap.runtime.ApplyDiff(proposed, diff)
+	if err := rt.Validate(proposed); err != nil {
+		return
+	}
+	plan := core.BuildPlan(current, proposed, e.cfg.Topology)
 	outcome, err := a.executor.Execute(plan)
 	if err != nil {
 		return
 	}
-	// Regular actions are paused while the repartitioning actions execute:
-	// every core is charged the repartitioning time.
-	a.e.chargeAll(vclock.Management, numa.Cost(outcome.Cost))
-	a.e.state.install(proposed, partition.NewRuntime(a.e.domain, proposed), a.e.activePartitionsPerCore(proposed, now))
-	a.monitor.RegisterPlacement(proposed, a.maxKeys)
+	// The migration pauses only the cores whose partitions moved (per
+	// Section VI-D a repartitioning takes a fraction of a second, not a
+	// global stall); everyone else keeps executing.
+	affected := diff.AffectedCores()
+	for _, c := range affected {
+		e.charge(c, vclock.Management, numa.Cost(outcome.Cost))
+	}
+	if len(affected) > 0 {
+		e.noteTime(affected[0])
+		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
+	}
+	e.state.install(proposed, rt, e.activePartitionsPerCore(proposed, now))
+	// Re-register monitoring arrays only for the tables the plan touched;
+	// unchanged tables keep accumulating into their existing arrays.
+	for name, td := range diff.Tables {
+		if td.Kind != partition.TableUnchanged {
+			a.monitor.Register(name, proposed.Tables[name].Bounds, a.maxKeys[name])
+		}
+	}
 	a.controller.Repartitioned()
 	a.nextCheck.Store(int64(now + a.controller.Interval()))
 	a.cooldown = 2
 	a.repartitions.Add(1)
 	a.repartitionCost.Add(int64(outcome.Cost))
+
+	a.diffMu.Lock()
+	a.diffs = append(a.diffs, RepartitionDiff{
+		At:                now,
+		ChangedTables:     diff.ChangedTables(),
+		UnchangedTables:   diff.UnchangedTables(),
+		ReboundTables:     diff.ReboundTables(),
+		MovedPartitions:   diff.MovedPartitions(),
+		ReusedLockTables:  applied.ReusedManagers,
+		RebuiltLockTables: applied.RebuiltManagers,
+		AffectedCores:     len(affected),
+		Cost:              outcome.Cost,
+	})
+	a.diffMu.Unlock()
+}
+
+// takeDiffs returns a copy of the per-repartitioning diff records.
+func (a *adaptiveState) takeDiffs() []RepartitionDiff {
+	a.diffMu.Lock()
+	defer a.diffMu.Unlock()
+	return append([]RepartitionDiff(nil), a.diffs...)
 }
 
 // placementUsesDeadCore reports whether any partition is owned by a core on a

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"atrapos/internal/workload"
+)
+
+// TestConcurrentAdaptationNoTornSnapshots runs the planner goroutine's
+// repartitioning concurrently with a full complement of workers (run it
+// under -race: `make race`). It asserts that every snapshot observable while
+// diffs are being installed is internally consistent — the diffed runtime
+// always matches its placement, i.e. snapshots are never torn — and that the
+// concurrent adaptive run commits exactly as many transactions as a serial
+// run of the same workload (the workload is read-only, so every issued
+// transaction must commit regardless of interleaving or repartitioning).
+func TestConcurrentAdaptationNoTornSnapshots(t *testing.T) {
+	const txns = 12000
+	build := func() *Engine {
+		wl, err := workload.TATPSuddenSkew(4000, workload.Seconds(0.002))
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := smallTopology()
+		return MustNew(Config{
+			Design:           ATraPos,
+			Workload:         wl,
+			Topology:         top,
+			Placement:        DerivePlacement(wl, top, true),
+			Adaptive:         true,
+			AdaptiveInterval: coreIntervalForTests(),
+		})
+	}
+
+	// Serial baseline: one worker, same seed and transaction budget.
+	serial := build()
+	serialRes, err := serial.Run(RunOptions{Transactions: txns, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent run with a snapshot checker hammering the published state
+	// the whole time: a torn install (placement and runtime from different
+	// generations) fails Runtime.Validate.
+	concurrent := build()
+	stopCheck := make(chan struct{})
+	var checkWG sync.WaitGroup
+	var checkMu sync.Mutex
+	var checkErr error
+	checks := 0
+	checkWG.Add(1)
+	go func() {
+		defer checkWG.Done()
+		for {
+			select {
+			case <-stopCheck:
+				return
+			default:
+			}
+			snap := concurrent.state.snapshot()
+			if err := snap.runtime.Validate(snap.placement); err != nil {
+				checkMu.Lock()
+				checkErr = err
+				checkMu.Unlock()
+				return
+			}
+			checks++
+		}
+	}()
+	concurrentRes, err := concurrent.Run(RunOptions{Transactions: txns, Seed: 11, Workers: 8})
+	close(stopCheck)
+	checkWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checkErr != nil {
+		t.Fatalf("torn snapshot observed during concurrent adaptation: %v", checkErr)
+	}
+	if checks == 0 {
+		t.Error("snapshot checker never ran")
+	}
+
+	if concurrentRes.Repartitions == 0 {
+		t.Error("concurrent run never repartitioned; the test did not exercise concurrent installs")
+	}
+	if serialRes.Committed != int64(txns) {
+		t.Errorf("serial run committed %d of %d read-only transactions", serialRes.Committed, txns)
+	}
+	if concurrentRes.Committed != serialRes.Committed {
+		t.Errorf("concurrent adaptive run committed %d, serial run %d; adaptation must not lose or abort transactions",
+			concurrentRes.Committed, serialRes.Committed)
+	}
+
+	// The final snapshot must also match what Placement() reports and pass
+	// the full invariant check against a fresh build.
+	snap := concurrent.state.snapshot()
+	if err := snap.runtime.Validate(snap.placement); err != nil {
+		t.Errorf("final snapshot invalid: %v", err)
+	}
+	for _, d := range concurrentRes.RepartitionDiffs {
+		if d.ChangedTables == 0 {
+			t.Errorf("repartition diff with no changed tables: %+v", d)
+		}
+		if d.AffectedCores == 0 || d.Cost <= 0 {
+			t.Errorf("repartition diff must charge affected cores: %+v", d)
+		}
+	}
+}

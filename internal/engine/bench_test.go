@@ -52,7 +52,9 @@ func benchSteadyState(b *testing.B, e *Engine, adapt bool) {
 			e.accounts[coord].committed.Add(1)
 		}
 		if adapt && e.adaptive != nil {
-			e.adaptive.maybeAdapt(e.accounts[coord].committed.Load())
+			// The workers' entire adaptation obligation: the boundary check.
+			// (No planner goroutine runs here, so crossings are no-ops.)
+			e.adaptive.noteBoundary()
 		}
 	}
 

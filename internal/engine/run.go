@@ -108,6 +108,12 @@ type Result struct {
 	Repartitions int64
 	// RepartitionTime is the total virtual time spent repartitioning.
 	RepartitionTime vclock.Nanos
+	// RepartitionDiffs records, per repartitioning event, how much of the
+	// placement changed and how much of the previous runtime was reused.
+	RepartitionDiffs []RepartitionDiff
+	// AdaptationCostShare is the fraction of total core busy time spent on
+	// migration pauses (repartition cost summed over the affected cores).
+	AdaptationCostShare float64
 	// Interconnect summarizes the traffic counters of the run.
 	Interconnect topology.TrafficStats
 	// QPIToIMCRatio is the interconnect-to-memory-controller traffic ratio.
@@ -134,9 +140,6 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	e.resetAccounts()
 	e.cfg.Topology.ResetTraffic()
 	series := vclock.NewSeries(opts.SampleWindow)
-	if e.adaptive != nil {
-		e.adaptive.reset()
-	}
 
 	aliveAtStart := e.cfg.Topology.AliveCores()
 	if len(aliveAtStart) == 0 {
@@ -149,6 +152,13 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		aborted   atomic.Int64
 		multiSite atomic.Int64
 	)
+	if e.adaptive != nil {
+		// The planner goroutine is the paper's monitoring thread: it sleeps
+		// until a worker reports a monitoring-boundary crossing, then runs
+		// evaluation and repartitioning concurrently with execution.
+		e.adaptive.reset()
+		e.adaptive.start(&committed)
+	}
 	eventFired := make([]atomic.Bool, len(opts.Events))
 	var eventMu sync.Mutex
 	fireEvents := func(now vclock.Nanos) {
@@ -237,12 +247,15 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 					aborted.Add(1)
 				}
 				if e.adaptive != nil {
-					e.adaptive.maybeAdapt(committed.Load())
+					e.adaptive.noteBoundary()
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if e.adaptive != nil {
+		e.adaptive.stopPlanner()
+	}
 
 	res := &Result{
 		Design:    e.cfg.Design,
@@ -269,6 +282,10 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	if e.adaptive != nil {
 		res.Repartitions = e.adaptive.repartitions.Load()
 		res.RepartitionTime = vclock.Nanos(e.adaptive.repartitionCost.Load())
+		res.RepartitionDiffs = e.adaptive.takeDiffs()
+		if total > 0 {
+			res.AdaptationCostShare = float64(e.adaptive.adaptCharged.Load()) / float64(total)
+		}
 	}
 	res.Interconnect = e.cfg.Topology.Traffic()
 	res.QPIToIMCRatio = e.cfg.Topology.QPIToIMCRatio()

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"atrapos/internal/core"
@@ -209,10 +210,58 @@ func adaptiveComparison(s Scale, id, title string, wl *workload.Workload, durati
 		return nil, err
 	}
 	notes := []string{note,
-		fmt.Sprintf("ATraPos repartitioned %d time(s); total repartitioning time %.1f ms (virtual).",
-			adaptiveRes.Repartitions, adaptiveRes.RepartitionTime.Seconds()*1e3)}
+		fmt.Sprintf("ATraPos repartitioned %d time(s); total repartitioning time %.1f ms (virtual); adaptation cost share %.4f.",
+			adaptiveRes.Repartitions, adaptiveRes.RepartitionTime.Seconds()*1e3, adaptiveRes.AdaptationCostShare)}
+	if summary := diffSummary(adaptiveRes.RepartitionDiffs); summary != "" {
+		notes = append(notes, "repartition diffs: "+summary)
+	}
 	return seriesTable(id, title, adaptiveWindow,
 		map[string][]vclock.Sample{"static": staticSeries, "atrapos": adaptiveSeries}, notes), nil
+}
+
+// diffSummary renders the per-repartitioning diff sizes: how many tables
+// changed vs. were left untouched, how many partitions migrated, and how
+// many partition lock tables the incremental runtime build reused.
+func diffSummary(diffs []engine.RepartitionDiff) string {
+	if len(diffs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(diffs))
+	for i, d := range diffs {
+		parts[i] = fmt.Sprintf("[%d changed/%d unchanged tables, %d moved partitions, %d reused/%d rebuilt lock tables, %d cores paused]",
+			d.ChangedTables, d.UnchangedTables, d.MovedPartitions, d.ReusedLockTables, d.RebuiltLockTables, d.AffectedCores)
+	}
+	return strings.Join(parts, " ")
+}
+
+// FigDrift runs the continuous-drift scenario this PR's incremental
+// repartitioning unlocks: an 80%-hot window over 10% of the subscribers that
+// slides to the next window every 10 (compressed) seconds. The static
+// placement is tuned for one window position and decays as the hotspot
+// leaves it; ATraPos chases the window with small diffs that leave the three
+// unloaded TATP tables untouched.
+func FigDrift(s Scale) (*Table, error) {
+	duration := paperSecond(60)
+	wl, err := workload.TATPDriftingHotspot(s.Subscribers, paperSecond(10))
+	if err != nil {
+		return nil, err
+	}
+	return adaptiveComparison(s, "fig-drift", "Adapting to a continuously drifting hotspot", wl, duration, nil,
+		"An 80%-hot window covering 10% of the subscribers shifts every 10 time units; only the Subscriber table carries load.")
+}
+
+// FigOscillate runs the skew-oscillation scenario: the access distribution
+// flips between heavily skewed and uniform every 15 (compressed) seconds, so
+// the ideal placement oscillates between two fixed points and the interval
+// controller has to keep re-engaging without thrashing.
+func FigOscillate(s Scale) (*Table, error) {
+	duration := paperSecond(90)
+	wl, err := workload.TATPSkewOscillation(s.Subscribers, paperSecond(15))
+	if err != nil {
+		return nil, err
+	}
+	return adaptiveComparison(s, "fig-oscillate", "Adapting to an oscillating access skew", wl, duration, nil,
+		"The workload alternates every 15 time units between 60%-of-requests-to-20%-of-data skew and uniform access.")
 }
 
 // --- Ablation benches for the design choices DESIGN.md calls out ---

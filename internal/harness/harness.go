@@ -183,6 +183,8 @@ func Registry() []Experiment {
 		{"fig11", "Adapting to sudden workload skew", Fig11},
 		{"fig12", "Adapting to a processor failure", Fig12},
 		{"fig13", "Adapting to frequent workload changes", Fig13},
+		{"fig-drift", "Adapting to a continuously drifting hotspot (new scenario)", FigDrift},
+		{"fig-oscillate", "Adapting to an oscillating access skew (new scenario)", FigOscillate},
 		{"ablation-txnlist", "Ablation: centralized vs per-socket transaction list", AblationTxnList},
 		{"ablation-statelock", "Ablation: centralized vs per-socket state locks", AblationStateLock},
 		{"ablation-placement", "Ablation: placement step (Algorithm 2) on vs off", AblationPlacement},

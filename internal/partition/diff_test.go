@@ -1,0 +1,246 @@
+package partition
+
+import (
+	"testing"
+
+	"atrapos/internal/btree"
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+)
+
+func TestPartitionForBoundaryValues(t *testing.T) {
+	tp := &TablePlacement{
+		Table:  "t",
+		Bounds: []schema.Key{0, 100, 200},
+		Cores:  []topology.CoreID{1, 2, 3},
+	}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{0, 0},          // first bound
+		{99, 0},         // just below an internal bound
+		{100, 1},        // exactly an internal bound belongs to the right
+		{200, 2},        // exactly the last bound
+		{201, 2},        // beyond the last bound
+		{1 << 60, 2},    // far beyond the key space
+		{-1, 0},         // below the first bound clamps to the first partition
+		{-(1 << 60), 0}, // arbitrarily negative keys clamp too
+	}
+	for _, c := range cases {
+		if got := tp.PartitionFor(schema.KeyFromInt(c.key)); got != c.want {
+			t.Errorf("PartitionFor(%d) = %d, want %d", c.key, got, c.want)
+		}
+		if got := tp.CoreFor(schema.KeyFromInt(c.key)); got != tp.Cores[c.want] {
+			t.Errorf("CoreFor(%d) = %d, want %d", c.key, got, tp.Cores[c.want])
+		}
+	}
+
+	single := &TablePlacement{Table: "s", Bounds: []schema.Key{0}, Cores: []topology.CoreID{7}}
+	for _, key := range []int64{-5, 0, 1, 1 << 62} {
+		if got := single.PartitionFor(schema.KeyFromInt(key)); got != 0 {
+			t.Errorf("single-partition PartitionFor(%d) = %d, want 0", key, got)
+		}
+		if got := single.CoreFor(schema.KeyFromInt(key)); got != 7 {
+			t.Errorf("single-partition CoreFor(%d) = %d, want 7", key, got)
+		}
+	}
+}
+
+func TestValidateAlive(t *testing.T) {
+	top := smallTop()
+	p := NaivePerCore(top, []TableSpec{{Name: "a", MaxKey: 1600}})
+	if err := p.ValidateAlive(top); err != nil {
+		t.Fatalf("placement on live topology rejected: %v", err)
+	}
+	if err := top.FailSocket(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateAlive(top); err == nil {
+		t.Error("placement using a failed socket's cores must be rejected")
+	}
+	bad := NewPlacement()
+	bad.Tables["b"] = &TablePlacement{Table: "b", Bounds: []schema.Key{0}, Cores: []topology.CoreID{999}}
+	if err := bad.ValidateAlive(top); err == nil {
+		t.Error("placement using an unknown core must be rejected")
+	}
+}
+
+// twoTablePlacement builds a two-table placement over the small topology.
+func twoTablePlacement() *Placement {
+	p := NewPlacement()
+	p.Tables["a"] = &TablePlacement{Table: "a", Bounds: btree.UniformBounds(1000, 4), Cores: []topology.CoreID{0, 1, 2, 3}}
+	p.Tables["b"] = &TablePlacement{Table: "b", Bounds: []schema.Key{0}, Cores: []topology.CoreID{4}}
+	return p
+}
+
+func TestDiffClassifiesTables(t *testing.T) {
+	cur := twoTablePlacement()
+
+	// Identical placements: everything unchanged, diff empty.
+	d := Diff(cur, cur.Clone())
+	if !d.Empty() || d.UnchangedTables() != 2 || d.ChangedTables() != 0 || d.MovedPartitions() != 0 {
+		t.Errorf("identical placements: %+v", d)
+	}
+	if cores := d.AffectedCores(); len(cores) != 0 {
+		t.Errorf("identical placements affect cores %v", cores)
+	}
+
+	// Move one partition of a to another core: TableMoved, b unchanged.
+	moved := cur.Clone()
+	moved.Tables["a"].Cores[2] = 9
+	d = Diff(cur, moved)
+	if d.Tables["a"].Kind != TableMoved || len(d.Tables["a"].Moved) != 1 || d.Tables["a"].Moved[0] != 2 {
+		t.Errorf("move diff: %+v", d.Tables["a"])
+	}
+	if d.Tables["b"].Kind != TableUnchanged {
+		t.Errorf("table b should be unchanged, got %v", d.Tables["b"].Kind)
+	}
+	if d.Empty() || d.UnchangedTables() != 1 || d.MovedPartitions() != 1 {
+		t.Errorf("move diff summary: unchanged=%d moved=%d", d.UnchangedTables(), d.MovedPartitions())
+	}
+	// Affected cores: the old owner (2) and the new owner (9).
+	cores := d.AffectedCores()
+	if len(cores) != 2 || cores[0] != 2 || cores[1] != 9 {
+		t.Errorf("affected cores = %v, want [2 9]", cores)
+	}
+
+	// Change a's bounds: TableRebounded.
+	rb := cur.Clone()
+	rb.Tables["a"].Bounds = btree.UniformBounds(1000, 3)
+	rb.Tables["a"].Cores = []topology.CoreID{0, 1, 2}
+	d = Diff(cur, rb)
+	if d.Tables["a"].Kind != TableRebounded {
+		t.Errorf("rebound diff kind = %v", d.Tables["a"].Kind)
+	}
+	if d.ReboundTables() != 1 {
+		t.Errorf("ReboundTables = %d", d.ReboundTables())
+	}
+
+	// A table absent from the current placement is a full build.
+	grown := cur.Clone()
+	grown.Tables["c"] = &TablePlacement{Table: "c", Bounds: []schema.Key{0, 10}, Cores: []topology.CoreID{5, 6}}
+	d = Diff(cur, grown)
+	if d.Tables["c"].Kind != TableRebounded || len(d.Tables["c"].Moved) != 2 {
+		t.Errorf("new-table diff: %+v", d.Tables["c"])
+	}
+}
+
+func TestDiffReboundedMatchesIdenticalRanges(t *testing.T) {
+	// Splitting only the last partition keeps the first two (same bounds,
+	// same upper bound, same core) out of the Moved list.
+	cur := NewPlacement()
+	cur.Tables["a"] = &TablePlacement{Table: "a", Bounds: []schema.Key{0, 100, 200}, Cores: []topology.CoreID{0, 1, 2}}
+	want := NewPlacement()
+	want.Tables["a"] = &TablePlacement{Table: "a", Bounds: []schema.Key{0, 100, 200, 300}, Cores: []topology.CoreID{0, 1, 2, 3}}
+	d := Diff(cur, want)
+	td := d.Tables["a"]
+	if td.Kind != TableRebounded {
+		t.Fatalf("kind = %v", td.Kind)
+	}
+	// Partitions 0 and 1 cover identical ranges on identical cores; 2 (its
+	// upper bound shrank from open-ended to 300) and 3 (new) moved.
+	if len(td.Moved) != 2 || td.Moved[0] != 2 || td.Moved[1] != 3 {
+		t.Errorf("moved = %v, want [2 3]", td.Moved)
+	}
+}
+
+func TestApplyDiffReusesRuntimeState(t *testing.T) {
+	top := smallTop()
+	dom := numa.MustNewDomain(top, numa.DefaultCostModel())
+	cur := twoTablePlacement()
+	rt := NewRuntime(dom, cur)
+
+	// Unchanged table: the whole slice is shared, manager pointers identical.
+	next := cur.Clone()
+	next.Tables["a"].Cores[1] = 9
+	diff := Diff(cur, next)
+	rt2, stats := rt.ApplyDiff(next, diff)
+	if err := rt2.Validate(next); err != nil {
+		t.Fatalf("diffed runtime invalid: %v", err)
+	}
+	if stats.ReusedTables != 1 {
+		t.Errorf("ReusedTables = %d, want 1 (table b)", stats.ReusedTables)
+	}
+	if stats.RebuiltManagers != 1 {
+		t.Errorf("RebuiltManagers = %d, want 1 (moved partition)", stats.RebuiltManagers)
+	}
+	bOld, _ := rt.Locks("b", 0)
+	bNew, _ := rt2.Locks("b", 0)
+	if bOld != bNew {
+		t.Error("unchanged table b should keep its lock table")
+	}
+	for i := 0; i < 4; i++ {
+		old, _ := rt.Locks("a", i)
+		now, _ := rt2.Locks("a", i)
+		if i == 1 {
+			if old == now {
+				t.Error("moved partition should get a fresh lock table")
+			}
+			if now.Home() != top.SocketOf(9) {
+				t.Errorf("moved partition homed on %d, want %d", now.Home(), top.SocketOf(9))
+			}
+		} else if old != now {
+			t.Errorf("partition %d of moved table should keep its lock table", i)
+		}
+	}
+
+	// The old runtime is untouched.
+	if err := rt.Validate(cur); err != nil {
+		t.Errorf("previous runtime corrupted by ApplyDiff: %v", err)
+	}
+
+	// Rebounded table: partitions covering identical ranges on the same
+	// socket keep their managers.
+	rb := cur.Clone()
+	rb.Tables["a"].Bounds = []schema.Key{0, 250, 500, 750, 900}
+	rb.Tables["a"].Cores = []topology.CoreID{0, 1, 2, 3, 4}
+	diff = Diff(cur, rb)
+	rt3, stats3 := rt.ApplyDiff(rb, diff)
+	if err := rt3.Validate(rb); err != nil {
+		t.Fatalf("rebounded runtime invalid: %v", err)
+	}
+	// Bounds 0,250,500,750 match the uniform 4-way split of 1000: the first
+	// three keep identical (lo,hi) ranges and cores; only the split tail is new.
+	if stats3.ReusedManagers < 3 {
+		t.Errorf("rebounded reuse = %+v, want >= 3 reused managers", stats3)
+	}
+
+	// A nil diff falls back to a full rebuild and still validates.
+	rt4, stats4 := rt.ApplyDiff(next, nil)
+	if err := rt4.Validate(next); err != nil {
+		t.Fatalf("full-rebuild runtime invalid: %v", err)
+	}
+	if stats4.ReusedManagers != 0 || stats4.ReusedTables != 0 {
+		t.Errorf("nil diff should rebuild everything, got %+v", stats4)
+	}
+}
+
+func TestRuntimeValidateCatchesMismatches(t *testing.T) {
+	top := smallTop()
+	dom := numa.MustNewDomain(top, numa.DefaultCostModel())
+	p := twoTablePlacement()
+	rt := NewRuntime(dom, p)
+
+	missing := p.Clone()
+	missing.Tables["c"] = &TablePlacement{Table: "c", Bounds: []schema.Key{0}, Cores: []topology.CoreID{0}}
+	if err := rt.Validate(missing); err == nil {
+		t.Error("runtime missing a table must fail validation")
+	}
+
+	shrunk := p.Clone()
+	shrunk.Tables["a"].Bounds = shrunk.Tables["a"].Bounds[:2]
+	shrunk.Tables["a"].Cores = shrunk.Tables["a"].Cores[:2]
+	if err := rt.Validate(shrunk); err == nil {
+		t.Error("partition-count mismatch must fail validation")
+	}
+
+	// Re-homing a partition's owner without rebuilding its lock table is the
+	// torn state Validate exists to catch: core 12 lives on another socket.
+	rehomed := p.Clone()
+	rehomed.Tables["a"].Cores[0] = 12
+	if err := rt.Validate(rehomed); err == nil {
+		t.Error("lock table homed on the wrong socket must fail validation")
+	}
+}

@@ -50,10 +50,16 @@ func (tp *TablePlacement) Validate() error {
 // NumPartitions returns the number of partitions.
 func (tp *TablePlacement) NumPartitions() int { return len(tp.Bounds) }
 
-// PartitionFor returns the partition index owning key.
+// PartitionFor returns the partition index owning key. Keys at or beyond the
+// last bound belong to the last partition; keys below the first bound (which
+// only arise from malformed generators, since the first bound is always 0)
+// are clamped to the first partition instead of producing index -1.
 func (tp *TablePlacement) PartitionFor(key schema.Key) int {
-	i := sort.Search(len(tp.Bounds), func(i int) bool { return tp.Bounds[i] > key })
-	return i - 1
+	i := sort.Search(len(tp.Bounds), func(i int) bool { return tp.Bounds[i] > key }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
 }
 
 // CoreFor returns the core owning key.
@@ -88,6 +94,26 @@ func (p *Placement) Validate() error {
 		}
 		if err := tp.Validate(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// ValidateAlive rejects placements that assign a partition to a core that
+// does not exist in the topology or whose socket has failed. Validate only
+// checks structural invariants; the engine runs this check additionally
+// before installing a new snapshot, so an adaptive repartitioning can never
+// route work to dead hardware.
+func (p *Placement) ValidateAlive(top *topology.Topology) error {
+	for name, tp := range p.Tables {
+		for i, c := range tp.Cores {
+			if _, err := top.Core(c); err != nil {
+				return fmt.Errorf("partition: table %s partition %d assigned to unknown core %d", name, i, c)
+			}
+			if !top.Alive(top.SocketOf(c)) {
+				return fmt.Errorf("partition: table %s partition %d assigned to core %d on failed socket %d",
+					name, i, c, top.SocketOf(c))
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hotFraction counts how often Pick lands in [lo, hi) at virtual time at.
+func hotFraction(s Skew, rng *rand.Rand, maxKey, lo, hi int64, at int64) float64 {
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if k := s.Pick(rng, maxKey, Seconds(float64(at))); k >= lo && k < hi {
+			hits++
+		}
+	}
+	return float64(hits) / n
+}
+
+func TestSkewDriftMovesHotWindow(t *testing.T) {
+	s := Skew{HotDataFraction: 0.1, HotAccessFraction: 0.8, DriftPeriod: Seconds(10)}
+	rng := rand.New(rand.NewSource(7))
+	const maxKey = 1000
+
+	// During the first period the hot window is [0, 100).
+	if f := hotFraction(s, rng, maxKey, 0, 100, 5); f < 0.7 {
+		t.Errorf("first-window hot fraction = %.3f, want ~0.8", f)
+	}
+	// One period later the window has shifted to [100, 200) and the original
+	// window is cold again.
+	if f := hotFraction(s, rng, maxKey, 100, 200, 15); f < 0.7 {
+		t.Errorf("second-window hot fraction = %.3f, want ~0.8", f)
+	}
+	if f := hotFraction(s, rng, maxKey, 0, 100, 15); f > 0.1 {
+		t.Errorf("original window should be cold after the drift, got %.3f", f)
+	}
+	// The drift wraps around the key space: 10 windows of 10% each.
+	if f := hotFraction(s, rng, maxKey, 0, 100, 105); f < 0.7 {
+		t.Errorf("wrapped-around hot fraction = %.3f, want ~0.8", f)
+	}
+	// Picks stay in range at every drift position.
+	for at := int64(0); at < 200; at += 7 {
+		for i := 0; i < 100; i++ {
+			if k := s.Pick(rng, maxKey, Seconds(float64(at))); k < 0 || k >= maxKey {
+				t.Fatalf("drift pick %d out of range at t=%d", k, at)
+			}
+		}
+	}
+}
+
+func TestSkewOscillationTogglesActivity(t *testing.T) {
+	s := Skew{HotDataFraction: 0.2, HotAccessFraction: 0.6, OscillatePeriod: Seconds(15)}
+	if !s.Active(Seconds(5)) || !s.Active(Seconds(14)) {
+		t.Error("skew should be active during the first period")
+	}
+	if s.Active(Seconds(16)) || s.Active(Seconds(29)) {
+		t.Error("skew should be inactive during the second period")
+	}
+	if !s.Active(Seconds(31)) {
+		t.Error("skew should re-activate in the third period")
+	}
+	rng := rand.New(rand.NewSource(3))
+	if f := hotFraction(s, rng, 1000, 0, 200, 5); f < 0.55 {
+		t.Errorf("active-phase hot fraction = %.3f, want ~0.6", f)
+	}
+	if f := hotFraction(s, rng, 1000, 0, 200, 20); f < 0.15 || f > 0.25 {
+		t.Errorf("inactive-phase hot fraction = %.3f, want ~0.2 (uniform)", f)
+	}
+}
+
+func TestDriftAndOscillationWorkloadConstructors(t *testing.T) {
+	if _, err := TATPDriftingHotspot(1000, 0); err == nil {
+		t.Error("zero period must be rejected")
+	}
+	if _, err := TATPSkewOscillation(1000, -1); err == nil {
+		t.Error("negative period must be rejected")
+	}
+	w, err := TATPDriftingHotspot(1000, Seconds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "TATP-drifting-hotspot" {
+		t.Errorf("name = %q", w.Name)
+	}
+	w2, err := TATPSkewOscillation(1000, Seconds(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Name != "TATP-skew-oscillation" {
+		t.Errorf("name = %q", w2.Name)
+	}
+	// Both generate transactions of the single declared class.
+	rng := rand.New(rand.NewSource(1))
+	for _, wl := range []*Workload{w, w2} {
+		ctx := GenContext{Rng: rng, NumSites: 1}
+		tx := wl.Generate(&ctx)
+		if tx.Class != TATPGetSubData {
+			t.Errorf("%s generated class %q, want %q", wl.Name, tx.Class, TATPGetSubData)
+		}
+	}
+}

@@ -117,6 +117,48 @@ func TATPFrequentChanges(subscribers int, period vclock.Nanos) (*Workload, []Pha
 	return w, phases, nil
 }
 
+// TATPDriftingHotspot builds the continuous-drift scenario: GetSubData where
+// 80% of the requests hit a 10%-wide hot window that slides across the
+// subscriber space every period. A static placement is tuned for at most one
+// window position; the adaptive system must keep repartitioning, and because
+// only the Subscriber table carries load, every repartitioning should leave
+// the other three TATP tables untouched (an incremental diff).
+func TATPDriftingHotspot(subscribers int, period vclock.Nanos) (*Workload, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: drifting hotspot needs a positive period")
+	}
+	w, err := TATP(TATPOptions{
+		Subscribers: subscribers,
+		Mix:         map[string]float64{TATPGetSubData: 1},
+		Skew:        Skew{HotDataFraction: 0.1, HotAccessFraction: 0.8, DriftPeriod: period},
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Name = "TATP-drifting-hotspot"
+	return w, nil
+}
+
+// TATPSkewOscillation builds the skew-oscillation scenario: GetSubData that
+// alternates every period between heavily skewed (60% of requests to 20% of
+// the data) and uniform access, so the ideal placement flips back and forth
+// between a skew-balanced one and the uniform split.
+func TATPSkewOscillation(subscribers int, period vclock.Nanos) (*Workload, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: skew oscillation needs a positive period")
+	}
+	w, err := TATP(TATPOptions{
+		Subscribers: subscribers,
+		Mix:         map[string]float64{TATPGetSubData: 1},
+		Skew:        Skew{HotDataFraction: 0.2, HotAccessFraction: 0.6, OscillatePeriod: period},
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Name = "TATP-skew-oscillation"
+	return w, nil
+}
+
 // TATPSuddenSkew builds the Figure 11 scenario: GetSubData with uniform
 // accesses that become skewed (50% of requests to 20% of the data) at the
 // given virtual time.

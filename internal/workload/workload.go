@@ -395,17 +395,48 @@ func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
 }
 
 // Skew describes a hot-set access skew: HotAccessFraction of the requests go
-// to the first HotDataFraction of the key space, starting at virtual time
-// Start. A zero Skew means uniform access.
+// to a HotDataFraction-sized window of the key space, starting at virtual
+// time Start. A zero Skew means uniform access.
+//
+// Two optional time-varying behaviours drive the adaptivity scenarios:
+// DriftPeriod slides the hot window across the key space (a continuously
+// drifting hotspot), and OscillatePeriod toggles the skew on and off (a
+// workload oscillating between skewed and uniform access).
 type Skew struct {
 	HotDataFraction   float64
 	HotAccessFraction float64
 	Start             vclock.Nanos
+	// DriftPeriod, when positive, shifts the hot window forward by its own
+	// width every period (wrapping around the key space), so the hot set
+	// keeps moving and a placement tuned for the previous window goes stale.
+	DriftPeriod vclock.Nanos
+	// OscillatePeriod, when positive, alternates the skew between active and
+	// inactive every period: skewed for one period, uniform for the next.
+	OscillatePeriod vclock.Nanos
 }
 
 // Active reports whether the skew applies at virtual time at.
 func (s Skew) Active(at vclock.Nanos) bool {
-	return s.HotDataFraction > 0 && s.HotAccessFraction > 0 && at >= s.Start
+	if s.HotDataFraction <= 0 || s.HotAccessFraction <= 0 || at < s.Start {
+		return false
+	}
+	if s.OscillatePeriod > 0 {
+		return ((at-s.Start)/s.OscillatePeriod)%2 == 0
+	}
+	return true
+}
+
+// hotStart returns the lower end of the hot window at virtual time at.
+func (s Skew) hotStart(hotKeys, maxKey int64, at vclock.Nanos) int64 {
+	if s.DriftPeriod <= 0 || hotKeys <= 0 || hotKeys >= maxKey {
+		return 0
+	}
+	windows := maxKey / hotKeys
+	if windows < 1 {
+		return 0
+	}
+	step := int64((at - s.Start) / s.DriftPeriod)
+	return (step % windows) * hotKeys
 }
 
 // Pick selects a key in [0, maxKey) according to the skew at time at.
@@ -420,12 +451,20 @@ func (s Skew) Pick(rng *rand.Rand, maxKey int64, at vclock.Nanos) int64 {
 	if hotKeys < 1 {
 		hotKeys = 1
 	}
+	start := s.hotStart(hotKeys, maxKey, at)
+	if start+hotKeys > maxKey {
+		start = maxKey - hotKeys
+	}
 	if rng.Float64() < s.HotAccessFraction {
-		return rng.Int63n(hotKeys)
+		return start + rng.Int63n(hotKeys)
 	}
 	cold := maxKey - hotKeys
 	if cold < 1 {
 		return rng.Int63n(maxKey)
 	}
-	return hotKeys + rng.Int63n(cold)
+	v := rng.Int63n(cold)
+	if v >= start {
+		v += hotKeys
+	}
+	return v
 }
