@@ -63,22 +63,61 @@ const (
 	DesignHWAware = engine.HWAware
 	// DesignATraPos is the paper's full design.
 	DesignATraPos = engine.ATraPos
+	// DesignSharedNothing is the parametric shared-nothing design: one
+	// logical instance per hardware island at Options.IslandLevel. The
+	// Extreme and Coarse designs are its fixed-granularity aliases.
+	DesignSharedNothing = engine.SharedNothing
 )
 
-// Designs returns every supported design.
+// Designs returns the paper's six configurations in presentation order.
+// DesignSharedNothing is not listed separately: its core- and socket-grained
+// fixed points appear as the Extreme and Coarse aliases; other granularities
+// are reached through Options.IslandLevel or the fig-islands sweep.
 func Designs() []Design { return engine.Designs() }
 
-// Topology models a multisocket machine.
+// Topology models a multisocket machine as a hierarchical island tree.
 type Topology = topology.Topology
+
+// TopologyConfig describes a machine to build, including its sub-socket
+// (die/CCX) structure and per-level hop distances.
+type TopologyConfig = topology.Config
+
+// IslandLevel names one tier of the island hierarchy (core, die, socket,
+// machine).
+type IslandLevel = topology.Level
+
+// The island granularities, finest to coarsest.
+const (
+	LevelCore    = topology.LevelCore
+	LevelDie     = topology.LevelDie
+	LevelSocket  = topology.LevelSocket
+	LevelMachine = topology.LevelMachine
+)
+
+// ParseIslandLevel converts "core", "die", "socket" or "machine" to a level.
+func ParseIslandLevel(s string) (IslandLevel, error) { return topology.ParseLevel(s) }
+
+// MachineProfile is a named machine shape from the profile library.
+type MachineProfile = topology.Profile
+
+// Profiles returns the built-in machine profiles.
+func Profiles() []MachineProfile { return topology.Profiles() }
+
+// BuildProfile instantiates a named machine profile.
+func BuildProfile(name string) (*Topology, error) { return topology.BuildProfile(name) }
 
 // DefaultTopology returns the paper's 8-socket, 80-core machine.
 func DefaultTopology() *Topology { return topology.Default() }
 
 // NewTopology builds a machine with the given number of sockets and cores per
-// socket, connected with a twisted-cube-like interconnect.
+// socket, connected with a twisted-cube-like interconnect. For machines with
+// sub-socket structure build from a TopologyConfig or a MachineProfile.
 func NewTopology(sockets, coresPerSocket int) (*Topology, error) {
 	return topology.New(topology.Config{Sockets: sockets, CoresPerSocket: coresPerSocket})
 }
+
+// NewTopologyFromConfig builds a machine from a full hierarchical description.
+func NewTopologyFromConfig(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
 
 // CostModel holds the NUMA latencies of the simulation.
 type CostModel = numa.CostModel
@@ -152,6 +191,10 @@ func ReadHundred(rows int) *Workload { return workload.ReadHundred(rows) }
 type Options struct {
 	// Design selects the system design; the default is DesignATraPos.
 	Design Design
+	// IslandLevel selects the instance granularity of DesignSharedNothing
+	// (one logical instance per island at this level); the zero value means
+	// socket-grained instances. Ignored by the other designs.
+	IslandLevel IslandLevel
 	// Workload supplies the dataset and transaction generator. Required.
 	Workload *Workload
 	// Topology models the machine; nil means the paper's 8-socket box.
@@ -194,6 +237,7 @@ func Open(opts Options) (*System, error) {
 	}
 	cfg := engine.Config{
 		Design:           opts.Design,
+		IslandLevel:      opts.IslandLevel,
 		Workload:         opts.Workload,
 		Topology:         top,
 		CostModel:        opts.CostModel,
@@ -285,6 +329,9 @@ func Experiments() []string { return harness.IDs() }
 // RunExperiment reproduces one of the paper's tables or figures by id
 // (e.g. "fig2", "table1").
 func RunExperiment(id string, scale Scale) (*ExperimentTable, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
 	exp, ok := harness.Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("atrapos: unknown experiment %q (known: %v)", id, harness.IDs())
@@ -295,4 +342,15 @@ func RunExperiment(id string, scale Scale) (*ExperimentTable, error) {
 // RunAllExperiments reproduces every table and figure at the given scale.
 func RunAllExperiments(scale Scale) ([]*ExperimentTable, error) {
 	return harness.RunAll(scale)
+}
+
+// IslandPoint is one measured cell of the island-granularity sweep.
+type IslandPoint = harness.IslandPoint
+
+// IslandSweep measures the parametric shared-nothing design at every island
+// granularity on every sweep profile for the given multisite percentages; it
+// is the data behind the fig-islands experiment and the BENCH.json islands
+// records.
+func IslandSweep(scale Scale, pcts []int) ([]IslandPoint, error) {
+	return harness.IslandSweep(scale, pcts)
 }

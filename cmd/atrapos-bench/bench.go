@@ -63,13 +63,20 @@ type BenchRecord struct {
 	Workload     string         `json:"workload"`
 	Topology     string         `json:"topology"`
 	Designs      []DesignRecord `json:"designs"`
+	// Islands records the island-granularity sweep (fig-islands at bench
+	// scale): the parametric shared-nothing design per machine profile,
+	// island level and multisite probability, so granularity crossovers are
+	// tracked commit over commit alongside the hot-path numbers.
+	Islands []atrapos.IslandPoint `json:"islands,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
 // and writes the result to path. The measurement intentionally bypasses the
 // experiment harness: it calls System.Run directly so the recorded numbers
-// are the per-transaction simulator cost, comparable across commits.
-func runBenchJSON(path string, txns int, workers int, seed int64) error {
+// are the per-transaction simulator cost, comparable across commits. A
+// non-empty profile pins the hot-path machine (and the islands sweep) to the
+// named machine profile instead of the default 4x2 box.
+func runBenchJSON(path string, txns int, workers int, seed int64, profile string) error {
 	if txns < 4 {
 		return fmt.Errorf("-txns must be at least 4, got %d", txns)
 	}
@@ -77,6 +84,11 @@ func runBenchJSON(path string, txns int, workers int, seed int64) error {
 	top, err := atrapos.NewTopology(4, 2)
 	if err != nil {
 		return err
+	}
+	if profile != "" {
+		if top, err = atrapos.BuildProfile(profile); err != nil {
+			return err
+		}
 	}
 	rec := BenchRecord{
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
@@ -153,6 +165,17 @@ func runBenchJSON(path string, txns int, workers int, seed int64) error {
 		return err
 	}
 	rec.Designs = append(rec.Designs, driftRec)
+	// The island-granularity sweep: the endpoints of the multisite axis on
+	// each sweep profile are enough to track the crossover per commit.
+	islandScale := atrapos.QuickScale()
+	islandScale.Seed = seed
+	islandScale.Workers = workers
+	islandScale.Transactions = txns / 4
+	islandScale.Profile = profile
+	rec.Islands, err = atrapos.IslandSweep(islandScale, []int{0, 50, 100})
+	if err != nil {
+		return err
+	}
 	records, err := appendTrajectory(path, rec)
 	if err != nil {
 		return err

@@ -26,7 +26,9 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
 		scaleName  = flag.String("scale", "quick", "experiment scale: quick or paper")
+		profile    = flag.String("profile", "", "machine profile to run on (see -list-profiles); empty uses the scale's own machine")
 		list       = flag.Bool("list", false, "list the available experiments and exit")
+		listProf   = flag.Bool("list-profiles", false, "list the available machine profiles and exit")
 		seed       = flag.Int64("seed", 42, "random seed")
 		workers    = flag.Int("workers", 0, "number of worker goroutines (0 = automatic)")
 		jsonBench  = flag.Bool("json", false, "measure the per-design transaction hot path and write BENCH.json")
@@ -35,12 +37,26 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listProf {
+		fmt.Println("available machine profiles:")
+		for _, p := range atrapos.Profiles() {
+			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+	if *profile != "" {
+		if _, err := atrapos.BuildProfile(*profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	if *jsonBench {
 		w := *workers
 		if w <= 0 {
 			w = 1 // single worker: stable per-transaction numbers
 		}
-		if err := runBenchJSON(*jsonOut, *jsonTxns, w, *seed); err != nil {
+		if err := runBenchJSON(*jsonOut, *jsonTxns, w, *seed, *profile); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -67,6 +83,7 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+	scale.Profile = *profile
 
 	run := func(id string) error {
 		start := time.Now()

@@ -193,10 +193,19 @@ func (m CostModel) CoreLoads(p *partition.Placement, stats *Stats) map[topology.
 	return m.coreLoads(p, stats)
 }
 
-// SyncCost computes C(s) = (nsocket(s)-1) * Distance(s) * Size(s) for one
-// synchronization signature under placement p.
+// SyncCost computes the hierarchical generalization of the paper's
+// C(s) = (nsocket(s)-1) * Distance(s) * Size(s) for one synchronization
+// signature under placement p: islands are counted at the die level and each
+// pair of participating islands contributes its socket hops plus its die
+// hops scaled by how much cheaper a die crossing is than a socket crossing
+// (DieByteTransferPerHop / ByteTransferPerHop). Co-locating participants on
+// one socket therefore shrinks the cost, and co-locating them on one die
+// drives it to zero — which is what makes the placement search prefer the
+// cheapest enclosing island. On flat machines the formula reduces to the
+// paper's socket-level one exactly.
 func (m CostModel) SyncCost(p *partition.Placement, sync SyncStat) float64 {
-	sockets := make([]topology.SocketID, 0, len(sync.Participants))
+	top := m.Domain.Top
+	cores := make([]topology.CoreID, 0, len(sync.Participants))
 	for _, ref := range sync.Participants {
 		tp, ok := p.Tables[ref.Table]
 		if !ok || len(tp.Cores) == 0 {
@@ -209,14 +218,39 @@ func (m CostModel) SyncCost(p *partition.Placement, sync SyncStat) float64 {
 		if idx >= len(tp.Cores) {
 			idx = len(tp.Cores) - 1
 		}
-		sockets = append(sockets, m.Domain.Top.SocketOf(tp.Cores[idx]))
+		cores = append(cores, tp.Cores[idx])
 	}
-	uniq := numa.UniqueSockets(sockets)
+	dieFrac := 0.5
+	if m.Domain.Model.ByteTransferPerHop > 0 {
+		dieFrac = float64(m.Domain.Model.DieByteTransferPerHop) / float64(m.Domain.Model.ByteTransferPerHop)
+	}
+	// Distinct dies, preserving first-seen order.
+	uniq := cores[:0]
+	for i, c := range cores {
+		first := true
+		for j := 0; j < i; j++ {
+			if top.DieOf(cores[j]) == top.DieOf(c) {
+				first = false
+				break
+			}
+		}
+		if first {
+			uniq = append(uniq, c)
+		}
+	}
 	if len(uniq) <= 1 {
 		return 0
 	}
-	dist := m.Domain.AvgPairwiseDistance(uniq)
-	return float64(len(uniq)-1) * dist * float64(sync.Bytes)
+	var sum float64
+	pairs := 0
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			sockHops, dieHops := top.CorePath(uniq[i], uniq[j])
+			sum += float64(sockHops) + float64(dieHops)*dieFrac
+			pairs++
+		}
+	}
+	return float64(len(uniq)-1) * (sum / float64(pairs)) * float64(sync.Bytes)
 }
 
 // TransactionSync computes TS(S,W): the total synchronization overhead of the

@@ -398,18 +398,26 @@ func (pl *Planner) ChoosePlacement(p *partition.Placement, stats *Stats) *partit
 }
 
 // colocate builds a candidate placement that moves the participants of sync
-// onto the socket that already hosts the largest share of them, by swapping
-// core assignments with partitions currently on that socket.
+// onto the island that already hosts the largest share of them, by swapping
+// core assignments with partitions currently on that island. The target is
+// chosen hierarchically: first the socket hosting most participants, then —
+// on machines with sub-socket structure — the die of that socket hosting
+// most of them, so participants land on the cheapest enclosing island the
+// swap space allows. Swap partners on the preferred die are tried before
+// partners elsewhere on the target socket.
 func (pl *Planner) colocate(p *partition.Placement, sync SyncStat) *partition.Placement {
 	top := pl.Model.Domain.Top
-	// Pick the target socket: the one hosting most participants.
+	// Pick the target socket (and preferred die within it): the ones hosting
+	// most participants.
 	count := make(map[topology.SocketID]int)
+	dieCount := make(map[topology.DieID]int)
 	for _, ref := range sync.Participants {
 		tp, ok := p.Tables[ref.Table]
 		if !ok || ref.Partition < 0 || ref.Partition >= len(tp.Cores) {
 			continue
 		}
 		count[top.SocketOf(tp.Cores[ref.Partition])]++
+		dieCount[top.DieOf(tp.Cores[ref.Partition])]++
 	}
 	var target topology.SocketID = -1
 	bestCount := -1
@@ -422,6 +430,14 @@ func (pl *Planner) colocate(p *partition.Placement, sync SyncStat) *partition.Pl
 	if target < 0 {
 		return nil
 	}
+	targetDie := topology.InvalidDie
+	bestDie := -1
+	for d, c := range dieCount {
+		if top.SocketOfDie(d) == target && c > bestDie {
+			bestDie = c
+			targetDie = d
+		}
+	}
 	cand := p.Clone()
 	changed := false
 	for _, ref := range sync.Participants {
@@ -431,11 +447,19 @@ func (pl *Planner) colocate(p *partition.Placement, sync SyncStat) *partition.Pl
 		}
 		cur := tp.Cores[ref.Partition]
 		if top.SocketOf(cur) == target {
+			if top.DieOf(cur) == targetDie || targetDie == topology.InvalidDie {
+				continue
+			}
+			// Already on the right socket but on another die: try to tighten
+			// onto the preferred die; failing that, the socket placement stands.
+			if swapOnto(cand, ref, cur, target, targetDie, top, sync.Participants) {
+				changed = true
+			}
 			continue
 		}
-		// Find a partition currently on the target socket (of any table) that
+		// Find a partition currently on the target island (of any table) that
 		// is not itself a participant, and swap cores with it.
-		if swapOnto(cand, ref, cur, target, top, sync.Participants) {
+		if swapOnto(cand, ref, cur, target, targetDie, top, sync.Participants) {
 			changed = true
 		}
 	}
@@ -445,7 +469,12 @@ func (pl *Planner) colocate(p *partition.Placement, sync SyncStat) *partition.Pl
 	return cand
 }
 
-func swapOnto(p *partition.Placement, ref PartitionRef, from topology.CoreID, target topology.SocketID, top *topology.Topology, exclude []PartitionRef) bool {
+// swapOnto moves ref's partition onto the target socket, preferring cores of
+// the preferred die (pass InvalidDie for no preference). It swaps with a
+// non-participant partition already there, or falls back to an unoccupied
+// core, keeping the number of partitions per core unchanged either way so the
+// balance achieved by Algorithm 1 is preserved.
+func swapOnto(p *partition.Placement, ref PartitionRef, from topology.CoreID, target topology.SocketID, preferredDie topology.DieID, top *topology.Topology, exclude []PartitionRef) bool {
 	isExcluded := func(table string, idx int) bool {
 		for _, e := range exclude {
 			if e.Table == table && e.Partition == idx {
@@ -454,29 +483,53 @@ func swapOnto(p *partition.Placement, ref PartitionRef, from topology.CoreID, ta
 		}
 		return false
 	}
-	for _, name := range p.TableNames() {
-		tp := p.Tables[name]
-		for i, c := range tp.Cores {
-			if top.SocketOf(c) != target || isExcluded(name, i) {
+	fromDie := top.DieOf(from)
+	// Two passes: cores of the preferred die first, then the rest of the
+	// target socket. On flat machines the passes coincide and the second is
+	// skipped.
+	passes := []func(c topology.CoreID) bool{
+		func(c topology.CoreID) bool { return top.SocketOf(c) == target && top.DieOf(c) == preferredDie },
+		func(c topology.CoreID) bool { return top.SocketOf(c) == target },
+	}
+	if preferredDie == topology.InvalidDie {
+		passes = passes[1:]
+	}
+	// The occupied set only feeds the no-swap-partner fallback and a
+	// successful assignment returns immediately, so one build serves both
+	// passes.
+	var occupied map[topology.CoreID]bool
+	for _, accept := range passes {
+		for _, name := range p.TableNames() {
+			tp := p.Tables[name]
+			for i, c := range tp.Cores {
+				if !accept(c) || c == from || isExcluded(name, i) {
+					continue
+				}
+				// Swapping within the preferred die is a no-op improvement;
+				// require the partner to actually change ref's island.
+				if top.DieOf(c) == fromDie && top.SocketOf(c) == top.SocketOf(from) {
+					continue
+				}
+				tp.Cores[i] = from
+				p.Tables[ref.Table].Cores[ref.Partition] = c
+				return true
+			}
+		}
+		// No swap partner in this pass: move onto a core of the pass's island
+		// that currently hosts no partition at all, which also preserves the
+		// balance.
+		if occupied == nil {
+			occupied = make(map[topology.CoreID]bool)
+			for _, tp := range p.Tables {
+				for _, c := range tp.Cores {
+					occupied[c] = true
+				}
+			}
+		}
+		for _, c := range top.CoresOn(target) {
+			if !accept(c.ID) || occupied[c.ID] {
 				continue
 			}
-			// Swap, keeping the number of partitions per core unchanged so
-			// the balance achieved by Algorithm 1 is preserved.
-			tp.Cores[i] = from
-			p.Tables[ref.Table].Cores[ref.Partition] = c
-			return true
-		}
-	}
-	// No swap partner: move onto a core of the target socket that currently
-	// hosts no partition at all, which also preserves the balance.
-	occupied := make(map[topology.CoreID]bool)
-	for _, tp := range p.Tables {
-		for _, c := range tp.Cores {
-			occupied[c] = true
-		}
-	}
-	for _, c := range top.CoresOn(target) {
-		if !occupied[c.ID] {
 			p.Tables[ref.Table].Cores[ref.Partition] = c.ID
 			return true
 		}

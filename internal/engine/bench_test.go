@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"atrapos/internal/topology"
 	"atrapos/internal/workload"
 )
 
@@ -79,6 +80,21 @@ func BenchmarkExecute(b *testing.B) {
 	})
 	b.Run("shared-nothing-extreme", func(b *testing.B) {
 		benchSteadyState(b, benchEngine(b, Config{Design: SharedNothingExtreme}), false)
+	})
+	b.Run("shared-nothing-die", func(b *testing.B) {
+		// The parametric design at die granularity on a hierarchical machine:
+		// exercises the die-level cost terms and per-island logs on the hot
+		// path, which must stay allocation free like every other design.
+		cfg := Config{Design: SharedNothing, IslandLevel: topology.LevelDie}
+		cfg.Workload = workload.MustTATP(workload.TATPOptions{Subscribers: 4000})
+		cfg.Topology = topology.MustNew(topology.Config{
+			Sockets: 2, CoresPerSocket: 8, DiesPerSocket: 2,
+		})
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSteadyState(b, e, false)
 	})
 	b.Run("plp", func(b *testing.B) {
 		benchSteadyState(b, benchEngine(b, Config{Design: PLP}), false)

@@ -39,9 +39,11 @@ const (
 	// manager, one list of active transactions, one log, shared by all cores.
 	Centralized Design = iota
 	// SharedNothingExtreme runs one logical instance per core (H-Store
-	// style); multi-site transactions use two-phase commit.
+	// style); multi-site transactions use two-phase commit. It is an alias
+	// for SharedNothing with Config.IslandLevel = topology.LevelCore.
 	SharedNothingExtreme
-	// SharedNothingCoarse runs one logical instance per socket.
+	// SharedNothingCoarse runs one logical instance per socket. It is an
+	// alias for SharedNothing with Config.IslandLevel = topology.LevelSocket.
 	SharedNothingCoarse
 	// PLP is physiological partitioning: partition-local lock tables and
 	// multi-rooted B-trees over a shared-everything storage manager, but the
@@ -55,6 +57,14 @@ const (
 	// and placement of Section V, optionally with monitoring and adaptive
 	// repartitioning.
 	ATraPos
+	// SharedNothing is the parametric shared-nothing design: one logical
+	// instance — data partition, transaction list and state-lock locality,
+	// write-ahead log, 2PC site — per hardware island at the granularity
+	// selected by Config.IslandLevel (core, die, socket or machine). The
+	// Extreme and Coarse designs are fixed points of this axis; LevelDie
+	// deploys one instance per CCX/cluster on chiplet machines and
+	// LevelMachine a single instance spanning the whole box.
+	SharedNothing
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +76,8 @@ func (d Design) String() string {
 		return "shared-nothing-extreme"
 	case SharedNothingCoarse:
 		return "shared-nothing-coarse"
+	case SharedNothing:
+		return "shared-nothing"
 	case PLP:
 		return "plp"
 	case HWAware:
@@ -77,7 +89,17 @@ func (d Design) String() string {
 	}
 }
 
-// Designs lists every supported design in presentation order.
+// IsSharedNothing reports whether d deploys per-island instances (the
+// parametric design or one of its fixed-granularity aliases).
+func (d Design) IsSharedNothing() bool {
+	return d == SharedNothing || d == SharedNothingExtreme || d == SharedNothingCoarse
+}
+
+// Designs lists the paper's six configurations in presentation order. The
+// parametric SharedNothing design is not listed separately: its core- and
+// socket-grained fixed points appear as the Extreme and Coarse aliases, and
+// its other granularities are swept by the fig-islands experiment rather
+// than enumerated here.
 func Designs() []Design {
 	return []Design{Centralized, SharedNothingExtreme, SharedNothingCoarse, PLP, HWAware, ATraPos}
 }
@@ -92,6 +114,12 @@ type Config struct {
 	Topology *topology.Topology
 	// CostModel holds the NUMA latencies; the zero value means defaults.
 	CostModel numa.CostModel
+	// IslandLevel selects the instance granularity of the SharedNothing
+	// design: one logical instance per island at this level. The zero value
+	// defaults to topology.LevelSocket. The SharedNothingExtreme and
+	// SharedNothingCoarse designs force it to LevelCore respectively
+	// LevelSocket, so the legacy enum values keep their exact meaning.
+	IslandLevel topology.Level
 	// Placement optionally overrides the initial partitioning and placement
 	// for the partitioned designs (PLP, HWAware, ATraPos). Nil derives the
 	// design's default placement.
@@ -157,6 +185,21 @@ func (c *Config) withDefaults() (*Config, error) {
 	if out.Adaptive {
 		out.Monitoring = true
 	}
+	// Resolve the island granularity: the legacy enum values pin it, the
+	// parametric design defaults to socket-grained instances.
+	switch out.Design {
+	case SharedNothingExtreme:
+		out.IslandLevel = topology.LevelCore
+	case SharedNothingCoarse:
+		out.IslandLevel = topology.LevelSocket
+	case SharedNothing:
+		if out.IslandLevel == 0 {
+			out.IslandLevel = topology.LevelSocket
+		}
+		if !out.IslandLevel.Valid() {
+			return nil, fmt.Errorf("engine: invalid island level %v", out.IslandLevel)
+		}
+	}
 	return &out, nil
 }
 
@@ -178,8 +221,12 @@ type Engine struct {
 	// Partitioned designs: placement and per-partition runtime state.
 	state partitionedState
 
-	// Shared-nothing instance mapping. siteOfCore is indexed by CoreID.
+	// Shared-nothing instance mapping: one site per island at the configured
+	// IslandLevel. sites holds each island's home core, siteCores its alive
+	// member cores (remote requests are spread over them), and siteOfCore is
+	// indexed by CoreID.
 	sites      []topology.Core
+	siteCores  [][]topology.Core
 	siteOfCore []int32
 
 	accounts []coreAccount
@@ -311,10 +358,8 @@ func (e *Engine) initialPlacement() (*partition.Placement, error) {
 			}
 		}
 		return p, nil
-	case SharedNothingExtreme:
-		return partition.NaivePerCore(c.Topology, specs), nil
-	case SharedNothingCoarse:
-		return partition.PerSocket(c.Topology, specs), nil
+	case SharedNothingExtreme, SharedNothingCoarse, SharedNothing:
+		return partition.PerIsland(c.Topology, c.IslandLevel, specs), nil
 	case PLP, HWAware:
 		if c.Placement != nil {
 			return c.Placement.Clone(), nil
@@ -337,7 +382,7 @@ func (e *Engine) initialPlacement() (*partition.Placement, error) {
 // allocation policy for shared-nothing designs).
 func (e *Engine) createTables(p *partition.Placement) error {
 	var alloc *numa.Placement
-	if e.cfg.Design == SharedNothingExtreme || e.cfg.Design == SharedNothingCoarse {
+	if e.cfg.Design.IsSharedNothing() {
 		var err error
 		alloc, err = numa.NewPlacement(e.cfg.Topology, e.cfg.AllocPolicy, e.cfg.CentralAllocNode)
 		if err != nil {
@@ -389,12 +434,29 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
 		e.centralLocks = lock.NewCentralManager(e.domain, 256, !c.DisableSLI)
 		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
-	case SharedNothingExtreme, SharedNothingCoarse:
-		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
-		e.instLogs = wal.NewPartitionedLog(e.domain, *c.LogConfig)
-		e.log = e.instLogs
-		e.coordinator = txn.NewCoordinator(e.domain, e.instLogs)
+	case SharedNothingExtreme, SharedNothingCoarse, SharedNothing:
+		// One instance per island: the sites define the log layout (one WAL
+		// per island, homed on the island's socket) and the 2PC site list.
+		// State structures follow the island granularity too: a machine-level
+		// deployment is one instance whose transaction list and state lock
+		// are shared by every core (and ping-pong accordingly); any finer
+		// granularity keeps them striped per socket, which is island-local
+		// for socket-grained and finer instances alike.
+		if c.IslandLevel == topology.LevelMachine {
+			e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
+		} else {
+			e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
+		}
 		e.buildSites()
+		homes := make([]topology.SocketID, len(e.sites))
+		homeCores := make([]topology.CoreID, len(e.sites))
+		for i, site := range e.sites {
+			homes[i] = site.Socket
+			homeCores[i] = site.ID
+		}
+		e.instLogs = wal.NewPartitionedLogAt(e.domain, homes, *c.LogConfig)
+		e.log = e.instLogs
+		e.coordinator = txn.NewCoordinatorAt(e.domain, e.instLogs, homeCores)
 	case PLP:
 		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
 		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
@@ -404,23 +466,20 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 	}
 }
 
-// buildSites establishes the shared-nothing instance list: one site per core
-// (extreme) or per socket (coarse), in the same order the per-site data
-// partitioning was built, so site index == partition index.
+// buildSites establishes the shared-nothing instance list: one site per
+// alive island at the configured IslandLevel, in island order — the same
+// order the per-island data partitioning was built, so site index ==
+// partition index. A site's home core is its island's first alive core; the
+// full alive member list is kept so remote requests spread over the island's
+// cores instead of funnelling through one.
 func (e *Engine) buildSites() {
 	e.siteOfCore = make([]int32, e.cfg.Topology.NumCores())
 	e.sites = nil
-	if e.cfg.Design == SharedNothingExtreme {
-		for i, c := range e.cfg.Topology.AliveCores() {
-			e.sites = append(e.sites, c)
-			e.siteOfCore[c.ID] = int32(i)
-		}
-		return
-	}
-	for i, s := range e.cfg.Topology.AliveSockets() {
-		cores := e.cfg.Topology.CoresOn(s)
-		e.sites = append(e.sites, cores[0])
-		for _, c := range cores {
+	e.siteCores = nil
+	for i, isl := range e.cfg.Topology.AliveIslandsAt(e.cfg.IslandLevel) {
+		e.sites = append(e.sites, isl.Cores[0])
+		e.siteCores = append(e.siteCores, isl.Cores)
+		for _, c := range isl.Cores {
 			e.siteOfCore[c.ID] = int32(i)
 		}
 	}

@@ -14,10 +14,11 @@ import (
 	"atrapos/internal/workload"
 )
 
-// performAction executes one storage access and returns its cost. Duplicate
-// inserts are treated as updates and missing rows as no-ops, so replayed or
-// colliding generator keys never wedge an experiment.
-func performAction(tbl *storage.Table, a workload.Action, from topology.SocketID) (numa.Cost, error) {
+// performAction executes one storage access on behalf of the given executing
+// core and returns its cost. Duplicate inserts are treated as updates and
+// missing rows as no-ops, so replayed or colliding generator keys never wedge
+// an experiment.
+func performAction(tbl *storage.Table, a workload.Action, from topology.CoreID) (numa.Cost, error) {
 	switch a.Op {
 	case workload.Read:
 		_, cost, err := tbl.Read(from, a.Key)
@@ -162,7 +163,7 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 		if err != nil {
 			return abort()
 		}
-		execCost, err := performAction(e.tables[a.Table], a, s)
+		execCost, err := performAction(e.tables[a.Table], a, worker)
 		e.charge(worker, vclock.Execution, execCost)
 		if err != nil {
 			return abort()
@@ -201,9 +202,11 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 
 	// siteInfo returns the core that executes an action owned by site: work on
 	// the coordinator's own instance runs on the coordinating core, work on a
-	// remote instance runs on that instance's "peer" core (the core with the
-	// same local index), which is how a real instance spreads incoming remote
-	// requests over all of its cores rather than funnelling them through one.
+	// remote instance runs on that instance's "peer" core (the island member
+	// with the same local index), which is how a real instance spreads
+	// incoming remote requests over all of its cores rather than funnelling
+	// them through one. Single-core islands (extreme granularity) have exactly
+	// one choice.
 	workerLocal := 0
 	if c, err := e.cfg.Topology.Core(worker); err == nil {
 		workerLocal = c.LocalIndex
@@ -215,12 +218,9 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		if site == homeSite {
 			return worker, homeSocket
 		}
-		if e.cfg.Design == SharedNothingCoarse {
-			cores := e.cfg.Topology.CoresOn(e.sites[site].Socket)
-			if len(cores) > 0 {
-				peer := cores[workerLocal%len(cores)]
-				return peer.ID, peer.Socket
-			}
+		if cores := e.siteCores[site]; len(cores) > 1 {
+			peer := cores[workerLocal%len(cores)]
+			return peer.ID, peer.Socket
 		}
 		c := e.sites[site]
 		return c.ID, c.Socket
@@ -243,12 +243,14 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		}
 		site := tp.PartitionFor(a.Key)
 		siteCore, siteSock := siteInfo(site)
-		sc.addParticipant(siteSock)
+		sc.addParticipant(site)
 		if site != homeSite {
 			remote = true
 			sc.addRemoteCore(siteCore)
-			// Request and response over the shared-memory channel.
-			msg := e.domain.MessageCost(homeSocket, siteSock) + e.domain.MessageCost(siteSock, homeSocket)
+			// Request and response over the shared-memory channel. The
+			// core-granular cost makes messages between die islands of one
+			// socket cheaper than cross-socket messages.
+			msg := e.domain.CoreMessageCost(worker, siteCore) + e.domain.CoreMessageCost(siteCore, worker)
 			e.charge(worker, vclock.Communication, msg)
 		}
 		lm, err := snap.runtime.Locks(a.Table, site)
@@ -262,22 +264,24 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		if lockErr != nil {
 			return abort()
 		}
-		execCost, err := performAction(e.tables[a.Table], a, siteSock)
+		execCost, err := performAction(e.tables[a.Table], a, siteCore)
 		e.charge(siteCore, vclock.Execution, execCost)
 		if err != nil {
 			return abort()
 		}
 		if a.Op.IsWrite() {
 			wrote = true
-			_, logCost := e.instLogs.Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			// Each island appends to its own write-ahead log.
+			_, logCost := e.instLogs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(siteCore, vclock.Logging, logCost)
 		}
 	}
 
 	committed2PC := true
 	if remote && wrote {
-		// Distributed commit with the standard two-phase commit protocol.
-		if out, err := e.coordinator.Run(tx, homeSocket, sc.participants, false); err == nil {
+		// Distributed commit with the standard two-phase commit protocol;
+		// every participating instance (island) is its own 2PC site.
+		if out, err := e.coordinator.Run(tx, worker, homeSite, sc.participants, false); err == nil {
 			committed2PC = out.Committed
 			for comp, cost := range out.ByComponent {
 				e.charge(worker, vclock.Component(comp), cost)
@@ -293,9 +297,10 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 			}
 		}
 	} else if wrote {
-		_, logCost := e.instLogs.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
+		home := e.instLogs.Log(homeSite)
+		_, logCost := home.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
-		e.charge(worker, vclock.Logging, e.instLogs.Flush(homeSocket, e.instLogs.SocketLog(homeSocket).Tail()))
+		e.charge(worker, vclock.Logging, home.Flush(homeSocket, home.Tail()))
 	}
 
 	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
@@ -353,10 +358,12 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 
 		// Action routing to the owning worker thread: an enqueue on the
 		// partition's action queue, i.e. an atomic on a cache line owned by
-		// the target socket (DORA-style action passing, much cheaper than the
-		// inter-process channels of the shared-nothing configurations).
+		// the target island (DORA-style action passing, much cheaper than the
+		// inter-process channels of the shared-nothing configurations). The
+		// core-granular cost prices same-socket cross-die routing at the
+		// cheaper die-hop rate.
 		if owner != worker {
-			e.charge(worker, vclock.Communication, e.domain.AtomicCost(coordSocket, oSock))
+			e.charge(worker, vclock.Communication, e.domain.CoreAtomicCost(worker, owner))
 		}
 		// Partition-local locking (no centralized lock manager).
 		lm, err := snap.runtime.Locks(a.Table, idx)
@@ -372,7 +379,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		}
 		// Execute the action on the owning core, inflated by the
 		// oversaturation factor if that core hosts several partition workers.
-		execCost, err := performAction(e.tables[a.Table], a, oSock)
+		execCost, err := performAction(e.tables[a.Table], a, owner)
 		factor := saturationFactor(e.cfg.OversaturationPenalty, snap.active(tp.Cores[idx]))
 		execCost = numa.Cost(float64(execCost) * factor)
 		e.charge(pr.core, vclock.Execution, execCost)
@@ -391,19 +398,21 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		}
 	}
 
-	// Synchronization points: actions running on different sockets must
-	// exchange their intermediate results.
+	// Synchronization points: actions running on different islands must
+	// exchange their intermediate results. The cost is the hierarchical
+	// rendezvous formula: pairs of participants spanning sockets pay socket
+	// hops, pairs spanning dies of one socket pay the cheaper die hops.
 	for _, sp := range t.SyncPoints {
-		sc.syncSockets = sc.syncSockets[:0]
+		sc.syncCores = sc.syncCores[:0]
 		sc.syncRefs = sc.syncRefs[:0]
 		for _, ai := range sp.Actions {
 			if ai < 0 || ai >= len(sc.owners) || sc.owners[ai].table == "" {
 				continue
 			}
-			sc.syncSockets = append(sc.syncSockets, sc.owners[ai].sock)
+			sc.syncCores = append(sc.syncCores, sc.owners[ai].core)
 			sc.syncRefs = append(sc.syncRefs, core.PartitionRef{Table: sc.owners[ai].table, Partition: sc.owners[ai].idx})
 		}
-		syncCost := e.domain.SyncPointCost(sc.syncSockets, sp.Bytes)
+		syncCost := e.domain.SyncPointCostAt(sc.syncCores, sp.Bytes)
 		e.charge(worker, vclock.Communication, syncCost)
 		if e.adaptive != nil {
 			e.adaptive.recordSync(sc.syncRefs, sp.Bytes)
@@ -428,7 +437,7 @@ func (e *Engine) execute(worker topology.CoreID, t *workload.Transaction, sc *ex
 	switch e.cfg.Design {
 	case Centralized:
 		return e.executeCentralized(worker, t, sc)
-	case SharedNothingExtreme, SharedNothingCoarse:
+	case SharedNothingExtreme, SharedNothingCoarse, SharedNothing:
 		return e.executeSharedNothing(worker, t, sc)
 	default:
 		return e.executePartitioned(worker, t, sc)

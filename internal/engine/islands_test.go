@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"testing"
+
+	"atrapos/internal/topology"
+	"atrapos/internal/workload"
+)
+
+// runIsland executes the multisite microbenchmark on the given design and
+// island level with a single worker, so results are exactly reproducible.
+func runIsland(t *testing.T, top *topology.Topology, design Design, level topology.Level, pct int) *Result {
+	t.Helper()
+	e, err := New(Config{
+		Design:      design,
+		IslandLevel: level,
+		Workload:    workload.MultisiteUpdate(3000, pct),
+		Topology:    top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(RunOptions{Transactions: 400, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSharedNothingAliases asserts the legacy enum values are exact aliases
+// of the parametric granularity: byte-for-byte identical results, not merely
+// similar ones.
+func TestSharedNothingAliases(t *testing.T) {
+	cases := []struct {
+		legacy Design
+		level  topology.Level
+	}{
+		{SharedNothingExtreme, topology.LevelCore},
+		{SharedNothingCoarse, topology.LevelSocket},
+	}
+	for _, tc := range cases {
+		for _, pct := range []int{0, 50} {
+			legacy := runIsland(t, smallTopology(), tc.legacy, 0, pct)
+			param := runIsland(t, smallTopology(), SharedNothing, tc.level, pct)
+			if legacy.Committed != param.Committed || legacy.Aborted != param.Aborted {
+				t.Errorf("%v vs shared-nothing@%v at %d%%: committed %d/%d aborted %d/%d",
+					tc.legacy, tc.level, pct, legacy.Committed, param.Committed, legacy.Aborted, param.Aborted)
+			}
+			if legacy.VirtualTime != param.VirtualTime || legacy.ThroughputTPS != param.ThroughputTPS {
+				t.Errorf("%v vs shared-nothing@%v at %d%%: vt %v/%v tps %f/%f",
+					tc.legacy, tc.level, pct, legacy.VirtualTime, param.VirtualTime,
+					legacy.ThroughputTPS, param.ThroughputTPS)
+			}
+			if legacy.MultiSite != param.MultiSite {
+				t.Errorf("%v vs shared-nothing@%v at %d%%: multisite %d/%d",
+					tc.legacy, tc.level, pct, legacy.MultiSite, param.MultiSite)
+			}
+		}
+	}
+}
+
+// TestSharedNothingDefaultsToSocket checks the parametric design's zero-value
+// granularity.
+func TestSharedNothingDefaultsToSocket(t *testing.T) {
+	def := runIsland(t, smallTopology(), SharedNothing, 0, 50)
+	coarse := runIsland(t, smallTopology(), SharedNothingCoarse, 0, 50)
+	if def.Committed != coarse.Committed || def.ThroughputTPS != coarse.ThroughputTPS {
+		t.Errorf("unset IslandLevel should mean socket granularity: %f vs %f", def.ThroughputTPS, coarse.ThroughputTPS)
+	}
+}
+
+// TestMachineLevelIslands checks the coarsest granularity: one instance, so
+// no transaction is ever multi-site and no 2PC runs, at the price of shared
+// state.
+func TestMachineLevelIslands(t *testing.T) {
+	e, err := New(Config{
+		Design:      SharedNothing,
+		IslandLevel: topology.LevelMachine,
+		Workload:    workload.MultisiteUpdate(3000, 100),
+		Topology:    smallTopology(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.numSites() != 1 {
+		t.Fatalf("machine-level deployment has %d sites, want 1", e.numSites())
+	}
+	res, err := e.Run(RunOptions{Transactions: 400, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("machine-level islands should commit transactions")
+	}
+	if res.Breakdown.ByComp[2] != 0 { // vclock.Communication
+		// With a single site no work is ever shipped to a remote instance.
+		t.Errorf("machine-level islands should have zero communication time, got %v", res.Breakdown.ByComp)
+	}
+}
+
+// TestDieLevelIslands deploys one instance per CCX on a chiplet machine and
+// checks the site structure tracks the die islands.
+func TestDieLevelIslands(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 8, DiesPerSocket: 4})
+	e, err := New(Config{
+		Design:      SharedNothing,
+		IslandLevel: topology.LevelDie,
+		Workload:    workload.MultisiteUpdate(3000, 50),
+		Topology:    top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.numSites() != top.NumDies() {
+		t.Fatalf("die-level deployment has %d sites, want %d", e.numSites(), top.NumDies())
+	}
+	for site, cores := range e.siteCores {
+		for _, c := range cores {
+			if top.DieOf(c.ID) != topology.DieID(site) {
+				t.Errorf("site %d contains core %d of die %d", site, c.ID, top.DieOf(c.ID))
+			}
+		}
+	}
+	res, err := e.Run(RunOptions{Transactions: 400, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || res.MultiSite == 0 {
+		t.Fatalf("die-level run should commit and see multisite work: %+v", res)
+	}
+}
+
+// TestDieLevelCheaperThanItsSocketSplit: on a chiplet machine with expensive
+// inter-socket links, a die-grained deployment at moderate multisite load
+// must beat a core-grained one — the sub-socket island absorbs coordination
+// that would otherwise be per-core.
+func TestDieLevelBeatsCoreLevelOnChiplet(t *testing.T) {
+	top := func() *topology.Topology {
+		return topology.MustNew(topology.Config{
+			Sockets: 2, CoresPerSocket: 16, DiesPerSocket: 4,
+			Distance: [][]int{{0, 2}, {2, 0}},
+		})
+	}
+	core := runIsland(t, top(), SharedNothing, topology.LevelCore, 50)
+	die := runIsland(t, top(), SharedNothing, topology.LevelDie, 50)
+	if die.ThroughputTPS <= core.ThroughputTPS {
+		t.Errorf("die islands (%f) should beat core islands (%f) at 50%% multisite on a chiplet machine",
+			die.ThroughputTPS, core.ThroughputTPS)
+	}
+}
+
+// TestInvalidIslandLevel rejects out-of-range granularities.
+func TestInvalidIslandLevel(t *testing.T) {
+	_, err := New(Config{
+		Design:      SharedNothing,
+		IslandLevel: topology.Level(42),
+		Workload:    workload.MultisiteUpdate(100, 0),
+		Topology:    smallTopology(),
+		SkipLoad:    true,
+	})
+	if err == nil {
+		t.Fatal("invalid island level should be rejected")
+	}
+}
+
+// TestIslandLevelSurvivesSocketFailure: a die-level deployment on a machine
+// with a failed socket builds sites only from alive islands.
+func TestIslandLevelSurvivesSocketFailure(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 8, DiesPerSocket: 2})
+	if err := top.FailSocket(1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Design:      SharedNothing,
+		IslandLevel: topology.LevelDie,
+		Workload:    workload.MultisiteUpdate(3000, 50),
+		Topology:    top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.numSites() != 2 {
+		t.Fatalf("only socket 0's two dies should form sites, got %d", e.numSites())
+	}
+	res, err := e.Run(RunOptions{Transactions: 200, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("run on the surviving islands should commit")
+	}
+}

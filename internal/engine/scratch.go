@@ -34,14 +34,15 @@ type execScratch struct {
 	// beats a map and allocates nothing.
 	tableModes []tableMode
 
-	// syncSockets/syncRefs are the per-synchronization-point participant
-	// buffers of the partitioned path.
-	syncSockets []topology.SocketID
-	syncRefs    []core.PartitionRef
+	// syncCores/syncRefs are the per-synchronization-point participant
+	// buffers of the partitioned path; participants are tracked as executing
+	// cores so the rendezvous cost can distinguish die and socket crossings.
+	syncCores []topology.CoreID
+	syncRefs  []core.PartitionRef
 
-	// participants/remoteCores are the distinct 2PC participant sockets and
-	// remote executor cores of the shared-nothing path.
-	participants []topology.SocketID
+	// participants/remoteCores are the distinct 2PC participant instances
+	// (site indices) and remote executor cores of the shared-nothing path.
+	participants []int
 	remoteCores  []topology.CoreID
 }
 
@@ -57,9 +58,9 @@ func newExecScratch() *execScratch {
 		owners:       make([]lockedPartition, 0, 32),
 		locked:       make([]lockedPartition, 0, 32),
 		tableModes:   make([]tableMode, 0, 8),
-		syncSockets:  make([]topology.SocketID, 0, 16),
+		syncCores:    make([]topology.CoreID, 0, 16),
 		syncRefs:     make([]core.PartitionRef, 0, 16),
-		participants: make([]topology.SocketID, 0, 8),
+		participants: make([]int, 0, 8),
 		remoteCores:  make([]topology.CoreID, 0, 8),
 	}
 }
@@ -86,14 +87,14 @@ func (sc *execScratch) upsertTableMode(table string, mode lock.Mode) {
 	sc.tableModes = append(sc.tableModes, tableMode{table: table, mode: mode})
 }
 
-// addParticipant records a distinct 2PC participant socket.
-func (sc *execScratch) addParticipant(s topology.SocketID) {
+// addParticipant records a distinct 2PC participant instance (site index).
+func (sc *execScratch) addParticipant(site int) {
 	for _, p := range sc.participants {
-		if p == s {
+		if p == site {
 			return
 		}
 	}
-	sc.participants = append(sc.participants, s)
+	sc.participants = append(sc.participants, site)
 }
 
 // addRemoteCore records a distinct remote executor core.

@@ -36,6 +36,12 @@ type Scale struct {
 	Workers int
 	// Seed makes runs repeatable.
 	Seed int64
+	// Profile optionally names a machine profile (topology.Profiles) to run
+	// the experiments on instead of the scale's own MaxSockets x
+	// CoresPerSocket machine. Experiments that sweep the socket count keep
+	// their sweep; everything that uses the scale's largest machine uses the
+	// profile's shape.
+	Profile string
 }
 
 // QuickScale returns a scale suitable for tests and benchmarks: a 4-socket,
@@ -80,8 +86,33 @@ func (s Scale) topologyWith(sockets int) *topology.Topology {
 	})
 }
 
-// Topology returns the largest machine of the scale.
-func (s Scale) Topology() *topology.Topology { return s.topologyWith(s.MaxSockets) }
+// Validate reports whether the scale is usable; today that means the pinned
+// machine profile, if any, names a known profile. RunExperiment and RunAll
+// check it up front so a typo surfaces as an error instead of a panic deep
+// inside an experiment.
+func (s Scale) Validate() error {
+	if s.Profile != "" {
+		if _, err := topology.BuildProfile(s.Profile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Topology returns the machine the experiments run on: the named profile's
+// machine when Scale.Profile is set (panicking on an unknown name — callers
+// reach this only through entry points that ran Validate first), otherwise
+// the largest machine of the scale.
+func (s Scale) Topology() *topology.Topology {
+	if s.Profile != "" {
+		top, err := topology.BuildProfile(s.Profile)
+		if err != nil {
+			panic(err)
+		}
+		return top
+	}
+	return s.topologyWith(s.MaxSockets)
+}
 
 // socketSweep returns the socket counts used by the scaling figures
 // (1, 2, 4, ... up to MaxSockets), mirroring the paper's x-axis.
@@ -185,6 +216,7 @@ func Registry() []Experiment {
 		{"fig13", "Adapting to frequent workload changes", Fig13},
 		{"fig-drift", "Adapting to a continuously drifting hotspot (new scenario)", FigDrift},
 		{"fig-oscillate", "Adapting to an oscillating access skew (new scenario)", FigOscillate},
+		{"fig-islands", "Island-size sweep: shared-nothing granularity per machine profile and multisite probability", FigIslands},
 		{"ablation-txnlist", "Ablation: centralized vs per-socket transaction list", AblationTxnList},
 		{"ablation-statelock", "Ablation: centralized vs per-socket state locks", AblationStateLock},
 		{"ablation-placement", "Ablation: placement step (Algorithm 2) on vs off", AblationPlacement},
@@ -215,6 +247,9 @@ func IDs() []string {
 
 // RunAll executes every experiment at the given scale.
 func RunAll(s Scale) ([]*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	var out []*Table
 	for _, e := range Registry() {
 		t, err := e.Run(s)

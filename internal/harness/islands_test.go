@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"atrapos/internal/topology"
+)
+
+// TestFigIslandsCrossover runs the island-size sweep and asserts its headline
+// result: on every machine profile the best granularity at 0% multisite
+// probability is strictly finer than the best granularity at 100% — fine
+// islands win when transactions stay local, coarse islands win when they
+// don't.
+func TestFigIslandsCrossover(t *testing.T) {
+	tbl, err := FigIslands(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("fig-islands produced no rows")
+	}
+	profiles := islandSweepProfiles(testScale())
+	if len(profiles) < 3 {
+		t.Fatalf("islands sweep covers only %d profiles, want >= 3", len(profiles))
+	}
+	// best[profile][pct] = winning level
+	best := make(map[string]map[string]topology.Level)
+	for _, row := range tbl.Rows {
+		profile, pct, winner := row[0], row[1], row[len(row)-1]
+		level, err := topology.ParseLevel(winner)
+		if err != nil {
+			t.Fatalf("row %v has unparseable winner %q", row, winner)
+		}
+		if best[profile] == nil {
+			best[profile] = make(map[string]topology.Level)
+		}
+		best[profile][pct] = level
+	}
+	for _, prof := range profiles {
+		low, okLow := best[prof.Name]["0"]
+		high, okHigh := best[prof.Name]["100"]
+		if !okLow || !okHigh {
+			t.Fatalf("profile %s missing sweep endpoints: %+v", prof.Name, best[prof.Name])
+		}
+		if !(low < high) {
+			t.Errorf("profile %s: best granularity at 0%% (%v) should be strictly finer than at 100%% (%v)",
+				prof.Name, low, high)
+		}
+	}
+	// Every profile contributes one row per swept percentage.
+	if want := len(profiles) * 4; len(tbl.Rows) != want {
+		t.Errorf("fig-islands has %d rows, want %d", len(tbl.Rows), want)
+	}
+}
+
+// TestFigIslandsRegistered checks the experiment is reachable by id and that
+// a pinned profile joins the sweep.
+func TestFigIslandsRegistered(t *testing.T) {
+	if _, ok := Lookup("fig-islands"); !ok {
+		t.Fatal("fig-islands not registered")
+	}
+	s := testScale()
+	s.Profile = "subnuma-4s2d"
+	profiles := islandSweepProfiles(s)
+	found := false
+	for _, p := range profiles {
+		if p.Name == s.Profile {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pinned profile %s should join the sweep: %v", s.Profile, profiles)
+	}
+}
+
+// TestScaleProfileTopology checks Scale.Topology honours the profile pin.
+func TestScaleProfileTopology(t *testing.T) {
+	s := testScale()
+	s.Profile = "chiplet-2s4d"
+	top := s.Topology()
+	if !top.Hierarchical() || top.NumCores() != 32 {
+		t.Errorf("profile-pinned topology wrong: %s", top)
+	}
+	s.Profile = ""
+	if s.Topology().NumCores() != s.MaxSockets*s.CoresPerSocket {
+		t.Error("unpinned topology should be the scale's own machine")
+	}
+}

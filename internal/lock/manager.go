@@ -113,32 +113,66 @@ func (m *CentralManager) Table() *Table { return m.table }
 
 // LocalManager is a partition-local lock table as used by PLP and ATraPos:
 // each logical partition has its own small lock table accessed by exactly one
-// worker thread, so acquisitions are socket-local and uncontended. The cost
+// worker thread, so acquisitions are island-local and uncontended. The cost
 // charged is the local atomic cost of the owning socket's stripe.
+//
+// A LocalManager is homed on the island of the partition's owning core: it
+// records both the socket (which prices the cache-line stripe) and, on
+// hierarchical machines, the die, so that repartitioning can tell whether a
+// candidate lock table is really local to a partition's new owner or merely
+// on the right socket.
 type LocalManager struct {
-	table *Table
-	line  *numa.CacheLine
-	home  topology.SocketID
+	table   *Table
+	line    *numa.CacheLine
+	home    topology.SocketID
+	homeDie topology.DieID
 }
 
-// NewLocalManager creates a partition-local lock table homed on socket home.
+// NewLocalManager creates a partition-local lock table homed on socket home
+// (on its first die when the machine is hierarchical).
 func NewLocalManager(d *numa.Domain, home topology.SocketID) *LocalManager {
 	return &LocalManager{
-		table: NewTable(8),
-		line:  numa.NewCacheLine(d, home),
-		home:  home,
+		table:   NewTable(8),
+		line:    numa.NewCacheLine(d, home),
+		home:    home,
+		homeDie: d.Top.FirstDieOn(home),
 	}
 }
 
-// Rehome moves the lock table's cache line to a new socket; called when
-// repartitioning migrates a partition to a core on another socket.
+// NewLocalManagerAt creates a partition-local lock table homed on the island
+// of the given owner core: its socket for cost purposes and its die for
+// island-locality checks.
+func NewLocalManagerAt(d *numa.Domain, owner topology.CoreID) *LocalManager {
+	return &LocalManager{
+		table:   NewTable(8),
+		line:    numa.NewCacheLine(d, d.Top.SocketOf(owner)),
+		home:    d.Top.SocketOf(owner),
+		homeDie: d.Top.DieOf(owner),
+	}
+}
+
+// Rehome moves the lock table's cache line to a new socket (its first die on
+// hierarchical machines). When the new owner core is known, prefer RehomeAt,
+// which keeps the die home consistent with the owner.
 func (m *LocalManager) Rehome(d *numa.Domain, home topology.SocketID) {
 	m.line = numa.NewCacheLine(d, home)
 	m.home = home
+	m.homeDie = d.Top.FirstDieOn(home)
+}
+
+// RehomeAt moves the lock table's cache line to the island of the given
+// owner core; called when repartitioning migrates a partition.
+func (m *LocalManager) RehomeAt(d *numa.Domain, owner topology.CoreID) {
+	m.line = numa.NewCacheLine(d, d.Top.SocketOf(owner))
+	m.home = d.Top.SocketOf(owner)
+	m.homeDie = d.Top.DieOf(owner)
 }
 
 // Home returns the socket the lock table is currently homed on.
 func (m *LocalManager) Home() topology.SocketID { return m.home }
+
+// HomeDie returns the die the lock table is currently homed on.
+func (m *LocalManager) HomeDie() topology.DieID { return m.homeDie }
 
 // Acquire implements Manager.
 func (m *LocalManager) Acquire(s topology.SocketID, txn TxnID, res ResourceID, mode Mode) (numa.Cost, error) {

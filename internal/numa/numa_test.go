@@ -84,29 +84,6 @@ func TestSyncPointCost(t *testing.T) {
 	}
 }
 
-func TestUniqueSockets(t *testing.T) {
-	got := UniqueSockets([]topology.SocketID{3, 1, 3, 2, 1})
-	want := []topology.SocketID{3, 1, 2}
-	if len(got) != len(want) {
-		t.Fatalf("UniqueSockets = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("UniqueSockets = %v, want %v", got, want)
-		}
-	}
-}
-
-func TestAvgPairwiseDistance(t *testing.T) {
-	d := testDomain(t, 4, 1)
-	if v := d.AvgPairwiseDistance([]topology.SocketID{1}); v != 0 {
-		t.Errorf("single socket distance = %f, want 0", v)
-	}
-	if v := d.AvgPairwiseDistance([]topology.SocketID{0, 1, 2, 3}); v <= 0 {
-		t.Errorf("multi socket distance = %f, want > 0", v)
-	}
-}
-
 func TestCacheLineOwnershipMigration(t *testing.T) {
 	d := testDomain(t, 4, 2)
 	cl := NewCacheLine(d, 0)

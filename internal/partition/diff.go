@@ -259,25 +259,29 @@ func (r *Runtime) ApplyDiff(p *Placement, diff *PlanDiff) (*Runtime, ApplyStats)
 			copy(ms, old)
 			stats.ReusedManagers += len(ms)
 			for _, i := range td.Moved {
-				ms[i] = lock.NewLocalManager(r.domain, r.domain.Top.SocketOf(tp.Cores[i]))
+				ms[i] = lock.NewLocalManagerAt(r.domain, tp.Cores[i])
 				stats.ReusedManagers--
 				stats.RebuiltManagers++
 			}
 		case td != nil && td.Kind == TableRebounded && diff.Old != nil && diff.Old.Tables[name] != nil:
 			have := diff.Old.Tables[name]
+			top := r.domain.Top
 			for i, core := range tp.Cores {
-				home := r.domain.Top.SocketOf(core)
-				if j, ok := matchingPartition(have, tp, i); ok && j < len(old) && old[j] != nil && old[j].Home() == home {
+				// A surviving lock table is reusable only if it is homed on the
+				// new owner's island: the same socket and, on hierarchical
+				// machines, the same die.
+				if j, ok := matchingPartition(have, tp, i); ok && j < len(old) && old[j] != nil &&
+					old[j].Home() == top.SocketOf(core) && old[j].HomeDie() == top.DieOf(core) {
 					ms[i] = old[j]
 					stats.ReusedManagers++
 					continue
 				}
-				ms[i] = lock.NewLocalManager(r.domain, home)
+				ms[i] = lock.NewLocalManagerAt(r.domain, core)
 				stats.RebuiltManagers++
 			}
 		default:
 			for i, core := range tp.Cores {
-				ms[i] = lock.NewLocalManager(r.domain, r.domain.Top.SocketOf(core))
+				ms[i] = lock.NewLocalManagerAt(r.domain, core)
 				stats.RebuiltManagers++
 			}
 		}
@@ -288,9 +292,10 @@ func (r *Runtime) ApplyDiff(p *Placement, diff *PlanDiff) (*Runtime, ApplyStats)
 
 // Validate checks that the runtime is structurally equivalent to a fresh
 // NewRuntime build for placement p: every table is present with one lock
-// manager per partition, and every manager is homed on the socket of the
-// partition's owning core. It is the invariant ApplyDiff must preserve; the
-// engine refuses to install a snapshot whose runtime fails it.
+// manager per partition, and every manager is homed on the island of the
+// partition's owning core (its socket and its die). It is the invariant
+// ApplyDiff must preserve; the engine refuses to install a snapshot whose
+// runtime fails it.
 func (r *Runtime) Validate(p *Placement) error {
 	if len(r.locks) != len(p.Tables) {
 		return fmt.Errorf("partition: runtime has %d tables, placement has %d", len(r.locks), len(p.Tables))
@@ -310,6 +315,10 @@ func (r *Runtime) Validate(p *Placement) error {
 			if want := r.domain.Top.SocketOf(tp.Cores[i]); m.Home() != want {
 				return fmt.Errorf("partition: table %q partition %d lock table homed on socket %d, owner core %d is on socket %d",
 					name, i, m.Home(), tp.Cores[i], want)
+			}
+			if want := r.domain.Top.DieOf(tp.Cores[i]); m.HomeDie() != want {
+				return fmt.Errorf("partition: table %q partition %d lock table homed on die %d, owner core %d is on die %d",
+					name, i, m.HomeDie(), tp.Cores[i], want)
 			}
 		}
 	}

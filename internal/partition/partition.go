@@ -187,15 +187,17 @@ type TableSpec struct {
 	MaxKey int64
 }
 
-// NaivePerCore builds the naïve hardware-aware placement of Section IV: every
-// table is range partitioned with one partition per alive core, assigned in
-// core order. With T tables, every core owns T partitions (one per table),
-// which is the oversaturation the Figure 6 experiment demonstrates.
-func NaivePerCore(top *topology.Topology, tables []TableSpec) *Placement {
-	cores := top.AliveCores()
+// PerIsland builds a placement with one partition per alive island at the
+// given level for each table, owned by the island's first alive core. It is
+// the data layout of a shared-nothing deployment at that island granularity:
+// LevelCore reproduces the extreme (instance-per-core) layout, LevelSocket
+// the coarse (instance-per-socket) one, LevelDie an instance per CCX/cluster,
+// and LevelMachine a single instance covering the whole key space.
+func PerIsland(top *topology.Topology, level topology.Level, tables []TableSpec) *Placement {
+	islands := top.AliveIslandsAt(level)
 	p := NewPlacement()
 	for _, spec := range tables {
-		n := len(cores)
+		n := len(islands)
 		if n < 1 {
 			n = 1
 		}
@@ -206,13 +208,22 @@ func NaivePerCore(top *topology.Topology, tables []TableSpec) *Placement {
 			Cores:  make([]topology.CoreID, len(bounds)),
 		}
 		for i := range tp.Cores {
-			if len(cores) > 0 {
-				tp.Cores[i] = cores[i%len(cores)].ID
+			if len(islands) > 0 {
+				tp.Cores[i] = islands[i%len(islands)].Cores[0].ID
 			}
 		}
 		p.Tables[spec.Name] = tp
 	}
 	return p
+}
+
+// NaivePerCore builds the naïve hardware-aware placement of Section IV: every
+// table is range partitioned with one partition per alive core, assigned in
+// core order. With T tables, every core owns T partitions (one per table),
+// which is the oversaturation the Figure 6 experiment demonstrates. It is
+// PerIsland at the finest granularity.
+func NaivePerCore(top *topology.Topology, tables []TableSpec) *Placement {
+	return PerIsland(top, topology.LevelCore, tables)
 }
 
 // SpreadAcrossCores builds a placement with one partition per core in total
@@ -295,29 +306,10 @@ func SpreadAcrossCores(top *topology.Topology, tables []TableSpec, weights []flo
 
 // PerSocket builds a placement with one partition per alive socket for each
 // table, owned by the first core of the socket. It mirrors the coarse
-// shared-nothing configuration's data layout.
+// shared-nothing configuration's data layout and is PerIsland at socket
+// granularity.
 func PerSocket(top *topology.Topology, tables []TableSpec) *Placement {
-	sockets := top.AliveSockets()
-	p := NewPlacement()
-	for _, spec := range tables {
-		n := len(sockets)
-		if n < 1 {
-			n = 1
-		}
-		bounds := btree.UniformBounds(spec.MaxKey, n)
-		tp := &TablePlacement{
-			Table:  spec.Name,
-			Bounds: bounds,
-			Cores:  make([]topology.CoreID, len(bounds)),
-		}
-		for i := range tp.Cores {
-			if len(sockets) > 0 {
-				tp.Cores[i] = top.CoresOn(sockets[i%len(sockets)])[0].ID
-			}
-		}
-		p.Tables[spec.Name] = tp
-	}
-	return p
+	return PerIsland(top, topology.LevelSocket, tables)
 }
 
 // Runtime is the per-partition runtime state of data-oriented execution: one
@@ -328,13 +320,16 @@ type Runtime struct {
 	locks  map[string][]*lock.LocalManager
 }
 
-// NewRuntime builds the partition-local lock tables for a placement.
+// NewRuntime builds the partition-local lock tables for a placement. Each
+// lock table is homed on the island of its partition's owning core (its
+// socket and, on hierarchical machines, its die), so the critical path stays
+// local to the smallest enclosing island.
 func NewRuntime(d *numa.Domain, p *Placement) *Runtime {
 	r := &Runtime{domain: d, locks: make(map[string][]*lock.LocalManager)}
 	for name, tp := range p.Tables {
 		ms := make([]*lock.LocalManager, len(tp.Cores))
 		for i, core := range tp.Cores {
-			ms[i] = lock.NewLocalManager(d, d.Top.SocketOf(core))
+			ms[i] = lock.NewLocalManagerAt(d, core)
 		}
 		r.locks[name] = ms
 	}

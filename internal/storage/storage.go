@@ -123,7 +123,9 @@ func (m *Manager) TotalRows() int {
 
 // Table is one physical table: a multi-rooted B-tree plus the memory node
 // each partition's data lives on. All row operations return the virtual cost
-// of the access as observed from the caller's socket.
+// of the access as observed from the caller's core: the socket component of
+// the distance prices cross-socket DRAM pulls and, on hierarchical machines,
+// the die component prices the on-package hop to the memory-controller die.
 type Table struct {
 	def    *schema.Table
 	domain *numa.Domain
@@ -188,26 +190,26 @@ func (t *Table) Homes() []topology.SocketID {
 }
 
 // indexProbeCost models a root-to-leaf B-tree traversal within a partition
-// whose data lives on memory node home, performed from socket from. The row
+// whose data lives on memory node home, performed from core from. The row
 // payload spans rowBytes/64 cache lines, each of which pays the DRAM
 // placement cost; on top of that comes the fixed per-row CPU work.
-func (t *Table) indexProbeCost(from, home topology.SocketID, rowBytes int) numa.Cost {
+func (t *Table) indexProbeCost(from topology.CoreID, home topology.SocketID, rowBytes int) numa.Cost {
 	lines := numa.Cost(rowBytes / 64)
 	if lines < 1 {
 		lines = 1
 	}
-	return t.domain.Model.RowWork + 2*t.domain.Model.LocalAccess + lines*t.domain.DRAMCost(from, home)
+	return t.domain.Model.RowWork + 2*t.domain.Model.LocalAccess + lines*t.domain.CoreDRAMCost(from, home)
 }
 
-func (t *Table) accessCost(from topology.SocketID, key schema.Key, rowBytes int) numa.Cost {
+func (t *Table) accessCost(from topology.CoreID, key schema.Key, rowBytes int) numa.Cost {
 	p := t.tree.PartitionFor(key)
 	home := t.Home(p)
-	t.domain.Top.RecordTraffic(from, home, int64(rowBytes))
+	t.domain.Top.RecordTraffic(t.domain.Top.SocketOf(from), home, int64(rowBytes))
 	return t.indexProbeCost(from, home, rowBytes)
 }
 
 // Read returns the row stored under key.
-func (t *Table) Read(from topology.SocketID, key schema.Key) (schema.Row, numa.Cost, error) {
+func (t *Table) Read(from topology.CoreID, key schema.Key) (schema.Row, numa.Cost, error) {
 	cost := t.accessCost(from, key, t.rowBytes())
 	row, ok := t.tree.Get(key)
 	if !ok {
@@ -217,7 +219,7 @@ func (t *Table) Read(from topology.SocketID, key schema.Key) (schema.Row, numa.C
 }
 
 // Insert adds a new row under key; it fails with ErrDuplicate if the key exists.
-func (t *Table) Insert(from topology.SocketID, key schema.Key, row schema.Row) (numa.Cost, error) {
+func (t *Table) Insert(from topology.CoreID, key schema.Key, row schema.Row) (numa.Cost, error) {
 	cost := t.accessCost(from, key, row.Size())
 	if _, exists := t.tree.Get(key); exists {
 		return cost, ErrDuplicate
@@ -228,7 +230,7 @@ func (t *Table) Insert(from topology.SocketID, key schema.Key, row schema.Row) (
 }
 
 // Update applies fn to the row under key.
-func (t *Table) Update(from topology.SocketID, key schema.Key, fn func(schema.Row) schema.Row) (numa.Cost, error) {
+func (t *Table) Update(from topology.CoreID, key schema.Key, fn func(schema.Row) schema.Row) (numa.Cost, error) {
 	cost := t.accessCost(from, key, t.rowBytes())
 	if !t.tree.Update(key, fn) {
 		return cost, ErrNotFound
@@ -237,7 +239,7 @@ func (t *Table) Update(from topology.SocketID, key schema.Key, fn func(schema.Ro
 }
 
 // Delete removes the row under key.
-func (t *Table) Delete(from topology.SocketID, key schema.Key) (numa.Cost, error) {
+func (t *Table) Delete(from topology.CoreID, key schema.Key) (numa.Cost, error) {
 	cost := t.accessCost(from, key, t.rowBytes())
 	if !t.tree.Delete(key) {
 		return cost, ErrNotFound
@@ -247,7 +249,7 @@ func (t *Table) Delete(from topology.SocketID, key schema.Key) (numa.Cost, error
 
 // Scan visits rows in [from, to) in key order and returns the access cost,
 // charged per partition touched.
-func (t *Table) Scan(caller topology.SocketID, from, to schema.Key, fn func(schema.Key, schema.Row) bool) numa.Cost {
+func (t *Table) Scan(caller topology.CoreID, from, to schema.Key, fn func(schema.Key, schema.Row) bool) numa.Cost {
 	var cost numa.Cost
 	start := t.tree.PartitionFor(from)
 	endKey := to

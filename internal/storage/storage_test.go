@@ -124,9 +124,10 @@ func TestRemoteAccessCostsMore(t *testing.T) {
 	m := testManager(t)
 	tbl, _ := m.CreateTable(accountsDef(), btree.UniformBounds(100, 4), []topology.SocketID{0, 1, 2, 3})
 	key := schema.KeyFromInt(90) // partition 3, homed on socket 3
-	tbl.Insert(3, key, schema.Row{int64(90), int64(1)})
+	local := topology.CoreID(6)  // a core on socket 3 (2 cores per socket)
+	tbl.Insert(local, key, schema.Row{int64(90), int64(1)})
 
-	_, localCost, err := tbl.Read(3, key)
+	_, localCost, err := tbl.Read(local, key)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,188 @@
+package topology
+
+import "fmt"
+
+// Level names one tier of the hardware-island hierarchy of a modern server:
+// a core, the die (or CCX/chiplet) that groups cores behind a shared cache
+// slice, the socket (package), and the whole machine. Levels are ordered from
+// finest to coarsest, so comparisons read naturally: LevelCore < LevelSocket
+// means core-grained islands are finer than socket-grained ones.
+//
+// The zero value is deliberately not a valid level so that a Level field left
+// unset in a configuration can be detected and defaulted.
+type Level int
+
+const (
+	// LevelCore is the finest island granularity: every core is its own island.
+	LevelCore Level = iota + 1
+	// LevelDie groups the cores of one die (CCX, chiplet, sub-NUMA cluster).
+	// On flat machines (one die per socket) it coincides with LevelSocket.
+	LevelDie
+	// LevelSocket groups the cores of one processor socket.
+	LevelSocket
+	// LevelMachine is the coarsest granularity: the whole machine is one island.
+	LevelMachine
+)
+
+// Levels returns every level from finest to coarsest.
+func Levels() []Level {
+	return []Level{LevelCore, LevelDie, LevelSocket, LevelMachine}
+}
+
+// Valid reports whether l is one of the defined levels.
+func (l Level) Valid() bool { return l >= LevelCore && l <= LevelMachine }
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelCore:
+		return "core"
+	case LevelDie:
+		return "die"
+	case LevelSocket:
+		return "socket"
+	case LevelMachine:
+		return "machine"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a level name ("core", "die", "socket", "machine") to a Level.
+func ParseLevel(s string) (Level, error) {
+	for _, l := range Levels() {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown island level %q (want core, die, socket or machine)", s)
+}
+
+// Island is one hardware island: a set of cores that share a level of the
+// hierarchy (a die, a socket, or the whole machine; at LevelCore each island
+// is a single core).
+type Island struct {
+	// Level is the granularity the island was enumerated at.
+	Level Level
+	// Index is the dense index of the island among islands of its level.
+	Index int
+	// Socket is the socket enclosing the island. For LevelMachine islands of a
+	// multisocket machine it is InvalidSocket (no single enclosing socket).
+	Socket SocketID
+	// Cores are the member cores. For islands returned by IslandsAt the slice
+	// aliases the topology's core array and must not be modified.
+	Cores []Core
+}
+
+// NumIslandsAt returns how many islands the machine has at the given level.
+func (t *Topology) NumIslandsAt(level Level) int {
+	switch level {
+	case LevelCore:
+		return len(t.cores)
+	case LevelDie:
+		return t.sockets * t.diesPerSocket
+	case LevelSocket:
+		return t.sockets
+	case LevelMachine:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IslandOf returns the index of the island containing core c at the given
+// level, or -1 if the core or level is unknown.
+func (t *Topology) IslandOf(c CoreID, level Level) int {
+	if int(c) < 0 || int(c) >= len(t.cores) {
+		return -1
+	}
+	switch level {
+	case LevelCore:
+		return int(c)
+	case LevelDie:
+		return int(t.cores[c].Die)
+	case LevelSocket:
+		return int(t.cores[c].Socket)
+	case LevelMachine:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// IslandsAt enumerates the islands of the machine at the given level, in
+// core order. The member slices alias the topology's core array.
+func (t *Topology) IslandsAt(level Level) []Island {
+	switch level {
+	case LevelCore:
+		out := make([]Island, len(t.cores))
+		for i := range t.cores {
+			out[i] = Island{Level: level, Index: i, Socket: t.cores[i].Socket, Cores: t.cores[i : i+1]}
+		}
+		return out
+	case LevelDie:
+		perDie := t.perSocket / t.diesPerSocket
+		n := t.sockets * t.diesPerSocket
+		out := make([]Island, n)
+		for d := 0; d < n; d++ {
+			start := d * perDie
+			out[d] = Island{
+				Level:  level,
+				Index:  d,
+				Socket: SocketID(d / t.diesPerSocket),
+				Cores:  t.cores[start : start+perDie],
+			}
+		}
+		return out
+	case LevelSocket:
+		out := make([]Island, t.sockets)
+		for s := 0; s < t.sockets; s++ {
+			start := s * t.perSocket
+			out[s] = Island{Level: level, Index: s, Socket: SocketID(s), Cores: t.cores[start : start+t.perSocket]}
+		}
+		return out
+	case LevelMachine:
+		sock := InvalidSocket
+		if t.sockets == 1 {
+			sock = 0
+		}
+		return []Island{{Level: level, Index: 0, Socket: sock, Cores: t.cores}}
+	default:
+		return nil
+	}
+}
+
+// AliveIslandsAt enumerates the islands at the given level that have at least
+// one core on an operational socket, with their member lists filtered down to
+// alive cores. Island indices are preserved from IslandsAt, so a caller can
+// still relate an alive island to its position in the full machine. The
+// filtered member slices are freshly allocated when filtering was needed.
+func (t *Topology) AliveIslandsAt(level Level) []Island {
+	all := t.IslandsAt(level)
+	out := make([]Island, 0, len(all))
+	for _, isl := range all {
+		allAlive := true
+		anyAlive := false
+		for _, c := range isl.Cores {
+			if t.Alive(c.Socket) {
+				anyAlive = true
+			} else {
+				allAlive = false
+			}
+		}
+		if !anyAlive {
+			continue
+		}
+		if !allAlive {
+			cores := make([]Core, 0, len(isl.Cores))
+			for _, c := range isl.Cores {
+				if t.Alive(c.Socket) {
+					cores = append(cores, c)
+				}
+			}
+			isl.Cores = cores
+		}
+		out = append(out, isl)
+	}
+	return out
+}

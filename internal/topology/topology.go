@@ -26,30 +26,46 @@ type SocketID int
 // InvalidSocket is returned for cores that do not exist in the topology.
 const InvalidSocket SocketID = -1
 
+// DieID identifies a die (CCX, chiplet, sub-NUMA cluster) within a Topology.
+// Dies are numbered densely from 0 across all sockets, so a DieID alone
+// identifies both the die and (via SocketOfDie) its enclosing socket.
+type DieID int
+
+// InvalidDie is returned for cores that do not exist in the topology.
+const InvalidDie DieID = -1
+
 // Core describes one logical processor core.
 type Core struct {
 	ID     CoreID
 	Socket SocketID
+	// Die is the global index of the die the core belongs to. On flat
+	// machines (one die per socket) it equals the socket index.
+	Die DieID
 	// Index of the core within its socket (0..CoresPerSocket-1).
 	LocalIndex int
 }
 
-// Topology describes a multisocket machine: how many sockets it has, which
-// cores belong to which socket, and the relative communication distance
-// between every pair of sockets.
+// Topology describes a multisocket machine as a hierarchical island tree:
+// how many sockets it has, how the cores of each socket group into dies, and
+// the relative communication distance between islands at every level.
 //
 // Distances are unitless multipliers applied by the cost model: a distance of
-// 0 means "same socket" (communication through the shared last-level cache),
-// 1 means "one interconnect hop", 2 means "two hops", and so on.
+// 0 means "same island" (communication through a shared cache), 1 means "one
+// interconnect hop", 2 means "two hops", and so on. Socket-level hops (the
+// Distance matrix) and die-level hops (DieHops) are separate axes priced by
+// separate cost-model constants, because a die-to-die hop inside a package is
+// much cheaper than a QPI/UPI hop between packages.
 type Topology struct {
-	name       string
-	sockets    int
-	perSocket  int
-	cores      []Core
-	distance   [][]int
-	failed     []atomic.Bool
-	qpiBytes   []atomic.Int64 // interconnect traffic counters, indexed by socket
-	localBytes []atomic.Int64 // memory-controller (local) traffic counters
+	name          string
+	sockets       int
+	perSocket     int
+	diesPerSocket int
+	cores         []Core
+	distance      [][]int
+	dieDistance   [][]int // intra-socket die hop matrix (diesPerSocket x diesPerSocket)
+	failed        []atomic.Bool
+	qpiBytes      []atomic.Int64 // interconnect traffic counters, indexed by socket
+	localBytes    []atomic.Int64 // memory-controller (local) traffic counters
 	// epoch increments on every liveness change (FailSocket/RestoreSocket).
 	// Engines key their cached alive-core lists on it so the transaction hot
 	// path never has to rebuild the list.
@@ -68,6 +84,53 @@ type Config struct {
 	// counts. Distance[i][i] must be 0. If nil, a distance matrix for a
 	// twisted-cube-like topology is generated.
 	Distance [][]int
+	// DiesPerSocket splits each socket's cores into that many dies (CCXs,
+	// chiplets, sub-NUMA clusters). Zero or one means a flat socket (one die).
+	// CoresPerSocket must be divisible by it.
+	DiesPerSocket int
+	// DieDistance is an optional DiesPerSocket x DiesPerSocket matrix of
+	// intra-socket die hop counts, with the same symmetry/zero-diagonal rules
+	// as Distance. If nil, every pair of distinct dies is one die-hop apart.
+	DieDistance [][]int
+}
+
+// validateSquare checks a hop matrix for size, zero diagonal, symmetry and
+// non-negative entries.
+func validateSquare(what string, dist [][]int, n int) error {
+	if len(dist) != n {
+		return fmt.Errorf("topology: %s matrix has %d rows, want %d", what, len(dist), n)
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return fmt.Errorf("topology: %s row %d has %d columns, want %d", what, i, len(row), n)
+		}
+		if row[i] != 0 {
+			return fmt.Errorf("topology: %s[%d][%d] must be 0, got %d", what, i, i, row[i])
+		}
+		for j, d := range row {
+			if d < 0 {
+				return fmt.Errorf("topology: negative %s[%d][%d] = %d", what, i, j, d)
+			}
+			if dist[j][i] != d {
+				return fmt.Errorf("topology: %s matrix not symmetric at (%d,%d)", what, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// uniformDistance returns an n x n matrix with hop off the diagonal.
+func uniformDistance(n, hop int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, n)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = hop
+			}
+		}
+	}
+	return out
 }
 
 // New builds a Topology from cfg.
@@ -78,48 +141,50 @@ func New(cfg Config) (*Topology, error) {
 	if cfg.CoresPerSocket < 1 {
 		return nil, fmt.Errorf("topology: cores per socket must be >= 1, got %d", cfg.CoresPerSocket)
 	}
+	dies := cfg.DiesPerSocket
+	if dies <= 0 {
+		dies = 1
+	}
+	if cfg.CoresPerSocket%dies != 0 {
+		return nil, fmt.Errorf("topology: %d cores per socket not divisible by %d dies", cfg.CoresPerSocket, dies)
+	}
 	dist := cfg.Distance
 	if dist == nil {
 		dist = TwistedCubeDistance(cfg.Sockets)
 	}
-	if len(dist) != cfg.Sockets {
-		return nil, fmt.Errorf("topology: distance matrix has %d rows, want %d", len(dist), cfg.Sockets)
+	if err := validateSquare("distance", dist, cfg.Sockets); err != nil {
+		return nil, err
 	}
-	for i, row := range dist {
-		if len(row) != cfg.Sockets {
-			return nil, fmt.Errorf("topology: distance row %d has %d columns, want %d", i, len(row), cfg.Sockets)
-		}
-		if row[i] != 0 {
-			return nil, fmt.Errorf("topology: distance[%d][%d] must be 0, got %d", i, i, row[i])
-		}
-		for j, d := range row {
-			if d < 0 {
-				return nil, fmt.Errorf("topology: negative distance[%d][%d] = %d", i, j, d)
-			}
-			if dist[j][i] != d {
-				return nil, fmt.Errorf("topology: distance matrix not symmetric at (%d,%d)", i, j)
-			}
-		}
+	dieDist := cfg.DieDistance
+	if dieDist == nil {
+		dieDist = uniformDistance(dies, 1)
+	}
+	if err := validateSquare("die distance", dieDist, dies); err != nil {
+		return nil, err
 	}
 	name := cfg.Name
 	if name == "" {
 		name = fmt.Sprintf("%d-socket x %d-core", cfg.Sockets, cfg.CoresPerSocket)
 	}
 	t := &Topology{
-		name:       name,
-		sockets:    cfg.Sockets,
-		perSocket:  cfg.CoresPerSocket,
-		distance:   dist,
-		failed:     make([]atomic.Bool, cfg.Sockets),
-		qpiBytes:   make([]atomic.Int64, cfg.Sockets),
-		localBytes: make([]atomic.Int64, cfg.Sockets),
+		name:          name,
+		sockets:       cfg.Sockets,
+		perSocket:     cfg.CoresPerSocket,
+		diesPerSocket: dies,
+		distance:      dist,
+		dieDistance:   dieDist,
+		failed:        make([]atomic.Bool, cfg.Sockets),
+		qpiBytes:      make([]atomic.Int64, cfg.Sockets),
+		localBytes:    make([]atomic.Int64, cfg.Sockets),
 	}
+	perDie := cfg.CoresPerSocket / dies
 	t.cores = make([]Core, 0, cfg.Sockets*cfg.CoresPerSocket)
 	for s := 0; s < cfg.Sockets; s++ {
 		for c := 0; c < cfg.CoresPerSocket; c++ {
 			t.cores = append(t.cores, Core{
 				ID:         CoreID(len(t.cores)),
 				Socket:     SocketID(s),
+				Die:        DieID(s*dies + c/perDie),
 				LocalIndex: c,
 			})
 		}
@@ -156,6 +221,123 @@ func (t *Topology) Sockets() int { return t.sockets }
 
 // CoresPerSocket returns the number of cores on each socket.
 func (t *Topology) CoresPerSocket() int { return t.perSocket }
+
+// DiesPerSocket returns the number of dies on each socket (1 on flat machines).
+func (t *Topology) DiesPerSocket() int { return t.diesPerSocket }
+
+// NumDies returns the total number of dies across all sockets.
+func (t *Topology) NumDies() int { return t.sockets * t.diesPerSocket }
+
+// Hierarchical reports whether the machine has sub-socket structure (more
+// than one die per socket). On flat machines the die level coincides with the
+// socket level and every die-level cost term is zero.
+func (t *Topology) Hierarchical() bool { return t.diesPerSocket > 1 }
+
+// DieOf returns the die that core id belongs to, or InvalidDie if the core
+// does not exist.
+func (t *Topology) DieOf(id CoreID) DieID {
+	if int(id) < 0 || int(id) >= len(t.cores) {
+		return InvalidDie
+	}
+	return t.cores[id].Die
+}
+
+// SocketOfDie returns the socket enclosing die d.
+func (t *Topology) SocketOfDie(d DieID) SocketID {
+	if int(d) < 0 || int(d) >= t.NumDies() {
+		return InvalidSocket
+	}
+	return SocketID(int(d) / t.diesPerSocket)
+}
+
+// FirstDieOn returns the first die of socket s — the die hosting the
+// socket's memory controller under the IO-die model, and the die a
+// socket-homed structure lands on when no owner core narrows it further.
+func (t *Topology) FirstDieOn(s SocketID) DieID {
+	if int(s) < 0 || int(s) >= t.sockets {
+		return InvalidDie
+	}
+	return DieID(int(s) * t.diesPerSocket)
+}
+
+// CoresOnDie returns the cores that belong to die d.
+func (t *Topology) CoresOnDie(d DieID) []Core {
+	if int(d) < 0 || int(d) >= t.NumDies() {
+		return nil
+	}
+	perDie := t.perSocket / t.diesPerSocket
+	start := int(d) * perDie
+	return t.cores[start : start+perDie]
+}
+
+// DieHops returns the number of intra-socket die hops between dies a and b of
+// the same socket. Dies on different sockets return 0: their separation is
+// expressed entirely at the socket level (the Distance matrix), as the
+// inter-socket link cost subsumes any on-package routing. Unknown dies report
+// the maximum die distance so mistakes are conservatively expensive.
+func (t *Topology) DieHops(a, b DieID) int {
+	if int(a) < 0 || int(a) >= t.NumDies() || int(b) < 0 || int(b) >= t.NumDies() {
+		return t.MaxDieDistance()
+	}
+	if t.SocketOfDie(a) != t.SocketOfDie(b) {
+		return 0
+	}
+	return t.dieDistance[int(a)%t.diesPerSocket][int(b)%t.diesPerSocket]
+}
+
+// MaxDieDistance returns the largest intra-socket die distance.
+func (t *Topology) MaxDieDistance() int {
+	max := 0
+	for _, row := range t.dieDistance {
+		for _, d := range row {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// SharedLevel returns the finest level of the island hierarchy that contains
+// both cores: LevelCore for the same core, LevelDie for distinct cores of one
+// die, LevelSocket for distinct dies of one socket, LevelMachine otherwise
+// (including unknown cores).
+func (t *Topology) SharedLevel(a, b CoreID) Level {
+	if int(a) < 0 || int(a) >= len(t.cores) || int(b) < 0 || int(b) >= len(t.cores) {
+		return LevelMachine
+	}
+	switch {
+	case a == b:
+		return LevelCore
+	case t.cores[a].Die == t.cores[b].Die:
+		return LevelDie
+	case t.cores[a].Socket == t.cores[b].Socket:
+		return LevelSocket
+	default:
+		return LevelMachine
+	}
+}
+
+// CorePath returns the hierarchical distance between two cores, decomposed
+// per level: socketHops is the inter-socket interconnect distance (0 when the
+// cores share a socket) and dieHops the intra-socket die distance (0 when
+// they share a die or do not share a socket). Exactly one of the two is
+// nonzero for any pair of cores that do not share a die; cost models price
+// each axis with its own per-hop constant. Unknown cores report the machine's
+// maximum socket distance, like Distance.
+func (t *Topology) CorePath(a, b CoreID) (socketHops, dieHops int) {
+	if int(a) < 0 || int(a) >= len(t.cores) || int(b) < 0 || int(b) >= len(t.cores) {
+		return t.MaxDistance(), 0
+	}
+	ca, cb := &t.cores[a], &t.cores[b]
+	if ca.Socket != cb.Socket {
+		return t.distance[ca.Socket][cb.Socket], 0
+	}
+	if ca.Die != cb.Die {
+		return 0, t.dieDistance[int(ca.Die)%t.diesPerSocket][int(cb.Die)%t.diesPerSocket]
+	}
+	return 0, 0
+}
 
 // NumCores returns the total number of cores.
 func (t *Topology) NumCores() int { return len(t.cores) }
@@ -217,21 +399,28 @@ func (t *Topology) MaxDistance() int {
 	return max
 }
 
-// AvgRemoteDistance returns the average distance between distinct sockets.
-// For a single-socket machine it returns 0.
+// AvgRemoteDistance returns the average distance between distinct alive
+// sockets. Failed sockets are excluded: after a processor failure no traffic
+// originates at or terminates on the dead socket, so including its links
+// would overstate (or, for a well-connected dead socket, understate) the
+// machine's effective remoteness. For a machine with at most one alive socket
+// it returns 0.
 func (t *Topology) AvgRemoteDistance() float64 {
-	if t.sockets <= 1 {
-		return 0
-	}
 	sum, n := 0, 0
 	for i := 0; i < t.sockets; i++ {
+		if !t.Alive(SocketID(i)) {
+			continue
+		}
 		for j := 0; j < t.sockets; j++ {
-			if i == j {
+			if i == j || !t.Alive(SocketID(j)) {
 				continue
 			}
 			sum += t.distance[i][j]
 			n++
 		}
+	}
+	if n == 0 {
+		return 0
 	}
 	return float64(sum) / float64(n)
 }
@@ -347,6 +536,10 @@ func (t *Topology) QPIToIMCRatio() float64 {
 
 // String implements fmt.Stringer.
 func (t *Topology) String() string {
+	if t.diesPerSocket > 1 {
+		return fmt.Sprintf("%s (%d sockets x %d dies x %d cores)",
+			t.name, t.sockets, t.diesPerSocket, t.perSocket/t.diesPerSocket)
+	}
 	return fmt.Sprintf("%s (%d sockets x %d cores)", t.name, t.sockets, t.perSocket)
 }
 

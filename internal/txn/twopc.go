@@ -39,26 +39,65 @@ func (o TwoPCOutcome) TotalCost() numa.Cost {
 // collection, the decision record, decision messages, and the acknowledgement
 // round. Locks stay held for the full protocol, which the caller accounts as
 // additional locking time proportional to the protocol latency.
+//
+// Participants are identified by their instance (island) index into the
+// per-instance log set: every island is its own 2PC site with its own log,
+// so two instances sharing a socket still exchange their own prepare/end
+// rounds and flush their own logs — the flush that makes a participant's
+// vote durable covers the update records that participant appended during
+// execution, because they live in the same per-island log.
 type Coordinator struct {
 	domain *numa.Domain
 	logs   *wal.PartitionedLog
+	// homeCores holds each instance's home core, indexed by site; messages
+	// are priced core-to-core so commit coordination between die islands of
+	// one socket pays the same die surcharge as action shipping.
+	homeCores []topology.CoreID
 }
 
-// NewCoordinator builds a 2PC coordinator over the per-instance logs.
+// NewCoordinator builds a 2PC coordinator over the per-instance logs. Each
+// instance's home core is taken to be the first core of its log's home
+// socket; use NewCoordinatorAt when the instances' actual home cores are
+// known (islands finer than a socket).
 func NewCoordinator(d *numa.Domain, logs *wal.PartitionedLog) *Coordinator {
-	return &Coordinator{domain: d, logs: logs}
+	homes := make([]topology.CoreID, logs.NumLogs())
+	for i := range homes {
+		if cores := d.Top.CoresOn(logs.Home(i)); len(cores) > 0 {
+			homes[i] = cores[0].ID
+		}
+	}
+	return &Coordinator{domain: d, logs: logs, homeCores: homes}
 }
 
-// Run executes the commit protocol for transaction t coordinated from socket
-// coord with the given participant sockets (the coordinator itself may or may
-// not be a participant). abortVote forces a participant abort, exercising the
-// rollback path.
-func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topology.SocketID, abortVote bool) (TwoPCOutcome, error) {
+// NewCoordinatorAt builds a 2PC coordinator with an explicit home core per
+// instance; homeCores must be indexed like the logs' islands.
+func NewCoordinatorAt(d *numa.Domain, logs *wal.PartitionedLog, homeCores []topology.CoreID) *Coordinator {
+	return &Coordinator{domain: d, logs: logs, homeCores: append([]topology.CoreID(nil), homeCores...)}
+}
+
+// homeCore returns the home core of instance site, mirroring Log's
+// out-of-range fallback.
+func (c *Coordinator) homeCore(site int) topology.CoreID {
+	if site < 0 || site >= len(c.homeCores) {
+		if len(c.homeCores) == 0 {
+			return 0
+		}
+		return c.homeCores[0]
+	}
+	return c.homeCores[site]
+}
+
+// Run executes the commit protocol for transaction t coordinated by instance
+// coordSite, whose worker runs on core coord, with the given participant
+// instances (the coordinator itself may or may not be among them). abortVote
+// forces a participant abort, exercising the rollback path.
+func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, participants []int, abortVote bool) (TwoPCOutcome, error) {
 	if t == nil {
 		return TwoPCOutcome{}, fmt.Errorf("txn: nil transaction")
 	}
 	// Duplicate participants are skipped with linear scans (the participant
-	// count is bounded by the socket count) so the protocol allocates nothing.
+	// count is bounded by the instance count of one transaction) so the
+	// protocol allocates nothing.
 	nUniq := 0
 	for i := range participants {
 		if firstParticipant(participants, i) {
@@ -77,24 +116,28 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 		if !firstParticipant(participants, i) {
 			continue
 		}
-		out.ByComponent[vclock.Communication] += c.domain.MessageCost(coord, p)
-		_, logCost := c.logs.Append(p, wal.Record{Txn: uint64(t.ID), Type: wal.Prepare, Size: 96})
+		home := c.logs.Home(p)
+		lg := c.logs.Log(p)
+		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(coord, c.homeCore(p))
+		_, logCost := lg.Append(home, wal.Record{Txn: uint64(t.ID), Type: wal.Prepare, Size: 96})
 		out.ByComponent[vclock.Logging] += logCost
-		out.ByComponent[vclock.Logging] += c.logs.Flush(p, c.logs.SocketLog(p).Tail())
-		out.ByComponent[vclock.Communication] += c.domain.MessageCost(p, coord)
+		out.ByComponent[vclock.Logging] += lg.Flush(home, lg.Tail())
+		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(c.homeCore(p), coord)
 		out.Messages += 2
 		out.LogRecords++
 	}
 
-	// Decision.
+	// Decision, on the coordinator instance's own log.
 	decision := wal.Commit
 	out.Committed = !abortVote
 	if abortVote {
 		decision = wal.Abort
 	}
-	_, decCost := c.logs.Append(coord, wal.Record{Txn: uint64(t.ID), Type: decision, Size: 64})
+	coordSocket := c.domain.Top.SocketOf(coord)
+	coordLog := c.logs.Log(coordSite)
+	_, decCost := coordLog.Append(coordSocket, wal.Record{Txn: uint64(t.ID), Type: decision, Size: 64})
 	out.ByComponent[vclock.Logging] += decCost
-	out.ByComponent[vclock.Logging] += c.logs.Flush(coord, c.logs.SocketLog(coord).Tail())
+	out.ByComponent[vclock.Logging] += coordLog.Flush(coordSocket, coordLog.Tail())
 	out.LogRecords++
 
 	// Phase 2: decision messages, participant end records, acknowledgements.
@@ -102,10 +145,11 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 		if !firstParticipant(participants, i) {
 			continue
 		}
-		out.ByComponent[vclock.Communication] += c.domain.MessageCost(coord, p)
-		_, endCost := c.logs.Append(p, wal.Record{Txn: uint64(t.ID), Type: wal.EndOfDistributed, Size: 48})
+		home := c.logs.Home(p)
+		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(coord, c.homeCore(p))
+		_, endCost := c.logs.Log(p).Append(home, wal.Record{Txn: uint64(t.ID), Type: wal.EndOfDistributed, Size: 48})
 		out.ByComponent[vclock.Logging] += endCost
-		out.ByComponent[vclock.Communication] += c.domain.MessageCost(p, coord)
+		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(c.homeCore(p), coord)
 		out.Messages += 2
 		out.LogRecords++
 	}
@@ -125,7 +169,7 @@ func (c *Coordinator) Run(t *Txn, coord topology.SocketID, participants []topolo
 }
 
 // firstParticipant reports whether participants[i] does not appear earlier.
-func firstParticipant(participants []topology.SocketID, i int) bool {
+func firstParticipant(participants []int, i int) bool {
 	for j := 0; j < i; j++ {
 		if participants[j] == participants[i] {
 			return false

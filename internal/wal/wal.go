@@ -226,27 +226,80 @@ func (l *CentralLog) Stats() Stats {
 	return Stats{Appends: l.appends, Flushes: l.flushes}
 }
 
-// PartitionedLog gives each socket its own CentralLog, as in a shared-nothing
-// deployment with one instance per socket, or in a log-per-Island design.
-// Appends and flushes are routed to the socket-local log.
+// PartitionedLog gives each island its own CentralLog, as in a shared-nothing
+// deployment with one instance per socket (the classic layout) or one per
+// die/core island. Appends and flushes through the socket-keyed Log interface
+// are routed to the first log homed on that socket; callers that know their
+// island index (the engine's shared-nothing hot path) address their island's
+// log directly with Log(i).
 type PartitionedLog struct {
-	logs []*CentralLog
+	logs  []*CentralLog
+	homes []topology.SocketID
+	// bySocket maps a socket to the index of the first log homed on it, or -1.
+	bySocket []int
 }
 
 // NewPartitionedLog builds one log per socket of the domain.
 func NewPartitionedLog(d *numa.Domain, cfg Config) *PartitionedLog {
-	p := &PartitionedLog{logs: make([]*CentralLog, d.Top.Sockets())}
-	for i := range p.logs {
-		p.logs[i] = NewCentralLog(d, topology.SocketID(i), cfg)
+	homes := make([]topology.SocketID, d.Top.Sockets())
+	for i := range homes {
+		homes[i] = topology.SocketID(i)
+	}
+	return NewPartitionedLogAt(d, homes, cfg)
+}
+
+// NewPartitionedLogAt builds one log per entry of homes, each homed on the
+// given socket. It is the log layout of a shared-nothing deployment with one
+// instance per island: homes[i] is the socket of island i's first core.
+func NewPartitionedLogAt(d *numa.Domain, homes []topology.SocketID, cfg Config) *PartitionedLog {
+	if len(homes) == 0 {
+		homes = []topology.SocketID{0}
+	}
+	p := &PartitionedLog{
+		logs:     make([]*CentralLog, len(homes)),
+		homes:    append([]topology.SocketID(nil), homes...),
+		bySocket: make([]int, d.Top.Sockets()),
+	}
+	for i := range p.bySocket {
+		p.bySocket[i] = -1
+	}
+	for i, h := range p.homes {
+		p.logs[i] = NewCentralLog(d, h, cfg)
+		if int(h) >= 0 && int(h) < len(p.bySocket) && p.bySocket[h] < 0 {
+			p.bySocket[h] = i
+		}
 	}
 	return p
 }
 
-func (p *PartitionedLog) logFor(s topology.SocketID) *CentralLog {
-	if int(s) < 0 || int(s) >= len(p.logs) {
+// NumLogs returns the number of per-island logs.
+func (p *PartitionedLog) NumLogs() int { return len(p.logs) }
+
+// Home returns the socket island i's log is homed on; out-of-range islands
+// report the home of log 0, mirroring Log.
+func (p *PartitionedLog) Home(i int) topology.SocketID {
+	if i < 0 || i >= len(p.homes) {
+		return p.homes[0]
+	}
+	return p.homes[i]
+}
+
+// Log returns the log of island i; out-of-range islands map to log 0 so that
+// callers with a stale island index still make progress.
+func (p *PartitionedLog) Log(i int) *CentralLog {
+	if i < 0 || i >= len(p.logs) {
 		return p.logs[0]
 	}
-	return p.logs[s]
+	return p.logs[i]
+}
+
+func (p *PartitionedLog) logFor(s topology.SocketID) *CentralLog {
+	if int(s) >= 0 && int(s) < len(p.bySocket) {
+		if i := p.bySocket[s]; i >= 0 {
+			return p.logs[i]
+		}
+	}
+	return p.logs[0]
 }
 
 // Append implements Log.
