@@ -1,15 +1,16 @@
 # Development workflow for the ATraPos reproduction.
 #
-#   make check        - everything CI runs: format, vet, build, test, race, bench smoke
+#   make check        - everything CI runs: format, vet, static analysis, build,
+#                       test, race, bench smoke, BENCH.json well-formedness
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke bench bench-json
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify
 
-check: fmt vet build test race bench-smoke
+check: fmt vet staticcheck build test race bench-smoke bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,6 +20,21 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Deeper static analysis when the tools are installed (CI installs them);
+# environments without them fall back to the vet pass above so `make check`
+# works offline with a stock toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; go vet (above) is the fallback"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -42,3 +58,8 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/atrapos-bench -json
+
+# BENCH.json is an appending trajectory; the schema gate keeps a bad append
+# from corrupting it silently.
+bench-verify:
+	$(GO) run ./cmd/atrapos-bench -verify

@@ -271,6 +271,12 @@ type Result = engine.Result
 // the placement it touched and how much of the previous runtime it reused.
 type RepartitionDiff = engine.RepartitionDiff
 
+// GranularityChange records one online island-level change of the adaptive
+// parametric shared-nothing design: when the planner re-wired the machine,
+// between which levels, at what measured multisite share, and how much of the
+// previous layout (logs, lock tables) the re-wiring reused.
+type GranularityChange = engine.GranularityChange
+
 // Event is an environment change scheduled at a point of virtual time.
 type Event = engine.Event
 
@@ -353,4 +359,24 @@ type IslandPoint = harness.IslandPoint
 // records.
 func IslandSweep(scale Scale, pcts []int) ([]IslandPoint, error) {
 	return harness.IslandSweep(scale, pcts)
+}
+
+// GranularityTrajectory is the measured outcome of the adaptive-granularity
+// scenario: how the planner re-wired the machine as the multisite share
+// drifted across the island-size crossover, and whether it tracked the
+// statically-best level on either side.
+type GranularityTrajectory = harness.GranularityTrajectory
+
+// RunAdaptiveGranularity runs the adaptive-granularity scenario behind the
+// fig-adaptive-granularity experiment and returns its trajectory; it is the
+// data behind the BENCH.json adaptive-granularity records.
+func RunAdaptiveGranularity(scale Scale) (*GranularityTrajectory, error) {
+	return harness.RunAdaptiveGranularity(scale)
+}
+
+// RunAdaptiveGranularityFrom is RunAdaptiveGranularity with precomputed
+// island-sweep points: phases whose static winner is covered by the points
+// are not re-measured.
+func RunAdaptiveGranularityFrom(scale Scale, static []IslandPoint) (*GranularityTrajectory, error) {
+	return harness.RunAdaptiveGranularityFrom(scale, static)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -68,6 +69,11 @@ type BenchRecord struct {
 	// island level and multisite probability, so granularity crossovers are
 	// tracked commit over commit alongside the hot-path numbers.
 	Islands []atrapos.IslandPoint `json:"islands,omitempty"`
+	// AdaptiveGranularity records the fig-adaptive-granularity trajectory:
+	// the island-level changes the planner executed as the multisite share
+	// drifted across the crossover, and whether it tracked the statically
+	// best level on either side.
+	AdaptiveGranularity *atrapos.GranularityTrajectory `json:"adaptive_granularity,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
@@ -176,6 +182,14 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	if err != nil {
 		return err
 	}
+	// The adaptive-granularity trajectory: the planner re-wiring the machine
+	// as the multisite share drifts across the crossover, recorded so the
+	// convergence behaviour is tracked commit over commit. The static
+	// winners come from the island sweep just measured above.
+	rec.AdaptiveGranularity, err = atrapos.RunAdaptiveGranularityFrom(islandScale, rec.Islands)
+	if err != nil {
+		return err
+	}
 	records, err := appendTrajectory(path, rec)
 	if err != nil {
 		return err
@@ -185,12 +199,77 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 		return err
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	// Validate the document before it replaces the trajectory, and swap it in
+	// atomically: a malformed or half-written record can never corrupt the
+	// committed BENCH.json.
+	if err := checkBenchDocument(out); err != nil {
+		return fmt.Errorf("bench: refusing to write malformed trajectory: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d trajectory point(s)); latest:\n", path, len(records))
 	latest, _ := json.MarshalIndent(rec, "", "  ")
 	fmt.Printf("%s\n", latest)
+	return nil
+}
+
+// checkBenchDocument validates a BENCH.json document: a JSON array of
+// trajectory records matching the BenchRecord schema exactly (unknown fields
+// are rejected), each carrying a timestamp and at least one design record
+// with sane counters. It is the well-formedness gate behind -verify and the
+// pre-write check of -json.
+func checkBenchDocument(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var records []BenchRecord
+	if err := dec.Decode(&records); err != nil {
+		return fmt.Errorf("not a BenchRecord array: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the record array")
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("empty trajectory")
+	}
+	for i, r := range records {
+		if r.GeneratedAt == "" {
+			return fmt.Errorf("record %d has no generated_at timestamp", i)
+		}
+		if len(r.Designs) == 0 {
+			return fmt.Errorf("record %d has no design records", i)
+		}
+		for _, d := range r.Designs {
+			if d.Design == "" {
+				return fmt.Errorf("record %d has a design record without a name", i)
+			}
+			if d.Transactions < 0 || d.Committed < 0 || d.Aborted < 0 {
+				return fmt.Errorf("record %d design %s has negative counters", i, d.Design)
+			}
+		}
+		if g := r.AdaptiveGranularity; g != nil {
+			if g.Profile == "" || g.FinalLevel == "" {
+				return fmt.Errorf("record %d adaptive-granularity trajectory is missing its profile or final level", i)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyBenchJSON checks an existing BENCH.json on disk, so CI fails loudly
+// when an appended trajectory record corrupted the file.
+func verifyBenchJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := checkBenchDocument(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
 	return nil
 }
 

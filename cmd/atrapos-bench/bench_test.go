@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedBenchJSONWellFormed validates the repository's committed
+// trajectory file against the schema, so an appended record that corrupted it
+// fails `go test ./...` as well as `atrapos-bench -verify`.
+func TestCommittedBenchJSONWellFormed(t *testing.T) {
+	if err := verifyBenchJSON(filepath.Join("..", "..", "BENCH.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckBenchDocument exercises the well-formedness gate: valid documents
+// pass, and every corruption mode an interrupted append could produce is
+// rejected.
+func TestCheckBenchDocument(t *testing.T) {
+	valid := []BenchRecord{{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		Designs:     []DesignRecord{{Design: "plp", Transactions: 10}},
+	}}
+	data, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBenchDocument(data); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	cases := map[string]string{
+		"not json":          `{"generated`,
+		"not an array":      `{"generated_at":"x"}`,
+		"empty":             `[]`,
+		"trailing data":     `[] []`,
+		"unknown field":     `[{"generated_at":"x","designs":[{"design":"plp"}],"bogus":1}]`,
+		"missing timestamp": `[{"designs":[{"design":"plp"}]}]`,
+		"no designs":        `[{"generated_at":"x"}]`,
+		"unnamed design":    `[{"generated_at":"x","designs":[{"transactions":1}]}]`,
+		"negative counters": `[{"generated_at":"x","designs":[{"design":"plp","transactions":-1}]}]`,
+		"bad trajectory":    `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":""}}]`,
+	}
+	for name, doc := range cases {
+		if err := checkBenchDocument([]byte(doc)); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// TestAppendTrajectoryRoundTrip: appending to a legacy single-record file
+// promotes it to an array, and the result still passes the schema gate.
+func TestAppendTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	legacy := BenchRecord{GeneratedAt: "2026-01-01T00:00:00Z", Designs: []DesignRecord{{Design: "plp"}}}
+	data, _ := json.Marshal(legacy)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next := BenchRecord{GeneratedAt: "2026-01-02T00:00:00Z", Designs: []DesignRecord{{Design: "atrapos"}}}
+	records, err := appendTrajectory(path, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("want 2 records, got %d", len(records))
+	}
+	out, _ := json.Marshal(records)
+	if err := checkBenchDocument(out); err != nil {
+		t.Fatalf("round-tripped trajectory malformed: %v", err)
+	}
+}

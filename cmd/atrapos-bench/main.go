@@ -34,8 +34,18 @@ func main() {
 		jsonBench  = flag.Bool("json", false, "measure the per-design transaction hot path and write BENCH.json")
 		jsonOut    = flag.String("out", "BENCH.json", "output path of the -json benchmark record")
 		jsonTxns   = flag.Int("txns", 40000, "transactions measured per design in -json mode")
+		verifyJSON = flag.Bool("verify", false, "validate BENCH.json (see -out) against the trajectory schema and exit")
 	)
 	flag.Parse()
+
+	if *verifyJSON {
+		if err := verifyBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s is a well-formed trajectory\n", *jsonOut)
+		return
+	}
 
 	if *listProf {
 		fmt.Println("available machine profiles:")

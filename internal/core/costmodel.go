@@ -60,6 +60,51 @@ type Stats struct {
 	Syncs []SyncStat
 	// Window is the virtual time span the statistics cover.
 	Window vclock.Nanos
+
+	// Transaction-shape counters (RecordTxn): how many transactions the
+	// interval saw, how many crossed instance boundaries, and their action
+	// profile. They drive the adaptive-granularity scorer.
+	Txns          int64
+	MultisiteTxns int64
+	Actions       int64
+	Writes        int64
+	// SyncBytes is the total synchronization-point payload of the interval's
+	// multisite transactions.
+	SyncBytes int64
+}
+
+// MultisiteShare returns the fraction of the interval's transactions that
+// crossed instance boundaries, in [0,1].
+func (s *Stats) MultisiteShare() float64 {
+	if s.Txns == 0 {
+		return 0
+	}
+	return float64(s.MultisiteTxns) / float64(s.Txns)
+}
+
+// ActionsPerTxn returns the interval's average action count per transaction.
+func (s *Stats) ActionsPerTxn() float64 {
+	if s.Txns == 0 {
+		return 0
+	}
+	return float64(s.Actions) / float64(s.Txns)
+}
+
+// WritesPerTxn returns the interval's average write count per transaction.
+func (s *Stats) WritesPerTxn() float64 {
+	if s.Txns == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Txns)
+}
+
+// SyncBytesPerMultisiteTxn returns the average synchronization payload of one
+// multisite transaction.
+func (s *Stats) SyncBytesPerMultisiteTxn() int {
+	if s.MultisiteTxns == 0 {
+		return 0
+	}
+	return int(s.SyncBytes / s.MultisiteTxns)
 }
 
 // TotalCost returns the total execution cost across all sub-partitions.

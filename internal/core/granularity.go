@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/topology"
+)
+
+// WorkloadShape is the measured workload profile the granularity scorer
+// consumes. The engine's monitor fills it from one sealed epoch's
+// transaction-shape counters (Stats.MultisiteShare and friends); the offline
+// sweeps fill it synthetically.
+type WorkloadShape struct {
+	// MultisiteShare is the fraction of transactions whose actions cross
+	// instance boundaries at the current deployment, in [0,1].
+	MultisiteShare float64
+	// ActionsPerTxn / WritesPerTxn are the average action and write counts.
+	ActionsPerTxn float64
+	WritesPerTxn  float64
+	// SyncBytes is the average synchronization-point payload of one multisite
+	// transaction.
+	SyncBytes int
+	// TotalKeys is the summed key span of the workload's tables; divided by
+	// the island count it bounds the key range one instance serves, which
+	// drives the lock-conflict term.
+	TotalKeys int64
+	// Concurrency is the number of worker threads executing transactions; the
+	// conflict term scales with the workers that actually share an instance,
+	// not with its core count.
+	Concurrency int
+}
+
+// LevelScore is one candidate granularity's predicted per-transaction
+// overhead (virtual nanoseconds, excluding the level-independent row work).
+type LevelScore struct {
+	Level topology.Level
+	Score float64
+}
+
+// GranularityModel prices candidate island levels for a shared-nothing
+// deployment, using the same core-granular machinery the engine charges at
+// run time and the fig-islands sweep measures offline: CoreAtomicCost and
+// CoreDRAMCost for the instance-locality of shared state, CoreMessageCost for
+// action shipping and two-phase commit, and SyncPointCostAt for the
+// synchronization-point rendezvous. Scores are differential: the
+// level-independent row work is excluded, so the hysteresis margin compares
+// only what actually changes with the granularity.
+type GranularityModel struct {
+	Domain *numa.Domain
+	// LogFlush and LogGroupSize mirror the engine's log configuration
+	// (FlushCost and the group-commit size). They price two level-dependent
+	// effects: the amortized flush a 2PC participant pays per prepare, and the
+	// group-commit imbalance of coarse islands — with one log shared by m
+	// member cores, the full flush of every group lands on the same member
+	// (commit order round-robins the members deterministically), so the
+	// island's busiest core pays almost every full flush while a per-core log
+	// spreads them evenly. Throughput is committed work divided by the busiest
+	// core's time, so the scorer prices the busiest member's flush bill.
+	// LogFlush == 0 means flushes are not priced.
+	LogFlush     numa.Cost
+	LogGroupSize int
+}
+
+// flushShare is the amortized (ride-along) group-commit cost per commit.
+func (g GranularityModel) flushShare() float64 {
+	if g.LogGroupSize > 1 {
+		return float64(g.LogFlush) / float64(g.LogGroupSize)
+	}
+	return float64(g.LogFlush)
+}
+
+// Score predicts the per-transaction overhead of deploying one instance per
+// island at the given level under the given workload shape. Lower is better.
+// Levels with no alive islands score +Inf.
+//
+// The terms mirror the engine's actual charges:
+//
+//   - instance locality: every action touches the instance's shared state
+//     (lock table stripe, log tail) and data homed on the island's first
+//     core; members on other dies or sockets of a coarse island pay the
+//     transfer surcharge. Begin/commit touch the transaction-state stripe,
+//     which the machine level centralizes.
+//   - lock conflicts: workers sharing one instance's key range abort and
+//     retry; the expected retry work grows with the writers per instance and
+//     shrinks with the instance's key span.
+//   - communication: at multisite share s, remote actions pay round-trip
+//     messages between islands, writing transactions run 2PC over the
+//     expected participant set, and participants rendezvous at the
+//     synchronization point — all priced with the hierarchical per-hop
+//     machinery, so die islands of one socket are cheaper to coordinate than
+//     islands on different sockets.
+func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float64 {
+	top := g.Domain.Top
+	islands := top.AliveIslandsAt(level)
+	n := len(islands)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	k := shape.ActionsPerTxn
+	if k <= 0 {
+		k = 1
+	}
+
+	// Instance locality: per-action shared-state atomic plus two cache lines
+	// of row payload against the island home, averaged over member cores.
+	var state float64
+	members := 0
+	for _, isl := range islands {
+		home := isl.Cores[0]
+		for _, c := range isl.Cores {
+			state += float64(g.Domain.CoreAtomicCost(c.ID, home.ID)) +
+				2*float64(g.Domain.CoreDRAMCost(c.ID, home.Socket))
+			members++
+		}
+	}
+	if members == 0 {
+		return math.Inf(1)
+	}
+	state /= float64(members)
+	score := k * state
+
+	// Transaction-state stripe: begin and commit. Sub-machine levels keep it
+	// striped per socket (local); the machine level shares one central list
+	// whose cache line ping-pongs between the participating sockets.
+	if level == topology.LevelMachine && len(top.AliveSockets()) > 1 {
+		h := islands[0].Cores[0].ID
+		var sum float64
+		alive := top.AliveCores()
+		for _, c := range alive {
+			sum += float64(g.Domain.CoreAtomicCost(c.ID, h))
+		}
+		score += 2 * sum / float64(len(alive))
+	} else {
+		score += 2 * float64(g.Domain.Model.LocalAtomic)
+	}
+
+	// Group-commit imbalance: the busiest member of an island whose log is
+	// shared by m cores pays min(m, G)/G of the full flushes plus the
+	// ride-along share; a single-member island spreads them evenly.
+	if g.LogFlush > 0 && shape.WritesPerTxn > 0 {
+		group := g.LogGroupSize
+		if group < 1 {
+			group = 1
+		}
+		m := members / n
+		if m < 1 {
+			m = 1
+		}
+		busiest := m
+		if busiest > group {
+			busiest = group
+		}
+		score += float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare()
+	}
+
+	// Lock conflicts: an instance shared by several concurrent workers sees
+	// write conflicts proportional to the locks they hold over its key span;
+	// each conflict costs one aborted attempt's row work. Single-worker
+	// instances (fine granularity) never conflict.
+	if shape.TotalKeys > 0 && shape.WritesPerTxn > 0 && shape.Concurrency > 0 {
+		perIsland := float64(shape.TotalKeys) / float64(n)
+		sharing := float64(shape.Concurrency) / float64(n)
+		if sharing > 1 && perIsland > 0 {
+			pConflict := (sharing - 1) * k * shape.WritesPerTxn / perIsland
+			if pConflict > 1 {
+				pConflict = 1
+			}
+			score += pConflict * k * float64(g.Domain.Model.RowWork)
+		}
+	}
+
+	// Communication: only multisite transactions pay it, and only when there
+	// is more than one instance to cross into.
+	if n > 1 && shape.MultisiteShare > 0 {
+		var msgSum float64
+		pairs := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := islands[i].Cores[0].ID, islands[j].Cores[0].ID
+				msgSum += float64(g.Domain.CoreMessageCost(a, b) + g.Domain.CoreMessageCost(b, a))
+				pairs++
+			}
+		}
+		roundTrip := msgSum / float64(pairs)
+		remote := (k - 1) * float64(n-1) / float64(n)
+		comm := remote * roundTrip
+		participants := 1 + remote
+		if participants > float64(n) {
+			participants = float64(n)
+		}
+		if shape.WritesPerTxn > 0 {
+			// 2PC: prepare and decision round trips plus the prepare and end
+			// flushes on every remote participant's log.
+			comm += (participants - 1) * (2*roundTrip + 2*g.flushShare())
+		}
+		if shape.SyncBytes > 0 {
+			nSync := int(math.Ceil(participants))
+			if nSync > n {
+				nSync = n
+			}
+			if nSync > 1 {
+				homes := make([]topology.CoreID, nSync)
+				for i := 0; i < nSync; i++ {
+					homes[i] = islands[i].Cores[0].ID
+				}
+				comm += float64(g.Domain.SyncPointCostAt(homes, shape.SyncBytes))
+			}
+		}
+		score += shape.MultisiteShare * comm
+	}
+	return score
+}
+
+// Scores prices every island level that is structurally distinct on the
+// machine, finest first.
+func (g GranularityModel) Scores(shape WorkloadShape) []LevelScore {
+	levels := g.Domain.Top.DistinctLevels()
+	out := make([]LevelScore, len(levels))
+	for i, l := range levels {
+		out[i] = LevelScore{Level: l, Score: g.Score(l, shape)}
+	}
+	return out
+}
+
+// Best returns the cheapest level for the shape. Near-ties (within tieMargin,
+// relatively) resolve to the finer level, matching the sweep's empirical
+// preference for fine islands when coordination is free; pass 0 to pick the
+// strict minimum.
+func (g GranularityModel) Best(shape WorkloadShape, tieMargin float64) (topology.Level, []LevelScore) {
+	scores := g.Scores(shape)
+	best := scores[0]
+	for _, ls := range scores[1:] {
+		if ls.Score < best.Score*(1-tieMargin) {
+			best = ls
+		}
+	}
+	return best.Level, scores
+}

@@ -50,6 +50,16 @@ type monitorEpoch struct {
 	// participants themselves are stored once, on first sight of a signature.
 	syncs  map[uint64]*syncAgg
 	window vclock.Nanos
+
+	// Transaction-shape counters, recorded with plain atomics (no epoch
+	// mutex): the multisite share and action profile drive the
+	// adaptive-granularity scorer, and the shared-nothing hot path must be
+	// able to record them without taking a lock or allocating.
+	txns          atomic.Int64
+	multisiteTxns atomic.Int64
+	actions       atomic.Int64
+	writes        atomic.Int64
+	syncBytes     atomic.Int64
 }
 
 type tableMonitor struct {
@@ -197,6 +207,22 @@ func syncHash(refs []PartitionRef) uint64 {
 	return sum
 }
 
+// RecordTxn records the shape of one executed transaction: how many actions
+// it ran, how many of them wrote, whether it crossed instance boundaries, and
+// how many synchronization-point bytes it exchanged. It is the entire
+// monitoring obligation of the shared-nothing hot path — five atomic adds on
+// the active epoch, no locks, no allocations.
+func (m *Monitor) RecordTxn(actions, writes int, multisite bool, syncBytes int) {
+	e := m.activeEpoch()
+	e.txns.Add(1)
+	e.actions.Add(int64(actions))
+	e.writes.Add(int64(writes))
+	if multisite {
+		e.multisiteTxns.Add(1)
+		e.syncBytes.Add(int64(syncBytes))
+	}
+}
+
 // AdvanceWindow extends the virtual-time span the active epoch's statistics
 // cover. The planner calls it just before Seal, so the window lands in the
 // epoch about to be sealed.
@@ -222,10 +248,15 @@ func (m *Monitor) Seal() *Stats {
 	sealed.mu.Lock()
 	defer sealed.mu.Unlock()
 	stats := &Stats{
-		Sub:     make(map[string][][]SubLoad, len(sealed.tables)),
-		Bounds:  make(map[string][]schema.Key, len(sealed.tables)),
-		MaxKeys: make(map[string]schema.Key, len(sealed.tables)),
-		Window:  sealed.window,
+		Sub:           make(map[string][][]SubLoad, len(sealed.tables)),
+		Bounds:        make(map[string][]schema.Key, len(sealed.tables)),
+		MaxKeys:       make(map[string]schema.Key, len(sealed.tables)),
+		Window:        sealed.window,
+		Txns:          sealed.txns.Swap(0),
+		MultisiteTxns: sealed.multisiteTxns.Swap(0),
+		Actions:       sealed.actions.Swap(0),
+		Writes:        sealed.writes.Swap(0),
+		SyncBytes:     sealed.syncBytes.Swap(0),
 	}
 	for name, tm := range sealed.tables {
 		stats.Bounds[name] = append([]schema.Key(nil), tm.bounds...)

@@ -152,13 +152,20 @@ type partitionedState struct {
 	snap atomic.Pointer[stateSnapshot]
 }
 
-// stateSnapshot bundles everything that changes together during repartitioning.
+// stateSnapshot bundles everything that changes together during repartitioning
+// and (for the shared-nothing designs) during an online island-level change.
 type stateSnapshot struct {
 	placement *partition.Placement
 	runtime   *partition.Runtime
 	// activePerCore is the number of active partitions each core hosts,
 	// indexed by CoreID; the oversaturation penalty reads it per action.
 	activePerCore []int32
+	// wiring is the shared-nothing instance mapping (sites, per-island logs,
+	// 2PC coordinator, transaction-state striping) derived from the island
+	// level in force when the snapshot was installed; nil for the other
+	// designs. Swapping it with the placement is what lets the planner re-wire
+	// the machine online without ever splitting a transaction across layouts.
+	wiring *islandWiring
 }
 
 // active returns the number of active partitions hosted by core c.
@@ -169,8 +176,8 @@ func (s *stateSnapshot) active(c topology.CoreID) int {
 	return int(s.activePerCore[c])
 }
 
-func (s *partitionedState) install(p *partition.Placement, rt *partition.Runtime, active []int32) {
-	s.snap.Store(&stateSnapshot{placement: p, runtime: rt, activePerCore: active})
+func (s *partitionedState) install(p *partition.Placement, rt *partition.Runtime, active []int32, w *islandWiring) {
+	s.snap.Store(&stateSnapshot{placement: p, runtime: rt, activePerCore: active, wiring: w})
 }
 
 func (s *partitionedState) snapshot() *stateSnapshot {

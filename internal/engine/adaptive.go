@@ -11,6 +11,7 @@ import (
 	"atrapos/internal/schema"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
+	"atrapos/internal/workload"
 )
 
 // adaptiveState wires the ATraPos monitoring and adaptation machinery of the
@@ -29,6 +30,20 @@ type adaptiveState struct {
 	planner  *core.Planner
 	executor *core.Executor
 	maxKeys  map[string]schema.Key
+
+	// granularity marks the adaptive-granularity mode of the parametric
+	// shared-nothing design: instead of moving partitions between cores, the
+	// planner re-derives the whole instance wiring at a different island
+	// level when the monitored multisite share crosses the scorer's
+	// crossover. The ATraPos design uses the placement pipeline instead.
+	granularity bool
+	granModel   core.GranularityModel
+	// totalKeys is the summed key span of the workload's tables; it feeds the
+	// scorer's conflict term.
+	totalKeys int64
+	// workers is the worker count of the active run (set by start), the
+	// scorer's concurrency input.
+	workers int
 
 	// nextCheck is read on every transaction (outside any lock) to decide
 	// whether a monitoring boundary was crossed; only the planner goroutine
@@ -63,6 +78,44 @@ type adaptiveState struct {
 
 	diffMu sync.Mutex
 	diffs  []RepartitionDiff
+	// levelChanges records the island-level trajectory of the run (adaptive
+	// granularity mode only), guarded by diffMu like diffs.
+	levelChanges []GranularityChange
+}
+
+// granHysteresis is the relative score improvement a candidate island level
+// must promise before the planner re-wires the machine: the band around the
+// measured crossover inside which the current level is kept, so the system
+// does not thrash between near-equivalent granularities.
+const granHysteresis = 0.10
+
+// granTieMargin resolves scorer near-ties toward the finer level, matching
+// the sweep's empirical preference for fine islands when coordination is free.
+const granTieMargin = 0.02
+
+// GranularityChange records one online island-level change: when it happened,
+// what the planner measured and decided, what the re-wiring cost and how much
+// of the previous machine layout it reused.
+type GranularityChange struct {
+	// At is the virtual time of the change.
+	At vclock.Nanos
+	// From and To are the island levels before and after.
+	From, To topology.Level
+	// MultisiteShare is the sealed epoch's measured multisite share that
+	// triggered the decision.
+	MultisiteShare float64
+	// Cost is the modeled virtual time of the re-wiring migration (charged to
+	// each affected core).
+	Cost vclock.Nanos
+	// AffectedCores is how many cores paused for the migration; everyone else
+	// kept executing against the previous snapshot.
+	AffectedCores int
+	// ReusedLogs / RebuiltLogs count per-island write-ahead logs carried over
+	// from, respectively built fresh against, the previous wiring.
+	ReusedLogs, RebuiltLogs int
+	// ReusedLockTables / RebuiltLockTables count partition lock tables
+	// carried over across the level change.
+	ReusedLockTables, RebuiltLockTables int
 }
 
 // RepartitionDiff summarizes one adaptive repartitioning event: when it
@@ -119,6 +172,17 @@ func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
 	// At run time an idle table says nothing about future load; keeping its
 	// placement makes it diff as unchanged, so repartitioning skips it.
 	a.planner.PreserveIdle = true
+	if e.cfg.Design == SharedNothing {
+		a.granularity = true
+		a.granModel = core.GranularityModel{
+			Domain:       e.domain,
+			LogFlush:     e.cfg.LogConfig.FlushCost,
+			LogGroupSize: e.cfg.LogConfig.GroupSize,
+		}
+		for _, spec := range e.wl.TableSpecs() {
+			a.totalKeys += spec.MaxKey
+		}
+	}
 	a.controller = core.NewIntervalController(e.cfg.AdaptiveInterval)
 	a.monitor.RegisterPlacement(p, maxKeys)
 	a.nextCheck.Store(int64(a.controller.Interval()))
@@ -138,14 +202,17 @@ func (a *adaptiveState) reset() {
 	a.adaptCharged.Store(0)
 	a.diffMu.Lock()
 	a.diffs = nil
+	a.levelChanges = nil
 	a.diffMu.Unlock()
 	a.monitor.RegisterPlacement(a.e.state.snapshot().placement, a.maxKeys)
 }
 
 // start launches the planner goroutine for one run. committed is the run's
-// committed-transaction counter.
-func (a *adaptiveState) start(committed *atomic.Int64) {
+// committed-transaction counter; workers is the run's worker count (the
+// granularity scorer's concurrency input).
+func (a *adaptiveState) start(committed *atomic.Int64, workers int) {
 	a.committed = committed
+	a.workers = workers
 	a.kick = make(chan struct{}, 1)
 	a.stop = make(chan struct{})
 	a.done = make(chan struct{})
@@ -219,6 +286,29 @@ func (a *adaptiveState) recordSync(refs []core.PartitionRef, bytes int) {
 	a.monitor.RecordSync(refs, bytes)
 }
 
+// recordTxn records one executed transaction's shape into the active monitor
+// epoch (adaptive-granularity mode): action and write counts, whether it was
+// multisite, and its synchronization payload. The counters are plain atomics,
+// so the shared-nothing hot path stays lock- and allocation-free; the modeled
+// bookkeeping cost is charged to the coordinating core.
+func (a *adaptiveState) recordTxn(coord topology.CoreID, t *workload.Transaction) {
+	if !a.granularity || !a.e.cfg.Monitoring {
+		return
+	}
+	writes := 0
+	for i := range t.Actions {
+		if t.Actions[i].Op.IsWrite() {
+			writes++
+		}
+	}
+	bytes := 0
+	for i := range t.SyncPoints {
+		bytes += t.SyncPoints[i].Bytes
+	}
+	a.monitor.RecordTxn(len(t.Actions), writes, t.MultiSite, bytes)
+	a.e.charge(coord, vclock.Management, a.e.cfg.MonitoringCostPerAction)
+}
+
 // adaptOnce processes one monitoring boundary: it measures the throughput of
 // the interval, consults the interval controller, and when the controller
 // asks for an evaluation it runs the two-step search and repartitions if the
@@ -245,6 +335,14 @@ func (a *adaptiveState) adaptOnce() {
 	a.nextCheck.Store(int64(now + a.controller.Interval()))
 	if a.cooldown > 0 {
 		a.cooldown--
+		return
+	}
+	// The parametric shared-nothing design adapts the island granularity
+	// instead of the placement: seal the epoch, read the multisite share and
+	// re-score the candidate levels every interval (the scorer is cheap and
+	// runs on the planner goroutine, never on a worker).
+	if a.granularity {
+		a.adaptGranularity(now)
 		return
 	}
 	// A change in the hardware topology (a partition owned by a core on a
@@ -306,7 +404,7 @@ func (a *adaptiveState) adaptOnce() {
 		e.noteTime(affected[0])
 		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
 	}
-	e.state.install(proposed, rt, e.activePartitionsPerCore(proposed, now))
+	e.state.install(proposed, rt, e.activePartitionsPerCore(proposed, now), snap.wiring)
 	// Re-register monitoring arrays only for the tables the plan touched;
 	// unchanged tables keep accumulating into their existing arrays.
 	for name, td := range diff.Tables {
@@ -340,6 +438,171 @@ func (a *adaptiveState) takeDiffs() []RepartitionDiff {
 	a.diffMu.Lock()
 	defer a.diffMu.Unlock()
 	return append([]RepartitionDiff(nil), a.diffs...)
+}
+
+// takeLevelChanges returns a copy of the island-level trajectory.
+func (a *adaptiveState) takeLevelChanges() []GranularityChange {
+	a.diffMu.Lock()
+	defer a.diffMu.Unlock()
+	return append([]GranularityChange(nil), a.levelChanges...)
+}
+
+// adaptGranularity processes one monitoring boundary of the parametric
+// shared-nothing design: it reads the sealed epoch's multisite share, prices
+// every island level the machine distinguishes with the granularity scorer,
+// and re-wires the machine when a different level beats the current one by
+// the hysteresis margin. A wiring that references failed hardware is always
+// re-derived, independent of the scores. It runs on the planner goroutine,
+// concurrently with regular execution.
+func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
+	e := a.e
+	stats := a.monitor.Seal()
+	snap := e.state.snapshot()
+	cur := snap.wiring
+	if cur == nil || !e.cfg.Adaptive {
+		return
+	}
+	deadWiring := wiringUsesDeadCore(cur, e.cfg.Topology)
+	if stats.Txns == 0 && !deadWiring {
+		return
+	}
+	shape := core.WorkloadShape{
+		MultisiteShare: stats.MultisiteShare(),
+		ActionsPerTxn:  stats.ActionsPerTxn(),
+		WritesPerTxn:   stats.WritesPerTxn(),
+		SyncBytes:      stats.SyncBytesPerMultisiteTxn(),
+		TotalKeys:      a.totalKeys,
+		Concurrency:    a.workers,
+	}
+	best, scores := a.granModel.Best(shape, granTieMargin)
+	if deadWiring {
+		// Hardware changed under the wiring: rebuild at the best level (which
+		// may be the current one — the rebuild homes every site on alive
+		// hardware either way).
+		a.changeLevel(best, shape.MultisiteShare, now)
+		return
+	}
+	if best == cur.level {
+		return
+	}
+	// Score the current level directly: it may be a structurally redundant
+	// level on this machine (e.g. a socket-grained start on a one-socket
+	// part) that DistinctLevels — and therefore scores — does not list.
+	curScore := a.granModel.Score(cur.level, shape)
+	var bestScore float64
+	for _, ls := range scores {
+		if ls.Level == best {
+			bestScore = ls.Score
+		}
+	}
+	// Hysteresis around the measured crossover: switch only when the
+	// candidate clearly beats the current level, so the system does not
+	// oscillate between near-equivalent granularities while the share
+	// hovers at the crossover.
+	if curScore <= 0 || bestScore >= (1-granHysteresis)*curScore {
+		return
+	}
+	a.changeLevel(best, shape.MultisiteShare, now)
+}
+
+// changeLevel re-wires the machine to the given island level: it derives the
+// per-island placement, migrates only what the cross-level diff names
+// (reusing lock tables of partitions whose key range and island home survive
+// the re-wiring, and per-island logs of islands whose core sets are
+// unchanged), validates the derived runtime against a fresh build, executes
+// the physical repartitioning off the hot path, charges the migration cost
+// only to the affected cores, and atomically installs the new snapshot with a
+// bumped topology epoch. Workers never stall: they keep executing against the
+// previous snapshot until the install, and transactions in flight finish on
+// the wiring they started with.
+func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock.Nanos) {
+	e := a.e
+	top := e.cfg.Topology
+	snap := e.state.snapshot()
+	cur := snap.wiring
+	if cur == nil {
+		return
+	}
+	desired := partition.PerIsland(top, to, e.wl.TableSpecs())
+	if err := desired.Validate(); err != nil {
+		return
+	}
+	if err := desired.ValidateAlive(top); err != nil {
+		return
+	}
+	diff := partition.Diff(snap.placement, desired)
+	rt, applied := snap.runtime.ApplyDiff(desired, diff)
+	// The incremental runtime must be indistinguishable from a fresh build: a
+	// diffing bug degrades to a skipped re-wiring, never a torn snapshot.
+	if err := rt.Validate(desired); err != nil {
+		return
+	}
+	wiring := e.buildWiring(to, cur.epoch+1, cur)
+	if len(wiring.sites) == 0 {
+		return
+	}
+	// A liveness change between deriving the placement and the wiring would
+	// make site indices disagree with partition indices; skip and let the
+	// next boundary retry against the settled topology. Every bail-out must
+	// happen before the executor touches the physical tables — once it runs,
+	// the new snapshot is installed unconditionally, so workers can never be
+	// left holding a placement whose boundaries no longer match the trees.
+	if tp, ok := desired.Table(desired.TableNames()[0]); ok && len(tp.Cores) != len(wiring.sites) {
+		return
+	}
+	plan := core.BuildPlan(snap.placement, desired, top)
+	outcome, err := a.executor.Execute(plan)
+	if err != nil {
+		return
+	}
+	// The migration pauses only the cores whose partitions the re-wiring
+	// touched; a die island surviving a die-to-socket merge (or any island
+	// whose partitions diff unchanged) keeps working and keeps its structures.
+	affected := diff.AffectedCores()
+	for _, c := range affected {
+		e.charge(c, vclock.Management, numa.Cost(outcome.Cost))
+	}
+	if len(affected) > 0 {
+		e.noteTime(affected[0])
+		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
+	}
+	e.state.install(desired, rt, e.activePartitionsPerCore(desired, now), wiring)
+	for name, td := range diff.Tables {
+		if td.Kind != partition.TableUnchanged {
+			a.monitor.Register(name, desired.Tables[name].Bounds, a.maxKeys[name])
+		}
+	}
+	a.controller.Repartitioned()
+	a.nextCheck.Store(int64(now + a.controller.Interval()))
+	a.cooldown = 2
+	a.repartitions.Add(1)
+	a.repartitionCost.Add(int64(outcome.Cost))
+
+	a.diffMu.Lock()
+	a.levelChanges = append(a.levelChanges, GranularityChange{
+		At:                now,
+		From:              cur.level,
+		To:                to,
+		MultisiteShare:    share,
+		Cost:              outcome.Cost,
+		AffectedCores:     len(affected),
+		ReusedLogs:        wiring.reusedLogs,
+		RebuiltLogs:       wiring.rebuiltLogs,
+		ReusedLockTables:  applied.ReusedManagers,
+		RebuiltLockTables: applied.RebuiltManagers,
+	})
+	a.diffMu.Unlock()
+}
+
+// wiringUsesDeadCore reports whether any site of the wiring is homed on a
+// failed socket — the hardware-change trigger of the granularity planner.
+func wiringUsesDeadCore(w *islandWiring, top *topology.Topology) bool {
+	for _, s := range w.sites {
+		if !top.Alive(s.Socket) {
+			return true
+		}
+	}
+	return false
 }
 
 // placementUsesDeadCore reports whether any partition is owned by a core on a

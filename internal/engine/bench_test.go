@@ -53,8 +53,10 @@ func benchSteadyState(b *testing.B, e *Engine, adapt bool) {
 			e.accounts[coord].committed.Add(1)
 		}
 		if adapt && e.adaptive != nil {
-			// The workers' entire adaptation obligation: the boundary check.
-			// (No planner goroutine runs here, so crossings are no-ops.)
+			// The workers' entire adaptation obligation: the shape counters
+			// (granularity mode) and the boundary check. (No planner goroutine
+			// runs here, so crossings are no-ops.)
+			e.adaptive.recordTxn(coord, t)
 			e.adaptive.noteBoundary()
 		}
 	}
@@ -107,5 +109,11 @@ func BenchmarkExecute(b *testing.B) {
 	b.Run("atrapos-adaptive", func(b *testing.B) {
 		// Full adaptive loop including the per-transaction boundary check.
 		benchSteadyState(b, benchEngine(b, Config{Design: ATraPos, Adaptive: true}), true)
+	})
+	b.Run("shared-nothing-adaptive", func(b *testing.B) {
+		// Adaptive granularity: the workers' obligations on top of the plain
+		// shared-nothing path are the transaction-shape counters (five atomic
+		// adds) and the boundary check — still allocation free.
+		benchSteadyState(b, benchEngine(b, Config{Design: SharedNothing, Adaptive: true}), true)
 	})
 }

@@ -211,23 +211,16 @@ type Engine struct {
 	tables map[string]*storage.Table
 	wl     *workload.Workload
 
-	// System state structures; which concrete types are used depends on the design.
+	// System state structures of the non-shared-nothing designs; the
+	// shared-nothing designs carry their (level-dependent) equivalents in the
+	// snapshot's islandWiring so a granularity change can swap them atomically.
 	txnMgr       *txn.Manager
 	centralLocks *lock.CentralManager
 	log          wal.Log
-	instLogs     *wal.PartitionedLog
-	coordinator  *txn.Coordinator
 
-	// Partitioned designs: placement and per-partition runtime state.
+	// Partitioned designs: placement, per-partition runtime state and, for the
+	// shared-nothing designs, the island wiring — all swapped as one snapshot.
 	state partitionedState
-
-	// Shared-nothing instance mapping: one site per island at the configured
-	// IslandLevel. sites holds each island's home core, siteCores its alive
-	// member cores (remote requests are spread over them), and siteOfCore is
-	// indexed by CoreID.
-	sites      []topology.Core
-	siteCores  [][]topology.Core
-	siteOfCore []int32
 
 	accounts []coreAccount
 	adaptive *adaptiveState
@@ -295,7 +288,10 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.wireStructures(placement)
-	if c.Design == ATraPos && (c.Monitoring || c.Adaptive) {
+	// ATraPos adapts its placement; the parametric SharedNothing design
+	// adapts its island granularity (the fixed-granularity aliases stay
+	// inert, preserving their exact legacy meaning).
+	if (c.Design == ATraPos || c.Design == SharedNothing) && (c.Monitoring || c.Adaptive) {
 		e.adaptive = newAdaptiveState(e, placement)
 	}
 	return e, nil
@@ -427,7 +423,7 @@ func (e *Engine) loadData() error {
 // wireStructures builds the design-specific system-state structures.
 func (e *Engine) wireStructures(p *partition.Placement) {
 	c := e.cfg
-	e.state.install(p, partition.NewRuntime(e.domain, p), e.activePartitionsPerCore(p, 0))
+	var w *islandWiring
 
 	switch c.Design {
 	case Centralized:
@@ -435,28 +431,12 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 		e.centralLocks = lock.NewCentralManager(e.domain, 256, !c.DisableSLI)
 		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
 	case SharedNothingExtreme, SharedNothingCoarse, SharedNothing:
-		// One instance per island: the sites define the log layout (one WAL
-		// per island, homed on the island's socket) and the 2PC site list.
-		// State structures follow the island granularity too: a machine-level
-		// deployment is one instance whose transaction list and state lock
-		// are shared by every core (and ping-pong accordingly); any finer
-		// granularity keeps them striped per socket, which is island-local
-		// for socket-grained and finer instances alike.
-		if c.IslandLevel == topology.LevelMachine {
-			e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
-		} else {
-			e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
-		}
-		e.buildSites()
-		homes := make([]topology.SocketID, len(e.sites))
-		homeCores := make([]topology.CoreID, len(e.sites))
-		for i, site := range e.sites {
-			homes[i] = site.Socket
-			homeCores[i] = site.ID
-		}
-		e.instLogs = wal.NewPartitionedLogAt(e.domain, homes, *c.LogConfig)
-		e.log = e.instLogs
-		e.coordinator = txn.NewCoordinatorAt(e.domain, e.instLogs, homeCores)
+		// One instance per island: the whole instance mapping — sites, log
+		// layout, 2PC wiring, transaction-state striping — is derived from the
+		// island level and lives in the snapshot, so the adaptive-granularity
+		// planner can re-derive it at a different level and swap it atomically.
+		w = e.buildWiring(c.IslandLevel, 0, nil)
+		e.log = w.logs
 	case PLP:
 		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
 		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
@@ -464,25 +444,138 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
 		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
 	}
+	e.state.install(p, partition.NewRuntime(e.domain, p), e.activePartitionsPerCore(p, 0), w)
 }
 
-// buildSites establishes the shared-nothing instance list: one site per
-// alive island at the configured IslandLevel, in island order — the same
-// order the per-island data partitioning was built, so site index ==
+// islandWiring is the shared-nothing instance mapping derived from one island
+// granularity: one site per alive island at wiring's level, in island order —
+// the same order the per-island data partitioning is built, so site index ==
 // partition index. A site's home core is its island's first alive core; the
 // full alive member list is kept so remote requests spread over the island's
 // cores instead of funnelling through one.
-func (e *Engine) buildSites() {
-	e.siteOfCore = make([]int32, e.cfg.Topology.NumCores())
-	e.sites = nil
-	e.siteCores = nil
-	for i, isl := range e.cfg.Topology.AliveIslandsAt(e.cfg.IslandLevel) {
-		e.sites = append(e.sites, isl.Cores[0])
-		e.siteCores = append(e.siteCores, isl.Cores)
+//
+// The wiring travels inside the atomically-swapped state snapshot: workers
+// read sites, logs, coordinator and the transaction manager from the snapshot
+// they took for the transaction, so an online level change (a new wiring with
+// a bumped epoch) never splits one transaction across two machine layouts.
+type islandWiring struct {
+	// level is the island granularity the wiring was derived from.
+	level topology.Level
+	// epoch is the topology epoch of the wiring: 0 for the wiring built at
+	// construction, incremented by every online re-wiring.
+	epoch uint64
+
+	sites      []topology.Core
+	siteCores  [][]topology.Core
+	siteOfCore []int32
+
+	// logs holds one write-ahead log per island; coordinator runs 2PC between
+	// the islands with the islands' home cores as participants.
+	logs        *wal.PartitionedLog
+	coordinator *txn.Coordinator
+
+	// txnMgr is the transaction-state layout of this granularity: a
+	// machine-level deployment is one instance whose transaction list and
+	// state lock are shared by every core (and ping-pong accordingly); any
+	// finer granularity keeps them striped per socket, which is island-local
+	// for socket-grained and finer instances alike.
+	txnMgr *txn.Manager
+
+	// reusedLogs/rebuiltLogs count how many island logs the wiring carried
+	// over from its predecessor versus created fresh.
+	reusedLogs, rebuiltLogs int
+}
+
+// siteOf returns the site index of the instance whose island contains core c.
+func (w *islandWiring) siteOf(c topology.CoreID) int {
+	if w == nil || int(c) < 0 || int(c) >= len(w.siteOfCore) {
+		return 0
+	}
+	return int(w.siteOfCore[c])
+}
+
+// sameCores reports whether an island's alive member set is exactly the given
+// core slice. Member slices are contiguous runs in core order at every level,
+// so comparing length and endpoints is exact.
+func sameCores(a, b []topology.Core) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return len(a) == len(b)
+	}
+	return a[0].ID == b[0].ID && a[len(a)-1].ID == b[len(b)-1].ID
+}
+
+// buildWiring derives the island wiring at the given level. When prev is
+// non-nil (an online re-wiring), structures owned by islands whose alive core
+// sets are unchanged by the level change are carried over: their write-ahead
+// logs keep their records and group-commit state, exactly as an unchanged
+// partition keeps its lock table across a repartitioning. The transaction
+// manager is carried over whenever the state striping is the same on both
+// sides (both machine-grained or both finer), so in-flight bookkeeping
+// survives the swap.
+func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWiring) *islandWiring {
+	top := e.cfg.Topology
+	w := &islandWiring{
+		level:      level,
+		epoch:      epoch,
+		siteOfCore: make([]int32, top.NumCores()),
+	}
+	islands := top.AliveIslandsAt(level)
+	homes := make([]topology.SocketID, 0, len(islands))
+	homeCores := make([]topology.CoreID, 0, len(islands))
+	var reuse []*wal.CentralLog
+	if prev != nil {
+		reuse = make([]*wal.CentralLog, len(islands))
+	}
+	for i, isl := range islands {
+		w.sites = append(w.sites, isl.Cores[0])
+		w.siteCores = append(w.siteCores, isl.Cores)
 		for _, c := range isl.Cores {
-			e.siteOfCore[c.ID] = int32(i)
+			w.siteOfCore[c.ID] = int32(i)
+		}
+		homes = append(homes, isl.Cores[0].Socket)
+		homeCores = append(homeCores, isl.Cores[0].ID)
+		if prev != nil {
+			for j, cores := range prev.siteCores {
+				if sameCores(cores, isl.Cores) {
+					reuse[i] = prev.logs.Log(j)
+					w.reusedLogs++
+					break
+				}
+			}
 		}
 	}
+	w.rebuiltLogs = len(islands) - w.reusedLogs
+	w.logs = wal.NewPartitionedLogAtReusing(e.domain, homes, *e.cfg.LogConfig, reuse)
+	w.coordinator = txn.NewCoordinatorAt(e.domain, w.logs, homeCores)
+	machineGrained := level == topology.LevelMachine
+	if prev != nil && (prev.level == topology.LevelMachine) == machineGrained {
+		w.txnMgr = prev.txnMgr
+	} else if machineGrained {
+		w.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
+	} else {
+		w.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
+	}
+	return w
+}
+
+// IslandLevel returns the island granularity the engine currently runs at:
+// the level of the installed wiring for the shared-nothing designs (which the
+// adaptive-granularity planner may have changed since construction), or the
+// configured level otherwise.
+func (e *Engine) IslandLevel() topology.Level {
+	if snap := e.state.snapshot(); snap != nil && snap.wiring != nil {
+		return snap.wiring.level
+	}
+	return e.cfg.IslandLevel
+}
+
+// TopologyEpoch returns the epoch of the installed island wiring: 0 at
+// construction, incremented by every online re-wiring.
+func (e *Engine) TopologyEpoch() uint64 {
+	if snap := e.state.snapshot(); snap != nil && snap.wiring != nil {
+		return snap.wiring.epoch
+	}
+	return 0
 }
 
 // activePartitionsPerCore counts, for every core, the partitions of tables

@@ -192,13 +192,18 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 // executeSharedNothing runs one transaction under the shared-nothing designs.
 // The worker's own instance coordinates; actions owned by other instances are
 // shipped over shared-memory channels and, for updates, committed with 2PC.
+// Every piece of instance wiring — sites, per-island logs, the 2PC
+// coordinator, the transaction manager — comes from the snapshot taken for
+// this transaction, so an online island-level change never splits one
+// transaction across two machine layouts.
 func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transaction, sc *execScratch) bool {
-	homeSite := e.siteOf(worker)
-	homeSocket := e.cfg.Topology.SocketOf(worker)
 	snap := sc.snap
+	w := snap.wiring
+	homeSite := w.siteOf(worker)
+	homeSocket := e.cfg.Topology.SocketOf(worker)
 
 	tx := &sc.txn
-	e.charge(worker, vclock.Management, e.txnMgr.BeginInto(tx, worker))
+	e.charge(worker, vclock.Management, w.txnMgr.BeginInto(tx, worker))
 
 	// siteInfo returns the core that executes an action owned by site: work on
 	// the coordinator's own instance runs on the coordinating core, work on a
@@ -212,17 +217,17 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		workerLocal = c.LocalIndex
 	}
 	siteInfo := func(site int) (topology.CoreID, topology.SocketID) {
-		if site < 0 || site >= len(e.sites) {
+		if site < 0 || site >= len(w.sites) {
 			site = 0
 		}
 		if site == homeSite {
 			return worker, homeSocket
 		}
-		if cores := e.siteCores[site]; len(cores) > 1 {
+		if cores := w.siteCores[site]; len(cores) > 1 {
 			peer := cores[workerLocal%len(cores)]
 			return peer.ID, peer.Socket
 		}
-		c := e.sites[site]
+		c := w.sites[site]
 		return c.ID, c.Socket
 	}
 
@@ -230,7 +235,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 
 	abort := func() bool {
 		e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
-		abortCost, _ := e.txnMgr.Abort(tx)
+		abortCost, _ := w.txnMgr.Abort(tx)
 		e.charge(worker, vclock.Management, abortCost)
 		return false
 	}
@@ -272,7 +277,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		if a.Op.IsWrite() {
 			wrote = true
 			// Each island appends to its own write-ahead log.
-			_, logCost := e.instLogs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			_, logCost := w.logs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(siteCore, vclock.Logging, logCost)
 		}
 	}
@@ -281,7 +286,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 	if remote && wrote {
 		// Distributed commit with the standard two-phase commit protocol;
 		// every participating instance (island) is its own 2PC site.
-		if out, err := e.coordinator.Run(tx, worker, homeSite, sc.participants, false); err == nil {
+		if out, err := w.coordinator.Run(tx, worker, homeSite, sc.participants, false); err == nil {
 			committed2PC = out.Committed
 			for comp, cost := range out.ByComponent {
 				e.charge(worker, vclock.Component(comp), cost)
@@ -297,7 +302,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 			}
 		}
 	} else if wrote {
-		home := e.instLogs.Log(homeSite)
+		home := w.logs.Log(homeSite)
 		_, logCost := home.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
 		e.charge(worker, vclock.Logging, home.Flush(homeSocket, home.Tail()))
@@ -306,11 +311,11 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 
 	if !committed2PC {
-		abortCost, _ := e.txnMgr.Abort(tx)
+		abortCost, _ := w.txnMgr.Abort(tx)
 		e.charge(worker, vclock.Management, abortCost)
 		return false
 	}
-	commitCost, err := e.txnMgr.Commit(tx)
+	commitCost, err := w.txnMgr.Commit(tx)
 	e.charge(worker, vclock.Management, commitCost)
 	return err == nil
 }

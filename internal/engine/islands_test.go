@@ -114,7 +114,7 @@ func TestDieLevelIslands(t *testing.T) {
 	if e.numSites() != top.NumDies() {
 		t.Fatalf("die-level deployment has %d sites, want %d", e.numSites(), top.NumDies())
 	}
-	for site, cores := range e.siteCores {
+	for site, cores := range e.state.snapshot().wiring.siteCores {
 		for _, c := range cores {
 			if top.DieOf(c.ID) != topology.DieID(site) {
 				t.Errorf("site %d contains core %d of die %d", site, c.ID, top.DieOf(c.ID))
@@ -146,6 +146,29 @@ func TestDieLevelBeatsCoreLevelOnChiplet(t *testing.T) {
 	if die.ThroughputTPS <= core.ThroughputTPS {
 		t.Errorf("die islands (%f) should beat core islands (%f) at 50%% multisite on a chiplet machine",
 			die.ThroughputTPS, core.ThroughputTPS)
+	}
+}
+
+// TestZeroMultisiteZeroCommunication: with the generators' per-site key
+// ranges aligned to btree.UniformBounds, a 0% multisite workload never leaks
+// a "local" key into a neighbouring instance — even on a 32-site machine
+// whose island count does not divide the row count (3000/32 truncates; the
+// old rows/numSites arithmetic sent a few keys per site next door, visible
+// as nonzero communication).
+func TestZeroMultisiteZeroCommunication(t *testing.T) {
+	top := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 16, DiesPerSocket: 4})
+	if n := top.NumCores(); n != 32 {
+		t.Fatalf("want a 32-core machine, got %d", n)
+	}
+	res := runIsland(t, top, SharedNothing, topology.LevelCore, 0)
+	if res.Committed == 0 {
+		t.Fatal("run should commit")
+	}
+	if res.MultiSite != 0 {
+		t.Fatalf("0%% multisite generated %d multisite transactions", res.MultiSite)
+	}
+	if comm := res.Breakdown.ByComp[2]; comm != 0 { // vclock.Communication
+		t.Errorf("0%% multisite on 32 sites should have zero communication time, got %v", comm)
 	}
 }
 

@@ -114,6 +114,13 @@ type Result struct {
 	// AdaptationCostShare is the fraction of total core busy time spent on
 	// migration pauses (repartition cost summed over the affected cores).
 	AdaptationCostShare float64
+	// IslandLevel is the island granularity the engine ended the run at
+	// (shared-nothing designs only; empty otherwise). With adaptive
+	// granularity it is where the planner converged.
+	IslandLevel string
+	// LevelChanges is the island-level trajectory of the run: one record per
+	// online re-wiring the adaptive-granularity planner executed.
+	LevelChanges []GranularityChange
 	// Interconnect summarizes the traffic counters of the run.
 	Interconnect topology.TrafficStats
 	// QPIToIMCRatio is the interconnect-to-memory-controller traffic ratio.
@@ -155,9 +162,10 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	if e.adaptive != nil {
 		// The planner goroutine is the paper's monitoring thread: it sleeps
 		// until a worker reports a monitoring-boundary crossing, then runs
-		// evaluation and repartitioning concurrently with execution.
+		// evaluation and repartitioning (or an island-level change) con-
+		// currently with execution.
 		e.adaptive.reset()
-		e.adaptive.start(&committed)
+		e.adaptive.start(&committed, opts.Workers)
 	}
 	eventFired := make([]atomic.Bool, len(opts.Events))
 	var eventMu sync.Mutex
@@ -186,7 +194,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 			// All per-transaction state lives in worker-owned reusable
 			// buffers: the steady-state loop body allocates nothing.
 			sc := newExecScratch()
-			ctx := workload.GenContext{Rng: rng, NumSites: e.numSites()}
+			ctx := workload.GenContext{Rng: rng}
 			for {
 				n := issued.Add(1)
 				if int(n) > opts.Transactions {
@@ -211,15 +219,20 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 				// worker, so the generated workload does not depend on how
 				// the Go scheduler interleaves the worker goroutines.
 				src.seed(opts.Seed + n)
+				// One partitioning snapshot per transaction, taken before
+				// generation: the generator's view of the instance layout
+				// (site count, home site) and the execution wiring come from
+				// the same atomically-published snapshot, so a concurrent
+				// repartitioning or island-level change can never split a
+				// transaction across two machine layouts.
+				sc.snap = e.state.snapshot()
 				ctx.At = e.coreTime(coord)
-				ctx.HomeSite = e.siteOf(coord)
+				ctx.NumSites = sc.snap.numSites()
+				ctx.HomeSite = sc.snap.wiring.siteOf(coord)
 				t := e.wl.Generate(&ctx)
 				if t.MultiSite {
 					multiSite.Add(1)
 				}
-				// One partitioning snapshot per transaction: dispatch and
-				// execution read the same atomically-published snapshot.
-				sc.snap = e.state.snapshot()
 				// Data-oriented designs dispatch the transaction to the
 				// worker thread that owns the partition doing most of its
 				// work, as DORA does; the coordinating core follows the data
@@ -247,6 +260,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 					aborted.Add(1)
 				}
 				if e.adaptive != nil {
+					e.adaptive.recordTxn(coord, t)
 					e.adaptive.noteBoundary()
 				}
 			}
@@ -279,10 +293,14 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		res.UsefulFraction = float64(useful) / float64(total)
 	}
 	res.PerSocket = e.perSocketThroughput()
+	if w := e.state.snapshot().wiring; w != nil {
+		res.IslandLevel = w.level.String()
+	}
 	if e.adaptive != nil {
 		res.Repartitions = e.adaptive.repartitions.Load()
 		res.RepartitionTime = vclock.Nanos(e.adaptive.repartitionCost.Load())
 		res.RepartitionDiffs = e.adaptive.takeDiffs()
+		res.LevelChanges = e.adaptive.takeLevelChanges()
 		if total > 0 {
 			res.AdaptationCostShare = float64(e.adaptive.adaptCharged.Load()) / float64(total)
 		}
@@ -292,18 +310,25 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	return res, nil
 }
 
+// siteOf returns the site of core under the currently installed wiring; the
+// hot path uses the per-transaction snapshot instead so generation and
+// execution agree (see the worker loop above).
 func (e *Engine) siteOf(core topology.CoreID) int {
-	if int(core) < 0 || int(core) >= len(e.siteOfCore) {
-		return 0
-	}
-	return int(e.siteOfCore[core])
+	return e.state.snapshot().wiring.siteOf(core)
 }
 
+// numSites returns the instance count of the currently installed wiring.
 func (e *Engine) numSites() int {
-	if len(e.sites) == 0 {
+	return e.state.snapshot().numSites()
+}
+
+// numSites returns the snapshot's instance count; non-shared-nothing designs
+// (no wiring) count as one site.
+func (s *stateSnapshot) numSites() int {
+	if s == nil || s.wiring == nil || len(s.wiring.sites) == 0 {
 		return 1
 	}
-	return len(e.sites)
+	return len(s.wiring.sites)
 }
 
 // splitMix is a tiny allocation-free rand.Source64 (splitmix64) that can be

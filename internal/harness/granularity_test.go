@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"atrapos/internal/topology"
+)
+
+// TestFigAdaptiveGranularityTracksStaticBest runs the drifting-share scenario
+// and asserts the acceptance property: on either side of the crossover the
+// adaptive engine converges to the island level the static fig-islands sweep
+// crowns at that multisite percentage, and the machine was actually re-wired
+// along the way (the engine deliberately starts at a level that is best on
+// neither side).
+func TestFigAdaptiveGranularityTracksStaticBest(t *testing.T) {
+	traj, err := RunAdaptiveGranularity(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Committed == 0 {
+		t.Fatal("adaptive run committed nothing")
+	}
+	if len(traj.Phases) != 2 {
+		t.Fatalf("want 2 phases, got %+v", traj.Phases)
+	}
+	for _, ph := range traj.Phases {
+		if ph.AdaptiveLevel != ph.StaticBest {
+			t.Errorf("at %d%% multisite the adaptive engine ran at %s, statically best is %s (changes: %+v)",
+				ph.MultiPct, ph.AdaptiveLevel, ph.StaticBest, traj.Changes)
+		}
+	}
+	// The static winners differ across the drift (the crossover exists), so
+	// tracking them requires at least two re-wirings from the socket start.
+	lowBest, _ := topology.ParseLevel(traj.Phases[0].StaticBest)
+	highBest, _ := topology.ParseLevel(traj.Phases[1].StaticBest)
+	if !(lowBest < highBest) {
+		t.Fatalf("crossover lost: static best %v at 0%%, %v at 100%%", lowBest, highBest)
+	}
+	if len(traj.Changes) < 2 {
+		t.Errorf("expected at least two level changes, got %+v", traj.Changes)
+	}
+	if traj.FinalLevel != traj.Phases[1].StaticBest {
+		t.Errorf("final level %s, want %s", traj.FinalLevel, traj.Phases[1].StaticBest)
+	}
+	// No re-wiring stalled the whole machine for free: every change names its
+	// affected cores and its cost.
+	for _, lc := range traj.Changes {
+		if lc.AffectedCores <= 0 {
+			t.Errorf("level change %+v affected no cores", lc)
+		}
+	}
+}
+
+// TestFigAdaptiveGranularityRegistered checks the experiment is reachable by
+// id and renders a table with the tracked verdict per phase.
+func TestFigAdaptiveGranularityRegistered(t *testing.T) {
+	if _, ok := Lookup("fig-adaptive-granularity"); !ok {
+		t.Fatal("fig-adaptive-granularity not registered")
+	}
+	tbl, err := FigAdaptiveGranularity(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("phase row %v did not track the static best", row)
+		}
+	}
+}

@@ -217,6 +217,81 @@ func TestApplyDiffReusesRuntimeState(t *testing.T) {
 	}
 }
 
+// TestDiffAcrossIslandLevels diffs PerIsland placements of different
+// granularities against each other — the cross-level diff an online
+// island-level change applies. A level change on a machine where the two
+// levels' islands coincide (one die per socket: die islands == socket
+// islands) must diff as completely unchanged and reuse the whole runtime; a
+// genuine merge rebounds the tables, the derived runtime still validates
+// against a fresh build, and partitions whose key range and island home
+// survive are reused.
+func TestDiffAcrossIslandLevels(t *testing.T) {
+	specs := []TableSpec{{Name: "t", MaxKey: 8000}}
+
+	// One die per socket: die and socket islands are the same core sets.
+	flat := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 4})
+	dom := numa.MustNewDomain(flat, numa.DefaultCostModel())
+	die := PerIsland(flat, topology.LevelDie, specs)
+	sock := PerIsland(flat, topology.LevelSocket, specs)
+	diff := Diff(die, sock)
+	if !diff.Empty() {
+		t.Fatalf("die and socket islands coincide on a flat machine; diff should be empty: %+v", diff.Tables["t"])
+	}
+	rt := NewRuntime(dom, die)
+	rt2, stats := rt.ApplyDiff(sock, diff)
+	if err := rt2.Validate(sock); err != nil {
+		t.Fatalf("cross-level runtime invalid: %v", err)
+	}
+	if stats.ReusedTables != 1 || stats.RebuiltManagers != 0 {
+		t.Errorf("coinciding levels should reuse everything: %+v", stats)
+	}
+
+	// A genuine core->socket merge rebounds the table; the runtime still
+	// validates, and the partition whose range and home survive (core 0's
+	// [0,4000) range equals socket 0's when 2 sockets halve what 2 of 8 cores
+	// quartered... here: no range survives, so everything rebuilds).
+	core := PerIsland(flat, topology.LevelCore, specs)
+	diff2 := Diff(core, sock)
+	td := diff2.Tables["t"]
+	if td.Kind != TableRebounded {
+		t.Fatalf("core->socket merge should rebound, got %v", td.Kind)
+	}
+	rtCore := NewRuntime(dom, core)
+	rt3, _ := rtCore.ApplyDiff(sock, diff2)
+	if err := rt3.Validate(sock); err != nil {
+		t.Fatalf("merged runtime invalid: %v", err)
+	}
+	// Affected cores are the union of old and new owners — the cores that
+	// pause; with 8 core-grained owners merging onto 2 socket homes that is
+	// all 8, but never more than the owners involved.
+	if got := len(diff2.AffectedCores()); got != 8 {
+		t.Errorf("core->socket merge affects %d cores, want 8", got)
+	}
+
+	// After a socket failure the surviving socket island equals the machine
+	// island: a socket->machine change on the degraded machine diffs
+	// unchanged (the die island surviving a merge keeps its structures).
+	failed := topology.MustNew(topology.Config{Sockets: 2, CoresPerSocket: 4})
+	if err := failed.FailSocket(1); err != nil {
+		t.Fatal(err)
+	}
+	domF := numa.MustNewDomain(failed, numa.DefaultCostModel())
+	sockF := PerIsland(failed, topology.LevelSocket, specs)
+	machF := PerIsland(failed, topology.LevelMachine, specs)
+	diffF := Diff(sockF, machF)
+	if !diffF.Empty() {
+		t.Fatalf("surviving socket island == machine island; diff should be empty: %+v", diffF.Tables["t"])
+	}
+	rtF := NewRuntime(domF, sockF)
+	rtF2, statsF := rtF.ApplyDiff(machF, diffF)
+	if err := rtF2.Validate(machF); err != nil {
+		t.Fatalf("post-failure cross-level runtime invalid: %v", err)
+	}
+	if statsF.ReusedManagers != 1 {
+		t.Errorf("surviving island should keep its lock table: %+v", statsF)
+	}
+}
+
 func TestRuntimeValidateCatchesMismatches(t *testing.T) {
 	top := smallTop()
 	dom := numa.MustNewDomain(top, numa.DefaultCostModel())

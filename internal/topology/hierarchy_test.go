@@ -221,6 +221,103 @@ func TestAliveIslandsFiltering(t *testing.T) {
 	}
 }
 
+// TestNewProfileShapes pins the shapes of the mesh and consumer profiles: the
+// mesh grid's hop counts are Manhattan distances, and the one-socket consumer
+// part distinguishes die islands but not socket islands.
+func TestNewProfileShapes(t *testing.T) {
+	mesh, err := BuildProfile("mesh-3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Sockets() != 9 || mesh.NumCores() != 36 || mesh.Hierarchical() {
+		t.Errorf("mesh-3x3 shape wrong: %s", mesh)
+	}
+	// Corner to opposite corner of the 3x3 grid is 4 hops; adjacent tiles 1.
+	if got := mesh.Distance(0, 8); got != 4 {
+		t.Errorf("mesh corner distance = %d, want 4", got)
+	}
+	if got := mesh.Distance(0, 1); got != 1 {
+		t.Errorf("mesh adjacent distance = %d, want 1", got)
+	}
+	if got := mesh.MaxDistance(); got != 4 {
+		t.Errorf("mesh max distance = %d, want 4", got)
+	}
+
+	consumer, err := BuildProfile("consumer-1s4d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumer.Sockets() != 1 || consumer.NumDies() != 4 || !consumer.Hierarchical() {
+		t.Errorf("consumer-1s4d shape wrong: %s", consumer)
+	}
+	p, _ := ProfileByName("consumer-1s4d")
+	levels := p.Levels()
+	want := []Level{LevelCore, LevelDie, LevelMachine}
+	if len(levels) != len(want) {
+		t.Fatalf("consumer levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("consumer levels = %v, want %v", levels, want)
+		}
+	}
+	// DistinctLevels agrees with the profile's level list on both shapes.
+	if got := consumer.DistinctLevels(); len(got) != 3 || got[1] != LevelDie {
+		t.Errorf("consumer DistinctLevels = %v", got)
+	}
+	if got := mesh.DistinctLevels(); len(got) != 3 || got[1] != LevelSocket {
+		t.Errorf("mesh DistinctLevels = %v", got)
+	}
+}
+
+// TestIslandEnumerationAcrossFailureEpochs mirrors the planner's view of the
+// machine when a socket dies between two epochs: AliveIslandsAt must drop the
+// dead socket's islands at every level while preserving the index mapping
+// IslandOf still reports, and no surviving island may list a dead core —
+// which is what guarantees a level change never homes a site on dead
+// hardware.
+func TestIslandEnumerationAcrossFailureEpochs(t *testing.T) {
+	top := MustNew(Config{Sockets: 4, CoresPerSocket: 4, DiesPerSocket: 2})
+	epochBefore := top.Epoch()
+	if err := top.FailSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	if top.Epoch() == epochBefore {
+		t.Fatal("socket failure must advance the liveness epoch")
+	}
+	for _, level := range top.DistinctLevels() {
+		alive := top.AliveIslandsAt(level)
+		for _, isl := range alive {
+			if len(isl.Cores) == 0 {
+				t.Fatalf("%v island %d has no cores", level, isl.Index)
+			}
+			for _, c := range isl.Cores {
+				if !top.Alive(c.Socket) {
+					t.Errorf("%v island %d lists core %d on dead socket %d", level, isl.Index, c.ID, c.Socket)
+				}
+				// The index mapping survives the failure: a member core still
+				// maps to its island's position in the full enumeration.
+				if got := top.IslandOf(c.ID, level); got != isl.Index {
+					t.Errorf("IslandOf(%d, %v) = %d, island reports index %d", c.ID, level, got, isl.Index)
+				}
+			}
+		}
+	}
+	// Exactly socket 2's islands are gone.
+	if got := len(top.AliveIslandsAt(LevelDie)); got != 6 {
+		t.Errorf("alive die islands = %d, want 6", got)
+	}
+	if got := len(top.AliveIslandsAt(LevelSocket)); got != 3 {
+		t.Errorf("alive socket islands = %d, want 3", got)
+	}
+	// Dead cores still resolve to their (dead) island index — the caller
+	// filters by liveness, the mapping itself stays total.
+	deadCore := top.CoresOn(2)[0].ID
+	if got := top.IslandOf(deadCore, LevelSocket); got != 2 {
+		t.Errorf("IslandOf(dead core, socket) = %d, want 2", got)
+	}
+}
+
 func TestLevelParseAndOrdering(t *testing.T) {
 	for _, l := range Levels() {
 		got, err := ParseLevel(l.String())

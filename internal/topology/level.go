@@ -32,6 +32,23 @@ func Levels() []Level {
 // Valid reports whether l is one of the defined levels.
 func (l Level) Valid() bool { return l >= LevelCore && l <= LevelMachine }
 
+// DistinctLevels returns the island levels that are structurally distinct on
+// this machine, finest to coarsest: LevelDie only when sockets have more than
+// one die, LevelSocket only when the machine has more than one socket. These
+// are the candidate granularities a deployment (or the adaptive-granularity
+// planner) can meaningfully choose between; the omitted levels would produce
+// island sets identical to a neighbouring level.
+func (t *Topology) DistinctLevels() []Level {
+	out := []Level{LevelCore}
+	if t.diesPerSocket > 1 {
+		out = append(out, LevelDie)
+	}
+	if t.sockets > 1 {
+		out = append(out, LevelSocket)
+	}
+	return append(out, LevelMachine)
+}
+
 // String implements fmt.Stringer.
 func (l Level) String() string {
 	switch l {

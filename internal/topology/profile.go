@@ -78,6 +78,26 @@ func Profiles() []Profile {
 			Description: "the paper's platform: 8 sockets x 10 cores, twisted-cube QPI interconnect",
 			Config:      Config{Name: "8-socket x 10-core twisted cube", Sockets: 8, CoresPerSocket: 10},
 		},
+		{
+			Name:        "mesh-3x3",
+			Description: "mesh interconnect: 9 sockets in a 3x3 grid x 4 cores, hop count = Manhattan distance (Tilera-style tiles)",
+			Config: Config{
+				Name:           "3x3 mesh x 4-core",
+				Sockets:        9,
+				CoresPerSocket: 4,
+				Distance:       MeshDistance(3, 3),
+			},
+		},
+		{
+			Name:        "consumer-1s4d",
+			Description: "1-socket many-die consumer part: 4 CCDs x 4 cores behind one IO die (desktop chiplet CPU)",
+			Config: Config{
+				Name:           "1-socket consumer chiplet (4 CCDs x 4 cores)",
+				Sockets:        1,
+				CoresPerSocket: 16,
+				DiesPerSocket:  4,
+			},
+		},
 	}
 	return ps
 }

@@ -252,6 +252,18 @@ func NewPartitionedLog(d *numa.Domain, cfg Config) *PartitionedLog {
 // given socket. It is the log layout of a shared-nothing deployment with one
 // instance per island: homes[i] is the socket of island i's first core.
 func NewPartitionedLogAt(d *numa.Domain, homes []topology.SocketID, cfg Config) *PartitionedLog {
+	return NewPartitionedLogAtReusing(d, homes, cfg, nil)
+}
+
+// NewPartitionedLogAtReusing builds a per-island log set like
+// NewPartitionedLogAt, but carries over reuse[i] as island i's log when it is
+// non-nil instead of creating a fresh one. It is how an online island-level
+// change keeps the log (records, durability horizon, group-commit state) of
+// every island whose core set the re-wiring leaves intact: the new wiring's
+// islands that match an old island by core set pass the old log through, and
+// only genuinely new islands get empty logs. A nil or short reuse slice
+// behaves like NewPartitionedLogAt.
+func NewPartitionedLogAtReusing(d *numa.Domain, homes []topology.SocketID, cfg Config, reuse []*CentralLog) *PartitionedLog {
 	if len(homes) == 0 {
 		homes = []topology.SocketID{0}
 	}
@@ -264,7 +276,11 @@ func NewPartitionedLogAt(d *numa.Domain, homes []topology.SocketID, cfg Config) 
 		p.bySocket[i] = -1
 	}
 	for i, h := range p.homes {
-		p.logs[i] = NewCentralLog(d, h, cfg)
+		if i < len(reuse) && reuse[i] != nil {
+			p.logs[i] = reuse[i]
+		} else {
+			p.logs[i] = NewCentralLog(d, h, cfg)
+		}
 		if int(h) >= 0 && int(h) < len(p.bySocket) && p.bySocket[h] < 0 {
 			p.bySocket[h] = i
 		}

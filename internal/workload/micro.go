@@ -17,6 +17,32 @@ func tenColumnTable(name string) *schema.Table {
 
 func fmtCol(i int) string { return "c" + string(rune('0'+i)) }
 
+// siteKeyRange returns the key range [lo, hi) that instance site serves when
+// the key space [0, maxKey) is split over numSites instances. It uses the
+// same arithmetic as btree.UniformBounds (bound i = maxKey*i/n), so a key the
+// generator considers "local" is local by the placement's reckoning too —
+// even when the instance count does not divide the row count. Before this
+// alignment the generators used maxKey/numSites with truncation, which leaked
+// a few "local" keys into the neighbouring instance on such machines (visible
+// as nonzero communication at 0% multisite on 32-site deployments).
+func siteKeyRange(maxKey int64, site, numSites int) (lo, hi int64) {
+	if numSites < 1 || maxKey < int64(numSites) {
+		return 0, maxKey
+	}
+	if site < 0 {
+		site = 0
+	}
+	if site >= numSites {
+		site = numSites - 1
+	}
+	lo = maxKey * int64(site) / int64(numSites)
+	hi = maxKey * int64(site+1) / int64(numSites)
+	if hi <= lo {
+		return 0, maxKey
+	}
+	return lo, hi
+}
+
 func tenColumnRow(i int) schema.Row {
 	row := make(schema.Row, 11)
 	row[0] = int64(i)
@@ -60,11 +86,8 @@ func SingleRowReadSkewed(rows int, skew Skew) *Workload {
 		if ctx.NumSites > 1 && !skew.Active(ctx.At) {
 			// Perfectly partitionable: each client only asks its own
 			// instance's key range, as in the paper's Figure 2/5 setup.
-			siteRows := int64(rows) / int64(ctx.NumSites)
-			if siteRows < 1 {
-				siteRows = int64(rows)
-			}
-			key = int64(ctx.HomeSite)*siteRows + ctx.Rng.Int63n(siteRows)
+			lo, hi := siteKeyRange(int64(rows), ctx.HomeSite, ctx.NumSites)
+			key = lo + ctx.Rng.Int63n(hi-lo)
 		} else {
 			key = skew.Pick(ctx.Rng, int64(rows), ctx.At)
 		}
@@ -106,16 +129,12 @@ func ReadHundred(rows int) *Workload {
 		// Each client reads from its own instance's dataset; the allocation
 		// policy experiment (Table I) varies only where that dataset's memory
 		// lives, not which instance serves the request.
-		lo, span := int64(0), int64(rows)
+		lo, hi := int64(0), int64(rows)
 		if ctx.NumSites > 1 {
-			span = int64(rows) / int64(ctx.NumSites)
-			if span < 1 {
-				span = int64(rows)
-			}
-			lo = int64(ctx.HomeSite) * span
+			lo, hi = siteKeyRange(int64(rows), ctx.HomeSite, ctx.NumSites)
 		}
 		for i := 0; i < 100; i++ {
-			key := lo + ctx.Rng.Int63n(span)
+			key := lo + ctx.Rng.Int63n(hi-lo)
 			t.Add(table, Read, schema.KeyFromInt(key))
 		}
 		return t
@@ -167,17 +186,9 @@ func MultisiteUpdate(rows int, pctMultiSite int) *Workload {
 		},
 	}
 	w.Generate = func(ctx *GenContext) *Transaction {
-		numSites := ctx.NumSites
-		if numSites < 1 {
-			numSites = 1
-		}
-		siteRows := int64(rows) / int64(numSites)
-		if siteRows < 1 {
-			siteRows = int64(rows)
-		}
-		localBase := int64(ctx.HomeSite) * siteRows
+		lo, hi := siteKeyRange(int64(rows), ctx.HomeSite, ctx.NumSites)
 		localKey := func() schema.Key {
-			return schema.KeyFromInt(localBase + ctx.Rng.Int63n(siteRows))
+			return schema.KeyFromInt(lo + ctx.Rng.Int63n(hi-lo))
 		}
 		multi := ctx.Rng.Intn(100) < pctMultiSite
 		if !multi {
@@ -195,6 +206,80 @@ func MultisiteUpdate(rows int, pctMultiSite int) *Workload {
 			t.Add(table, Update, schema.KeyFromInt(key))
 		}
 		// All ten updates synchronize at commit.
+		t.AddSyncRange(88, 0, len(t.Actions))
+		return t
+	}
+	return w
+}
+
+// MultisiteUpdateDrifting is MultisiteUpdate with a time-varying multisite
+// probability: pctAt maps the virtual time of the generating transaction to
+// the percentage (0..100) of multi-site transactions in force at that moment.
+// It is the workload of the adaptive-granularity experiment: as the share
+// drifts across the island-size crossover, the statically-best island level
+// changes, and an adaptive deployment must re-wire itself to follow.
+func MultisiteUpdateDrifting(rows int, pctAt func(vclock.Nanos) int) *Workload {
+	const (
+		localClass = "UpdateLocal10"
+		multiClass = "UpdateMultiSite"
+	)
+	table := "mupd"
+	clampPct := func(p int) int {
+		if p < 0 {
+			return 0
+		}
+		if p > 100 {
+			return 100
+		}
+		return p
+	}
+	w := &Workload{
+		Name: "multisite-update-drift",
+		Tables: []TableDef{{
+			Schema: tenColumnTable(table),
+			Rows:   rows,
+			MaxKey: int64(rows),
+			RowGen: tenColumnRow,
+		}},
+		Graphs: map[string]*FlowGraph{
+			localClass: {
+				Class: localClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+			},
+			multiClass: {
+				Class: multiClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+				Syncs: []FlowSync{{Nodes: []int{0}, Bytes: 88}},
+			},
+		},
+		ClassWeights: func(at vclock.Nanos) map[string]float64 {
+			pct := clampPct(pctAt(at))
+			return map[string]float64{
+				localClass: float64(100 - pct),
+				multiClass: float64(pct),
+			}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		pct := clampPct(pctAt(ctx.At))
+		lo, hi := siteKeyRange(int64(rows), ctx.HomeSite, ctx.NumSites)
+		localKey := func() schema.Key {
+			return schema.KeyFromInt(lo + ctx.Rng.Int63n(hi-lo))
+		}
+		if ctx.Rng.Intn(100) >= pct {
+			t := ctx.Txn(localClass)
+			for i := 0; i < 10; i++ {
+				t.Add(table, Update, localKey())
+			}
+			return t
+		}
+		t := ctx.Txn(multiClass)
+		t.MultiSite = true
+		t.Add(table, Update, localKey())
+		for i := 0; i < 9; i++ {
+			key := ctx.Rng.Int63n(int64(rows))
+			t.Add(table, Update, schema.KeyFromInt(key))
+		}
 		t.AddSyncRange(88, 0, len(t.Actions))
 		return t
 	}
