@@ -1,16 +1,17 @@
 # Development workflow for the ATraPos reproduction.
 #
 #   make check        - everything CI runs: format, vet, static analysis, build,
-#                       test, race, bench smoke, BENCH.json well-formedness
+#                       test, race, bench smoke, log-device smoke, BENCH.json
+#                       well-formedness
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices
 
-check: fmt vet staticcheck build test race bench-smoke bench-verify
+check: fmt vet staticcheck build test race bench-smoke bench-devices bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -58,6 +59,12 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/atrapos-bench -json
+
+# A tiny fig-log-devices run: the heterogeneous log-device sweep must keep
+# producing its crossover table (the harness test asserts the shift; this
+# smoke keeps the CLI path exercised).
+bench-devices:
+	$(GO) run ./cmd/atrapos-bench -experiment fig-log-devices
 
 # BENCH.json is an appending trajectory; the schema gate keeps a bad append
 # from corrupting it silently.

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"atrapos/internal/core"
+	"atrapos/internal/device"
 	"atrapos/internal/engine"
 	"atrapos/internal/harness"
 	"atrapos/internal/numa"
@@ -119,6 +120,11 @@ func NewTopology(sockets, coresPerSocket int) (*Topology, error) {
 // NewTopologyFromConfig builds a machine from a full hierarchical description.
 func NewTopologyFromConfig(cfg TopologyConfig) (*Topology, error) { return topology.New(cfg) }
 
+// ParseNumactl builds a topology configuration from a real machine's
+// `numactl --hardware` dump: per-node cpu lists become the socket layout and
+// the SLIT distance table becomes the hop matrix.
+func ParseNumactl(dump string) (TopologyConfig, error) { return topology.ParseNumactl(dump) }
+
 // CostModel holds the NUMA latencies of the simulation.
 type CostModel = numa.CostModel
 
@@ -195,6 +201,11 @@ type Options struct {
 	// (one logical instance per island at this level); the zero value means
 	// socket-grained instances. Ignored by the other designs.
 	IslandLevel IslandLevel
+	// DeviceLayout optionally names a log-device layout (LogDeviceLayouts) to
+	// instantiate on the machine: write-ahead logs are then bound to modeled
+	// log devices and commits pay each device's service and queueing cost.
+	// Empty means no device modeling.
+	DeviceLayout string
 	// Workload supplies the dataset and transaction generator. Required.
 	Workload *Workload
 	// Topology models the machine; nil means the paper's 8-socket box.
@@ -238,6 +249,7 @@ func Open(opts Options) (*System, error) {
 	cfg := engine.Config{
 		Design:           opts.Design,
 		IslandLevel:      opts.IslandLevel,
+		DeviceLayout:     opts.DeviceLayout,
 		Workload:         opts.Workload,
 		Topology:         top,
 		CostModel:        opts.CostModel,
@@ -359,6 +371,26 @@ type IslandPoint = harness.IslandPoint
 // records.
 func IslandSweep(scale Scale, pcts []int) ([]IslandPoint, error) {
 	return harness.IslandSweep(scale, pcts)
+}
+
+// LogDeviceLayout is a named storage shape: the class and count of the log
+// devices a machine flushes its write-ahead logs to.
+type LogDeviceLayout = device.Layout
+
+// LogDeviceLayouts returns the built-in log-device layouts, most parallel
+// first (one NVMe per socket, a shared device per die pair, a single
+// SATA-class device).
+func LogDeviceLayouts() []LogDeviceLayout { return device.Layouts() }
+
+// DevicePoint is one measured cell of the log-device sweep.
+type DevicePoint = harness.DevicePoint
+
+// DeviceSweep measures the parametric shared-nothing design at every island
+// granularity under every log-device layout for the given multisite
+// percentages; it is the data behind the fig-log-devices experiment and the
+// BENCH.json log-device records.
+func DeviceSweep(scale Scale, pcts []int) ([]DevicePoint, error) {
+	return harness.DeviceSweep(scale, pcts)
 }
 
 // GranularityTrajectory is the measured outcome of the adaptive-granularity

@@ -74,6 +74,11 @@ type BenchRecord struct {
 	// drifted across the crossover, and whether it tracked the statically
 	// best level on either side.
 	AdaptiveGranularity *atrapos.GranularityTrajectory `json:"adaptive_granularity,omitempty"`
+	// LogDevices records the log-device sweep (fig-log-devices at bench
+	// scale): the shared-nothing design per log-device layout, island level
+	// and multisite probability, so the crossover's movement with the storage
+	// profile is tracked commit over commit.
+	LogDevices []atrapos.DevicePoint `json:"log_devices,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
@@ -190,6 +195,12 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	if err != nil {
 		return err
 	}
+	// The log-device sweep: the multisite endpoints per storage shape are
+	// enough to track how the granularity crossover moves with device count.
+	rec.LogDevices, err = atrapos.DeviceSweep(islandScale, []int{0, 100})
+	if err != nil {
+		return err
+	}
 	records, err := appendTrajectory(path, rec)
 	if err != nil {
 		return err
@@ -254,6 +265,17 @@ func checkBenchDocument(data []byte) error {
 		if g := r.AdaptiveGranularity; g != nil {
 			if g.Profile == "" || g.FinalLevel == "" {
 				return fmt.Errorf("record %d adaptive-granularity trajectory is missing its profile or final level", i)
+			}
+		}
+		for _, pt := range r.LogDevices {
+			if pt.Profile == "" || pt.Layout == "" || pt.Level == "" {
+				return fmt.Errorf("record %d has a log-device point without profile, layout or level", i)
+			}
+			if pt.Devices < 1 {
+				return fmt.Errorf("record %d log-device point %s/%s claims %d devices", i, pt.Layout, pt.Level, pt.Devices)
+			}
+			if pt.MultiPct < 0 || pt.MultiPct > 100 || pt.Committed < 0 {
+				return fmt.Errorf("record %d log-device point %s/%s has invalid counters", i, pt.Layout, pt.Level)
 			}
 		}
 	}

@@ -42,6 +42,9 @@ func TestCheckBenchDocument(t *testing.T) {
 		"unnamed design":    `[{"generated_at":"x","designs":[{"transactions":1}]}]`,
 		"negative counters": `[{"generated_at":"x","designs":[{"design":"plp","transactions":-1}]}]`,
 		"bad trajectory":    `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":""}}]`,
+		"bare device point": `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"chiplet-2s4d"}]}]`,
+		"zero devices":      `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":0,"multisite_pct":0,"virtual_tps":1,"committed":1}]}]`,
+		"bad device pct":    `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":1,"multisite_pct":400,"virtual_tps":1,"committed":1}]}]`,
 	}
 	for name, doc := range cases {
 		if err := checkBenchDocument([]byte(doc)); err == nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"atrapos/internal/device"
 	"atrapos/internal/numa"
 	"atrapos/internal/topology"
 )
@@ -60,6 +61,16 @@ type GranularityModel struct {
 	// LogFlush == 0 means flushes are not priced.
 	LogFlush     numa.Cost
 	LogGroupSize int
+	// Devices optionally binds the scorer to the machine's log-device map:
+	// candidate levels then pay a commit-latency term priced from the devices
+	// their island logs would bind to — the device's flush service latency
+	// times the group-commit concentration (how many cores' commits funnel
+	// into one flush path at that level) divided by the device's queue depth.
+	// A wiring that leaves devices idle (a coarse level funnelling every
+	// commit through its home island's device) scores worse than one that
+	// spreads flushes across them, which is what moves the fine-vs-coarse
+	// crossover with the storage profile. Nil skips the term.
+	Devices *device.Map
 }
 
 // flushShare is the amortized (ride-along) group-commit cost per commit.
@@ -135,10 +146,19 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		score += 2 * float64(g.Domain.Model.LocalAtomic)
 	}
 
-	// Group-commit imbalance: the busiest member of an island whose log is
-	// shared by m cores pays min(m, G)/G of the full flushes plus the
-	// ride-along share; a single-member island spreads them evenly.
-	if g.LogFlush > 0 && shape.WritesPerTxn > 0 {
+	// Group-commit cost: the busiest member of an island whose log is shared
+	// by m cores pays min(m, G)/G of the full flushes plus the ride-along
+	// share; a single-member island spreads them evenly. Without a device
+	// map the full flush costs the flat LogFlush. With one, the same
+	// imbalance formula is priced per island from the device its log binds
+	// to — service replaces LogFlush (never both: the engine's flush path
+	// pays exactly one of them too) — plus a queue-wait surcharge: a device
+	// absorbs the commit streams of the cores funnelled into it up to its
+	// queue depth, and beyond that full flushes wait. Funneling is what the
+	// level decides (a machine-grained wiring concentrates every core on its
+	// home island's device and leaves the rest idle), so the surcharge is
+	// what moves the crossover with the storage profile.
+	if shape.WritesPerTxn > 0 && (g.LogFlush > 0 || g.Devices != nil) {
 		group := g.LogGroupSize
 		if group < 1 {
 			group = 1
@@ -151,7 +171,35 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		if busiest > group {
 			busiest = group
 		}
-		score += float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare()
+		if g.Devices == nil {
+			score += float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare()
+		} else {
+			var bill float64
+			for _, isl := range islands {
+				dev := g.Devices.DeviceFor(top.DieOf(isl.Cores[0].ID))
+				// Cores whose commits reach dev at this level: members of
+				// every island whose log binds to the same device.
+				streams := 0
+				for _, other := range islands {
+					if g.Devices.DeviceFor(top.DieOf(other.Cores[0].ID)) == dev {
+						streams += len(other.Cores)
+					}
+				}
+				q := dev.Spec().QueueDepth
+				if q < 1 {
+					q = 1
+				}
+				concentration := float64(streams) / float64(q)
+				if concentration < 1 {
+					concentration = 1
+				}
+				svc := float64(dev.Service(96 * group))
+				// busiest full-flush shares + one ride-along + (conc-1)
+				// expected queue waits, all per commit.
+				bill += svc / float64(group) * (float64(busiest) + concentration)
+			}
+			score += bill / float64(n)
+		}
 	}
 
 	// Lock conflicts: an instance shared by several concurrent workers sees

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"atrapos/internal/device"
 	"atrapos/internal/numa"
 	"atrapos/internal/topology"
 )
@@ -184,5 +185,66 @@ func TestStatsTxnShape(t *testing.T) {
 	// Sealing cleared the epoch: the next seal reports an empty interval.
 	if again := m.Seal(); again.Txns != 0 || again.MultisiteShare() != 0 {
 		t.Errorf("counters not cleared by Seal: %+v", again)
+	}
+}
+
+// TestGranularityDeviceTerm asserts the commit-latency term moves the scorer
+// with the storage profile: on a chiplet machine with one NVMe per socket, a
+// machine-grained wiring funnels every island's commits through socket 0's
+// device and must score worse relative to socket islands than it does without
+// device modeling; and a single queue-depth-1 device must penalize the fine
+// levels (many logs, one flush path) hardest.
+func TestGranularityDeviceTerm(t *testing.T) {
+	g, top := granModelFor(t, "chiplet-2s4d")
+	shape := granShape(0)
+
+	scoreAt := func(layout string, level topology.Level) float64 {
+		gd := g
+		if layout != "" {
+			m, err := device.BuildLayout(layout, top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gd.Devices = m
+		}
+		return gd.Score(level, shape)
+	}
+
+	// The device term only adds cost: every level scores at least its
+	// device-blind score.
+	for _, level := range top.DistinctLevels() {
+		if scoreAt("nvme-per-socket", level) < scoreAt("", level) {
+			t.Errorf("%v: device term should not reduce the score", level)
+		}
+	}
+
+	// Funneling penalty: with per-socket NVMe the machine level concentrates
+	// twice the commit streams on one device compared to the socket level, so
+	// its device surcharge must be strictly larger.
+	surcharge := func(layout string, level topology.Level) float64 {
+		return scoreAt(layout, level) - scoreAt("", level)
+	}
+	if !(surcharge("nvme-per-socket", topology.LevelMachine) > surcharge("nvme-per-socket", topology.LevelSocket)) {
+		t.Errorf("machine-level funneling should cost more than socket-level spreading: machine +%f, socket +%f",
+			surcharge("nvme-per-socket", topology.LevelMachine), surcharge("nvme-per-socket", topology.LevelSocket))
+	}
+
+	// Scarcity: the single SATA device (slow service, depth 1, every commit
+	// stream in one queue) must cost strictly more than per-socket NVMe at
+	// every level.
+	for _, level := range top.DistinctLevels() {
+		if !(surcharge("single-sata", level) > surcharge("nvme-per-socket", level)) {
+			t.Errorf("%v: a single SATA device should cost more than per-socket NVMe", level)
+		}
+	}
+
+	// No writes, no commit latency: the term is gated on the workload shape.
+	readOnly := shape
+	readOnly.WritesPerTxn = 0
+	gd := g
+	m, _ := device.BuildLayout("single-sata", top)
+	gd.Devices = m
+	if gd.Score(topology.LevelCore, readOnly) != g.Score(topology.LevelCore, readOnly) {
+		t.Error("read-only shapes should not pay the device term")
 	}
 }

@@ -1,0 +1,166 @@
+// Package device models the heterogeneous log devices of a modern server:
+// the flush targets the write-ahead logs commit to. A Device couples a cost
+// specification (flush latency, per-byte bandwidth cost, queue depth) with a
+// deterministic virtual-time queueing model: every flush occupies one of the
+// device's channels for its service time, and a flush that arrives while all
+// channels are busy waits behind the flushes queued ahead of it. The queueing
+// is what makes log devices a granularity concern — an island wiring that
+// funnels many instances' group commits through one flush path pays waits a
+// wiring that spreads them across devices does not.
+//
+// Devices account cost in virtual nanoseconds like the rest of the system;
+// they never sleep. The wal package binds one Device per island log, the
+// engine derives the binding from a Layout (the machine's storage shape), and
+// the granularity scorer prices candidate island levels against the same map.
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+)
+
+// Spec is the immutable description of one log device.
+type Spec struct {
+	// Name identifies the device instance within its layout ("nvme-s0").
+	Name string
+	// Class names the device technology ("nvme", "nvme-shared", "sata").
+	Class string
+	// FlushLatency is the service latency of one flush: the virtual time the
+	// device is busy making a group commit durable.
+	FlushLatency numa.Cost
+	// PerByteCost is the bandwidth cost per flushed byte, added to the service
+	// time of a flush proportionally to the bytes it writes out.
+	PerByteCost numa.Cost
+	// QueueDepth is the number of flushes the device services concurrently
+	// (NVMe namespaces absorb several in-flight flushes; a SATA-class device
+	// serializes them). Values below one are treated as one.
+	QueueDepth int
+	// Socket and Die are where the device attaches: the socket owning the
+	// controller and the die hosting it (the IO die on chiplet parts).
+	Socket topology.SocketID
+	Die    topology.DieID
+}
+
+// Device is one instantiated log device: a Spec plus the deterministic
+// virtual-time queue state. It is safe for concurrent use.
+//
+// The queue is a drain-based backlog: every flush deposits its service time
+// into the device's backlog, and the backlog drains as the issuing workers'
+// virtual clocks advance past the latest arrival the device has seen —
+// QueueDepth channels drain in parallel. A flush arriving at a backlogged
+// device waits backlog/QueueDepth: the expected time until a channel frees
+// up with the flushes ahead of it in service. Measuring contention against
+// the backlog rather than against an absolute busy horizon keeps the model
+// stable under per-core virtual clocks, which are mutually unordered: clock
+// skew between workers never masquerades as device contention (an absolute
+// horizon would charge every lagging worker the skew as a phantom wait, and
+// 2PC's lock-holding multiplier would compound it run-away).
+type Device struct {
+	spec Spec
+
+	mu sync.Mutex
+	// backlog is the service work deposited by flushes and not yet drained.
+	backlog vclock.Nanos
+	// horizon is the latest arrival time seen; clock progress beyond it
+	// drains the backlog.
+	horizon vclock.Nanos
+
+	flushes   int64
+	queuedFl  int64
+	queueWait vclock.Nanos
+}
+
+// New instantiates a device from its spec, normalizing degenerate values.
+func New(spec Spec) *Device {
+	if spec.QueueDepth < 1 {
+		spec.QueueDepth = 1
+	}
+	if spec.FlushLatency < 0 {
+		spec.FlushLatency = 0
+	}
+	if spec.PerByteCost < 0 {
+		spec.PerByteCost = 0
+	}
+	return &Device{spec: spec}
+}
+
+// Spec returns the device's specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Service returns the queue-free service time of one flush writing the given
+// number of bytes.
+func (d *Device) Service(bytes int) numa.Cost {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return d.spec.FlushLatency + numa.Cost(bytes)*d.spec.PerByteCost
+}
+
+// Flush models one group-commit flush issued at virtual time now that writes
+// bytes to the device. The flush first drains the backlog by the virtual time
+// elapsed since the device's latest arrival (QueueDepth channels in
+// parallel), then waits behind whatever backlog remains — the contention of
+// the flushes queued ahead of it — and finally deposits its own service
+// time. The returned latency is wait plus service. The model is
+// deterministic in the sequence of calls and performs no heap allocations,
+// so it can sit under the commit hot path.
+func (d *Device) Flush(now vclock.Nanos, bytes int) numa.Cost {
+	service := d.Service(bytes)
+	depth := vclock.Nanos(d.spec.QueueDepth)
+	d.mu.Lock()
+	if now > d.horizon {
+		drained := (now - d.horizon) * depth
+		if drained >= d.backlog {
+			d.backlog = 0
+		} else {
+			d.backlog -= drained
+		}
+		d.horizon = now
+	}
+	wait := d.backlog / depth
+	if wait > 0 {
+		d.queuedFl++
+		d.queueWait += wait
+	}
+	d.backlog += vclock.Nanos(service)
+	d.flushes++
+	d.mu.Unlock()
+	return numa.Cost(wait) + service
+}
+
+// Stats summarizes one device's activity since the last Reset.
+type Stats struct {
+	// Flushes is the number of flushes serviced.
+	Flushes int64
+	// Queued is how many of them found every channel busy and had to wait.
+	Queued int64
+	// QueueWait is the total virtual time flushes spent waiting for a channel.
+	QueueWait vclock.Nanos
+}
+
+// Stats returns the device's counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Flushes: d.flushes, Queued: d.queuedFl, QueueWait: d.queueWait}
+}
+
+// Reset clears the queue state and counters. Engines call it at the start of
+// every run: runs restart virtual time at zero, so a backlog or arrival
+// horizon left over from a previous run would be pure phantom contention.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.backlog, d.horizon = 0, 0
+	d.flushes, d.queuedFl, d.queueWait = 0, 0, 0
+	d.mu.Unlock()
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%s, flush %d, depth %d, socket %d)",
+		d.spec.Name, d.spec.Class, d.spec.FlushLatency, d.spec.QueueDepth, d.spec.Socket)
+}

@@ -111,8 +111,10 @@ type GranularityChange struct {
 	// kept executing against the previous snapshot.
 	AffectedCores int
 	// ReusedLogs / RebuiltLogs count per-island write-ahead logs carried over
-	// from, respectively built fresh against, the previous wiring.
-	ReusedLogs, RebuiltLogs int
+	// from, respectively built fresh against, the previous wiring;
+	// ReboundDevices counts the reused logs whose device binding the
+	// re-wiring had to re-derive.
+	ReusedLogs, RebuiltLogs, ReboundDevices int
 	// ReusedLockTables / RebuiltLockTables count partition lock tables
 	// carried over across the level change.
 	ReusedLockTables, RebuiltLockTables int
@@ -178,6 +180,7 @@ func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
 			Domain:       e.domain,
 			LogFlush:     e.cfg.LogConfig.FlushCost,
 			LogGroupSize: e.cfg.LogConfig.GroupSize,
+			Devices:      e.devices,
 		}
 		for _, spec := range e.wl.TableSpecs() {
 			a.totalKeys += spec.MaxKey
@@ -588,6 +591,7 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 		AffectedCores:     len(affected),
 		ReusedLogs:        wiring.reusedLogs,
 		RebuiltLogs:       wiring.rebuiltLogs,
+		ReboundDevices:    wiring.reboundDevices,
 		ReusedLockTables:  applied.ReusedManagers,
 		RebuiltLockTables: applied.RebuiltManagers,
 	})

@@ -110,6 +110,21 @@ func BenchmarkExecute(b *testing.B) {
 		// Full adaptive loop including the per-transaction boundary check.
 		benchSteadyState(b, benchEngine(b, Config{Design: ATraPos, Adaptive: true}), true)
 	})
+	b.Run("shared-nothing-devices", func(b *testing.B) {
+		// Per-island logs bound to modeled log devices: every group commit
+		// runs the device's queueing model, which must be as allocation free
+		// as the flat flush cost it replaces.
+		cfg := Config{Design: SharedNothing, IslandLevel: topology.LevelDie, DeviceLayout: "nvme-per-die-pair"}
+		cfg.Workload = workload.MustTATP(workload.TATPOptions{Subscribers: 4000})
+		cfg.Topology = topology.MustNew(topology.Config{
+			Sockets: 2, CoresPerSocket: 8, DiesPerSocket: 2,
+		})
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSteadyState(b, e, false)
+	})
 	b.Run("shared-nothing-adaptive", func(b *testing.B) {
 		// Adaptive granularity: the workers' obligations on top of the plain
 		// shared-nothing path are the transaction-shape counters (five atomic

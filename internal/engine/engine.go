@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"atrapos/internal/core"
+	"atrapos/internal/device"
 	"atrapos/internal/lock"
 	"atrapos/internal/numa"
 	"atrapos/internal/partition"
@@ -131,6 +132,13 @@ type Config struct {
 	CentralAllocNode topology.SocketID
 	// LogConfig tunes the write-ahead log; nil means defaults.
 	LogConfig *wal.Config
+	// DeviceLayout optionally names a log-device layout (device.Layouts) to
+	// instantiate on the machine: island logs are then bound to the layout's
+	// physical devices — one NVMe per socket, a shared device per die pair, a
+	// single SATA-class device — and commits pay each device's service and
+	// queueing cost. Empty means no device modeling: flushes cost the flat
+	// LogConfig.FlushCost exactly as before.
+	DeviceLayout string
 	// SLI enables speculative lock inheritance in the centralized lock
 	// manager (on by default for the centralized design, as in the paper).
 	DisableSLI bool
@@ -218,6 +226,13 @@ type Engine struct {
 	centralLocks *lock.CentralManager
 	log          wal.Log
 
+	// devices is the machine's log-device map (Config.DeviceLayout), shared by
+	// every island wiring the engine ever derives: wirings come and go with
+	// level changes, but the device a die flushes through never moves, so
+	// device bindings are reused across re-wirings the way island logs are.
+	// Nil when no layout is configured.
+	devices *device.Map
+
 	// Partitioned designs: placement, per-partition runtime state and, for the
 	// shared-nothing designs, the island wiring — all swapped as one snapshot.
 	state partitionedState
@@ -270,6 +285,12 @@ func New(cfg Config) (*Engine, error) {
 		tables:   make(map[string]*storage.Table),
 		wl:       c.Workload,
 		accounts: newAccounts(c.Topology.NumCores()),
+	}
+	if c.DeviceLayout != "" {
+		e.devices, err = device.BuildLayout(c.DeviceLayout, c.Topology)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	placement, err := e.initialPlacement()
@@ -425,11 +446,17 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 	c := e.cfg
 	var w *islandWiring
 
+	// A centralized log homed on socket 0 flushes through the device serving
+	// socket 0's first die when a device layout is configured.
+	centralCfg := *c.LogConfig
+	if e.devices != nil {
+		centralCfg.Device = e.devices.DeviceFor(c.Topology.FirstDieOn(0))
+	}
 	switch c.Design {
 	case Centralized:
 		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
 		e.centralLocks = lock.NewCentralManager(e.domain, 256, !c.DisableSLI)
-		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+		e.log = wal.NewCentralLog(e.domain, 0, centralCfg)
 	case SharedNothingExtreme, SharedNothingCoarse, SharedNothing:
 		// One instance per island: the whole instance mapping — sites, log
 		// layout, 2PC wiring, transaction-state striping — is derived from the
@@ -439,10 +466,10 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 		e.log = w.logs
 	case PLP:
 		e.txnMgr = txn.NewManager(e.domain, txn.NewCentralList(e.domain), numa.NewCentralRWLock(e.domain))
-		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+		e.log = wal.NewCentralLog(e.domain, 0, centralCfg)
 	case HWAware, ATraPos:
 		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
-		e.log = wal.NewCentralLog(e.domain, 0, *c.LogConfig)
+		e.log = wal.NewCentralLog(e.domain, 0, centralCfg)
 	}
 	e.state.install(p, partition.NewRuntime(e.domain, p), e.activePartitionsPerCore(p, 0), w)
 }
@@ -482,8 +509,9 @@ type islandWiring struct {
 	txnMgr *txn.Manager
 
 	// reusedLogs/rebuiltLogs count how many island logs the wiring carried
-	// over from its predecessor versus created fresh.
-	reusedLogs, rebuiltLogs int
+	// over from its predecessor versus created fresh; reboundDevices counts
+	// the reused logs whose device binding the re-wiring had to re-derive.
+	reusedLogs, rebuiltLogs, reboundDevices int
 }
 
 // siteOf returns the site index of the instance whose island contains core c.
@@ -522,6 +550,10 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 	islands := top.AliveIslandsAt(level)
 	homes := make([]topology.SocketID, 0, len(islands))
 	homeCores := make([]topology.CoreID, 0, len(islands))
+	var devs []*device.Device
+	if e.devices != nil {
+		devs = make([]*device.Device, 0, len(islands))
+	}
 	var reuse []*wal.CentralLog
 	if prev != nil {
 		reuse = make([]*wal.CentralLog, len(islands))
@@ -534,6 +566,14 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 		}
 		homes = append(homes, isl.Cores[0].Socket)
 		homeCores = append(homeCores, isl.Cores[0].ID)
+		if e.devices != nil {
+			// The island's log flushes through the device serving its home
+			// die. The device map outlives the wiring, so a level change
+			// re-resolves the binding against the same physical devices — and
+			// the log constructor re-binds any reused log whose device the
+			// re-wiring moved.
+			devs = append(devs, e.devices.DeviceFor(top.DieOf(isl.Cores[0].ID)))
+		}
 		if prev != nil {
 			for j, cores := range prev.siteCores {
 				if sameCores(cores, isl.Cores) {
@@ -545,7 +585,8 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 		}
 	}
 	w.rebuiltLogs = len(islands) - w.reusedLogs
-	w.logs = wal.NewPartitionedLogAtReusing(e.domain, homes, *e.cfg.LogConfig, reuse)
+	w.logs = wal.NewPartitionedLogAtReusing(e.domain, homes, *e.cfg.LogConfig, devs, reuse)
+	w.reboundDevices = w.logs.ReboundDevices()
 	w.coordinator = txn.NewCoordinatorAt(e.domain, w.logs, homeCores)
 	machineGrained := level == topology.LevelMachine
 	if prev != nil && (prev.level == topology.LevelMachine) == machineGrained {
@@ -577,6 +618,10 @@ func (e *Engine) TopologyEpoch() uint64 {
 	}
 	return 0
 }
+
+// Devices returns the engine's log-device map, or nil when no device layout
+// is configured.
+func (e *Engine) Devices() *device.Map { return e.devices }
 
 // activePartitionsPerCore counts, for every core, the partitions of tables
 // the workload touches at virtual time at; it drives the oversaturation

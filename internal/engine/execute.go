@@ -177,7 +177,7 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 	if wrote {
 		_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
-		e.charge(worker, vclock.Logging, e.log.Flush(s, e.log.Tail()))
+		e.charge(worker, vclock.Logging, e.log.Flush(s, e.log.Tail(), e.coreTime(worker)))
 	}
 	relCost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
 	e.charge(worker, vclock.Locking, relCost)
@@ -286,7 +286,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 	if remote && wrote {
 		// Distributed commit with the standard two-phase commit protocol;
 		// every participating instance (island) is its own 2PC site.
-		if out, err := w.coordinator.Run(tx, worker, homeSite, sc.participants, false); err == nil {
+		if out, err := w.coordinator.Run(tx, worker, homeSite, sc.participants, e.coreTime(worker), false); err == nil {
 			committed2PC = out.Committed
 			for comp, cost := range out.ByComponent {
 				e.charge(worker, vclock.Component(comp), cost)
@@ -305,7 +305,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		home := w.logs.Log(homeSite)
 		_, logCost := home.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
-		e.charge(worker, vclock.Logging, home.Flush(homeSocket, home.Tail()))
+		e.charge(worker, vclock.Logging, home.Flush(homeSocket, home.Tail(), e.coreTime(worker)))
 	}
 
 	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
@@ -427,7 +427,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 	if wrote {
 		_, logCost := e.log.Append(coordSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
-		e.charge(worker, vclock.Logging, e.log.Flush(coordSocket, e.log.Tail()))
+		e.charge(worker, vclock.Logging, e.log.Flush(coordSocket, e.log.Tail(), e.coreTime(worker)))
 	}
 	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)
 	commitCost, err := e.txnMgr.Commit(tx)

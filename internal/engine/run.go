@@ -146,6 +146,11 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	}
 	e.resetAccounts()
 	e.cfg.Topology.ResetTraffic()
+	if e.devices != nil {
+		// Runs restart virtual time at zero; the devices' channel horizons
+		// from a previous run would otherwise be phantom queueing.
+		e.devices.Reset()
+	}
 	series := vclock.NewSeries(opts.SampleWindow)
 
 	aliveAtStart := e.cfg.Topology.AliveCores()

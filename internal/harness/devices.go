@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+
+	"atrapos/internal/engine"
+	"atrapos/internal/topology"
+	"atrapos/internal/workload"
+)
+
+// deviceSweepProfile returns the machine the log-device sweep runs on: the
+// chiplet profile, whose machine distinguishes all four island levels, unless
+// the scale pins a different profile. An unknown pinned name errors rather
+// than silently sweeping a different machine than the points claim.
+func deviceSweepProfile(s Scale) (topology.Profile, error) {
+	name := "chiplet-2s4d"
+	if s.Profile != "" {
+		name = s.Profile
+	}
+	p, ok := topology.ProfileByName(name)
+	if !ok {
+		return topology.Profile{}, fmt.Errorf("harness: unknown machine profile %q", name)
+	}
+	return p, nil
+}
+
+// deviceSweepLayouts returns the storage shapes the sweep compares, most
+// parallel first: the device count drops from one per socket to a single
+// machine-wide device.
+func deviceSweepLayouts() []string {
+	return []string{"nvme-per-socket", "nvme-per-die-pair", "single-sata"}
+}
+
+// DevicePoint is one measured cell of the log-device sweep: a machine
+// profile, a log-device layout, a multisite probability, an island
+// granularity, and the throughput the parametric shared-nothing design
+// achieved with its island logs bound to the layout's devices.
+type DevicePoint struct {
+	Profile   string  `json:"profile"`
+	Layout    string  `json:"layout"`
+	Devices   int     `json:"devices"`
+	MultiPct  int     `json:"multisite_pct"`
+	Level     string  `json:"island_level"`
+	TPS       float64 `json:"virtual_tps"`
+	Committed int64   `json:"committed"`
+}
+
+// RunDevicePoint measures the shared-nothing design at one island granularity
+// under one log-device layout. It is the primitive the fig-log-devices
+// experiment and the BENCH.json log-device sweep are built from.
+func RunDevicePoint(s Scale, prof topology.Profile, layout string, level topology.Level, pct int) (DevicePoint, error) {
+	wl := workload.MultisiteUpdate(s.MicroRows, pct)
+	e, err := engine.New(engine.Config{
+		Design:       engine.SharedNothing,
+		IslandLevel:  level,
+		Workload:     wl,
+		Topology:     prof.Build(),
+		DeviceLayout: layout,
+	})
+	if err != nil {
+		return DevicePoint{}, err
+	}
+	res, err := e.Run(s.runOptions())
+	if err != nil {
+		return DevicePoint{}, err
+	}
+	return DevicePoint{
+		Profile:   prof.Name,
+		Layout:    layout,
+		Devices:   e.Devices().NumDevices(),
+		MultiPct:  pct,
+		Level:     level.String(),
+		TPS:       res.ThroughputTPS,
+		Committed: res.Committed,
+	}, nil
+}
+
+// DeviceSweep runs the full grid on the sweep profile: every log-device
+// layout, every multisite probability, every island level the machine
+// distinguishes.
+func DeviceSweep(s Scale, pcts []int) ([]DevicePoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := deviceSweepProfile(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []DevicePoint
+	for _, layout := range deviceSweepLayouts() {
+		for _, pct := range pcts {
+			for _, level := range prof.Levels() {
+				pt, err := RunDevicePoint(s, prof, layout, level, pct)
+				if err != nil {
+					return nil, fmt.Errorf("log-devices %s/%s/%s/%d%%: %w", prof.Name, layout, level, pct, err)
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FigLogDevices is the heterogeneous log-device sweep: on one machine it
+// binds the shared-nothing island logs to progressively scarcer storage
+// shapes — one NVMe namespace per socket, a shared device per die pair, a
+// single SATA-class device — and measures every island granularity at every
+// multisite probability. The expected shape: with plentiful devices, coarse
+// wirings are penalized for funnelling every group commit through one flush
+// path while fine wirings spread them, so the fine-vs-coarse crossover sits
+// at a higher multisite share than it does when a single device serializes
+// every level's commits equally.
+func FigLogDevices(s Scale) (*Table, error) {
+	pcts := []int{0, 50, 100}
+	points, err := DeviceSweep(s, pcts)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := deviceSweepProfile(s)
+	if err != nil {
+		return nil, err
+	}
+	levels := topology.Levels()
+	header := []string{"layout", "devices", "% multi-site"}
+	for _, l := range levels {
+		header = append(header, l.String())
+	}
+	header = append(header, "best")
+	t := &Table{
+		ID:     "fig-log-devices",
+		Title:  fmt.Sprintf("Throughput by log-device layout, island granularity and multisite probability (%s)", prof.Name),
+		Header: header,
+		Notes: []string{
+			"Island logs bind to the layout's devices through their home die; '-' marks levels the machine does not distinguish.",
+			"Expected shift: scarcer devices erase the fine-island flush advantage, so the crossover moves toward coarser islands at lower multisite shares.",
+		},
+	}
+	type cell struct {
+		tps float64
+		ok  bool
+	}
+	byKey := make(map[string]cell)
+	devCount := make(map[string]int)
+	key := func(layout string, pct int, level string) string {
+		return fmt.Sprintf("%s|%d|%s", layout, pct, level)
+	}
+	for _, pt := range points {
+		byKey[key(pt.Layout, pt.MultiPct, pt.Level)] = cell{tps: pt.TPS, ok: true}
+		devCount[pt.Layout] = pt.Devices
+	}
+	for _, layout := range deviceSweepLayouts() {
+		for _, pct := range pcts {
+			row := []string{layout, fmt.Sprintf("%d", devCount[layout]), fmt.Sprintf("%d", pct)}
+			bestLevel, bestTPS := "", -1.0
+			for _, l := range levels {
+				c := byKey[key(layout, pct, l.String())]
+				if !c.ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmtTPS(c.tps))
+				if c.tps > bestTPS {
+					bestTPS = c.tps
+					bestLevel = l.String()
+				}
+			}
+			row = append(row, bestLevel)
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

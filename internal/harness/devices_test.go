@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"atrapos/internal/topology"
+)
+
+// sweepBest returns the winning level and the per-level TPS of one layout at
+// one multisite percentage.
+func sweepBest(t *testing.T, points []DevicePoint, layout string, pct int) (topology.Level, map[string]float64) {
+	t.Helper()
+	tps := make(map[string]float64)
+	best, bestTPS := topology.Level(0), -1.0
+	for _, pt := range points {
+		if pt.Layout != layout || pt.MultiPct != pct {
+			continue
+		}
+		tps[pt.Level] = pt.TPS
+		if pt.TPS > bestTPS {
+			lvl, err := topology.ParseLevel(pt.Level)
+			if err != nil {
+				t.Fatalf("unparseable level %q", pt.Level)
+			}
+			best, bestTPS = lvl, pt.TPS
+		}
+	}
+	if bestTPS < 0 {
+		t.Fatalf("no points for layout %s at %d%%", layout, pct)
+	}
+	return best, tps
+}
+
+// TestDeviceSweepCrossoverShift asserts the headline result of the log-device
+// subsystem: the granularity crossover moves as devices get scarcer. With one
+// NVMe namespace per socket, fine islands keep their flush paths spread and
+// win at 0% multisite; with a single SATA-class device every level's commits
+// serialize through the same queue, the fine-island advantage is erased, and
+// the best granularity at the same multisite share is strictly coarser.
+func TestDeviceSweepCrossoverShift(t *testing.T) {
+	points, err := DeviceSweep(testScale(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plentiful, plentifulTPS := sweepBest(t, points, "nvme-per-socket", 0)
+	scarce, scarceTPS := sweepBest(t, points, "single-sata", 0)
+	if !(plentiful < scarce) {
+		t.Errorf("best level at 0%% multisite should be strictly finer with per-socket NVMe (%v) than with a single device (%v)",
+			plentiful, scarce)
+	}
+	// The fine-over-coarse advantage must shrink with the device count, with
+	// clear separation: per-socket NVMe leaves core islands ahead of socket
+	// islands, the single device puts them behind.
+	rPlentiful := plentifulTPS["core"] / plentifulTPS["socket"]
+	rScarce := scarceTPS["core"] / scarceTPS["socket"]
+	if !(rPlentiful > 1.0 && rScarce < 1.0) {
+		t.Errorf("core/socket throughput ratio should drop below 1 as devices get scarce: per-socket NVMe %.3f, single SATA %.3f",
+			rPlentiful, rScarce)
+	}
+	// Every point carries its layout's device count.
+	for _, pt := range points {
+		want := map[string]int{"nvme-per-socket": 2, "nvme-per-die-pair": 4, "single-sata": 1}[pt.Layout]
+		if pt.Devices != want {
+			t.Errorf("%s reports %d devices, want %d", pt.Layout, pt.Devices, want)
+		}
+	}
+}
+
+// TestFigLogDevicesRegistered checks the experiment is reachable by id and
+// renders one row per layout and percentage.
+func TestFigLogDevicesRegistered(t *testing.T) {
+	if _, ok := Lookup("fig-log-devices"); !ok {
+		t.Fatal("fig-log-devices not registered")
+	}
+	tbl, err := FigLogDevices(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(deviceSweepLayouts()) * 3; len(tbl.Rows) != want {
+		t.Errorf("fig-log-devices has %d rows, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] == "" {
+			t.Errorf("row %v has no winner", row)
+		}
+	}
+}

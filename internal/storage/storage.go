@@ -192,13 +192,14 @@ func (t *Table) Homes() []topology.SocketID {
 // indexProbeCost models a root-to-leaf B-tree traversal within a partition
 // whose data lives on memory node home, performed from core from. The row
 // payload spans rowBytes/64 cache lines, each of which pays the DRAM
-// placement cost; on top of that comes the fixed per-row CPU work.
+// placement cost; on top of that comes the per-row CPU work, scaled by the
+// executing core's speed (an efficiency core takes proportionally longer).
 func (t *Table) indexProbeCost(from topology.CoreID, home topology.SocketID, rowBytes int) numa.Cost {
 	lines := numa.Cost(rowBytes / 64)
 	if lines < 1 {
 		lines = 1
 	}
-	return t.domain.Model.RowWork + 2*t.domain.Model.LocalAccess + lines*t.domain.CoreDRAMCost(from, home)
+	return t.domain.RowWorkAt(from) + 2*t.domain.Model.LocalAccess + lines*t.domain.CoreDRAMCost(from, home)
 }
 
 func (t *Table) accessCost(from topology.CoreID, key schema.Key, rowBytes int) numa.Cost {

@@ -1,0 +1,189 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ParseNumactl builds a topology Config from the output of a real machine's
+// `numactl --hardware` dump: the node count and per-node cpu lists become the
+// socket layout, and the node-distance table becomes the inter-socket hop
+// matrix. The ACPI SLIT convention encodes local access as 10 and remote
+// access as its relative cost in tenths, so hops are derived by normalizing
+// each entry to the row's local distance and rounding: 10 -> 0 hops (local),
+// 21 -> 1 hop, 31 -> 2 hops. Asymmetric dumps are symmetrized to the larger
+// hop count of each pair, since the model prices a transfer independently of
+// direction.
+//
+// Only the lines ParseNumactl understands are consumed ("available:",
+// "node N cpus:", and the "node distances:" table); size/free lines and
+// anything else are ignored, so a raw terminal capture parses as-is.
+func ParseNumactl(dump string) (Config, error) {
+	cpus := make(map[int][]int)
+	var distRows [][]int
+	var distNodes []int
+	inDistances := false
+	for _, line := range strings.Split(dump, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "node distances:"):
+			inDistances = true
+		case inDistances && strings.HasPrefix(line, "node"):
+			// The header row of the distance table ("node   0   1  ..."):
+			// ignored, node order is taken from the data rows.
+		case inDistances:
+			// A data row: "  0:  10  21  31  21".
+			parts := strings.SplitN(line, ":", 2)
+			if len(parts) != 2 {
+				return Config{}, fmt.Errorf("topology: malformed distance row %q", line)
+			}
+			node, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return Config{}, fmt.Errorf("topology: malformed distance row %q: %v", line, err)
+			}
+			var row []int
+			for _, f := range strings.Fields(parts[1]) {
+				d, err := strconv.Atoi(f)
+				if err != nil {
+					return Config{}, fmt.Errorf("topology: malformed distance %q in row %q", f, line)
+				}
+				row = append(row, d)
+			}
+			distNodes = append(distNodes, node)
+			distRows = append(distRows, row)
+		case strings.HasPrefix(line, "node ") && strings.Contains(line, " cpus:"):
+			// "node 0 cpus: 0 1 2 3"
+			rest := strings.TrimPrefix(line, "node ")
+			parts := strings.SplitN(rest, " cpus:", 2)
+			node, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return Config{}, fmt.Errorf("topology: malformed cpu line %q: %v", line, err)
+			}
+			var ids []int
+			for _, f := range strings.Fields(parts[1]) {
+				id, err := strconv.Atoi(f)
+				if err != nil {
+					return Config{}, fmt.Errorf("topology: malformed cpu id %q in %q", f, line)
+				}
+				ids = append(ids, id)
+			}
+			cpus[node] = ids
+		}
+	}
+	n := len(cpus)
+	if n == 0 {
+		return Config{}, fmt.Errorf("topology: numactl dump has no \"node N cpus:\" lines")
+	}
+	perSocket := -1
+	for node := 0; node < n; node++ {
+		ids, ok := cpus[node]
+		if !ok {
+			return Config{}, fmt.Errorf("topology: numactl dump is missing node %d's cpus", node)
+		}
+		if len(ids) == 0 {
+			return Config{}, fmt.Errorf("topology: node %d has no cpus", node)
+		}
+		if perSocket < 0 {
+			perSocket = len(ids)
+		} else if len(ids) != perSocket {
+			return Config{}, fmt.Errorf("topology: node %d has %d cpus, node 0 has %d (uniform sockets required)",
+				node, len(ids), perSocket)
+		}
+	}
+	if len(distRows) != n {
+		return Config{}, fmt.Errorf("topology: distance table has %d rows for %d nodes", len(distRows), n)
+	}
+	// Re-order the rows by node id and normalize SLIT values to hop counts.
+	slit := make([][]int, n)
+	for i, node := range distNodes {
+		if node < 0 || node >= n || slit[node] != nil {
+			return Config{}, fmt.Errorf("topology: unexpected distance row for node %d", node)
+		}
+		if len(distRows[i]) != n {
+			return Config{}, fmt.Errorf("topology: distance row for node %d has %d entries, want %d",
+				node, len(distRows[i]), n)
+		}
+		slit[node] = distRows[i]
+	}
+	hops := make([][]int, n)
+	for i := range hops {
+		hops[i] = make([]int, n)
+		local := slit[i][i]
+		if local <= 0 {
+			return Config{}, fmt.Errorf("topology: node %d has non-positive local distance %d", i, slit[i][i])
+		}
+		for j, d := range slit[i] {
+			if i == j {
+				continue
+			}
+			if d < local {
+				return Config{}, fmt.Errorf("topology: node %d reports remote distance %d below local %d", i, d, local)
+			}
+			// 21/10 -> 1 hop, 31/10 -> 2 hops; anything remote is >= 1 hop.
+			h := (d + local/2) / local
+			if h < 2 {
+				h = 2
+			}
+			hops[i][j] = h - 1
+		}
+	}
+	// Symmetrize to the larger hop count of each pair.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if hops[i][j] > hops[j][i] {
+				hops[j][i] = hops[i][j]
+			} else {
+				hops[i][j] = hops[j][i]
+			}
+		}
+	}
+	return Config{
+		Name:           fmt.Sprintf("numactl-harvested %d-socket x %d-core", n, perSocket),
+		Sockets:        n,
+		CoresPerSocket: perSocket,
+		Distance:       hops,
+	}, nil
+}
+
+// numactl4SRing is a harvested `numactl --hardware` dump from a four-socket
+// ring-interconnect box: each socket reaches its two neighbours in one hop
+// (SLIT 21) and the opposite socket in two (SLIT 31).
+const numactl4SRing = `available: 4 nodes (0-3)
+node 0 cpus: 0 1 2 3 4 5 6 7
+node 0 size: 64215 MB
+node 0 free: 60302 MB
+node 1 cpus: 8 9 10 11 12 13 14 15
+node 1 size: 64509 MB
+node 1 free: 61211 MB
+node 2 cpus: 16 17 18 19 20 21 22 23
+node 2 size: 64509 MB
+node 2 free: 62748 MB
+node 3 cpus: 24 25 26 27 28 29 30 31
+node 3 size: 64506 MB
+node 3 free: 61023 MB
+node distances:
+node   0   1   2   3
+  0:  10  21  31  21
+  1:  21  10  21  31
+  2:  31  21  10  21
+  3:  21  31  21  10
+`
+
+// harvested4SConfig parses the embedded dump, once — Profiles() is called
+// per profile lookup inside sweep loops, and the dump never changes. The
+// dump is fixed, so a parse failure is a programming error. The memoized
+// Config's matrices are shared by every topology built from it; topologies
+// never mutate their distance matrices.
+var harvested4SConfig = sync.OnceValue(func() Config {
+	cfg, err := ParseNumactl(numactl4SRing)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Name = "4-socket ring (numactl harvest)"
+	return cfg
+})

@@ -43,6 +43,11 @@ type Core struct {
 	Die DieID
 	// Index of the core within its socket (0..CoresPerSocket-1).
 	LocalIndex int
+	// Speed is the core's relative execution speed: 1.0 is a full-speed
+	// (P) core, values below 1 model efficiency (E) cores and thermally
+	// limited dies. Cost models divide per-row CPU work by it, and the
+	// placement search weights per-core utilization by it.
+	Speed float64
 }
 
 // Topology describes a multisocket machine as a hierarchical island tree:
@@ -92,6 +97,12 @@ type Config struct {
 	// intra-socket die hop counts, with the same symmetry/zero-diagonal rules
 	// as Distance. If nil, every pair of distinct dies is one die-hop apart.
 	DieDistance [][]int
+	// CoreSpeeds optionally assigns a relative speed to each core of a
+	// socket, by local index; the pattern repeats on every socket (modern
+	// hybrid parts are built from identical packages). Length must be
+	// CoresPerSocket and every entry positive. Nil means uniform full-speed
+	// cores (1.0).
+	CoreSpeeds []float64
 }
 
 // validateSquare checks a hop matrix for size, zero diagonal, symmetry and
@@ -162,6 +173,16 @@ func New(cfg Config) (*Topology, error) {
 	if err := validateSquare("die distance", dieDist, dies); err != nil {
 		return nil, err
 	}
+	if cfg.CoreSpeeds != nil {
+		if len(cfg.CoreSpeeds) != cfg.CoresPerSocket {
+			return nil, fmt.Errorf("topology: %d core speeds for %d cores per socket", len(cfg.CoreSpeeds), cfg.CoresPerSocket)
+		}
+		for i, s := range cfg.CoreSpeeds {
+			if !(s > 0) {
+				return nil, fmt.Errorf("topology: core speed [%d] = %v must be positive", i, s)
+			}
+		}
+	}
 	name := cfg.Name
 	if name == "" {
 		name = fmt.Sprintf("%d-socket x %d-core", cfg.Sockets, cfg.CoresPerSocket)
@@ -181,11 +202,16 @@ func New(cfg Config) (*Topology, error) {
 	t.cores = make([]Core, 0, cfg.Sockets*cfg.CoresPerSocket)
 	for s := 0; s < cfg.Sockets; s++ {
 		for c := 0; c < cfg.CoresPerSocket; c++ {
+			speed := 1.0
+			if cfg.CoreSpeeds != nil {
+				speed = cfg.CoreSpeeds[c]
+			}
 			t.cores = append(t.cores, Core{
 				ID:         CoreID(len(t.cores)),
 				Socket:     SocketID(s),
 				Die:        DieID(s*dies + c/perDie),
 				LocalIndex: c,
+				Speed:      speed,
 			})
 		}
 	}
@@ -360,6 +386,25 @@ func (t *Topology) SocketOf(id CoreID) SocketID {
 		return InvalidSocket
 	}
 	return t.cores[id].Socket
+}
+
+// SpeedOf returns the relative execution speed of core id. Unknown cores
+// report full speed so cost formulas stay finite.
+func (t *Topology) SpeedOf(id CoreID) float64 {
+	if int(id) < 0 || int(id) >= len(t.cores) {
+		return 1
+	}
+	return t.cores[id].Speed
+}
+
+// Heterogeneous reports whether the machine mixes core speeds (P/E cores).
+func (t *Topology) Heterogeneous() bool {
+	for i := range t.cores {
+		if t.cores[i].Speed != 1 {
+			return true
+		}
+	}
+	return false
 }
 
 // CoresOn returns the cores that belong to socket s.

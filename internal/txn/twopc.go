@@ -89,9 +89,12 @@ func (c *Coordinator) homeCore(site int) topology.CoreID {
 
 // Run executes the commit protocol for transaction t coordinated by instance
 // coordSite, whose worker runs on core coord, with the given participant
-// instances (the coordinator itself may or may not be among them). abortVote
-// forces a participant abort, exercising the rollback path.
-func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, participants []int, abortVote bool) (TwoPCOutcome, error) {
+// instances (the coordinator itself may or may not be among them). now is the
+// coordinating worker's virtual time: the prepare and decision flushes are
+// issued at it, so logs bound to a queueing log device price the waits the
+// protocol's flushes see. abortVote forces a participant abort, exercising
+// the rollback path.
+func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, participants []int, now vclock.Nanos, abortVote bool) (TwoPCOutcome, error) {
 	if t == nil {
 		return TwoPCOutcome{}, fmt.Errorf("txn: nil transaction")
 	}
@@ -121,7 +124,7 @@ func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, particip
 		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(coord, c.homeCore(p))
 		_, logCost := lg.Append(home, wal.Record{Txn: uint64(t.ID), Type: wal.Prepare, Size: 96})
 		out.ByComponent[vclock.Logging] += logCost
-		out.ByComponent[vclock.Logging] += lg.Flush(home, lg.Tail())
+		out.ByComponent[vclock.Logging] += lg.Flush(home, lg.Tail(), now)
 		out.ByComponent[vclock.Communication] += c.domain.CoreMessageCost(c.homeCore(p), coord)
 		out.Messages += 2
 		out.LogRecords++
@@ -137,7 +140,7 @@ func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, particip
 	coordLog := c.logs.Log(coordSite)
 	_, decCost := coordLog.Append(coordSocket, wal.Record{Txn: uint64(t.ID), Type: decision, Size: 64})
 	out.ByComponent[vclock.Logging] += decCost
-	out.ByComponent[vclock.Logging] += coordLog.Flush(coordSocket, coordLog.Tail())
+	out.ByComponent[vclock.Logging] += coordLog.Flush(coordSocket, coordLog.Tail(), now)
 	out.LogRecords++
 
 	// Phase 2: decision messages, participant end records, acknowledgements.

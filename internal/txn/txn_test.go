@@ -243,7 +243,7 @@ func TestTwoPCCommit(t *testing.T) {
 	coord := NewCoordinator(d, logs)
 	tx := &Txn{ID: 7, State: Active, Socket: 0}
 
-	out, err := coord.Run(tx, 0, 0, []int{1, 2, 1}, false)
+	out, err := coord.Run(tx, 0, 0, []int{1, 2, 1}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,17 +277,17 @@ func TestTwoPCAbortAndErrors(t *testing.T) {
 	coord := NewCoordinator(d, logs)
 
 	tx := &Txn{ID: 8, State: Active, Socket: 0}
-	out, err := coord.Run(tx, 0, 0, []int{3}, true)
+	out, err := coord.Run(tx, 0, 0, []int{3}, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Committed || tx.State != Preparing {
 		t.Error("abort vote should be reported while the transaction stays in Preparing")
 	}
-	if _, err := coord.Run(nil, 0, 0, []int{1}, false); err == nil {
+	if _, err := coord.Run(nil, 0, 0, []int{1}, 0, false); err == nil {
 		t.Error("nil transaction should error")
 	}
-	if _, err := coord.Run(&Txn{ID: 9}, 0, 0, nil, false); err == nil {
+	if _, err := coord.Run(&Txn{ID: 9}, 0, 0, nil, 0, false); err == nil {
 		t.Error("no participants should error")
 	}
 }
@@ -296,8 +296,8 @@ func TestTwoPCMoreParticipantsCostMore(t *testing.T) {
 	d := newDomain(8, 1)
 	logs := wal.NewPartitionedLog(d, wal.DefaultConfig())
 	coord := NewCoordinator(d, logs)
-	two, _ := coord.Run(&Txn{ID: 1, State: Active}, 0, 0, []int{1, 2}, false)
-	six, _ := coord.Run(&Txn{ID: 2, State: Active}, 0, 0, []int{1, 2, 3, 4, 5, 6}, false)
+	two, _ := coord.Run(&Txn{ID: 1, State: Active}, 0, 0, []int{1, 2}, 0, false)
+	six, _ := coord.Run(&Txn{ID: 2, State: Active}, 0, 0, []int{1, 2, 3, 4, 5, 6}, 0, false)
 	if six.TotalCost() <= two.TotalCost() {
 		t.Errorf("6-participant 2PC cost %d should exceed 2-participant cost %d", six.TotalCost(), two.TotalCost())
 	}

@@ -69,7 +69,7 @@ func TestRecoverDurableBoundary(t *testing.T) {
 
 	l.Append(0, Record{Txn: 1, Type: Update, Table: "t", Key: 1, Size: 16})
 	lsn, _ := l.Append(0, Record{Txn: 1, Type: Commit, Size: 16})
-	l.Flush(0, lsn)
+	l.Flush(0, lsn, 0)
 	// Transaction 2 commits after the durability horizon.
 	l.Append(0, Record{Txn: 2, Type: Update, Table: "t", Key: 2, Size: 16})
 	l.Append(0, Record{Txn: 2, Type: Commit, Size: 16})

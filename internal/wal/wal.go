@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sync"
 
+	"atrapos/internal/device"
 	"atrapos/internal/numa"
 	"atrapos/internal/schema"
 	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
 )
 
 // LSN is a log sequence number.
@@ -76,8 +78,12 @@ type Log interface {
 	// Append adds a record on behalf of a worker on socket s and returns the
 	// assigned LSN and the virtual cost of the insert.
 	Append(s topology.SocketID, rec Record) (LSN, numa.Cost)
-	// Flush makes everything up to lsn durable (group commit) and returns the cost.
-	Flush(s topology.SocketID, lsn LSN) numa.Cost
+	// Flush makes everything up to lsn durable (group commit) and returns the
+	// cost. now is the flushing worker's virtual time: logs bound to a device
+	// feed it to the device's queueing model, so a flush issued while the
+	// device is busy pays the wait behind the flushes ahead of it. Logs
+	// without a device ignore it.
+	Flush(s topology.SocketID, lsn LSN, now vclock.Nanos) numa.Cost
 	// Durable returns the highest durable LSN.
 	Durable() LSN
 	// Tail returns the highest assigned LSN.
@@ -88,13 +94,20 @@ type Log interface {
 type Config struct {
 	// PerByteCost is the cost of copying one byte into the log buffer.
 	PerByteCost numa.Cost
-	// FlushCost is the device latency of one group-commit flush.
+	// FlushCost is the device latency of one group-commit flush when no
+	// Device is bound; with a Device the flush pays the device's service and
+	// queueing cost instead.
 	FlushCost numa.Cost
 	// GroupSize is the number of commits amortized by one flush.
 	GroupSize int
 	// Keep is the maximum number of records retained in memory for
 	// inspection; older records are discarded (the "archive"). Zero keeps all.
 	Keep int
+	// Device optionally binds the log to a modeled log device: full flushes
+	// then pay the device's queueing model (service latency, per-byte
+	// bandwidth, waits behind queued flushes) instead of the flat FlushCost.
+	// Nil reproduces the device-blind cost model exactly.
+	Device *device.Device
 }
 
 // DefaultConfig returns the log configuration used by the evaluation:
@@ -114,6 +127,9 @@ type CentralLog struct {
 	next    LSN
 	durable LSN
 	pending int
+	// pendingBytes accumulates the record bytes appended since the last full
+	// flush; a device-bound flush writes them out and pays their bandwidth.
+	pendingBytes int
 	// Retained records live in a fixed-capacity ring so the append hot path
 	// never allocates: ring[(start+i)%len(ring)] for i in [0,count) are the
 	// most recent records, oldest first. With Keep == 0 the ring grows
@@ -143,6 +159,7 @@ func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
 	l.mu.Lock()
 	rec.LSN = l.next
 	l.next++
+	l.pendingBytes += rec.Size
 	if l.cfg.Keep > 0 {
 		if l.ring == nil {
 			l.ring = make([]Record, l.cfg.Keep)
@@ -166,7 +183,12 @@ func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
 
 // Flush implements Log. Group commit: a flush is charged only once per
 // GroupSize committing transactions; other commits ride along for free.
-func (l *CentralLog) Flush(s topology.SocketID, lsn LSN) numa.Cost {
+// With a device bound, the full flush pays the device's queueing model (the
+// flush is issued at the committer's virtual time now and waits behind the
+// flushes queued ahead of it) and writes out the bytes pending since the
+// previous full flush; ride-alongs pay the amortized device service only —
+// they do not occupy a device channel.
+func (l *CentralLog) Flush(s topology.SocketID, lsn LSN, now vclock.Nanos) numa.Cost {
 	cost := l.tail.Touch(s)
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -175,17 +197,49 @@ func (l *CentralLog) Flush(s topology.SocketID, lsn LSN) numa.Cost {
 		if l.pending >= l.cfg.GroupSize {
 			l.pending = 0
 			l.flushes++
-			cost += l.cfg.FlushCost
+			// The full flush writes out everything pending, with or without
+			// a device: a log that runs device-blind for a while and is
+			// later re-bound must not bill its whole append history to the
+			// first device flush.
+			bytes := l.pendingBytes
+			l.pendingBytes = 0
+			if l.cfg.Device != nil {
+				cost += l.cfg.Device.Flush(now, bytes)
+			} else {
+				cost += l.cfg.FlushCost
+			}
 		} else {
 			// Riding on a group commit still pays a fraction of the flush
 			// latency (waiting for the group to form).
-			cost += l.cfg.FlushCost / numa.Cost(l.cfg.GroupSize)
+			if l.cfg.Device != nil {
+				cost += l.cfg.Device.Service(0) / numa.Cost(l.cfg.GroupSize)
+			} else {
+				cost += l.cfg.FlushCost / numa.Cost(l.cfg.GroupSize)
+			}
 		}
 		if lsn > l.durable {
 			l.durable = lsn
 		}
 	}
 	return cost
+}
+
+// Device returns the log device the log is bound to, or nil.
+func (l *CentralLog) Device() *device.Device {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg.Device
+}
+
+// bindDevice re-binds the log to a different device, keeping its records,
+// durability horizon and group-commit state. An online island re-wiring uses
+// it when a reused island log's device assignment changed: silently keeping
+// the old binding would charge future flushes to a device the island no
+// longer owns.
+func (l *CentralLog) bindDevice(d *device.Device) {
+	l.mu.Lock()
+	l.cfg.Device = d
+	l.mu.Unlock()
 }
 
 // Durable implements Log.
@@ -237,6 +291,8 @@ type PartitionedLog struct {
 	homes []topology.SocketID
 	// bySocket maps a socket to the index of the first log homed on it, or -1.
 	bySocket []int
+	// rebound counts reused logs whose device binding had to be re-derived.
+	rebound int
 }
 
 // NewPartitionedLog builds one log per socket of the domain.
@@ -252,18 +308,28 @@ func NewPartitionedLog(d *numa.Domain, cfg Config) *PartitionedLog {
 // given socket. It is the log layout of a shared-nothing deployment with one
 // instance per island: homes[i] is the socket of island i's first core.
 func NewPartitionedLogAt(d *numa.Domain, homes []topology.SocketID, cfg Config) *PartitionedLog {
-	return NewPartitionedLogAtReusing(d, homes, cfg, nil)
+	return NewPartitionedLogAtReusing(d, homes, cfg, nil, nil)
+}
+
+// NewPartitionedLogAtDevices is NewPartitionedLogAt with an explicit device
+// binding per island: devices[i] is the log device island i's log flushes to
+// (overriding cfg.Device). A nil or short devices slice leaves the remaining
+// islands on cfg.Device.
+func NewPartitionedLogAtDevices(d *numa.Domain, homes []topology.SocketID, cfg Config, devices []*device.Device) *PartitionedLog {
+	return NewPartitionedLogAtReusing(d, homes, cfg, devices, nil)
 }
 
 // NewPartitionedLogAtReusing builds a per-island log set like
-// NewPartitionedLogAt, but carries over reuse[i] as island i's log when it is
-// non-nil instead of creating a fresh one. It is how an online island-level
-// change keeps the log (records, durability horizon, group-commit state) of
-// every island whose core set the re-wiring leaves intact: the new wiring's
+// NewPartitionedLogAtDevices, but carries over reuse[i] as island i's log when
+// it is non-nil instead of creating a fresh one. It is how an online island-
+// level change keeps the log (records, durability horizon, group-commit state)
+// of every island whose core set the re-wiring leaves intact: the new wiring's
 // islands that match an old island by core set pass the old log through, and
-// only genuinely new islands get empty logs. A nil or short reuse slice
-// behaves like NewPartitionedLogAt.
-func NewPartitionedLogAtReusing(d *numa.Domain, homes []topology.SocketID, cfg Config, reuse []*CentralLog) *PartitionedLog {
+// only genuinely new islands get empty logs. A reused log whose device binding
+// disagrees with the island's device is re-derived: the log (and its records)
+// is carried over but re-bound to the island's device, never silently left on
+// the old one. A nil or short reuse slice behaves like NewPartitionedLogAt.
+func NewPartitionedLogAtReusing(d *numa.Domain, homes []topology.SocketID, cfg Config, devices []*device.Device, reuse []*CentralLog) *PartitionedLog {
 	if len(homes) == 0 {
 		homes = []topology.SocketID{0}
 	}
@@ -276,10 +342,20 @@ func NewPartitionedLogAtReusing(d *numa.Domain, homes []topology.SocketID, cfg C
 		p.bySocket[i] = -1
 	}
 	for i, h := range p.homes {
+		want := cfg.Device
+		if i < len(devices) && devices[i] != nil {
+			want = devices[i]
+		}
 		if i < len(reuse) && reuse[i] != nil {
 			p.logs[i] = reuse[i]
+			if p.logs[i].Device() != want {
+				p.logs[i].bindDevice(want)
+				p.rebound++
+			}
 		} else {
-			p.logs[i] = NewCentralLog(d, h, cfg)
+			islandCfg := cfg
+			islandCfg.Device = want
+			p.logs[i] = NewCentralLog(d, h, islandCfg)
 		}
 		if int(h) >= 0 && int(h) < len(p.bySocket) && p.bySocket[h] < 0 {
 			p.bySocket[h] = i
@@ -287,6 +363,10 @@ func NewPartitionedLogAtReusing(d *numa.Domain, homes []topology.SocketID, cfg C
 	}
 	return p
 }
+
+// ReboundDevices returns how many reused island logs had to be re-bound to a
+// different device when the log set was built.
+func (p *PartitionedLog) ReboundDevices() int { return p.rebound }
 
 // NumLogs returns the number of per-island logs.
 func (p *PartitionedLog) NumLogs() int { return len(p.logs) }
@@ -324,8 +404,8 @@ func (p *PartitionedLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost
 }
 
 // Flush implements Log.
-func (p *PartitionedLog) Flush(s topology.SocketID, lsn LSN) numa.Cost {
-	return p.logFor(s).Flush(s, lsn)
+func (p *PartitionedLog) Flush(s topology.SocketID, lsn LSN, now vclock.Nanos) numa.Cost {
+	return p.logFor(s).Flush(s, lsn, now)
 }
 
 // Durable implements Log; it returns the minimum durable LSN across sockets,

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"atrapos/internal/device"
 	"atrapos/internal/numa"
 	"atrapos/internal/schema"
 	"atrapos/internal/topology"
@@ -77,7 +78,7 @@ func TestGroupCommit(t *testing.T) {
 	}
 	var fullFlushes int
 	for _, lsn := range lsns {
-		cost := l.Flush(0, lsn)
+		cost := l.Flush(0, lsn, 0)
 		if cost >= cfg.FlushCost {
 			fullFlushes++
 		}
@@ -92,7 +93,7 @@ func TestGroupCommit(t *testing.T) {
 		t.Errorf("Flushes = %d, want 2", got)
 	}
 	// Flushing an already durable LSN is cheap and does not count.
-	if cost := l.Flush(0, lsns[0]); cost >= cfg.FlushCost {
+	if cost := l.Flush(0, lsns[0], 0); cost >= cfg.FlushCost {
 		t.Errorf("stale flush cost %d should be small", cost)
 	}
 }
@@ -155,7 +156,7 @@ func TestDefaultConfigSanity(t *testing.T) {
 	if lsn != 1 || cost <= 0 {
 		t.Errorf("append with clamped config: lsn %d cost %d", lsn, cost)
 	}
-	if c := l.Flush(0, lsn); c < 100 {
+	if c := l.Flush(0, lsn, 0); c < 100 {
 		t.Errorf("group size 1 should always pay the full flush, got %d", c)
 	}
 }
@@ -182,7 +183,7 @@ func TestPartitionedLogRoutesLocally(t *testing.T) {
 	// Durability horizon is the minimum across sockets.
 	lsn, _ := p.Append(0, Record{Type: Commit, Size: 8})
 	for i := 0; i < 10; i++ {
-		p.Flush(0, lsn)
+		p.Flush(0, lsn, 0)
 	}
 	if p.Durable() != 0 {
 		t.Errorf("Durable = %d, want 0 while other sockets have flushed nothing", p.Durable())
@@ -201,5 +202,89 @@ func TestPartitionedLogEmptyDurable(t *testing.T) {
 	}
 	if p.Tail() != 0 {
 		t.Errorf("empty partitioned log tail = %d, want 0", p.Tail())
+	}
+}
+
+// TestReusedLogRebindsChangedDevice is the regression test for the device-
+// binding reuse bug: NewPartitionedLogAtReusing must not silently keep a
+// reused log on its old device when the island's device assignment changed —
+// the log is re-derived onto the new device, keeping its records and
+// group-commit state.
+func TestReusedLogRebindsChangedDevice(t *testing.T) {
+	d := newDomain(2)
+	devA := device.New(device.Spec{Name: "a", Class: "nvme", FlushLatency: 100, QueueDepth: 1})
+	devB := device.New(device.Spec{Name: "b", Class: "sata", FlushLatency: 900, QueueDepth: 1})
+	homes := []topology.SocketID{0, 1}
+	p1 := NewPartitionedLogAtDevices(d, homes, DefaultConfig(), []*device.Device{devA, devA})
+	p1.Log(0).Append(0, Record{Txn: 1, Type: Update, Table: "t", Key: 7, Size: 64})
+	p1.Log(0).Append(0, Record{Txn: 1, Type: Commit, Size: 48})
+
+	// Rebuild reusing both logs, but island 0's device moved to devB.
+	p2 := NewPartitionedLogAtReusing(d, homes, DefaultConfig(),
+		[]*device.Device{devB, devA}, []*CentralLog{p1.Log(0), p1.Log(1)})
+	if p2.Log(0) != p1.Log(0) {
+		t.Fatal("island 0's log should be reused")
+	}
+	if got := p2.Log(0).Device(); got != devB {
+		t.Fatalf("reused log kept device %v, want re-derived binding %v", got, devB)
+	}
+	if got := p2.Log(1).Device(); got != devA {
+		t.Fatalf("unchanged island rebound to %v, want %v", got, devA)
+	}
+	if p2.ReboundDevices() != 1 {
+		t.Fatalf("rebound count = %d, want 1", p2.ReboundDevices())
+	}
+	// Records survived the re-derivation.
+	if got := len(p2.Log(0).Records()); got != 2 {
+		t.Fatalf("re-bound log retained %d records, want 2", got)
+	}
+	// And future flushes pay the new device: a full group on the re-bound log
+	// must cost devB's service latency, not devA's.
+	lg := p2.Log(0)
+	cfg := DefaultConfig()
+	var flushCost numa.Cost
+	for i := 0; i < cfg.GroupSize; i++ {
+		lsn, _ := lg.Append(0, Record{Txn: uint64(10 + i), Type: Update, Table: "t", Key: schema.Key(i), Size: 64})
+		if c := lg.Flush(0, lsn, 0); c > flushCost {
+			flushCost = c
+		}
+	}
+	if flushCost < 900 {
+		t.Fatalf("full flush after rebinding cost %d, want >= the new device's 900", flushCost)
+	}
+}
+
+// TestRecoveryAcrossDeviceRebinding asserts records appended before a
+// device-rebinding rebuild replay correctly from the new per-island logs.
+func TestRecoveryAcrossDeviceRebinding(t *testing.T) {
+	d := newDomain(2)
+	devA := device.New(device.Spec{Name: "a", FlushLatency: 100, QueueDepth: 1})
+	devB := device.New(device.Spec{Name: "b", FlushLatency: 900, QueueDepth: 1})
+	homes := []topology.SocketID{0, 1}
+	p1 := NewPartitionedLogAtDevices(d, homes, DefaultConfig(), []*device.Device{devA, devA})
+	for i := 0; i < 10; i++ {
+		lg := p1.Log(i % 2)
+		home := p1.Home(i % 2)
+		lg.Append(home, Record{Txn: uint64(i), Type: Update, Table: "t", Key: schema.Key(i), Size: 64})
+		lsn, _ := lg.Append(home, Record{Txn: uint64(i), Type: Commit, Size: 48})
+		lg.Flush(home, lsn, 0)
+	}
+	p2 := NewPartitionedLogAtReusing(d, homes, DefaultConfig(),
+		[]*device.Device{devB, devB}, []*CentralLog{p1.Log(0), p1.Log(1)})
+	if p2.ReboundDevices() != 2 {
+		t.Fatalf("rebound count = %d, want 2", p2.ReboundDevices())
+	}
+	store := newMapStore()
+	tables := map[string]RowStore{"t": store}
+	for i := 0; i < p2.NumLogs(); i++ {
+		lg := p2.Log(i)
+		if _, err := Recover(lg.Records(), lg.Durable(), false, tables); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := store.rows[schema.Key(i)]; !ok {
+			t.Errorf("committed key %d did not replay from the re-bound logs", i)
+		}
 	}
 }
