@@ -1,17 +1,19 @@
 # Development workflow for the ATraPos reproduction.
 #
 #   make check        - everything CI runs: format, vet, static analysis, build,
-#                       test, race, bench smoke, log-device smoke, BENCH.json
-#                       well-formedness
+#                       test, race, bench smoke, log-device smoke, fault-scenario
+#                       fuzz smoke, BENCH.json well-formedness
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
+#   make fuzz-smoke   - bounded seeded fault-scenario fuzz run (FUZZ_SEED=...)
 
 GO ?= go
+FUZZ_SEED ?= 42
 
-.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices fuzz-smoke
 
-check: fmt vet staticcheck build test race bench-smoke bench-devices bench-verify
+check: fmt vet staticcheck build test race bench-smoke bench-devices fuzz-smoke bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -65,6 +67,13 @@ bench-json:
 # smoke keeps the CLI path exercised).
 bench-devices:
 	$(GO) run ./cmd/atrapos-bench -experiment fig-log-devices
+
+# A bounded, fixed-seed run of the fault-scenario fuzzer: 25 composed
+# {workload, machine, device layout, fault schedule} scenarios, every standing
+# invariant checked on each. Deterministic per seed; override with
+# `make fuzz-smoke FUZZ_SEED=1007` to sweep a different slice.
+fuzz-smoke:
+	$(GO) run ./cmd/atrapos-bench -fuzz 25 -seed $(FUZZ_SEED)
 
 # BENCH.json is an appending trajectory; the schema gate keeps a bad append
 # from corrupting it silently.

@@ -39,6 +39,7 @@ import (
 	"atrapos/internal/core"
 	"atrapos/internal/device"
 	"atrapos/internal/engine"
+	"atrapos/internal/fault"
 	"atrapos/internal/harness"
 	"atrapos/internal/numa"
 	"atrapos/internal/partition"
@@ -298,6 +299,13 @@ func FailSocketAt(at VirtualTime, socket int) Event {
 	return Event{At: at, Do: func(e *engine.Engine) { _ = e.FailSocket(topology.SocketID(socket)) }}
 }
 
+// RestoreSocketAt returns an Event that returns a failed socket to service
+// once the run's virtual time passes at — the elastic half of the Figure 12
+// scenario: the adaptive planner re-expands onto the restored capacity.
+func RestoreSocketAt(at VirtualTime, socket int) Event {
+	return Event{At: at, Do: func(e *engine.Engine) { _ = e.RestoreSocket(topology.SocketID(socket)) }}
+}
+
 // Run executes the workload and returns the measured result.
 func (s *System) Run(opts RunOptions) (*Result, error) { return s.engine.Run(opts) }
 
@@ -313,6 +321,25 @@ func (s *System) Placement() *partition.Placement { return s.engine.Placement() 
 // FailSocket simulates a processor failure.
 func (s *System) FailSocket(socket int) error {
 	return s.engine.FailSocket(topology.SocketID(socket))
+}
+
+// RestoreSocket returns a failed socket to service, mirroring FailSocket. It
+// errors on an unknown or already-alive socket.
+func (s *System) RestoreSocket(socket int) error {
+	return s.engine.RestoreSocket(topology.SocketID(socket))
+}
+
+// FailDevice marks log device i failed; the planner re-homes the island logs
+// bound to it onto surviving devices, preserving their records.
+func (s *System) FailDevice(i int) error { return s.engine.FailDevice(i) }
+
+// RestoreDevice clears the failed mark on log device i.
+func (s *System) RestoreDevice(i int) error { return s.engine.RestoreDevice(i) }
+
+// DegradeDevice multiplies log device i's service time by factor (>= 1);
+// factor 1 restores full speed.
+func (s *System) DegradeDevice(i int, factor float64) error {
+	return s.engine.DegradeDevice(i, factor)
 }
 
 // VirtualTime is a span of virtual time in nanoseconds; throughput and the
@@ -411,4 +438,82 @@ func RunAdaptiveGranularity(scale Scale) (*GranularityTrajectory, error) {
 // are not re-measured.
 func RunAdaptiveGranularityFrom(scale Scale, static []IslandPoint) (*GranularityTrajectory, error) {
 	return harness.RunAdaptiveGranularityFrom(scale, static)
+}
+
+// FaultEvent is one declarative fault of a schedule: a socket or log-device
+// failure, a device degradation, a socket restore, or a crash-recovery drill,
+// at a point of virtual time.
+type FaultEvent = fault.Event
+
+// FaultMachine describes the hardware a fault schedule targets, so schedules
+// validate at construction, before any engine exists.
+type FaultMachine = fault.Machine
+
+// FaultSchedule is a validated, time-ordered fault schedule; attach one to a
+// run via RunOptions.Faults. Fault-free runs (nil schedule) are untouched.
+type FaultSchedule = fault.Schedule
+
+// NewFaultSchedule validates the events against the machine descriptor and
+// their own history (no failing the failed, no restoring the alive, always
+// one alive socket and device) and returns the schedule.
+func NewFaultSchedule(m FaultMachine, events ...FaultEvent) (*FaultSchedule, error) {
+	return fault.NewSchedule(m, events...)
+}
+
+// FailSocketFault schedules a socket failure at virtual time at.
+func FailSocketFault(at VirtualTime, socket int) FaultEvent {
+	return fault.FailSocket(at, topology.SocketID(socket))
+}
+
+// RestoreSocketFault schedules a failed socket's return at virtual time at.
+func RestoreSocketFault(at VirtualTime, socket int) FaultEvent {
+	return fault.RestoreSocket(at, topology.SocketID(socket))
+}
+
+// FailDeviceFault schedules a log-device failure at virtual time at.
+func FailDeviceFault(at VirtualTime, dev int) FaultEvent {
+	return fault.FailDevice(at, dev)
+}
+
+// DegradeDeviceFault schedules a log-device slowdown by latencyFactor (>= 1;
+// 1 restores full speed) at virtual time at.
+func DegradeDeviceFault(at VirtualTime, dev int, latencyFactor float64) FaultEvent {
+	return fault.DegradeDevice(at, dev, latencyFactor)
+}
+
+// CrashAndRecoverFault schedules a crash drill at virtual time at: volatile
+// state covered by the write-ahead logs is dropped and recovery replays the
+// retained records before the run continues.
+func CrashAndRecoverFault(at VirtualTime) FaultEvent {
+	return fault.CrashAndRecover(at)
+}
+
+// FaultTimeline is the measured outcome of the fig-faults scenario: per-phase
+// throughput across a fail→degrade→restore schedule, with the dips, the
+// recovery, the re-homed island logs and the wiring convergence asserted.
+type FaultTimeline = harness.FaultTimeline
+
+// RunFaultTimeline runs the fig-faults scenario; it is the data behind the
+// BENCH.json faults record.
+func RunFaultTimeline(scale Scale) (*FaultTimeline, error) {
+	return harness.RunFaultTimeline(scale)
+}
+
+// FuzzOptions configures the invariant-checking scenario fuzzer.
+type FuzzOptions = harness.FuzzOptions
+
+// FuzzReport summarizes a fuzzer run; FuzzFailure carries one violated
+// scenario with its minimal reproducer.
+type (
+	FuzzReport  = harness.FuzzReport
+	FuzzFailure = harness.FuzzFailure
+)
+
+// FuzzScenarios composes seeded random {workload, machine profile, device
+// layout, fault schedule} scenarios and checks the standing invariants on
+// every one: the system keeps committing under faults, no site lands on dead
+// hardware or a failed device, the planner converges, committed state
+// survives a crash drill, and the steady state stays allocation-free.
+func FuzzScenarios(opts FuzzOptions) (*FuzzReport, error) {
+	return harness.FuzzScenarios(opts)
 }

@@ -79,6 +79,12 @@ type BenchRecord struct {
 	// and multisite probability, so the crossover's movement with the storage
 	// profile is tracked commit over commit.
 	LogDevices []atrapos.DevicePoint `json:"log_devices,omitempty"`
+	// Faults records the fig-faults timeline: per-phase throughput of the
+	// adaptive shared-nothing design under the fail→degrade→restore fault
+	// schedule, with the dips, the recovery and the re-homed island logs
+	// asserted, so robustness under hardware faults is tracked commit over
+	// commit.
+	Faults *atrapos.FaultTimeline `json:"faults,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
@@ -201,6 +207,13 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	if err != nil {
 		return err
 	}
+	// The fault timeline: dips and recovery across the fail→degrade→restore
+	// schedule, so a regression in re-homing or elastic recovery shows up in
+	// the trajectory.
+	rec.Faults, err = atrapos.RunFaultTimeline(islandScale)
+	if err != nil {
+		return err
+	}
 	records, err := appendTrajectory(path, rec)
 	if err != nil {
 		return err
@@ -276,6 +289,25 @@ func checkBenchDocument(data []byte) error {
 			}
 			if pt.MultiPct < 0 || pt.MultiPct > 100 || pt.Committed < 0 {
 				return fmt.Errorf("record %d log-device point %s/%s has invalid counters", i, pt.Layout, pt.Level)
+			}
+		}
+		if f := r.Faults; f != nil {
+			if f.Profile == "" || f.Layout == "" || f.Schedule == "" {
+				return fmt.Errorf("record %d faults timeline is missing its profile, layout or schedule", i)
+			}
+			if len(f.Phases) == 0 {
+				return fmt.Errorf("record %d faults timeline has no phases", i)
+			}
+			for _, ph := range f.Phases {
+				if ph.Label == "" {
+					return fmt.Errorf("record %d faults timeline has an unlabeled phase", i)
+				}
+				if ph.AvgTPS < 0 || ph.FromS < 0 || ph.ToS <= ph.FromS {
+					return fmt.Errorf("record %d faults phase %s has invalid bounds or throughput", i, ph.Label)
+				}
+			}
+			if f.Committed < 0 {
+				return fmt.Errorf("record %d faults timeline has negative committed count", i)
 			}
 		}
 	}

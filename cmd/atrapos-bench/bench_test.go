@@ -45,11 +45,20 @@ func TestCheckBenchDocument(t *testing.T) {
 		"bare device point": `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"chiplet-2s4d"}]}]`,
 		"zero devices":      `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":0,"multisite_pct":0,"virtual_tps":1,"committed":1}]}]`,
 		"bad device pct":    `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":1,"multisite_pct":400,"virtual_tps":1,"committed":1}]}]`,
+		"bare faults":       `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"chiplet-2s4d"}}]`,
+		"faults no phases":  `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
+		"faults bad phase":  `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"healthy","from_s":10,"to_s":1,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
+		"faults unlabeled":  `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
+		"faults negative":   `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":-1,"phases":[{"label":"healthy","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
 	}
 	for name, doc := range cases {
 		if err := checkBenchDocument([]byte(doc)); err == nil {
 			t.Errorf("%s: corruption not detected", name)
 		}
+	}
+	withFaults := `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"healthy","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`
+	if err := checkBenchDocument([]byte(withFaults)); err != nil {
+		t.Errorf("valid faults record rejected: %v", err)
 	}
 }
 

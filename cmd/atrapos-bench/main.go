@@ -22,6 +22,25 @@ import (
 	"atrapos"
 )
 
+// runFuzz runs n composed fuzz scenarios from the base seed and reports every
+// invariant violation with its minimal reproducer; any failure is fatal.
+func runFuzz(n int, seed int64) error {
+	start := time.Now()
+	rep, err := atrapos.FuzzScenarios(atrapos.FuzzOptions{Scenarios: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if rep.Failed() {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "scenario %d (seed %d): %s\n  scenario: %s\n  reproduce: %s\n",
+				f.Scenario, f.Seed, f.Err, f.Descr, f.Reproduce)
+		}
+		return fmt.Errorf("%d of %d scenarios violated an invariant", len(rep.Failures), rep.Scenarios)
+	}
+	fmt.Printf("fuzz: %d scenarios, all invariants held (%v)\n", rep.Scenarios, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
@@ -35,8 +54,17 @@ func main() {
 		jsonOut    = flag.String("out", "BENCH.json", "output path of the -json benchmark record")
 		jsonTxns   = flag.Int("txns", 40000, "transactions measured per design in -json mode")
 		verifyJSON = flag.Bool("verify", false, "validate BENCH.json (see -out) against the trajectory schema and exit")
+		fuzzN      = flag.Int("fuzz", 0, "run N seeded fuzz scenarios (composed workload/machine/layout/fault schedules) and check every standing invariant")
 	)
 	flag.Parse()
+
+	if *fuzzN > 0 {
+		if err := runFuzz(*fuzzN, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *verifyJSON {
 		if err := verifyBenchJSON(*jsonOut); err != nil {

@@ -51,7 +51,7 @@ func workloadChange(top *atrapos.Topology) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compare(top, wl, atrapos.Seconds(90*paperSecond), nil)
+	compare(top, wl, atrapos.Seconds(90*paperSecond), nil, nil)
 }
 
 func suddenSkew(top *atrapos.Topology) {
@@ -63,7 +63,7 @@ func suddenSkew(top *atrapos.Topology) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compare(top, wl, atrapos.Seconds(50*paperSecond), nil)
+	compare(top, wl, atrapos.Seconds(50*paperSecond), nil, nil)
 }
 
 func socketFailure(top *atrapos.Topology) {
@@ -74,17 +74,58 @@ func socketFailure(top *atrapos.Topology) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The last socket fails 20 "paper seconds" into the run. Each system
-	// needs a fresh topology so one run's failure does not leak into the next.
-	compare(top, wl, atrapos.Seconds(50*paperSecond), []atrapos.Event{
+	// The last socket fails 20 "paper seconds" into the run and comes back at
+	// 50: the elastic half of the scenario. The adaptive planner contracts
+	// onto the surviving sockets after the failure and re-expands onto the
+	// restored capacity, so its throughput recovers to near the healthy
+	// level (minus the re-wiring it paid for along the way). Each system
+	// needs a fresh topology so one run's failure does not leak into the
+	// next.
+	compare(top, wl, atrapos.Seconds(80*paperSecond), []atrapos.Event{
 		atrapos.FailSocketAt(atrapos.Seconds(20*paperSecond), top.Sockets()-1),
+		atrapos.RestoreSocketAt(atrapos.Seconds(50*paperSecond), top.Sockets()-1),
+	}, []phase{
+		// Phase windows skip two paper seconds after each event so the
+		// adaptive planner's re-wiring settles, and the restored phase ends
+		// well before the run does: duration-driven runs taper off toward the
+		// end as cores drain at different virtual times, and that wind-down
+		// would otherwise drag the average.
+		{"healthy", 2, 20},
+		{"socket failed", 22, 50},
+		{"socket restored", 52, 60},
 	})
+}
+
+// phase labels a window of the run, in paper seconds, for the per-phase
+// throughput printout of the failure scenario.
+type phase struct {
+	label      string
+	fromS, toS float64
+}
+
+// phaseTPS averages the sample windows that fall inside (from, to].
+func phaseTPS(res *atrapos.Result, p phase) float64 {
+	from := atrapos.Seconds(p.fromS * paperSecond)
+	to := atrapos.Seconds(p.toS * paperSecond)
+	var sum float64
+	var n int
+	for _, s := range res.Series {
+		if s.At > from && s.At <= to {
+			sum += s.Throughput
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // compare runs the workload on a static ATraPos system and on an adaptive one
 // and prints their average throughput plus the adaptive system's
-// repartitioning activity.
-func compare(top *atrapos.Topology, wl *atrapos.Workload, duration atrapos.VirtualTime, events []atrapos.Event) {
+// repartitioning activity. When phases are given, both systems also get a
+// per-phase throughput breakdown.
+func compare(top *atrapos.Topology, wl *atrapos.Workload, duration atrapos.VirtualTime, events []atrapos.Event, phases []phase) {
 	run := func(adaptive bool) *atrapos.Result {
 		freshTop, err := atrapos.NewTopology(top.Sockets(), top.CoresPerSocket())
 		if err != nil {
@@ -126,5 +167,9 @@ func compare(top *atrapos.Topology, wl *atrapos.Workload, duration atrapos.Virtu
 		adaptive.ThroughputTPS, len(adaptive.Series), adaptive.Repartitions, adaptive.RepartitionTime.Seconds()*1e3)
 	if adaptive.ThroughputTPS > static.ThroughputTPS {
 		fmt.Printf("  -> adaptation gained %.0f%%\n", (adaptive.ThroughputTPS/static.ThroughputTPS-1)*100)
+	}
+	for _, p := range phases {
+		fmt.Printf("  %-15s (%2.0f-%2.0fs): static %8.0f TPS, atrapos %8.0f TPS\n",
+			p.label, p.fromS, p.toS, phaseTPS(static, p), phaseTPS(adaptive, p))
 	}
 }

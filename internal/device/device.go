@@ -16,7 +16,9 @@ package device
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"atrapos/internal/numa"
 	"atrapos/internal/topology"
@@ -62,6 +64,15 @@ type Spec struct {
 type Device struct {
 	spec Spec
 
+	// failed and degrade are the fault-injection state. They are atomics —
+	// not guarded by mu — because Service runs lock-free under the commit
+	// hot path (group-commit ride-alongs price their share without taking
+	// the queue lock). degrade holds the float64 bits of the latency
+	// factor; zero means the device is healthy (factor 1.0), so fault-free
+	// runs never touch float arithmetic and stay bit-identical.
+	failed  atomic.Bool
+	degrade atomic.Uint64
+
 	mu sync.Mutex
 	// backlog is the service work deposited by flushes and not yet drained.
 	backlog vclock.Nanos
@@ -92,12 +103,50 @@ func New(spec Spec) *Device {
 func (d *Device) Spec() Spec { return d.spec }
 
 // Service returns the queue-free service time of one flush writing the given
-// number of bytes.
+// number of bytes, inflated by the degrade factor when the device is
+// degraded.
 func (d *Device) Service(bytes int) numa.Cost {
 	if bytes < 0 {
 		bytes = 0
 	}
-	return d.spec.FlushLatency + numa.Cost(bytes)*d.spec.PerByteCost
+	s := d.spec.FlushLatency + numa.Cost(bytes)*d.spec.PerByteCost
+	if bits := d.degrade.Load(); bits != 0 {
+		s = numa.Cost(float64(s) * math.Float64frombits(bits))
+	}
+	return s
+}
+
+// Fail marks the device failed. A failed device keeps servicing flushes of
+// logs still bound to it (the model has no data loss to represent — failure
+// is a re-homing trigger), but the planner treats any wiring bound to it as
+// stale and re-homes the affected island logs to surviving devices.
+func (d *Device) Fail() { d.failed.Store(true) }
+
+// Restore clears the failed mark.
+func (d *Device) Restore() { d.failed.Store(false) }
+
+// Failed reports whether the device is marked failed.
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+// Degrade sets the device's latency factor: every subsequent service time is
+// multiplied by it, modeling a device that still works but has slowed down
+// (media wear, thermal throttling, a flaky link). Factors below one are
+// clamped to one; Degrade(1) restores full speed.
+func (d *Device) Degrade(factor float64) {
+	if factor <= 1 {
+		d.degrade.Store(0)
+		return
+	}
+	d.degrade.Store(math.Float64bits(factor))
+}
+
+// DegradeFactor returns the current latency factor (1 when healthy).
+func (d *Device) DegradeFactor() float64 {
+	bits := d.degrade.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
 }
 
 // Flush models one group-commit flush issued at virtual time now that writes

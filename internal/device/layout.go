@@ -176,6 +176,96 @@ func (m *Map) DeviceFor(die topology.DieID) *Device {
 	return m.devices[0]
 }
 
+// Device returns device i, or an error when the index is out of range.
+func (m *Map) Device(i int) (*Device, error) {
+	if i < 0 || i >= len(m.devices) {
+		return nil, fmt.Errorf("device: layout %s has no device %d (have %d)", m.layout, i, len(m.devices))
+	}
+	return m.devices[i], nil
+}
+
+// FailDevice marks device i failed. It refuses to fail an already-failed
+// device and to fail the last alive device of the map — the model needs at
+// least one surviving flush path to re-home island logs onto, the same way
+// the topology always keeps at least one socket alive.
+func (m *Map) FailDevice(i int) error {
+	d, err := m.Device(i)
+	if err != nil {
+		return err
+	}
+	if d.Failed() {
+		return fmt.Errorf("device: device %d (%s) is already failed", i, d.spec.Name)
+	}
+	alive := 0
+	for _, x := range m.devices {
+		if !x.Failed() {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return fmt.Errorf("device: cannot fail device %d (%s): it is the last alive device of layout %s", i, d.spec.Name, m.layout)
+	}
+	d.Fail()
+	return nil
+}
+
+// RestoreDevice clears the failed mark on device i, erroring when the device
+// is not failed (mirroring Engine.RestoreSocket).
+func (m *Map) RestoreDevice(i int) error {
+	d, err := m.Device(i)
+	if err != nil {
+		return err
+	}
+	if !d.Failed() {
+		return fmt.Errorf("device: device %d (%s) is not failed", i, d.spec.Name)
+	}
+	d.Restore()
+	return nil
+}
+
+// DegradeDevice sets device i's latency factor. Factors below one are
+// rejected rather than clamped so a schedule typo surfaces as an error.
+func (m *Map) DegradeDevice(i int, factor float64) error {
+	d, err := m.Device(i)
+	if err != nil {
+		return err
+	}
+	if factor < 1 {
+		return fmt.Errorf("device: degrade factor %v for device %d must be >= 1", factor, i)
+	}
+	d.Degrade(factor)
+	return nil
+}
+
+// AliveDeviceFor returns the device serving the given die, re-homed to the
+// lowest-index alive device when the die's own device has failed, or nil when
+// every device of the map has failed. The lowest-index rule keeps re-homing
+// deterministic; devices are laid out in die order, so low indices are also
+// topologically close.
+func (m *Map) AliveDeviceFor(die topology.DieID) *Device {
+	d := m.DeviceFor(die)
+	if !d.Failed() {
+		return d
+	}
+	for _, cand := range m.devices {
+		if !cand.Failed() {
+			return cand
+		}
+	}
+	return nil
+}
+
+// ResetFaults restores every device to healthy full speed. Fault state
+// deliberately survives Reset — it models hardware condition, not run state,
+// exactly like topology socket liveness — so tests and the fuzzer clear it
+// explicitly.
+func (m *Map) ResetFaults() {
+	for _, d := range m.devices {
+		d.Restore()
+		d.Degrade(1)
+	}
+}
+
 // Reset clears the queue state of every device (between runs).
 func (m *Map) Reset() {
 	for _, d := range m.devices {

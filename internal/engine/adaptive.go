@@ -69,6 +69,11 @@ type adaptiveState struct {
 	// so the system observes the effect of one decision before making the
 	// next; it damps oscillation between near-equivalent placements.
 	cooldown int
+	// hwEpoch is the topology liveness epoch observed at the last boundary;
+	// a change (a socket failed or was restored) forces an evaluation even
+	// when throughput looks stable, so the ATraPos pipeline re-expands onto
+	// restored capacity instead of waiting for an instability signal.
+	hwEpoch uint64
 
 	repartitions    atomic.Int64
 	repartitionCost atomic.Int64
@@ -200,6 +205,7 @@ func (a *adaptiveState) reset() {
 	a.lastCheckAt = 0
 	a.lastCommitted = 0
 	a.cooldown = 0
+	a.hwEpoch = a.e.cfg.Topology.Epoch()
 	a.repartitions.Store(0)
 	a.repartitionCost.Store(0)
 	a.adaptCharged.Store(0)
@@ -348,9 +354,16 @@ func (a *adaptiveState) adaptOnce() {
 		a.adaptGranularity(now)
 		return
 	}
-	// A change in the hardware topology (a partition owned by a core on a
-	// failed socket) is always grounds for an evaluation, independent of the
-	// throughput history.
+	// A change in the hardware topology is always grounds for an evaluation,
+	// independent of the throughput history: a partition owned by a core on a
+	// failed socket must move, and a liveness-epoch change (a socket failed or
+	// came back) means the capacity the placement was derived for no longer
+	// matches the machine — restored sockets in particular produce no
+	// instability signal of their own, the work simply is not routed there.
+	if ep := e.cfg.Topology.Epoch(); ep != a.hwEpoch {
+		a.hwEpoch = ep
+		decision = core.Evaluate
+	}
 	if decision != core.Evaluate && a.placementUsesDeadCore() {
 		decision = core.Evaluate
 	}
@@ -465,8 +478,12 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 	if cur == nil || !e.cfg.Adaptive {
 		return
 	}
-	deadWiring := wiringUsesDeadCore(cur, e.cfg.Topology)
-	if stats.Txns == 0 && !deadWiring {
+	// Hardware changed under the wiring: a site homed on a failed socket, a
+	// restored socket whose islands the wiring does not cover yet, or an
+	// island log flushing through a failed device. Any of these forces a
+	// re-wiring at the best level, independent of the scores.
+	hardware := wiringStale(cur, e.cfg.Topology) || wiringBindsFailedDevice(cur)
+	if stats.Txns == 0 && !hardware {
 		return
 	}
 	shape := core.WorkloadShape{
@@ -478,10 +495,11 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 		Concurrency:    a.workers,
 	}
 	best, scores := a.granModel.Best(shape, granTieMargin)
-	if deadWiring {
-		// Hardware changed under the wiring: rebuild at the best level (which
-		// may be the current one — the rebuild homes every site on alive
-		// hardware either way).
+	if hardware {
+		// Rebuild at the best level (which may be the current one — the
+		// rebuild homes every site on alive hardware and re-homes island logs
+		// bound to failed devices either way; reused logs carry their records
+		// across the move).
 		a.changeLevel(best, shape.MultisiteShare, now)
 		return
 	}
@@ -531,6 +549,13 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 		return
 	}
 	if err := desired.ValidateAlive(top); err != nil {
+		return
+	}
+	// The storage half of the liveness invariant: refuse a wiring that could
+	// only bind an island log to a failed device. AliveDeviceFor re-homes
+	// around individual failures, so this only fires when no alive device is
+	// reachable at all.
+	if err := desired.ValidateAliveDevices(top, e.devices); err != nil {
 		return
 	}
 	diff := partition.Diff(snap.placement, desired)
@@ -598,11 +623,33 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 	a.diffMu.Unlock()
 }
 
-// wiringUsesDeadCore reports whether any site of the wiring is homed on a
-// failed socket — the hardware-change trigger of the granularity planner.
-func wiringUsesDeadCore(w *islandWiring, top *topology.Topology) bool {
-	for _, s := range w.sites {
-		if !top.Alive(s.Socket) {
+// wiringStale reports whether the installed wiring no longer matches the
+// machine's alive islands at its own level: a site homed on a failed socket,
+// an island whose alive member set changed, or an alive island the wiring
+// does not cover (a restored socket waiting to be re-expanded onto). It is
+// the compute half of the granularity planner's hardware-change trigger.
+func wiringStale(w *islandWiring, top *topology.Topology) bool {
+	islands := top.AliveIslandsAt(w.level)
+	if len(islands) != len(w.siteCores) {
+		return true
+	}
+	for i, isl := range islands {
+		if !sameCores(isl.Cores, w.siteCores[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// wiringBindsFailedDevice reports whether any island log of the wiring
+// flushes through a failed device — the storage half of the hardware-change
+// trigger.
+func wiringBindsFailedDevice(w *islandWiring) bool {
+	if w.logs == nil {
+		return false
+	}
+	for i := 0; i < w.logs.NumLogs(); i++ {
+		if d := w.logs.Log(i).Device(); d != nil && d.Failed() {
 			return true
 		}
 	}

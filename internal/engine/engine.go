@@ -354,6 +354,66 @@ func (e *Engine) FailSocket(s topology.SocketID) error {
 	return e.cfg.Topology.FailSocket(s)
 }
 
+// RestoreSocket returns a failed socket to service, mirroring FailSocket: the
+// socket's cores become usable as coordinators again, and the adaptive
+// planner re-expands placement and wiring onto the returned capacity at its
+// next monitoring boundary. It errors on an unknown or already-alive socket.
+//
+// The restored cores' virtual clocks are advanced to the machine's current
+// virtual time before they rejoin the coordinator rotation: a socket that was
+// powered off rejoins at "now", it does not replay the time it missed.
+// Leaving the clocks at the fail time would stamp its commits into windows
+// long past and starve the tail of the run's throughput series.
+func (e *Engine) RestoreSocket(s topology.SocketID) error {
+	top := e.cfg.Topology
+	if int(s) < 0 || int(s) >= top.Sockets() {
+		return fmt.Errorf("engine: unknown socket %d (machine has %d)", s, top.Sockets())
+	}
+	if top.Alive(s) {
+		return fmt.Errorf("engine: socket %d is already alive", s)
+	}
+	now := int64(e.virtualNowExact())
+	for _, c := range top.CoresOn(s) {
+		if int(c.ID) < 0 || int(c.ID) >= len(e.accounts) {
+			continue
+		}
+		// The offline gap is charged to busy only (no component), so it shows
+		// up as elapsed time, not as work of any kind.
+		if gap := now - e.accounts[c.ID].busy.Load(); gap > 0 {
+			e.accounts[c.ID].busy.Add(gap)
+		}
+	}
+	return top.RestoreSocket(s)
+}
+
+// FailDevice marks log device i failed. Island logs bound to it are re-homed
+// to surviving devices by the planner's next re-wiring (their records move
+// with them through the log-reuse path); the device keeps servicing flushes
+// until then, so no work is lost in the gap.
+func (e *Engine) FailDevice(i int) error {
+	if e.devices == nil {
+		return fmt.Errorf("engine: no log-device layout configured")
+	}
+	return e.devices.FailDevice(i)
+}
+
+// RestoreDevice clears the failed mark on log device i.
+func (e *Engine) RestoreDevice(i int) error {
+	if e.devices == nil {
+		return fmt.Errorf("engine: no log-device layout configured")
+	}
+	return e.devices.RestoreDevice(i)
+}
+
+// DegradeDevice multiplies log device i's service time by factor (>= 1),
+// modeling a device that still works but slowed down.
+func (e *Engine) DegradeDevice(i int, factor float64) error {
+	if e.devices == nil {
+		return fmt.Errorf("engine: no log-device layout configured")
+	}
+	return e.devices.DegradeDevice(i, factor)
+}
+
 // initialPlacement derives the default partitioning and placement of the design.
 func (e *Engine) initialPlacement() (*partition.Placement, error) {
 	c := e.cfg
@@ -568,11 +628,19 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 		homeCores = append(homeCores, isl.Cores[0].ID)
 		if e.devices != nil {
 			// The island's log flushes through the device serving its home
-			// die. The device map outlives the wiring, so a level change
+			// die, re-homed to a surviving device when that one has failed.
+			// The device map outlives the wiring, so a level change
 			// re-resolves the binding against the same physical devices — and
 			// the log constructor re-binds any reused log whose device the
 			// re-wiring moved.
-			devs = append(devs, e.devices.DeviceFor(top.DieOf(isl.Cores[0].ID)))
+			dev := e.devices.AliveDeviceFor(top.DieOf(isl.Cores[0].ID))
+			if dev == nil {
+				// Every device failed: keep the mapped binding rather than
+				// wiring a log to nothing. Schedules cannot produce this (the
+				// device map refuses to fail its last alive device).
+				dev = e.devices.DeviceFor(top.DieOf(isl.Cores[0].ID))
+			}
+			devs = append(devs, dev)
 		}
 		if prev != nil {
 			for j, cores := range prev.siteCores {

@@ -15,48 +15,79 @@ import (
 )
 
 // performAction executes one storage access on behalf of the given executing
-// core and returns its cost. Duplicate inserts are treated as updates and
-// missing rows as no-ops, so replayed or colliding generator keys never wedge
-// an experiment.
-func performAction(tbl *storage.Table, a workload.Action, from topology.CoreID) (numa.Cost, error) {
+// core and returns its cost plus whether the action actually modified the
+// table. Duplicate inserts are treated as updates and missing rows as no-ops,
+// so replayed or colliding generator keys never wedge an experiment; applied
+// is false for those no-ops so the caller can log them faithfully.
+func performAction(tbl *storage.Table, a workload.Action, from topology.CoreID) (cost numa.Cost, applied bool, err error) {
 	switch a.Op {
 	case workload.Read:
 		_, cost, err := tbl.Read(from, a.Key)
 		if errors.Is(err, storage.ErrNotFound) {
-			return cost, nil
+			return cost, false, nil
 		}
-		return cost, err
+		return cost, false, err
 	case workload.Update:
-		cost, err := tbl.Update(from, a.Key, func(r schema.Row) schema.Row {
-			if a.Row != nil {
-				return a.Row
-			}
-			if len(r) > 1 {
-				if v, ok := r[len(r)-1].(int64); ok {
-					r[len(r)-1] = v + 1
-				}
-			}
-			return r
-		})
-		if errors.Is(err, storage.ErrNotFound) {
-			return cost, nil
+		fn := incrementLastColumn
+		if a.Row != nil {
+			row := a.Row
+			fn = func(schema.Row) schema.Row { return row }
 		}
-		return cost, err
+		cost, err := tbl.Update(from, a.Key, fn)
+		if errors.Is(err, storage.ErrNotFound) {
+			return cost, false, nil
+		}
+		return cost, err == nil, err
 	case workload.Insert:
 		cost, err := tbl.Insert(from, a.Key, a.Row)
 		if errors.Is(err, storage.ErrDuplicate) {
 			extra, uerr := tbl.Update(from, a.Key, func(schema.Row) schema.Row { return a.Row })
-			return cost + extra, uerr
+			return cost + extra, uerr == nil, uerr
 		}
-		return cost, err
+		return cost, err == nil, err
 	case workload.Delete:
 		cost, err := tbl.Delete(from, a.Key)
 		if errors.Is(err, storage.ErrNotFound) {
-			return cost, nil
+			return cost, false, nil
 		}
-		return cost, err
+		return cost, err == nil, err
 	default:
-		return 0, nil
+		return 0, false, nil
+	}
+}
+
+// incrementLastColumn is the in-place update applied when an update action
+// carries no row payload. It is a package-level function rather than a
+// closure in performAction (a closure capturing the action escapes into the
+// storage layer and costs one heap allocation per update), and the counter
+// wraps at 256 so the boxed value stays inside the runtime's static
+// small-integer cache — an unbounded counter would allocate on every store
+// into the schema.Value interface. No experiment reads the counter; the row
+// write itself is what the model charges for.
+func incrementLastColumn(r schema.Row) schema.Row {
+	if len(r) > 1 {
+		if v, ok := r[len(r)-1].(int64); ok {
+			r[len(r)-1] = (v + 1) & 0xff
+		}
+	}
+	return r
+}
+
+// recordTypeFor maps an executed write action to its log record type. A write
+// that found no row to modify logs a NoopWrite: the append is still charged —
+// the miss is only discovered inside the storage layer, after the log space is
+// reserved — but redo must not re-establish a key the action never touched.
+func recordTypeFor(op workload.OpType, applied bool) wal.RecordType {
+	if !applied {
+		return wal.NoopWrite
+	}
+	switch op {
+	case workload.Insert:
+		return wal.Insert
+	case workload.Delete:
+		return wal.Delete
+	default:
+		return wal.Update
 	}
 }
 
@@ -163,14 +194,14 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 		if err != nil {
 			return abort()
 		}
-		execCost, err := performAction(e.tables[a.Table], a, worker)
+		execCost, applied, err := performAction(e.tables[a.Table], a, worker)
 		e.charge(worker, vclock.Execution, execCost)
 		if err != nil {
 			return abort()
 		}
 		if a.Op.IsWrite() {
 			wrote = true
-			_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(worker, vclock.Logging, logCost)
 		}
 	}
@@ -269,7 +300,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		if lockErr != nil {
 			return abort()
 		}
-		execCost, err := performAction(e.tables[a.Table], a, siteCore)
+		execCost, applied, err := performAction(e.tables[a.Table], a, siteCore)
 		e.charge(siteCore, vclock.Execution, execCost)
 		if err != nil {
 			return abort()
@@ -277,7 +308,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		if a.Op.IsWrite() {
 			wrote = true
 			// Each island appends to its own write-ahead log.
-			_, logCost := w.logs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			_, logCost := w.logs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(siteCore, vclock.Logging, logCost)
 		}
 	}
@@ -384,7 +415,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		}
 		// Execute the action on the owning core, inflated by the
 		// oversaturation factor if that core hosts several partition workers.
-		execCost, err := performAction(e.tables[a.Table], a, owner)
+		execCost, applied, err := performAction(e.tables[a.Table], a, owner)
 		factor := saturationFactor(e.cfg.OversaturationPenalty, snap.active(tp.Cores[idx]))
 		execCost = numa.Cost(float64(execCost) * factor)
 		e.charge(pr.core, vclock.Execution, execCost)
@@ -393,7 +424,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		}
 		if a.Op.IsWrite() {
 			wrote = true
-			_, logCost := e.log.Append(oSock, wal.Record{Txn: uint64(tx.ID), Type: wal.Update, Table: a.Table, Key: a.Key, Size: 96})
+			_, logCost := e.log.Append(oSock, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(pr.core, vclock.Logging, logCost)
 		}
 		// Monitoring: thread-local trace arrays (ATraPos only).

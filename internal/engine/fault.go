@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"atrapos/internal/fault"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/wal"
+)
+
+// compileFaults validates a declarative fault schedule against this engine's
+// hardware and compiles it into run events. The schedule was already
+// validated against a machine descriptor at construction; this re-check
+// catches a schedule built for a different machine shape than the engine it
+// was attached to.
+func (e *Engine) compileFaults(s *fault.Schedule, workers int) ([]Event, error) {
+	m := s.Machine()
+	top := e.cfg.Topology
+	if m.Sockets != top.Sockets() {
+		return nil, fmt.Errorf("engine: fault schedule targets a %d-socket machine, engine runs on %d sockets", m.Sockets, top.Sockets())
+	}
+	ndev := 0
+	if e.devices != nil {
+		ndev = e.devices.NumDevices()
+	}
+	if m.Devices != ndev {
+		return nil, fmt.Errorf("engine: fault schedule targets %d log devices, engine has %d", m.Devices, ndev)
+	}
+	if s.HasCrash() {
+		// The drill drops table state from the event-firing worker; concurrent
+		// workers would race it mid-transaction, and the committed-state
+		// equivalence the drill asserts is only defined for serial runs (which
+		// never abort, so the fault-free reference is deterministic).
+		if workers != 1 {
+			return nil, fmt.Errorf("engine: a crash-and-recover drill requires a serial run (Workers=1), got %d workers", workers)
+		}
+		// A bounded log ring drops old records; recovery from it would be
+		// silently partial, so the drill demands full retention.
+		if e.cfg.LogConfig.Keep != 0 {
+			return nil, fmt.Errorf("engine: a crash-and-recover drill requires unbounded log retention (LogConfig.Keep=0), got Keep=%d", e.cfg.LogConfig.Keep)
+		}
+	}
+	out := make([]Event, 0, s.Len())
+	for _, ev := range s.Events() {
+		ev := ev
+		var do func(*Engine)
+		switch ev.Kind {
+		case fault.KindFailSocket:
+			do = func(e *Engine) { _ = e.FailSocket(ev.Socket) }
+		case fault.KindRestoreSocket:
+			do = func(e *Engine) { _ = e.RestoreSocket(ev.Socket) }
+		case fault.KindFailDevice:
+			do = func(e *Engine) { _ = e.FailDevice(ev.Device) }
+		case fault.KindDegradeDevice:
+			do = func(e *Engine) { _ = e.DegradeDevice(ev.Device, ev.LatencyFactor) }
+		case fault.KindCrashAndRecover:
+			do = func(e *Engine) { _, _ = e.CrashAndRecover() }
+		default:
+			return nil, fmt.Errorf("engine: fault schedule has unknown event kind %v", ev.Kind)
+		}
+		out = append(out, Event{At: ev.At, Do: do})
+	}
+	return out, nil
+}
+
+// crashLogs returns every write-ahead log the engine currently owns: the
+// per-island logs of the installed wiring for shared-nothing designs, the
+// central log otherwise.
+func (e *Engine) crashLogs() []*wal.CentralLog {
+	if snap := e.state.snapshot(); snap != nil && snap.wiring != nil && snap.wiring.logs != nil {
+		logs := snap.wiring.logs
+		out := make([]*wal.CentralLog, logs.NumLogs())
+		for i := range out {
+			out[i] = logs.Log(i)
+		}
+		return out
+	}
+	if cl, ok := e.log.(*wal.CentralLog); ok {
+		return []*wal.CentralLog{cl}
+	}
+	return nil
+}
+
+// tableStore adapts a storage table to the wal.RowStore recovery interface:
+// redo applies row images without cost accounting (recovery replays history,
+// it does not re-execute it).
+type tableStore struct{ t *storage.Table }
+
+func (s tableStore) ApplyInsert(key schema.Key, row schema.Row) {
+	if _, err := s.t.Insert(0, key, row); errors.Is(err, storage.ErrDuplicate) {
+		_, _ = s.t.Update(0, key, func(schema.Row) schema.Row { return row })
+	}
+}
+
+func (s tableStore) ApplyDelete(key schema.Key) {
+	_, _ = s.t.Delete(0, key)
+}
+
+// CrashAndRecover is the crash drill: it models an instance crash by dropping
+// every row the retained log records cover — the volatile state whose
+// durability the log is responsible for; base data loaded before the run is
+// durable by definition and stays — and then replays wal.Recover from the
+// logs the engine currently owns. Committed transactions' effects are
+// re-established, in-flight losers are discarded. With an unbounded log
+// retention (LogConfig.Keep=0) on a serial run, the post-recovery table state
+// is equivalent to a fault-free run's; tests and the fuzzer assert exactly
+// that.
+//
+// Recovery replays all retained records rather than only the durable prefix:
+// the reproduction's group commit acknowledges transactions whose flush rides
+// along a later group, so the committed-state equivalence the drill asserts
+// is defined against commit records, not the flush horizon.
+func (e *Engine) CrashAndRecover() (wal.RecoveryStats, error) {
+	logs := e.crashLogs()
+	if len(logs) == 0 {
+		return wal.RecoveryStats{}, fmt.Errorf("engine: no write-ahead logs to recover from")
+	}
+	var records []wal.Record
+	var durable wal.LSN
+	for _, l := range logs {
+		records = append(records, l.Records()...)
+		if d := l.Durable(); d > durable {
+			durable = d
+		}
+	}
+	// Crash: drop the state the log covers. Every key named by any retained
+	// record is in doubt after a crash; deleting exactly those keys (Delete
+	// bypassing nothing — the rows genuinely leave the trees) models losing
+	// the volatile buffer while keeping the durable base data.
+	touched := make(map[string]map[schema.Key]struct{})
+	for _, rec := range records {
+		switch rec.Type {
+		case wal.Insert, wal.Update, wal.Delete:
+			keys := touched[rec.Table]
+			if keys == nil {
+				keys = make(map[schema.Key]struct{})
+				touched[rec.Table] = keys
+			}
+			keys[rec.Key] = struct{}{}
+		}
+	}
+	for name, keys := range touched {
+		tbl, ok := e.tables[name]
+		if !ok {
+			continue
+		}
+		for k := range keys {
+			_, _ = tbl.Delete(0, k)
+		}
+	}
+	stores := make(map[string]wal.RowStore, len(e.tables))
+	for name, tbl := range e.tables {
+		stores[name] = tableStore{t: tbl}
+	}
+	return wal.Recover(records, durable, false, stores)
+}
+
+// TableKeySets returns the keys present in every table, in ascending order,
+// keyed by table name. The crash drill's equivalence assertion compares the
+// key sets of a crashed-and-recovered run against a fault-free twin; the
+// reproduction's redo records re-establish key presence (they carry no
+// after-image payload), so key sets are exactly the state recovery defines.
+func (e *Engine) TableKeySets() map[string][]schema.Key {
+	out := make(map[string][]schema.Key, len(e.tables))
+	for name, tbl := range e.tables {
+		keys := make([]schema.Key, 0, tbl.Len())
+		tbl.Scan(0, 0, ^schema.Key(0), func(k schema.Key, _ schema.Row) bool {
+			keys = append(keys, k)
+			return true
+		})
+		out[name] = keys
+	}
+	return out
+}
+
+// WiringBindsFailedDevice reports whether any island log of the installed
+// wiring flushes through a failed device. After the planner's re-homing has
+// converged it is always false; tests and the fuzzer assert that instead of
+// eyeballing timelines.
+func (e *Engine) WiringBindsFailedDevice() bool {
+	snap := e.state.snapshot()
+	if snap == nil || snap.wiring == nil {
+		return false
+	}
+	return wiringBindsFailedDevice(snap.wiring)
+}
+
+// WiringConverged reports whether the installed wiring matches the current
+// hardware: every site homed on an alive socket, every alive island at the
+// wiring's level represented, and no island log bound to a failed device.
+// Engines without island wiring (non-shared-nothing designs) are trivially
+// converged.
+func (e *Engine) WiringConverged() bool {
+	snap := e.state.snapshot()
+	if snap == nil || snap.wiring == nil {
+		return true
+	}
+	return !wiringStale(snap.wiring, e.cfg.Topology) && !wiringBindsFailedDevice(snap.wiring)
+}

@@ -270,7 +270,7 @@ func TestAdaptiveGranularityRewiresOffDeadSocket(t *testing.T) {
 	}
 	top := e.Topology()
 	w := e.state.snapshot().wiring
-	if wiringUsesDeadCore(w, top) {
+	if wiringStale(w, top) {
 		t.Fatalf("post-failure wiring still homes a site on the dead socket: %+v", w.sites)
 	}
 	for _, cores := range w.siteCores {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atrapos/internal/fault"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
 	"atrapos/internal/workload"
@@ -40,6 +41,11 @@ type RunOptions struct {
 	// their timestamp; the adaptivity experiments use them to change the
 	// environment mid-run (e.g. fail a socket at t=20s, Figure 12).
 	Events []Event
+	// Faults attaches a declarative fault schedule to the run: the engine
+	// validates it against its own topology and device layout and compiles it
+	// into Events. Nil leaves the run untouched (fault-free runs stay
+	// bit-identical).
+	Faults *fault.Schedule
 }
 
 // Event is an environment change scheduled at a point of virtual time.
@@ -143,6 +149,13 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	opts, err := opts.withDefaults(e)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Faults != nil {
+		faultEvents, err := e.compileFaults(opts.Faults, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		opts.Events = append(append([]Event(nil), opts.Events...), faultEvents...)
 	}
 	e.resetAccounts()
 	e.cfg.Topology.ResetTraffic()

@@ -1,0 +1,54 @@
+package harness
+
+import "testing"
+
+// TestRunFaultTimeline asserts — not eyeballs — the fig-faults robustness
+// facts at quick scale: throughput dips while the device and the socket are
+// out, recovers after the restore, the planner re-homes the island logs off
+// the failed device, and the wiring converges.
+func TestRunFaultTimeline(t *testing.T) {
+	tl, err := RunFaultTimeline(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Committed == 0 {
+		t.Fatal("timeline committed nothing; the system should degrade, not stop")
+	}
+	if !tl.DipOnDeviceFailure {
+		t.Errorf("no throughput dip on device failure: healthy %.0f vs device-failed %.0f",
+			tl.phaseTPS("healthy"), tl.phaseTPS("device-failed"))
+	}
+	if !tl.DipOnSocketFailure {
+		t.Errorf("no throughput dip on socket failure: healthy %.0f vs socket-failed %.0f",
+			tl.phaseTPS("healthy"), tl.phaseTPS("socket-failed"))
+	}
+	if !tl.RecoveredAfterRestore {
+		t.Errorf("throughput did not recover after the socket restore: socket-failed %.0f vs socket-restored %.0f",
+			tl.phaseTPS("socket-failed"), tl.phaseTPS("socket-restored"))
+	}
+	if tl.RehomedLogs == 0 {
+		t.Error("no island log was re-homed off the failed device")
+	}
+	if !tl.Converged {
+		t.Error("wiring did not converge by the end of the timeline")
+	}
+	for _, ph := range tl.Phases {
+		if ph.AvgTPS <= 0 {
+			t.Errorf("phase %s measured no throughput", ph.Label)
+		}
+	}
+}
+
+// TestFigFaults exercises the table renderer end to end.
+func TestFigFaults(t *testing.T) {
+	tbl, err := FigFaults(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fig-faults" {
+		t.Errorf("table ID = %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("expected 5 phase rows, got %d", len(tbl.Rows))
+	}
+}

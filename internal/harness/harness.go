@@ -224,6 +224,7 @@ func Registry() []Experiment {
 		{"ablation-placement", "Ablation: placement step (Algorithm 2) on vs off", AblationPlacement},
 		{"ablation-subparts", "Ablation: sub-partition granularity of the monitor", AblationSubPartitions},
 		{"ablation-sli", "Ablation: speculative lock inheritance in the centralized design", AblationSLI},
+		{"fig-faults", "Fault injection: fail→degrade→restore schedule with device re-homing and elastic recovery", FigFaults},
 	}
 }
 

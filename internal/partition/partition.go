@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"atrapos/internal/btree"
+	"atrapos/internal/device"
 	"atrapos/internal/lock"
 	"atrapos/internal/numa"
 	"atrapos/internal/schema"
@@ -113,6 +114,29 @@ func (p *Placement) ValidateAlive(top *topology.Topology) error {
 			if !top.Alive(top.SocketOf(c)) {
 				return fmt.Errorf("partition: table %s partition %d assigned to core %d on failed socket %d",
 					name, i, c, top.SocketOf(c))
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateAliveDevices extends the liveness invariant from compute to
+// storage: it rejects placements for which some partition's owning core
+// resolves — through its die — to no alive log device, so a snapshot built
+// from the placement could only bind an island log to a failed device.
+// Passing a nil device map (no log-device layout configured) is trivially
+// valid. The engine runs this alongside ValidateAlive before installing a
+// re-wired snapshot.
+func (p *Placement) ValidateAliveDevices(top *topology.Topology, devs *device.Map) error {
+	if devs == nil {
+		return nil
+	}
+	for name, tp := range p.Tables {
+		for i, c := range tp.Cores {
+			die := top.DieOf(c)
+			if d := devs.AliveDeviceFor(die); d == nil {
+				return fmt.Errorf("partition: table %s partition %d on core %d has no alive log device (die %d, layout %s)",
+					name, i, c, die, devs.Layout())
 			}
 		}
 	}

@@ -39,6 +39,12 @@ const (
 	Prepare
 	// EndOfDistributed is the 2PC end record written by the coordinator.
 	EndOfDistributed
+	// NoopWrite records a write intent that found no row to modify (an update
+	// or delete of a missing key). The engine charges the append like any
+	// other write record — the cost model prices write intents, and a miss is
+	// only discovered inside the storage layer — but redo must not
+	// re-establish a key the action never touched, so recovery skips it.
+	NoopWrite
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +64,8 @@ func (t RecordType) String() string {
 		return "prepare"
 	case EndOfDistributed:
 		return "end-distributed"
+	case NoopWrite:
+		return "noop-write"
 	default:
 		return fmt.Sprintf("RecordType(%d)", int(t))
 	}
