@@ -1,8 +1,9 @@
 # Development workflow for the ATraPos reproduction.
 #
 #   make check        - everything CI runs: format, vet, static analysis, build,
-#                       test, race, bench smoke, log-device smoke, fault-scenario
-#                       fuzz smoke, BENCH.json well-formedness
+#                       test, race, bench smoke, log-device smoke, group-commit
+#                       smoke, fault-scenario fuzz smoke, BENCH.json
+#                       well-formedness
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
@@ -11,9 +12,9 @@
 GO ?= go
 FUZZ_SEED ?= 42
 
-.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices fuzz-smoke
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices bench-groupcommit fuzz-smoke
 
-check: fmt vet staticcheck build test race bench-smoke bench-devices fuzz-smoke bench-verify
+check: fmt vet staticcheck build test race bench-smoke bench-devices bench-groupcommit fuzz-smoke bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -67,6 +68,12 @@ bench-json:
 # smoke keeps the CLI path exercised).
 bench-devices:
 	$(GO) run ./cmd/atrapos-bench -experiment fig-log-devices
+
+# The coalescing group-commit sweep: write-combining on/off across device
+# layouts. The smoke keeps the experiment's crossover table producible from
+# the CLI; the schema gates in -verify assert the coalescing wins.
+bench-groupcommit:
+	$(GO) run ./cmd/atrapos-bench -experiment fig-group-commit
 
 # A bounded, fixed-seed run of the fault-scenario fuzzer: 25 composed
 # {workload, machine, device layout, fault schedule} scenarios, every standing

@@ -420,6 +420,20 @@ func DeviceSweep(scale Scale, pcts []int) ([]DevicePoint, error) {
 	return harness.DeviceSweep(scale, pcts)
 }
 
+// GroupCommitPoint is one measured cell of the coalescing group-commit
+// sweep: an island granularity under one device layout with the
+// write-combining accumulator on or off, with the logical-vs-physical log
+// split the run produced.
+type GroupCommitPoint = harness.GroupCommitPoint
+
+// GroupCommitSweep measures the parametric shared-nothing design on the
+// zipf-hotkey workload with the write-combining WAL accumulator on and off,
+// across device layouts and island levels; it is the data behind the
+// fig-group-commit experiment and the BENCH.json group-commit records.
+func GroupCommitSweep(scale Scale) ([]GroupCommitPoint, error) {
+	return harness.GroupCommitSweep(scale)
+}
+
 // GranularityTrajectory is the measured outcome of the adaptive-granularity
 // scenario: how the planner re-wired the machine as the multisite share
 // drifted across the island-size crossover, and whether it tracked the

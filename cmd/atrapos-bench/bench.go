@@ -79,6 +79,13 @@ type BenchRecord struct {
 	// and multisite probability, so the crossover's movement with the storage
 	// profile is tracked commit over commit.
 	LogDevices []atrapos.DevicePoint `json:"log_devices,omitempty"`
+	// GroupCommit records the coalescing group-commit sweep
+	// (fig-group-commit at bench scale): the shared-nothing design on the
+	// zipf-hotkey workload with the write-combining WAL accumulator on and
+	// off per device layout and island level, so the logical-vs-physical
+	// split and the coalescing win on scarce devices are tracked commit over
+	// commit.
+	GroupCommit []atrapos.GroupCommitPoint `json:"group_commit,omitempty"`
 	// Faults records the fig-faults timeline: per-phase throughput of the
 	// adaptive shared-nothing design under the fail→degrade→restore fault
 	// schedule, with the dips, the recovery and the re-homed island logs
@@ -207,6 +214,13 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	if err != nil {
 		return err
 	}
+	// The coalescing group-commit sweep: write-combining on/off per device
+	// layout and island level on the zipf-hotkey workload, so the net-delta
+	// collapse ratio and the single-device coalescing win are tracked.
+	rec.GroupCommit, err = atrapos.GroupCommitSweep(islandScale)
+	if err != nil {
+		return err
+	}
 	// The fault timeline: dips and recovery across the fail→degrade→restore
 	// schedule, so a regression in re-homing or elastic recovery shows up in
 	// the trajectory.
@@ -289,6 +303,57 @@ func checkBenchDocument(data []byte) error {
 			}
 			if pt.MultiPct < 0 || pt.MultiPct > 100 || pt.Committed < 0 {
 				return fmt.Errorf("record %d log-device point %s/%s has invalid counters", i, pt.Layout, pt.Level)
+			}
+		}
+		coalescedRatioOK := len(r.GroupCommit) == 0
+		for _, pt := range r.GroupCommit {
+			if pt.Profile == "" || pt.Layout == "" || pt.Level == "" {
+				return fmt.Errorf("record %d has a group-commit point without profile, layout or level", i)
+			}
+			if pt.Devices < 1 || pt.Committed < 0 || pt.Coalesce < 0 {
+				return fmt.Errorf("record %d group-commit point %s/%s has invalid counters", i, pt.Layout, pt.Level)
+			}
+			if pt.LogicalRecords < 0 || pt.PhysicalRecords < 0 || pt.PhysicalFlushes < 0 {
+				return fmt.Errorf("record %d group-commit point %s/%s has negative log counters", i, pt.Layout, pt.Level)
+			}
+			if pt.RecordRatio < 0 || pt.RecordRatio > 1 {
+				return fmt.Errorf("record %d group-commit point %s/%s has record ratio %f outside [0,1]", i, pt.Layout, pt.Level, pt.RecordRatio)
+			}
+			if pt.Coalesce == 0 && (pt.CoalescedRecords != 0 || (pt.LogicalRecords > 0 && pt.RecordRatio != 1)) {
+				return fmt.Errorf("record %d group-commit point %s/%s claims coalescing with the accumulator off", i, pt.Layout, pt.Level)
+			}
+			if pt.Coalesce > 0 && pt.LogicalRecords > 0 {
+				// The headline invariant of the sweep: write-combining keeps
+				// physical flushes at or under half the logical record count
+				// on the zipf-hotkey write shape.
+				if 2*pt.PhysicalFlushes > pt.LogicalRecords {
+					return fmt.Errorf("record %d group-commit point %s/%s: %d physical flushes exceed half of %d logical records",
+						i, pt.Layout, pt.Level, pt.PhysicalFlushes, pt.LogicalRecords)
+				}
+				if pt.RecordRatio <= 0.5 {
+					coalescedRatioOK = true
+				}
+			}
+		}
+		if !coalescedRatioOK {
+			return fmt.Errorf("record %d has no coalesced group-commit point with record ratio <= 0.5", i)
+		}
+		// The coalescing win on the serialized device: on single-sata every
+		// island level must be at least as fast with write-combining as
+		// without it — the throughput side of the sweep's headline claim.
+		sataOff := make(map[string]float64)
+		for _, pt := range r.GroupCommit {
+			if pt.Layout == "single-sata" && pt.Coalesce == 0 {
+				sataOff[pt.Level] = pt.TPS
+			}
+		}
+		for _, pt := range r.GroupCommit {
+			if pt.Layout != "single-sata" || pt.Coalesce == 0 {
+				continue
+			}
+			if off, ok := sataOff[pt.Level]; ok && pt.TPS < off {
+				return fmt.Errorf("record %d group-commit point single-sata/%s: coalescing lost throughput (%.0f < %.0f)",
+					i, pt.Level, pt.TPS, off)
 			}
 		}
 		if f := r.Faults; f != nil {

@@ -50,6 +50,12 @@ func TestCheckBenchDocument(t *testing.T) {
 		"faults bad phase":  `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"healthy","from_s":10,"to_s":1,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
 		"faults unlabeled":  `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
 		"faults negative":   `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":-1,"phases":[{"label":"healthy","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`,
+		"bare groupcommit":  `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"chiplet-2s4d"}]}]`,
+		"groupcommit ratio": `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":160,"coalesced_records":0,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":1.6}]}]`,
+		"groupcommit flush": `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":50,"physical_flushes":80,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":0.5}]}]`,
+		"groupcommit off":   `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":0,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":100,"coalesced_records":7,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":1}]}]`,
+		"groupcommit never": `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":90,"coalesced_records":10,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":0.9}]}]`,
+		"groupcommit loss":  `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":0,"virtual_tps":500,"committed":1,"logical_records":100,"physical_records":120,"coalesced_records":0,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":1},{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":400,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":50,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":0.5}]}]`,
 	}
 	for name, doc := range cases {
 		if err := checkBenchDocument([]byte(doc)); err == nil {
@@ -59,6 +65,12 @@ func TestCheckBenchDocument(t *testing.T) {
 	withFaults := `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"healthy","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`
 	if err := checkBenchDocument([]byte(withFaults)); err != nil {
 		t.Errorf("valid faults record rejected: %v", err)
+	}
+	withGroupCommit := `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[` +
+		`{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":0,"virtual_tps":400,"committed":1,"logical_records":100,"physical_records":120,"coalesced_records":0,"physical_flushes":12,"ride_along_flushes":8,"physical_bytes":9600,"record_ratio":1},` +
+		`{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":900,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":70,"physical_flushes":2,"ride_along_flushes":18,"physical_bytes":4800,"record_ratio":0.3}]}]`
+	if err := checkBenchDocument([]byte(withGroupCommit)); err != nil {
+		t.Errorf("valid group-commit record rejected: %v", err)
 	}
 }
 

@@ -68,6 +68,13 @@ type Stats struct {
 	MultisiteTxns int64
 	Actions       int64
 	Writes        int64
+	// Overwrites counts writes that hit a row their own transaction had
+	// already written (self-canceling or overwriting pairs).
+	Overwrites int64
+	// WriteHot is the hottest write-key histogram slot's count
+	// (Monitor.RecordWriteKey); divided by Writes it approximates hot-key
+	// concentration. Both feed the coalescing term of the granularity scorer.
+	WriteHot int64
 	// SyncBytes is the total synchronization-point payload of the interval's
 	// multisite transactions.
 	SyncBytes int64
@@ -96,6 +103,29 @@ func (s *Stats) WritesPerTxn() float64 {
 		return 0
 	}
 	return float64(s.Writes) / float64(s.Txns)
+}
+
+// OverwriteShare returns the fraction of the interval's writes that re-wrote
+// a row their own transaction had already written, in [0,1].
+func (s *Stats) OverwriteShare() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.Overwrites) / float64(s.Writes)
+}
+
+// HotWriteShare returns the hottest write-key histogram slot's share of all
+// recorded writes, in [0,1] — an upper-bound estimate of how concentrated the
+// write keys are.
+func (s *Stats) HotWriteShare() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	h := float64(s.WriteHot) / float64(s.Writes)
+	if h > 1 {
+		h = 1
+	}
+	return h
 }
 
 // SyncBytesPerMultisiteTxn returns the average synchronization payload of one

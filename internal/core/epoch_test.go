@@ -80,6 +80,33 @@ func TestMonitorSealWhileRecording(t *testing.T) {
 	}
 }
 
+// TestMonitorSealSteadyStateAllocs pins Seal's steady-state allocation
+// behavior: once the reusable aggregate is warmed up (both epochs sealed
+// once), a record-and-seal cycle must not allocate. Runs with many planner
+// intervals — single slow device, high virtual time per txn — seal often
+// enough that a per-seal allocation shows up in the fuzzer's whole-run
+// allocs-per-txn budget.
+func TestMonitorSealSteadyStateAllocs(t *testing.T) {
+	m := NewMonitor(4)
+	m.Register("a", btree.UniformBounds(1000, 8), schema.KeyFromInt(1000))
+	refs := []PartitionRef{{Table: "a", Partition: 0}, {Table: "a", Partition: 5}}
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			m.RecordAction("a", schema.KeyFromInt(int64(i*31%1000)), 10)
+		}
+		m.RecordSync(refs, 64)
+		m.RecordTxn(4, 2, 1, true, 64)
+		m.RecordWriteKey(uint64(12345))
+		m.AdvanceWindow(vclock.Nanos(1000))
+		m.Seal()
+	}
+	cycle()
+	cycle() // warm both epochs' scratch paths
+	if avg := testing.AllocsPerRun(50, cycle); avg > 0 {
+		t.Errorf("steady-state record+seal cycle allocates %.1f objects", avg)
+	}
+}
+
 // TestMonitorWindowLandsInSealedEpoch checks AdvanceWindow applies to the
 // epoch the next Seal returns, and that the flip resets it.
 func TestMonitorWindowLandsInSealedEpoch(t *testing.T) {

@@ -22,6 +22,14 @@ type WorkloadShape struct {
 	// SyncBytes is the average synchronization-point payload of one multisite
 	// transaction.
 	SyncBytes int
+	// HotWriteShare is the hottest write-key histogram slot's share of all
+	// writes (Stats.HotWriteShare) and OverwriteShare the fraction of writes
+	// that re-wrote a row their own transaction had already written
+	// (Stats.OverwriteShare). They estimate how much of the logical write
+	// volume the write-combining accumulator collapses before a physical
+	// flush; zero leaves the coalescing term conservative (no savings).
+	HotWriteShare  float64
+	OverwriteShare float64
 	// TotalKeys is the summed key span of the workload's tables; divided by
 	// the island count it bounds the key range one instance serves, which
 	// drives the lock-conflict term.
@@ -71,6 +79,46 @@ type GranularityModel struct {
 	// spreads flushes across them, which is what moves the fine-vs-coarse
 	// crossover with the storage profile. Nil skips the term.
 	Devices *device.Map
+	// CoalesceRecords mirrors the engine's write-combining accumulator knob
+	// (wal.Config.CoalesceRecords). When positive, the flush/device term is
+	// scaled by the expected fraction of logical writes that survive
+	// coalescing, estimated from the shape's hot-key concentration and
+	// overwrite share — fewer, fatter physical flushes shrink exactly the
+	// commit-latency term that decides fine vs coarse on scarce devices.
+	CoalesceRecords int
+}
+
+// coalesceSurvival estimates the fraction of logical write volume that
+// reaches a physical flush with the write-combining accumulator enabled:
+// overwrites within a transaction vanish outright, and the hot fraction h of
+// the remaining writes lands on keys shared by roughly h*R other buffered
+// writes per R-record flush epoch, collapsing to one net delta. Zero-valued
+// shape knobs yield 1 (no predicted savings) so an engine without monitored
+// write-shape data scores exactly as before.
+func (g GranularityModel) coalesceSurvival(shape WorkloadShape) float64 {
+	if g.CoalesceRecords <= 0 {
+		return 1
+	}
+	h := shape.HotWriteShare
+	o := shape.OverwriteShare
+	if h <= 0 && o <= 0 {
+		return 1
+	}
+	if h > 1 {
+		h = 1
+	}
+	if o > 1 {
+		o = 1
+	}
+	r := float64(g.CoalesceRecords)
+	d := (1 - o) * ((1 - h) + h/(1+h*r))
+	if d < 0.05 {
+		d = 0.05
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
 }
 
 // flushShare is the amortized (ride-along) group-commit cost per commit.
@@ -159,6 +207,12 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 	// home island's device and leaves the rest idle), so the surcharge is
 	// what moves the crossover with the storage profile.
 	if shape.WritesPerTxn > 0 && (g.LogFlush > 0 || g.Devices != nil) {
+		// With the write-combining accumulator enabled, only the surviving
+		// net-delta fraction of the write volume reaches the device; the
+		// whole flush bill scales down with it. Survival is 1 without
+		// coalescing (or without monitored write-shape data), leaving the
+		// scores untouched.
+		survive := g.coalesceSurvival(shape)
 		group := g.LogGroupSize
 		if group < 1 {
 			group = 1
@@ -172,7 +226,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			busiest = group
 		}
 		if g.Devices == nil {
-			score += float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare()
+			score += survive * (float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare())
 		} else {
 			var bill float64
 			for _, isl := range islands {
@@ -198,7 +252,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 				// expected queue waits, all per commit.
 				bill += svc / float64(group) * (float64(busiest) + concentration)
 			}
-			score += bill / float64(n)
+			score += survive * bill / float64(n)
 		}
 	}
 

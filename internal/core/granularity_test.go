@@ -164,7 +164,7 @@ func TestGranularitySurvivesFailure(t *testing.T) {
 func TestStatsTxnShape(t *testing.T) {
 	m := NewMonitor(0)
 	for i := 0; i < 8; i++ {
-		m.RecordTxn(10, 10, i%4 == 0, 88)
+		m.RecordTxn(10, 10, 2, i%4 == 0, 88)
 	}
 	stats := m.Seal()
 	if stats.Txns != 8 || stats.MultisiteTxns != 2 {

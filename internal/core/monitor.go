@@ -38,6 +38,12 @@ type Monitor struct {
 	subParts int
 	active   atomic.Int32
 	epochs   [2]*monitorEpoch
+	// scratch is the reusable Stats buffer Seal returns. Sealing is
+	// single-threaded (the planner goroutine, or a one-shot derivation), and
+	// the returned Stats is only valid until the next Seal — which lets the
+	// steady state reuse every map and slice instead of reallocating the
+	// whole aggregate once per monitoring interval.
+	scratch *Stats
 }
 
 // monitorEpoch is one buffer of the double-buffered monitoring arrays.
@@ -48,8 +54,13 @@ type monitorEpoch struct {
 	// recording a synchronization point in the transaction hot path performs
 	// no allocations (the previous string key allocated per record). The
 	// participants themselves are stored once, on first sight of a signature.
-	syncs  map[uint64]*syncAgg
-	window vclock.Nanos
+	syncs map[uint64]*syncAgg
+	// syncFree pools syncAgg objects between epochs: Seal drains the syncs
+	// map into the pool and RecordSync refills from it, so a steady workload
+	// allocates one agg per signature ever, not one per signature per
+	// interval.
+	syncFree []*syncAgg
+	window   vclock.Nanos
 
 	// Transaction-shape counters, recorded with plain atomics (no epoch
 	// mutex): the multisite share and action profile drive the
@@ -59,7 +70,15 @@ type monitorEpoch struct {
 	multisiteTxns atomic.Int64
 	actions       atomic.Int64
 	writes        atomic.Int64
+	overwrites    atomic.Int64
 	syncBytes     atomic.Int64
+	// writeKeySlots is a coarse 64-slot histogram of write-key hashes
+	// (RecordWriteKey). The hottest slot's share of all recorded writes
+	// approximates the workload's hot-key concentration, which prices the
+	// write-combining accumulator's expected coalescing ratio in the
+	// granularity scorer. Fixed-size and atomic: the hot path neither locks
+	// nor allocates to feed it.
+	writeKeySlots [64]atomic.Int64
 }
 
 type tableMonitor struct {
@@ -181,7 +200,13 @@ func (m *Monitor) RecordSync(participants []PartitionRef, bytes int) {
 	e.mu.Lock()
 	agg, ok := e.syncs[key]
 	if !ok {
-		agg = &syncAgg{participants: append([]PartitionRef(nil), participants...)}
+		if n := len(e.syncFree); n > 0 {
+			agg = e.syncFree[n-1]
+			e.syncFree = e.syncFree[:n-1]
+		} else {
+			agg = &syncAgg{}
+		}
+		agg.participants = append(agg.participants, participants...)
 		e.syncs[key] = agg
 	}
 	agg.count++
@@ -208,19 +233,32 @@ func syncHash(refs []PartitionRef) uint64 {
 }
 
 // RecordTxn records the shape of one executed transaction: how many actions
-// it ran, how many of them wrote, whether it crossed instance boundaries, and
-// how many synchronization-point bytes it exchanged. It is the entire
-// monitoring obligation of the shared-nothing hot path — five atomic adds on
-// the active epoch, no locks, no allocations.
-func (m *Monitor) RecordTxn(actions, writes int, multisite bool, syncBytes int) {
+// it ran, how many of them wrote, how many of those writes hit a row the same
+// transaction had already written (overwrites — the coalescing scorer's
+// self-canceling signal), whether it crossed instance boundaries, and how
+// many synchronization-point bytes it exchanged. It is the entire monitoring
+// obligation of the shared-nothing hot path — a handful of atomic adds on the
+// active epoch, no locks, no allocations.
+func (m *Monitor) RecordTxn(actions, writes, overwrites int, multisite bool, syncBytes int) {
 	e := m.activeEpoch()
 	e.txns.Add(1)
 	e.actions.Add(int64(actions))
 	e.writes.Add(int64(writes))
+	if overwrites > 0 {
+		e.overwrites.Add(int64(overwrites))
+	}
 	if multisite {
 		e.multisiteTxns.Add(1)
 		e.syncBytes.Add(int64(syncBytes))
 	}
+}
+
+// RecordWriteKey records one write's key hash into the coarse write-key
+// histogram; the sealed epoch's hottest-slot share approximates hot-key
+// concentration. One atomic add, no locks.
+func (m *Monitor) RecordWriteKey(hash uint64) {
+	e := m.activeEpoch()
+	e.writeKeySlots[(hash*0x9E3779B97F4A7C15)>>58].Add(1)
 }
 
 // AdvanceWindow extends the virtual-time span the active epoch's statistics
@@ -241,29 +279,69 @@ func (m *Monitor) AdvanceWindow(d vclock.Nanos) {
 // the sealed arrays are read and cleared without ever blocking recording.
 // Records from workers that raced the flip land in the sealed (now idle)
 // buffer and are picked up by the next Seal.
+//
+// The returned Stats is a buffer owned by the Monitor: it is valid until the
+// next Seal/Aggregate call, which reuses it. Every caller (the planner
+// goroutine, one-shot derivations, ablations) consumes the aggregate before
+// sealing again, and the reuse is what keeps steady-state sealing
+// allocation-free — monitoring overhead stays flat no matter how many
+// planner intervals a run packs in.
 func (m *Monitor) Seal() *Stats {
 	idx := m.active.Load() & 1
 	m.active.Store(1 - idx)
 	sealed := m.epochs[idx]
 	sealed.mu.Lock()
 	defer sealed.mu.Unlock()
-	stats := &Stats{
-		Sub:           make(map[string][][]SubLoad, len(sealed.tables)),
-		Bounds:        make(map[string][]schema.Key, len(sealed.tables)),
-		MaxKeys:       make(map[string]schema.Key, len(sealed.tables)),
-		Window:        sealed.window,
-		Txns:          sealed.txns.Swap(0),
-		MultisiteTxns: sealed.multisiteTxns.Swap(0),
-		Actions:       sealed.actions.Swap(0),
-		Writes:        sealed.writes.Swap(0),
-		SyncBytes:     sealed.syncBytes.Swap(0),
+	stats := m.scratch
+	if stats == nil {
+		stats = &Stats{
+			Sub:     make(map[string][][]SubLoad, len(sealed.tables)),
+			Bounds:  make(map[string][]schema.Key, len(sealed.tables)),
+			MaxKeys: make(map[string]schema.Key, len(sealed.tables)),
+		}
+		m.scratch = stats
+	}
+	stats.Window = sealed.window
+	stats.Txns = sealed.txns.Swap(0)
+	stats.MultisiteTxns = sealed.multisiteTxns.Swap(0)
+	stats.Actions = sealed.actions.Swap(0)
+	stats.Writes = sealed.writes.Swap(0)
+	stats.Overwrites = sealed.overwrites.Swap(0)
+	stats.SyncBytes = sealed.syncBytes.Swap(0)
+	stats.WriteHot = 0
+	for i := range sealed.writeKeySlots {
+		if n := sealed.writeKeySlots[i].Swap(0); n > stats.WriteHot {
+			stats.WriteHot = n
+		}
+	}
+	// A table no longer registered must not linger in the reused maps, or
+	// its last interval's loads would leak into every later aggregate.
+	for name := range stats.Sub {
+		if _, ok := sealed.tables[name]; !ok {
+			delete(stats.Sub, name)
+			delete(stats.Bounds, name)
+			delete(stats.MaxKeys, name)
+		}
 	}
 	for name, tm := range sealed.tables {
-		stats.Bounds[name] = append([]schema.Key(nil), tm.bounds...)
+		stats.Bounds[name] = append(stats.Bounds[name][:0], tm.bounds...)
 		stats.MaxKeys[name] = tm.maxKey
-		parts := make([][]SubLoad, len(tm.costs))
+		parts := stats.Sub[name]
+		if n := len(tm.costs); cap(parts) < n {
+			grown := make([][]SubLoad, n)
+			copy(grown, parts[:cap(parts)])
+			parts = grown
+		} else {
+			// Reslicing through cap recovers sub-slices a shrink hid, so a
+			// later re-grow reuses their backing arrays too.
+			parts = parts[:n]
+		}
 		for p := range tm.costs {
-			subs := make([]SubLoad, m.subParts)
+			subs := parts[p]
+			if cap(subs) < m.subParts {
+				subs = make([]SubLoad, m.subParts)
+			}
+			subs = subs[:m.subParts]
 			for sp := 0; sp < m.subParts; sp++ {
 				subs[sp] = SubLoad{Cost: tm.costs[p][sp], Actions: tm.counts[p][sp]}
 				tm.costs[p][sp] = 0
@@ -273,28 +351,43 @@ func (m *Monitor) Seal() *Stats {
 		}
 		stats.Sub[name] = parts
 	}
-	for _, agg := range sealed.syncs {
+	syncs := stats.Syncs[:0]
+	for key, agg := range sealed.syncs {
 		avgBytes := int64(0)
 		if agg.count > 0 {
 			avgBytes = agg.bytes / agg.count
 		}
-		stats.Syncs = append(stats.Syncs, SyncStat{
-			Participants: agg.participants,
+		// Participants are deep-copied into the buffer a previous seal left
+		// at this index (aggs recycle into the pool below, so handing their
+		// slices out directly would let the next interval clobber them).
+		var buf []PartitionRef
+		if n := len(syncs); n < cap(syncs) {
+			buf = syncs[:n+1][n].Participants[:0]
+		}
+		syncs = append(syncs, SyncStat{
+			Participants: append(buf, agg.participants...),
 			Count:        agg.count,
 			Bytes:        avgBytes,
 		})
+		agg.participants = agg.participants[:0]
+		agg.count, agg.bytes = 0, 0
+		sealed.syncFree = append(sealed.syncFree, agg)
+		delete(sealed.syncs, key)
 	}
-	sort.Slice(stats.Syncs, func(i, j int) bool {
-		return syncKey(stats.Syncs[i].Participants) < syncKey(stats.Syncs[j].Participants)
-	})
-	sealed.syncs = make(map[uint64]*syncAgg)
+	if len(syncs) > 1 {
+		sort.Slice(syncs, func(i, j int) bool {
+			return syncKey(syncs[i].Participants) < syncKey(syncs[j].Participants)
+		})
+	}
+	stats.Syncs = syncs
 	sealed.window = 0
 	return stats
 }
 
 // Aggregate returns the statistics collected since the last Aggregate (or
 // since creation) and clears the arrays. It is Seal under the name the
-// single-threaded callers (static placement derivation, ablations) use.
+// single-threaded callers (static placement derivation, ablations) use, and
+// shares its contract: the returned Stats is valid until the next call.
 func (m *Monitor) Aggregate() *Stats { return m.Seal() }
 
 func syncKey(refs []PartitionRef) string {

@@ -182,10 +182,11 @@ func newAdaptiveState(e *Engine, p *partition.Placement) *adaptiveState {
 	if e.cfg.Design == SharedNothing {
 		a.granularity = true
 		a.granModel = core.GranularityModel{
-			Domain:       e.domain,
-			LogFlush:     e.cfg.LogConfig.FlushCost,
-			LogGroupSize: e.cfg.LogConfig.GroupSize,
-			Devices:      e.devices,
+			Domain:          e.domain,
+			LogFlush:        e.cfg.LogConfig.FlushCost,
+			LogGroupSize:    e.cfg.LogConfig.GroupSize,
+			Devices:         e.devices,
+			CoalesceRecords: e.cfg.LogConfig.CoalesceRecords,
 		}
 		for _, spec := range e.wl.TableSpecs() {
 			a.totalKeys += spec.MaxKey
@@ -304,17 +305,32 @@ func (a *adaptiveState) recordTxn(coord topology.CoreID, t *workload.Transaction
 	if !a.granularity || !a.e.cfg.Monitoring {
 		return
 	}
-	writes := 0
+	writes, overwrites := 0, 0
 	for i := range t.Actions {
-		if t.Actions[i].Op.IsWrite() {
-			writes++
+		if !t.Actions[i].Op.IsWrite() {
+			continue
+		}
+		writes++
+		// Feed the write-key histogram (hot-key concentration) and count
+		// overwrites: a write whose (table, key) an earlier action of the
+		// same transaction already wrote. Transactions are a handful of
+		// actions, so the quadratic scan stays cheaper than any map — and
+		// allocation-free, which the hot path requires.
+		a.monitor.RecordWriteKey(uint64(t.Actions[i].Key))
+		for j := 0; j < i; j++ {
+			if t.Actions[j].Op.IsWrite() &&
+				t.Actions[j].Key == t.Actions[i].Key &&
+				t.Actions[j].Table == t.Actions[i].Table {
+				overwrites++
+				break
+			}
 		}
 	}
 	bytes := 0
 	for i := range t.SyncPoints {
 		bytes += t.SyncPoints[i].Bytes
 	}
-	a.monitor.RecordTxn(len(t.Actions), writes, t.MultiSite, bytes)
+	a.monitor.RecordTxn(len(t.Actions), writes, overwrites, t.MultiSite, bytes)
 	a.e.charge(coord, vclock.Management, a.e.cfg.MonitoringCostPerAction)
 }
 
@@ -491,6 +507,8 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 		ActionsPerTxn:  stats.ActionsPerTxn(),
 		WritesPerTxn:   stats.WritesPerTxn(),
 		SyncBytes:      stats.SyncBytesPerMultisiteTxn(),
+		HotWriteShare:  stats.HotWriteShare(),
+		OverwriteShare: stats.OverwriteShare(),
 		TotalKeys:      a.totalKeys,
 		Concurrency:    a.workers,
 	}
@@ -564,6 +582,14 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 	// diffing bug degrades to a skipped re-wiring, never a torn snapshot.
 	if err := rt.Validate(desired); err != nil {
 		return
+	}
+	// Drain the write-combining accumulators before deriving the new log set:
+	// reused island logs carry their rings (and possibly a new device binding)
+	// across the move, and a buffered net delta must not straddle the
+	// re-wiring — the old wiring's commits become durable on the old wiring's
+	// devices before any log changes hands.
+	if cur.logs != nil {
+		cur.logs.Drain(now)
 	}
 	wiring := e.buildWiring(to, cur.epoch+1, cur)
 	if len(wiring.sites) == 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"atrapos/internal/topology"
+	"atrapos/internal/wal"
 	"atrapos/internal/workload"
 )
 
@@ -130,5 +131,23 @@ func BenchmarkExecute(b *testing.B) {
 		// shared-nothing path are the transaction-shape counters (five atomic
 		// adds) and the boundary check — still allocation free.
 		benchSteadyState(b, benchEngine(b, Config{Design: SharedNothing, Adaptive: true}), true)
+	})
+	b.Run("shared-nothing-coalescing", func(b *testing.B) {
+		// Write-combining group commit: staging, folding and physical flushes
+		// on every commit path, on the zipf-hotkey write shape that exercises
+		// the accumulator hardest. Must stay allocation free once the staging
+		// slice pool and net-delta buffers have warmed up.
+		lc := wal.DefaultConfig()
+		lc.CoalesceRecords = 8
+		cfg := Config{Design: SharedNothing, IslandLevel: topology.LevelDie, LogConfig: &lc}
+		cfg.Workload = workload.ZipfHotkey(4000, 10, 30)
+		cfg.Topology = topology.MustNew(topology.Config{
+			Sockets: 2, CoresPerSocket: 8, DiesPerSocket: 2,
+		})
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSteadyState(b, e, false)
 	})
 }

@@ -166,6 +166,11 @@ type Config struct {
 	// SkipLoad leaves the tables empty; tests that only exercise construction
 	// use it to stay fast.
 	SkipLoad bool
+
+	// autoIslandLevel notes that IslandLevel was defaulted rather than chosen
+	// by the caller; the device-aware adaptive start level (New) only
+	// overrides a defaulted level, never an explicit choice.
+	autoIslandLevel bool
 }
 
 func (c *Config) withDefaults() (*Config, error) {
@@ -203,6 +208,7 @@ func (c *Config) withDefaults() (*Config, error) {
 	case SharedNothing:
 		if out.IslandLevel == 0 {
 			out.IslandLevel = topology.LevelSocket
+			out.autoIslandLevel = true
 		}
 		if !out.IslandLevel.Valid() {
 			return nil, fmt.Errorf("engine: invalid island level %v", out.IslandLevel)
@@ -290,6 +296,28 @@ func New(cfg Config) (*Engine, error) {
 		e.devices, err = device.BuildLayout(c.DeviceLayout, c.Topology)
 		if err != nil {
 			return nil, err
+		}
+	}
+	// Device-aware adaptive start level: when the caller left the island
+	// granularity unset and the planner is going to adapt it anyway, seed the
+	// initial level from the granularity scorer's device-aware prediction
+	// instead of the blind socket default — on a scarce layout (single SATA)
+	// the planner would converge there after a few intervals; starting there
+	// skips the detour. A synthetic single-site shape keeps the choice purely
+	// hardware-driven (no workload has been observed yet), and an explicit
+	// IslandLevel is never overridden. This must happen before the initial
+	// placement is derived, which depends on the level.
+	if c.autoIslandLevel && c.Design == SharedNothing && c.Adaptive && e.devices != nil {
+		g := core.GranularityModel{
+			Domain:          domain,
+			LogFlush:        c.LogConfig.FlushCost,
+			LogGroupSize:    c.LogConfig.GroupSize,
+			Devices:         e.devices,
+			CoalesceRecords: c.LogConfig.CoalesceRecords,
+		}
+		shape := core.WorkloadShape{ActionsPerTxn: 10, WritesPerTxn: 1, Concurrency: 1}
+		if best, _ := g.Best(shape, granTieMargin); best.Valid() {
+			c.IslandLevel = best
 		}
 	}
 

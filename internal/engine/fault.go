@@ -7,6 +7,7 @@ import (
 	"atrapos/internal/fault"
 	"atrapos/internal/schema"
 	"atrapos/internal/storage"
+	"atrapos/internal/vclock"
 	"atrapos/internal/wal"
 )
 
@@ -83,6 +84,26 @@ func (e *Engine) crashLogs() []*wal.CentralLog {
 	return nil
 }
 
+// logStats sums the activity counters of every log the engine currently owns.
+func (e *Engine) logStats() wal.Stats {
+	var s wal.Stats
+	for _, l := range e.crashLogs() {
+		s = s.Add(l.Stats())
+	}
+	return s
+}
+
+// drainLogs forces every owned log's write-combining accumulator out (see
+// wal.CentralLog.Drain): buffered net deltas and staged records hit the
+// retained rings and everything appended so far becomes durable. Run end and
+// the crash drill call it so the final-flush guarantee holds; without
+// coalescing it is a no-op.
+func (e *Engine) drainLogs(now vclock.Nanos) {
+	for _, l := range e.crashLogs() {
+		l.Drain(now)
+	}
+}
+
 // tableStore adapts a storage table to the wal.RowStore recovery interface:
 // redo applies row images without cost accounting (recovery replays history,
 // it does not re-execute it).
@@ -116,6 +137,14 @@ func (e *Engine) CrashAndRecover() (wal.RecoveryStats, error) {
 	logs := e.crashLogs()
 	if len(logs) == 0 {
 		return wal.RecoveryStats{}, fmt.Errorf("engine: no write-ahead logs to recover from")
+	}
+	// The crash happens at the drill's point of virtual time; the modeled
+	// instance flushes its write-combining accumulators on the way down (the
+	// final-flush guarantee), so the rings recovery reads hold every committed
+	// transaction's net deltas and the staged records of in-flight losers.
+	now := e.virtualNowExact()
+	for _, l := range logs {
+		l.Drain(now)
 	}
 	var records []wal.Record
 	var durable wal.LSN

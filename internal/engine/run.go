@@ -11,6 +11,7 @@ import (
 	"atrapos/internal/fault"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
 	"atrapos/internal/workload"
 )
 
@@ -131,6 +132,10 @@ type Result struct {
 	Interconnect topology.TrafficStats
 	// QPIToIMCRatio is the interconnect-to-memory-controller traffic ratio.
 	QPIToIMCRatio float64
+	// Log is the write-ahead-log activity of this run (a delta against the
+	// engine's counters at run start): the logical-records vs physical-flushes
+	// split is how the group-commit experiments report what coalescing saved.
+	Log wal.Stats
 }
 
 // TimePerTransaction returns the average virtual time one transaction spent
@@ -165,6 +170,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		e.devices.Reset()
 	}
 	series := vclock.NewSeries(opts.SampleWindow)
+	logStart := e.logStats()
 
 	aliveAtStart := e.cfg.Topology.AliveCores()
 	if len(aliveAtStart) == 0 {
@@ -288,6 +294,12 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	if e.adaptive != nil {
 		e.adaptive.stopPlanner()
 	}
+	// Final-flush guarantee: the run does not end with committed work parked
+	// in a write-combining accumulator. The drain happens before the log
+	// counters are read so the closing physical flush is part of this run's
+	// logical-vs-physical split. It is uncharged — the run is over, there is
+	// no worker core to bill.
+	e.drainLogs(e.virtualNowExact())
 
 	res := &Result{
 		Design:    e.cfg.Design,
@@ -325,6 +337,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	}
 	res.Interconnect = e.cfg.Topology.Traffic()
 	res.QPIToIMCRatio = e.cfg.Topology.QPIToIMCRatio()
+	res.Log = e.logStats().Sub(logStart)
 	return res, nil
 }
 

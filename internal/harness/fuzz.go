@@ -59,11 +59,14 @@ type fuzzScenario struct {
 	level       topology.Level
 	crashDesign engine.Design
 	sched       *fault.Schedule
+	// coalesce is the write-combining accumulator's record threshold for both
+	// the adaptive run and the crash-drill pair; zero runs the plain log.
+	coalesce int
 }
 
 func (sc fuzzScenario) String() string {
-	return fmt.Sprintf("profile=%s layout=%q workload=%s level=%s crash=%s faults=%s",
-		sc.profile.Name, sc.layout, sc.wlName, sc.level, sc.crashDesign, sc.sched)
+	return fmt.Sprintf("profile=%s layout=%q workload=%s level=%s crash=%s coalesce=%d faults=%s",
+		sc.profile.Name, sc.layout, sc.wlName, sc.level, sc.crashDesign, sc.coalesce, sc.sched)
 }
 
 // fuzzProfiles are the machine shapes the fuzzer composes over: a flat
@@ -88,15 +91,24 @@ func buildScenario(s Scale, seed int64) (fuzzScenario, error) {
 	}
 	sc.profile = prof
 	sc.layout = fuzzLayouts[rng.Intn(len(fuzzLayouts))]
-	switch pick := rng.Intn(5); pick {
+	switch pick := rng.Intn(6); pick {
 	case 4:
 		sc.wl = workload.MustTATP(workload.TATPOptions{Subscribers: s.Subscribers})
 		sc.wlName = "TATP"
+	case 5:
+		sc.wl = workload.ZipfHotkey(s.MicroRows, 10, 30)
+		sc.wlName = "ZipfHotkey(10%,30%)"
 	default:
 		pct := []int{0, 10, 50, 100}[pick]
 		sc.wl = workload.MultisiteUpdate(s.MicroRows, pct)
 		sc.wlName = fmt.Sprintf("MultisiteUpdate(%d%%)", pct)
 	}
+	// Half the scenarios coalesce; the other half keep the plain log so the
+	// bit-identical-off path stays fuzzed too. Thresholds sit above the
+	// per-transaction distinct-key count: a threshold below it degrades to one
+	// physical flush per commit, which is the (modeled) mistuned regime the
+	// fig-group-commit sweep covers deliberately, not a fuzz invariant.
+	sc.coalesce = []int{0, 0, 64, 128, 256}[rng.Intn(5)]
 	top := prof.Build()
 	levels := top.DistinctLevels()
 	sc.level = levels[rng.Intn(len(levels))]
@@ -200,7 +212,7 @@ func runScenario(s Scale, sc fuzzScenario, seed int64) error {
 	// committing, and once the timeline settles the wiring must have converged
 	// onto the surviving hardware with no site on dead sockets and no island
 	// log on failed devices.
-	e, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Design:           engine.SharedNothing,
 		IslandLevel:      sc.level,
 		Workload:         sc.wl,
@@ -209,7 +221,14 @@ func runScenario(s Scale, sc fuzzScenario, seed int64) error {
 		Adaptive:         true,
 		AdaptiveInterval: adaptiveInterval(),
 		TimeCompression:  timeCompression,
-	})
+	}
+	if sc.coalesce > 0 {
+		lc := wal.DefaultConfig()
+		lc.CoalesceRecords = sc.coalesce
+		lc.CoalesceMaxAge = paperSecond(2)
+		cfg.LogConfig = &lc
+	}
+	e, err := engine.New(cfg)
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
@@ -264,13 +283,18 @@ func runScenario(s Scale, sc fuzzScenario, seed int64) error {
 	if _, err := e.Run(engine.RunOptions{Transactions: 2000, Seed: seed + 1, Workers: 1}); err != nil {
 		return fmt.Errorf("alloc-check settling run: %w", err)
 	}
-	// Two measured runs, best taken: a residual one-off planner re-wiring can
-	// land inside one measured window, but a genuine per-transaction leak
-	// shows up in both.
+	// Three measured runs, best taken: a residual one-off planner re-wiring
+	// can land inside a measured window, and Mallocs is process-global — GC
+	// bookkeeping left over from earlier scenarios in a batch adds noise a
+	// single window can absorb — but a genuine per-transaction leak shows up
+	// in every rep.
 	const allocTxns = 8000
 	best := -1.0
-	for rep := 0; rep < 2; rep++ {
+	for rep := 0; rep < 3; rep++ {
 		var before, after runtime.MemStats
+		// Two collections: the second waits out sweep work the first queued,
+		// so finalizer and sweep allocations land before the window opens.
+		runtime.GC()
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		allocRes, err := e.Run(engine.RunOptions{Transactions: allocTxns, Seed: seed + 2 + int64(rep), Workers: 1})
@@ -299,6 +323,9 @@ func runScenario(s Scale, sc fuzzScenario, seed int64) error {
 func runCrashPair(sc fuzzScenario, seed int64) error {
 	lc := wal.DefaultConfig()
 	lc.Keep = 0 // the drill replays the full history
+	// Both twins coalesce identically, so the drill checks that recovery from
+	// net-delta flushes reproduces exactly the fault-free committed state.
+	lc.CoalesceRecords = sc.coalesce
 	build := func() (*engine.Engine, error) {
 		cfg := engine.Config{
 			Design:    sc.crashDesign,

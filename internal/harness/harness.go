@@ -218,6 +218,7 @@ func Registry() []Experiment {
 		{"fig-oscillate", "Adapting to an oscillating access skew (new scenario)", FigOscillate},
 		{"fig-islands", "Island-size sweep: shared-nothing granularity per machine profile and multisite probability", FigIslands},
 		{"fig-log-devices", "Log-device sweep: island granularity under progressively scarcer log devices", FigLogDevices},
+		{"fig-group-commit", "Coalescing group commit: write-combining WAL accumulator on/off across device layouts", FigGroupCommit},
 		{"fig-adaptive-granularity", "Adaptive island granularity: the planner re-wires the machine as the multisite share drifts", FigAdaptiveGranularity},
 		{"ablation-txnlist", "Ablation: centralized vs per-socket transaction list", AblationTxnList},
 		{"ablation-statelock", "Ablation: centralized vs per-socket state locks", AblationStateLock},

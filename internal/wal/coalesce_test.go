@@ -1,0 +1,344 @@
+package wal
+
+import (
+	"testing"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// coalCfg is a coalescing config with an unbounded ring so recovery tests see
+// the complete log.
+func coalCfg(records int) Config {
+	cfg := DefaultConfig()
+	cfg.Keep = 0
+	cfg.CoalesceRecords = records
+	return cfg
+}
+
+// appendTxn appends a transaction's write records followed by its commit and
+// flushes the commit, mirroring the engine's commit path. It returns the
+// commit flush cost.
+func appendTxn(l *CentralLog, txn uint64, now vclock.Nanos, writes ...Record) numa.Cost {
+	for _, w := range writes {
+		w.Txn = txn
+		l.Append(0, w)
+	}
+	lsn, _ := l.Append(0, Record{Txn: txn, Type: Commit, Size: 48})
+	return l.Flush(0, lsn, now)
+}
+
+func TestCoalesceOverwritesCollapse(t *testing.T) {
+	d := newDomain(1)
+	l := NewCentralLog(d, 0, coalCfg(4))
+	// Four transactions all updating the same row: four logical writes must
+	// collapse into one net-delta entry.
+	for i := 0; i < 4; i++ {
+		appendTxn(l, uint64(i+1), 0, Record{Type: Update, Table: "t", Key: 7, Size: 96})
+	}
+	st := l.Stats()
+	if st.LogicalRecords != 4 {
+		t.Fatalf("LogicalRecords = %d, want 4", st.LogicalRecords)
+	}
+	if st.CoalescedRecords != 3 {
+		t.Fatalf("CoalescedRecords = %d, want 3", st.CoalescedRecords)
+	}
+	// Nothing has physically flushed yet (1 entry < threshold 4), so no
+	// commit is durable.
+	if st.PhysicalFlushes != 0 {
+		t.Fatalf("PhysicalFlushes = %d, want 0 before the threshold fires", st.PhysicalFlushes)
+	}
+	if l.Durable() != 0 {
+		t.Fatalf("Durable = %d, want 0 while the flush epoch is open", l.Durable())
+	}
+	cost := l.Drain(0)
+	if cost <= 0 {
+		t.Fatal("drain with buffered work should pay a physical flush")
+	}
+	if l.Durable() != l.Tail() {
+		t.Fatalf("after drain Durable = %d, want Tail %d", l.Durable(), l.Tail())
+	}
+	st = l.Stats()
+	if st.PhysicalFlushes != 1 {
+		t.Fatalf("PhysicalFlushes = %d, want 1 after drain", st.PhysicalFlushes)
+	}
+	// Ring holds 4 commits + 1 net-delta entry.
+	if st.PhysicalRecords != 5 {
+		t.Fatalf("PhysicalRecords = %d, want 5", st.PhysicalRecords)
+	}
+	if st.PhysicalFlushes > st.LogicalRecords/2 {
+		t.Fatalf("physical flushes %d should be <= half the logical records %d", st.PhysicalFlushes, st.LogicalRecords)
+	}
+}
+
+func TestCoalesceSelfCancelingPairNetsToTombstone(t *testing.T) {
+	d := newDomain(1)
+	l := NewCentralLog(d, 0, coalCfg(64))
+	appendTxn(l, 1, 0,
+		Record{Type: Insert, Table: "t", Key: 9, Size: 96},
+		Record{Type: Delete, Table: "t", Key: 9, Size: 96})
+	l.Drain(0)
+	var entry *Record
+	for _, r := range l.Records() {
+		if r.Table == "t" && r.Key == 9 {
+			r := r
+			entry = &r
+		}
+	}
+	if entry == nil {
+		t.Fatal("net-delta entry for key 9 missing from the ring")
+	}
+	if entry.Type != Delete {
+		t.Fatalf("insert+delete pair netted to %v, want the delete tombstone", entry.Type)
+	}
+	// Recovery of the drained log must leave the key absent.
+	store := newMapStore()
+	if _, err := Recover(l.Records(), l.Durable(), false, map[string]RowStore{"t": store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.rows[schema.Key(9)]; ok {
+		t.Fatal("self-canceling pair re-established the row after recovery")
+	}
+}
+
+func TestCoalesceRecordThresholdFires(t *testing.T) {
+	d := newDomain(1)
+	l := NewCentralLog(d, 0, coalCfg(3))
+	// Distinct keys so every write is a fresh entry; the third commit's flush
+	// must go physical and make everything durable.
+	for i := 0; i < 3; i++ {
+		appendTxn(l, uint64(i+1), 0, Record{Type: Update, Table: "t", Key: schema.Key(i), Size: 96})
+	}
+	st := l.Stats()
+	if st.PhysicalFlushes != 1 {
+		t.Fatalf("PhysicalFlushes = %d, want 1 at the record threshold", st.PhysicalFlushes)
+	}
+	if st.RideAlongFlushes != 2 {
+		t.Fatalf("RideAlongFlushes = %d, want 2", st.RideAlongFlushes)
+	}
+	if l.Durable() != l.Tail() {
+		t.Fatalf("Durable = %d, want Tail %d after the physical flush", l.Durable(), l.Tail())
+	}
+	// The drain is then a no-op.
+	if cost := l.Drain(0); cost != 0 {
+		t.Fatalf("drain after a clean physical flush cost %d, want 0", cost)
+	}
+}
+
+func TestCoalesceByteThresholdFires(t *testing.T) {
+	d := newDomain(1)
+	cfg := coalCfg(1 << 20)
+	cfg.CoalesceBytes = 200
+	l := NewCentralLog(d, 0, cfg)
+	appendTxn(l, 1, 0, Record{Type: Update, Table: "t", Key: 1, Size: 96})
+	if got := l.Stats().PhysicalFlushes; got != 0 {
+		t.Fatalf("PhysicalFlushes = %d, want 0 under the byte threshold", got)
+	}
+	appendTxn(l, 2, 0, Record{Type: Update, Table: "t", Key: 2, Size: 96})
+	if got := l.Stats().PhysicalFlushes; got != 1 {
+		t.Fatalf("PhysicalFlushes = %d, want 1 once buffered bytes cross the threshold", got)
+	}
+}
+
+func TestCoalesceMaxAgeFires(t *testing.T) {
+	d := newDomain(1)
+	cfg := coalCfg(1 << 20)
+	cfg.CoalesceMaxAge = 1000
+	l := NewCentralLog(d, 0, cfg)
+	appendTxn(l, 1, 100, Record{Type: Update, Table: "t", Key: 1, Size: 96})
+	if got := l.Stats().PhysicalFlushes; got != 0 {
+		t.Fatalf("PhysicalFlushes = %d, want 0 inside the age window", got)
+	}
+	// A commit landing after the deadline forces the epoch out.
+	appendTxn(l, 2, 2000, Record{Type: Update, Table: "t", Key: 2, Size: 96})
+	if got := l.Stats().PhysicalFlushes; got != 1 {
+		t.Fatalf("PhysicalFlushes = %d, want 1 past the age deadline", got)
+	}
+	if l.Durable() != l.Tail() {
+		t.Fatal("age-forced flush should make everything durable")
+	}
+}
+
+// TestCoalesceLeftoversEmittedVerbatim drills the drain path: a transaction
+// with staged writes but no outcome record must reach the ring unmerged, and
+// recovery must classify it as a loser exactly as on the uncoalesced log.
+func TestCoalesceLeftoversEmittedVerbatim(t *testing.T) {
+	d := newDomain(1)
+	l := NewCentralLog(d, 0, coalCfg(64))
+	appendTxn(l, 1, 0, Record{Type: Insert, Table: "t", Key: 1, Size: 96})
+	// Transaction 2 stages writes and never commits.
+	l.Append(0, Record{Txn: 2, Type: Insert, Table: "t", Key: 2, Size: 96})
+	l.Append(0, Record{Txn: 2, Type: Insert, Table: "t", Key: 3, Size: 96})
+	l.Drain(0)
+	recs := l.Records()
+	var sawK2, sawK3 bool
+	for _, r := range recs {
+		if r.Txn == 2 && r.Key == 2 {
+			sawK2 = true
+		}
+		if r.Txn == 2 && r.Key == 3 {
+			sawK3 = true
+		}
+	}
+	if !sawK2 || !sawK3 {
+		t.Fatalf("in-flight transaction's staged records missing from the drained ring (k2=%v k3=%v)", sawK2, sawK3)
+	}
+	store := newMapStore()
+	stats, err := Recover(recs, l.Durable(), false, map[string]RowStore{"t": store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.rows[schema.Key(1)]; !ok {
+		t.Fatal("committed key 1 did not replay")
+	}
+	if _, ok := store.rows[schema.Key(2)]; ok {
+		t.Fatal("uncommitted key 2 replayed")
+	}
+	if stats.LoserTxns == 0 {
+		t.Fatalf("recovery saw no loser transactions: %+v", stats)
+	}
+}
+
+// TestCoalesceRecoveryMatchesUncoalescedTwin runs the same churny history
+// through a coalescing log and an uncoalesced twin and asserts recovery
+// reproduces the identical row set from both rings.
+func TestCoalesceRecoveryMatchesUncoalescedTwin(t *testing.T) {
+	d := newDomain(1)
+	base := DefaultConfig()
+	base.Keep = 0
+	plain := NewCentralLog(d, 0, base)
+	coal := NewCentralLog(d, 0, coalCfg(8))
+	// A deterministic churny history: overwrites, self-canceling pairs, an
+	// aborted-in-flight transaction, noop writes.
+	history := func(l *CentralLog) {
+		appendTxn(l, 1, 0, Record{Type: Insert, Table: "t", Key: 1, Size: 96})
+		appendTxn(l, 2, 10,
+			Record{Type: Update, Table: "t", Key: 1, Size: 96},
+			Record{Type: Insert, Table: "t", Key: 2, Size: 96})
+		appendTxn(l, 3, 20,
+			Record{Type: Insert, Table: "t", Key: 3, Size: 96},
+			Record{Type: Delete, Table: "t", Key: 3, Size: 96})
+		appendTxn(l, 4, 30, Record{Type: NoopWrite, Table: "t", Key: 4, Size: 96})
+		appendTxn(l, 5, 40, Record{Type: Delete, Table: "t", Key: 2, Size: 96})
+		// Transaction 6 never logs an outcome.
+		l.Append(0, Record{Txn: 6, Type: Insert, Table: "t", Key: 6, Size: 96})
+		appendTxn(l, 7, 50, Record{Type: Update, Table: "t", Key: 1, Size: 96})
+	}
+	history(plain)
+	history(coal)
+	coal.Drain(60)
+
+	replay := func(l *CentralLog) map[schema.Key]schema.Row {
+		store := newMapStore()
+		if _, err := Recover(l.Records(), l.Durable(), false, map[string]RowStore{"t": store}); err != nil {
+			t.Fatal(err)
+		}
+		return store.rows
+	}
+	got, want := replay(coal), replay(plain)
+	if len(got) != len(want) {
+		t.Fatalf("coalesced recovery has %d rows, uncoalesced twin %d", len(got), len(want))
+	}
+	for k, v := range want {
+		cv, ok := got[k]
+		if !ok {
+			t.Fatalf("key %d missing after coalesced recovery", k)
+		}
+		if len(cv) != len(v) || (len(v) > 0 && cv[0] != v[0]) {
+			t.Fatalf("key %d row mismatch: %v vs %v", k, cv, v)
+		}
+	}
+	// And the physical side must actually have shrunk.
+	ps, ls := coal.Stats(), plain.Stats()
+	if ps.LogicalRecords != ls.LogicalRecords {
+		t.Fatalf("logical records diverged: %d vs %d", ps.LogicalRecords, ls.LogicalRecords)
+	}
+	if ps.PhysicalRecords >= ls.PhysicalRecords {
+		t.Fatalf("coalescing did not shrink physical records: %d vs %d", ps.PhysicalRecords, ls.PhysicalRecords)
+	}
+}
+
+// TestCoalesceOffBitIdentical is the regression gate for the master switch:
+// with CoalesceRecords zero the new code paths must not perturb a single cost
+// or counter relative to the legacy arithmetic.
+func TestCoalesceOffBitIdentical(t *testing.T) {
+	d := newDomain(1)
+	cfg := DefaultConfig()
+	l := NewCentralLog(d, 0, cfg)
+	var total numa.Cost
+	for i := 0; i < 20; i++ {
+		_, c1 := l.Append(0, Record{Txn: uint64(i), Type: Update, Table: "t", Key: schema.Key(i), Size: 96})
+		lsn, c2 := l.Append(0, Record{Txn: uint64(i), Type: Commit, Size: 48})
+		c3 := l.Flush(0, lsn, 0)
+		total += c1 + c2 + c3
+	}
+	// The exact cost series of the legacy model: per-append tail atomic +
+	// bytes, flush cost split 2 full / 18 ride-along with GroupSize 8... we
+	// assert the structural invariants instead of a magic sum so the cost
+	// model stays free to evolve: durable == tail (legacy flushes ack
+	// immediately), drain is a no-op, and the flush split is exact.
+	if l.Durable() != l.Tail() {
+		t.Fatalf("legacy flushes must acknowledge durability immediately: durable %d tail %d", l.Durable(), l.Tail())
+	}
+	if cost := l.Drain(0); cost != 0 {
+		t.Fatalf("Drain on an uncoalesced log cost %d, want 0", cost)
+	}
+	st := l.Stats()
+	if st.PhysicalFlushes != 2 || st.RideAlongFlushes != 18 {
+		t.Fatalf("flush split = %d full / %d ride-along, want 2/18", st.PhysicalFlushes, st.RideAlongFlushes)
+	}
+	if st.CoalescedRecords != 0 {
+		t.Fatalf("CoalescedRecords = %d on an uncoalesced log", st.CoalescedRecords)
+	}
+	if st.PhysicalRecords != st.Appends {
+		t.Fatalf("legacy log must write every append physically: %d vs %d", st.PhysicalRecords, st.Appends)
+	}
+	if total <= 0 {
+		t.Fatal("cost accounting went nonpositive")
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{Appends: 10, LogicalRecords: 8, PhysicalRecords: 6, CoalescedRecords: 2, PhysicalFlushes: 1, RideAlongFlushes: 3, PhysicalBytes: 400}
+	b := Stats{Appends: 4, LogicalRecords: 3, PhysicalRecords: 2, CoalescedRecords: 1, PhysicalFlushes: 1, RideAlongFlushes: 1, PhysicalBytes: 100}
+	sum := a.Add(b)
+	if sum.Appends != 14 || sum.PhysicalBytes != 500 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	diff := a.Sub(b)
+	if diff.Appends != 6 || diff.CoalescedRecords != 1 {
+		t.Fatalf("Sub = %+v", diff)
+	}
+	// Sub floors at zero instead of going negative.
+	under := b.Sub(a)
+	if under.Appends != 0 || under.PhysicalBytes != 0 {
+		t.Fatalf("Sub underflow = %+v", under)
+	}
+}
+
+// TestPartitionedLogDrainAndStats covers the per-island aggregation.
+func TestPartitionedLogDrainAndStats(t *testing.T) {
+	d := newDomain(2)
+	cfg := coalCfg(64)
+	p := NewPartitionedLog(d, cfg)
+	for i := 0; i < 2; i++ {
+		lg := p.Log(i)
+		lg.Append(p.Home(i), Record{Txn: uint64(i + 1), Type: Update, Table: "t", Key: schema.Key(i), Size: 96})
+		lsn, _ := lg.Append(p.Home(i), Record{Txn: uint64(i + 1), Type: Commit, Size: 48})
+		lg.Flush(p.Home(i), lsn, 0)
+	}
+	if p.Durable() != 0 {
+		t.Fatalf("Durable = %d before drain, want 0 (open epochs)", p.Durable())
+	}
+	if cost := p.Drain(0); cost <= 0 {
+		t.Fatal("partitioned drain with buffered work should pay")
+	}
+	if p.Durable() == 0 {
+		t.Fatal("drain must close every island's epoch")
+	}
+	st := p.Stats()
+	if st.Appends != 4 || st.LogicalRecords != 2 || st.PhysicalFlushes != 2 {
+		t.Fatalf("aggregated stats = %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package wal
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"atrapos/internal/device"
@@ -116,6 +117,26 @@ type Config struct {
 	// bandwidth, waits behind queued flushes) instead of the flat FlushCost.
 	// Nil reproduces the device-blind cost model exactly.
 	Device *device.Device
+	// CoalesceRecords enables the write-combining accumulator when positive:
+	// write records of committing transactions land in a (table, key)-keyed
+	// buffer in front of the log where overwrites and self-canceling pairs
+	// collapse to net deltas, and a physical flush is issued once the
+	// accumulator holds this many net entries (or a byte/age condition below
+	// fires) instead of every GroupSize-th commit. Commits between physical
+	// flushes ride along as before but are not acknowledged as durable until
+	// the flush epoch holding their last record is written out. Zero disables
+	// coalescing and reproduces the record-per-write cost model bit for bit.
+	CoalesceRecords int
+	// CoalesceBytes optionally adds a byte threshold: a physical flush is
+	// issued once the buffered net-entry and control bytes reach it. Zero
+	// means no byte condition.
+	CoalesceBytes int
+	// CoalesceMaxAge optionally bounds, in virtual time, how long a flush
+	// epoch may stay open: a commit arriving after the deadline forces the
+	// physical flush even when the record threshold has not been reached, so
+	// a cooling key range cannot park committed work in memory forever. Zero
+	// means no deadline.
+	CoalesceMaxAge vclock.Nanos
 }
 
 // DefaultConfig returns the log configuration used by the evaluation:
@@ -146,8 +167,129 @@ type CentralLog struct {
 	start int
 	count int
 
-	appends int64
-	flushes int64
+	// coal is the write-combining accumulator (Config.CoalesceRecords > 0);
+	// nil leaves every path below on the legacy record-per-write arithmetic.
+	coal *coalescer
+
+	appends     int64
+	logical     int64
+	physRecords int64
+	physFlushes int64
+	rideAlongs  int64
+	physBytes   int64
+}
+
+// coalKey identifies one net-delta accumulator entry: the row the collapsed
+// records describe.
+type coalKey struct {
+	table string
+	key   schema.Key
+}
+
+// coalescer is the per-log write-combining accumulator. Write records stage
+// per transaction first and fold into the shared (table, key)-keyed net-delta
+// buffer only when their transaction's outcome record (Commit or
+// EndOfDistributed) is appended to this log — so every accumulator entry
+// belongs to a winner and cross-transaction merging can never launder a loser
+// record into a committed one. Staged records of transactions that never log
+// an outcome here (aborts, in-flight work at a drain) are emitted to the ring
+// verbatim and unmerged, where recovery classifies them by the absence of a
+// commit record exactly as it would have without coalescing.
+type coalescer struct {
+	staging map[uint64][]Record
+	// free recycles staged record slices so the steady state stays
+	// allocation-free once per-transaction capacities have warmed up.
+	free [][]Record
+
+	// entries is the committed net-delta buffer in fold order (insertion
+	// order, so flushes drain deterministically); index maps a row to its
+	// entry. bytes is the summed Size of the entries.
+	entries []Record
+	index   map[coalKey]int
+	bytes   int
+
+	// epochStart is the virtual time the open flush epoch started at (the
+	// first commit flushed after the previous physical flush); -1 while the
+	// epoch is empty. It drives the CoalesceMaxAge deadline.
+	epochStart vclock.Nanos
+
+	// coalesced counts logical records absorbed into an existing entry.
+	coalesced int64
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{
+		staging:    make(map[uint64][]Record),
+		index:      make(map[coalKey]int),
+		epochStart: -1,
+	}
+}
+
+// takeSlice returns a recycled staged-record slice, or nil (append grows it).
+func (c *coalescer) takeSlice() []Record {
+	if n := len(c.free); n > 0 {
+		s := c.free[n-1]
+		c.free = c.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (c *coalescer) putSlice(s []Record) {
+	if cap(s) == 0 {
+		return
+	}
+	c.free = append(c.free, s[:0])
+}
+
+// fold merges the staged records of a transaction that just logged its
+// outcome into the net-delta buffer, oldest first, so intra-transaction
+// self-canceling pairs collapse on the spot.
+func (c *coalescer) fold(txn uint64) {
+	recs, ok := c.staging[txn]
+	if !ok {
+		return
+	}
+	delete(c.staging, txn)
+	for i := range recs {
+		c.merge(recs[i])
+	}
+	c.putSlice(recs)
+}
+
+// merge applies one committed write record to the net-delta buffer. The entry
+// keeps the latest contributor's transaction and LSN; the record type follows
+// the newest real write (an insert superseded by a delete nets to a delete
+// tombstone — redo of a missing-key delete is a no-op, so emitting the
+// tombstone is always safe — and vice versa), while a NoopWrite is absorbed
+// without changing what redo will re-establish.
+func (c *coalescer) merge(r Record) {
+	k := coalKey{table: r.Table, key: r.Key}
+	if i, ok := c.index[k]; ok {
+		e := &c.entries[i]
+		c.coalesced++
+		e.Txn = r.Txn
+		e.LSN = r.LSN
+		if r.Type != NoopWrite {
+			c.bytes += r.Size - e.Size
+			e.Type = r.Type
+			e.Size = r.Size
+		}
+		return
+	}
+	c.index[k] = len(c.entries)
+	c.entries = append(c.entries, r)
+	c.bytes += r.Size
+}
+
+// isWriteType reports whether t is a row write record (as opposed to a
+// transaction-control record).
+func isWriteType(t RecordType) bool {
+	switch t {
+	case Update, Insert, Delete, NoopWrite:
+		return true
+	}
+	return false
 }
 
 // NewCentralLog creates a centralized log homed on socket home.
@@ -158,16 +300,17 @@ func NewCentralLog(d *numa.Domain, home topology.SocketID, cfg Config) *CentralL
 	if cfg.PerByteCost < 0 {
 		cfg.PerByteCost = 0
 	}
-	return &CentralLog{cfg: cfg, tail: numa.NewCacheLine(d, home), next: 1}
+	l := &CentralLog{cfg: cfg, tail: numa.NewCacheLine(d, home), next: 1}
+	if cfg.CoalesceRecords > 0 {
+		l.coal = newCoalescer()
+	}
+	return l
 }
 
-// Append implements Log.
-func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
-	cost := l.tail.Atomic(s) + numa.Cost(rec.Size)*l.cfg.PerByteCost
-	l.mu.Lock()
-	rec.LSN = l.next
-	l.next++
-	l.pendingBytes += rec.Size
+// ringAppend stores rec in the retained-record ring and counts it as a
+// physical record. Callers hold l.mu and have already assigned rec.LSN.
+func (l *CentralLog) ringAppend(rec Record) {
+	l.physRecords++
 	if l.cfg.Keep > 0 {
 		if l.ring == nil {
 			l.ring = make([]Record, l.cfg.Keep)
@@ -184,7 +327,46 @@ func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
 		l.ring = append(l.ring, rec)
 		l.count = len(l.ring)
 	}
+}
+
+// Append implements Log. With coalescing enabled, write records stage per
+// transaction — they reach the accumulator only when their transaction's
+// outcome record arrives — while control records go straight to the ring so
+// recovery's winner determination sees them at any crash point. Every append
+// pays the same tail reservation and copy cost either way: coalescing saves
+// physical flush work, not the logical logging work.
+func (l *CentralLog) Append(s topology.SocketID, rec Record) (LSN, numa.Cost) {
+	cost := l.tail.Atomic(s) + numa.Cost(rec.Size)*l.cfg.PerByteCost
+	l.mu.Lock()
+	rec.LSN = l.next
+	l.next++
 	l.appends++
+	if isWriteType(rec.Type) {
+		l.logical++
+	}
+	if l.coal == nil {
+		l.pendingBytes += rec.Size
+		l.ringAppend(rec)
+		l.mu.Unlock()
+		return rec.LSN, cost
+	}
+	if isWriteType(rec.Type) {
+		recs, ok := l.coal.staging[rec.Txn]
+		if !ok {
+			recs = l.coal.takeSlice()
+		}
+		l.coal.staging[rec.Txn] = append(recs, rec)
+		l.mu.Unlock()
+		return rec.LSN, cost
+	}
+	// A control record: fold the transaction's staged writes into the
+	// net-delta buffer when this record makes it a recovery winner, then log
+	// the control record itself immediately.
+	if rec.Type == Commit || rec.Type == EndOfDistributed {
+		l.coal.fold(rec.Txn)
+	}
+	l.pendingBytes += rec.Size
+	l.ringAppend(rec)
 	l.mu.Unlock()
 	return rec.LSN, cost
 }
@@ -200,35 +382,129 @@ func (l *CentralLog) Flush(s topology.SocketID, lsn LSN, now vclock.Nanos) numa.
 	cost := l.tail.Touch(s)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn > l.durable {
-		l.pending++
-		if l.pending >= l.cfg.GroupSize {
-			l.pending = 0
-			l.flushes++
-			// The full flush writes out everything pending, with or without
-			// a device: a log that runs device-blind for a while and is
-			// later re-bound must not bill its whole append history to the
-			// first device flush.
-			bytes := l.pendingBytes
-			l.pendingBytes = 0
-			if l.cfg.Device != nil {
-				cost += l.cfg.Device.Flush(now, bytes)
-			} else {
-				cost += l.cfg.FlushCost
-			}
+	if lsn <= l.durable {
+		return cost
+	}
+	if l.coal != nil {
+		c := l.coal
+		if c.epochStart < 0 {
+			c.epochStart = now
+		}
+		full := len(c.entries) >= l.cfg.CoalesceRecords ||
+			(l.cfg.CoalesceBytes > 0 && c.bytes+l.pendingBytes >= l.cfg.CoalesceBytes) ||
+			(l.cfg.CoalesceMaxAge > 0 && now-c.epochStart >= l.cfg.CoalesceMaxAge)
+		if full {
+			cost += l.physicalFlushLocked(now, false)
+			l.durable = l.next - 1
 		} else {
-			// Riding on a group commit still pays a fraction of the flush
-			// latency (waiting for the group to form).
+			// Ride along: the commit's net deltas stay in the open flush
+			// epoch, so the transaction is *not* acknowledged as durable yet
+			// — durability arrives with the epoch's physical flush. The
+			// commit still pays the amortized group-forming latency.
+			l.rideAlongs++
 			if l.cfg.Device != nil {
 				cost += l.cfg.Device.Service(0) / numa.Cost(l.cfg.GroupSize)
 			} else {
 				cost += l.cfg.FlushCost / numa.Cost(l.cfg.GroupSize)
 			}
 		}
-		if lsn > l.durable {
-			l.durable = lsn
+		return cost
+	}
+	l.pending++
+	if l.pending >= l.cfg.GroupSize {
+		l.pending = 0
+		l.physFlushes++
+		// The full flush writes out everything pending, with or without
+		// a device: a log that runs device-blind for a while and is
+		// later re-bound must not bill its whole append history to the
+		// first device flush.
+		bytes := l.pendingBytes
+		l.pendingBytes = 0
+		l.physBytes += int64(bytes)
+		if l.cfg.Device != nil {
+			cost += l.cfg.Device.Flush(now, bytes)
+		} else {
+			cost += l.cfg.FlushCost
+		}
+	} else {
+		// Riding on a group commit still pays a fraction of the flush
+		// latency (waiting for the group to form).
+		l.rideAlongs++
+		if l.cfg.Device != nil {
+			cost += l.cfg.Device.Service(0) / numa.Cost(l.cfg.GroupSize)
+		} else {
+			cost += l.cfg.FlushCost / numa.Cost(l.cfg.GroupSize)
 		}
 	}
+	if lsn > l.durable {
+		l.durable = lsn
+	}
+	return cost
+}
+
+// physicalFlushLocked writes the accumulator out: net-delta entries are
+// emitted to the retained ring in fold order and the device (or flat flush
+// cost) is billed for the physical bytes — buffered control bytes plus the
+// collapsed entry bytes, not the logical append volume. When leftovers is
+// true (drains), the staged records of transactions that never logged an
+// outcome here are emitted verbatim too, ordered by first-record LSN, so a
+// crash drill's ring holds exactly the information the uncoalesced log would:
+// recovery classifies them by the absence of an outcome record. Callers hold
+// l.mu.
+func (l *CentralLog) physicalFlushLocked(now vclock.Nanos, leftovers bool) numa.Cost {
+	c := l.coal
+	bytes := l.pendingBytes + c.bytes
+	l.pendingBytes = 0
+	for i := range c.entries {
+		l.ringAppend(c.entries[i])
+	}
+	c.entries = c.entries[:0]
+	clear(c.index)
+	c.bytes = 0
+	c.epochStart = -1
+	if leftovers && len(c.staging) > 0 {
+		rest := make([][]Record, 0, len(c.staging))
+		for _, recs := range c.staging {
+			rest = append(rest, recs)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i][0].LSN < rest[j][0].LSN })
+		for _, recs := range rest {
+			for i := range recs {
+				bytes += recs[i].Size
+				l.ringAppend(recs[i])
+			}
+			c.putSlice(recs)
+		}
+		clear(c.staging)
+	}
+	l.pending = 0
+	l.physFlushes++
+	l.physBytes += int64(bytes)
+	if l.cfg.Device != nil {
+		return l.cfg.Device.Flush(now, bytes)
+	}
+	return l.cfg.FlushCost
+}
+
+// Drain forces the write-combining accumulator out: committed net deltas and
+// the staged records of transactions still in flight hit the ring, and
+// everything appended so far becomes durable (the final-flush guarantee).
+// The engine calls it before an island re-wiring carries logs into a new
+// island set, before a crash drill snapshots the ring, and at run end. It is
+// a no-op on a log without coalescing or with nothing buffered; the returned
+// cost is the physical flush the drain issued.
+func (l *CentralLog) Drain(now vclock.Nanos) numa.Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.coal == nil {
+		return 0
+	}
+	c := l.coal
+	if len(c.entries) == 0 && len(c.staging) == 0 && l.pendingBytes == 0 && l.durable == l.next-1 {
+		return 0
+	}
+	cost := l.physicalFlushLocked(now, true)
+	l.durable = l.next - 1
 	return cost
 }
 
@@ -275,17 +551,76 @@ func (l *CentralLog) Records() []Record {
 	return out
 }
 
-// Stats summarizes log activity.
+// Stats summarizes log activity. Appends counts every appended record (the
+// logical logging work, paid on the hot path regardless of coalescing);
+// LogicalRecords is the row-write subset of Appends; PhysicalRecords counts
+// records actually written to the retained ring — with coalescing several
+// logical records collapse into one physical entry; CoalescedRecords counts
+// logical records absorbed into an existing net-delta entry.
+// PhysicalFlushes and RideAlongFlushes split group commit exactly: flushes
+// that hit the device (or paid the full flat flush cost) versus commits that
+// rode along paying only the amortized group-forming latency. PhysicalBytes
+// is the byte volume billed to the device by physical flushes.
 type Stats struct {
-	Appends int64
-	Flushes int64
+	Appends          int64
+	LogicalRecords   int64
+	PhysicalRecords  int64
+	CoalescedRecords int64
+	PhysicalFlushes  int64
+	RideAlongFlushes int64
+	PhysicalBytes    int64
 }
 
-// Stats returns append/flush counters.
+// Add returns the field-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Appends:          s.Appends + o.Appends,
+		LogicalRecords:   s.LogicalRecords + o.LogicalRecords,
+		PhysicalRecords:  s.PhysicalRecords + o.PhysicalRecords,
+		CoalescedRecords: s.CoalescedRecords + o.CoalescedRecords,
+		PhysicalFlushes:  s.PhysicalFlushes + o.PhysicalFlushes,
+		RideAlongFlushes: s.RideAlongFlushes + o.RideAlongFlushes,
+		PhysicalBytes:    s.PhysicalBytes + o.PhysicalBytes,
+	}
+}
+
+// Sub returns the field-wise difference s-o, floored at zero per field, so a
+// delta across a run stays meaningful even when the baseline snapshot came
+// from a different log set (an adaptive re-wiring may retire logs).
+func (s Stats) Sub(o Stats) Stats {
+	f := func(a, b int64) int64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Stats{
+		Appends:          f(s.Appends, o.Appends),
+		LogicalRecords:   f(s.LogicalRecords, o.LogicalRecords),
+		PhysicalRecords:  f(s.PhysicalRecords, o.PhysicalRecords),
+		CoalescedRecords: f(s.CoalescedRecords, o.CoalescedRecords),
+		PhysicalFlushes:  f(s.PhysicalFlushes, o.PhysicalFlushes),
+		RideAlongFlushes: f(s.RideAlongFlushes, o.RideAlongFlushes),
+		PhysicalBytes:    f(s.PhysicalBytes, o.PhysicalBytes),
+	}
+}
+
+// Stats returns the log's activity counters.
 func (l *CentralLog) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appends: l.appends, Flushes: l.flushes}
+	st := Stats{
+		Appends:          l.appends,
+		LogicalRecords:   l.logical,
+		PhysicalRecords:  l.physRecords,
+		PhysicalFlushes:  l.physFlushes,
+		RideAlongFlushes: l.rideAlongs,
+		PhysicalBytes:    l.physBytes,
+	}
+	if l.coal != nil {
+		st.CoalescedRecords = l.coal.coalesced
+	}
+	return st
 }
 
 // PartitionedLog gives each island its own CentralLog, as in a shared-nothing
@@ -445,4 +780,23 @@ func (p *PartitionedLog) Tail() LSN {
 // SocketLog exposes the per-socket log for tests and instance-local recovery.
 func (p *PartitionedLog) SocketLog(s topology.SocketID) *CentralLog {
 	return p.logFor(s)
+}
+
+// Drain forces every island log's write-combining accumulator out; see
+// CentralLog.Drain. It returns the summed physical-flush cost.
+func (p *PartitionedLog) Drain(now vclock.Nanos) numa.Cost {
+	var cost numa.Cost
+	for _, l := range p.logs {
+		cost += l.Drain(now)
+	}
+	return cost
+}
+
+// Stats sums the per-island log counters.
+func (p *PartitionedLog) Stats() Stats {
+	var s Stats
+	for _, l := range p.logs {
+		s = s.Add(l.Stats())
+	}
+	return s
 }

@@ -89,8 +89,11 @@ func TestGroupCommit(t *testing.T) {
 	if l.Durable() != lsns[len(lsns)-1] {
 		t.Errorf("Durable = %d, want %d", l.Durable(), lsns[len(lsns)-1])
 	}
-	if got := l.Stats().Flushes; got != 2 {
-		t.Errorf("Flushes = %d, want 2", got)
+	if got := l.Stats().PhysicalFlushes; got != 2 {
+		t.Errorf("PhysicalFlushes = %d, want 2", got)
+	}
+	if got := l.Stats().RideAlongFlushes; got != 6 {
+		t.Errorf("RideAlongFlushes = %d, want 6", got)
 	}
 	// Flushing an already durable LSN is cheap and does not count.
 	if cost := l.Flush(0, lsns[0], 0); cost >= cfg.FlushCost {

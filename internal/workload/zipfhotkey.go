@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"atrapos/internal/schema"
+	"atrapos/internal/vclock"
+)
+
+// ZipfHotkey is the group-commit signature workload: updates follow a
+// Zipf-like skew so a small hot set absorbs most writes, hot transactions
+// re-write the same row twice (overwriting pairs), and a churn class issues
+// self-canceling Delete+Insert pairs on one key. All of that is exactly the
+// write shape a coalescing WAL accumulator collapses — many logical records,
+// few surviving net deltas — while a plain log pays for every record.
+//
+// rows sizes the table, pctMultiSite (0..100) is the share of non-churn
+// transactions that touch remote instances, and churnPct (0..100) is the
+// share of all transactions that are churn pairs. Local keys stay inside the
+// generating worker's own instance range (siteKeyRange), so churn and hot
+// traffic never pay 2PC.
+func ZipfHotkey(rows, pctMultiSite, churnPct int) *Workload {
+	const (
+		hotClass   = "ZipfHotUpdate"
+		multiClass = "ZipfMultiUpdate"
+		churnClass = "ZipfChurnPair"
+	)
+	table := "mzipf"
+	clamp := func(p int) int {
+		if p < 0 {
+			return 0
+		}
+		if p > 100 {
+			return 100
+		}
+		return p
+	}
+	pctMultiSite = clamp(pctMultiSite)
+	churnPct = clamp(churnPct)
+	w := &Workload{
+		Name: "zipf-hotkey",
+		Tables: []TableDef{{
+			Schema: tenColumnTable(table),
+			Rows:   rows,
+			MaxKey: int64(rows),
+			RowGen: tenColumnRow,
+		}},
+		Graphs: map[string]*FlowGraph{
+			hotClass: {
+				Class: hotClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+			},
+			multiClass: {
+				Class: multiClass,
+				Nodes: []FlowNode{{Table: table, Op: Update, MinCount: 10, MaxCount: 10}},
+				Syncs: []FlowSync{{Nodes: []int{0}, Bytes: 88}},
+			},
+			churnClass: {
+				Class: churnClass,
+				Nodes: []FlowNode{
+					{Table: table, Op: Delete, MinCount: 2, MaxCount: 2},
+					{Table: table, Op: Insert, MinCount: 2, MaxCount: 2},
+				},
+			},
+		},
+		ClassWeights: func(vclock.Nanos) map[string]float64 {
+			churn := float64(churnPct)
+			rest := 100 - churn
+			return map[string]float64{
+				churnClass: churn,
+				multiClass: rest * float64(pctMultiSite) / 100,
+				hotClass:   rest * float64(100-pctMultiSite) / 100,
+			}
+		},
+	}
+	w.Generate = func(ctx *GenContext) *Transaction {
+		lo, hi := siteKeyRange(int64(rows), ctx.HomeSite, ctx.NumSites)
+		localKey := func() schema.Key {
+			return schema.KeyFromInt(lo + zipfKey(ctx.Rng, hi-lo))
+		}
+		if ctx.Rng.Intn(100) < churnPct {
+			// Two self-canceling pairs: Delete then Insert on the same
+			// existing row leaves the key present either way, so the pair
+			// nets to one Insert under coalescing and two records without.
+			t := ctx.Txn(churnClass)
+			for i := 0; i < 2; i++ {
+				key := localKey()
+				t.Add(table, Delete, key)
+				t.Add(table, Insert, key)
+			}
+			return t
+		}
+		if ctx.Rng.Intn(100) < pctMultiSite {
+			t := ctx.Txn(multiClass)
+			t.MultiSite = true
+			t.Add(table, Update, localKey())
+			for i := 0; i < 9; i++ {
+				t.Add(table, Update, schema.KeyFromInt(zipfKey(ctx.Rng, int64(rows))))
+			}
+			t.AddSyncRange(88, 0, len(t.Actions))
+			return t
+		}
+		// Ten updates over five Zipf keys, each written twice: half the
+		// writes overwrite the transaction's own earlier write.
+		t := ctx.Txn(hotClass)
+		for i := 0; i < 5; i++ {
+			key := localKey()
+			t.Add(table, Update, key)
+			t.Add(table, Update, key)
+		}
+		return t
+	}
+	return w
+}
+
+// zipfKey draws a Zipf-like skewed key in [0, span): the result is
+// floor(span^u)-1 for uniform u, which concentrates mass near zero (roughly
+// half of all draws land in the first sqrt(span) keys) while still covering
+// the whole range. It needs no precomputed tables, so it stays cheap and
+// deterministic per seed.
+func zipfKey(rng *rand.Rand, span int64) int64 {
+	if span <= 1 {
+		return 0
+	}
+	k := int64(math.Pow(float64(span), rng.Float64())) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= span {
+		k = span - 1
+	}
+	return k
+}

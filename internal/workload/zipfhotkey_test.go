@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestZipfHotkeyShape checks the class mix, self-canceling churn pairs,
+// within-transaction overwrite pairs, site-locality of single-site keys and
+// per-seed determinism of the zipf-hotkey generator.
+func TestZipfHotkeyShape(t *testing.T) {
+	const rows = 8000
+	w := ZipfHotkey(rows, 20, 30)
+	if w.Name != "zipf-hotkey" {
+		t.Fatalf("name = %q", w.Name)
+	}
+	weights := w.ClassWeights(0)
+	var total float64
+	for _, v := range weights {
+		total += v
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("class weights sum to %f, want 100", total)
+	}
+
+	gc := &GenContext{Rng: rand.New(rand.NewSource(7)), HomeSite: 2, NumSites: 4}
+	lo, hi := siteKeyRange(rows, 2, 4)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		tx := w.Generate(gc)
+		counts[tx.Class]++
+		switch tx.Class {
+		case "ZipfChurnPair":
+			if len(tx.Actions) != 4 || tx.MultiSite {
+				t.Fatalf("churn txn shape: %d actions, multisite=%v", len(tx.Actions), tx.MultiSite)
+			}
+			for p := 0; p < 4; p += 2 {
+				del, ins := tx.Actions[p], tx.Actions[p+1]
+				if del.Op != Delete || ins.Op != Insert || del.Key != ins.Key {
+					t.Fatalf("churn pair %d not self-canceling: %v then %v", p/2, del, ins)
+				}
+			}
+		case "ZipfHotUpdate":
+			if len(tx.Actions) != 10 || tx.MultiSite {
+				t.Fatalf("hot txn shape: %d actions, multisite=%v", len(tx.Actions), tx.MultiSite)
+			}
+			for p := 0; p < 10; p += 2 {
+				if tx.Actions[p].Key != tx.Actions[p+1].Key {
+					t.Fatalf("hot txn pair %d does not overwrite itself", p/2)
+				}
+			}
+		case "ZipfMultiUpdate":
+			if !tx.MultiSite || len(tx.Actions) != 10 || len(tx.SyncPoints) == 0 {
+				t.Fatalf("multi txn shape: %d actions, multisite=%v, syncs=%d",
+					len(tx.Actions), tx.MultiSite, len(tx.SyncPoints))
+			}
+		default:
+			t.Fatalf("unknown class %q", tx.Class)
+		}
+		// Every single-site key must be served by the generator's home
+		// instance, or the engine silently escalates the txn to 2PC.
+		if !tx.MultiSite {
+			for _, a := range tx.Actions {
+				if k := a.Key.Int(); k < lo || k >= hi {
+					t.Fatalf("%s key %d outside home range [%d,%d)", tx.Class, k, lo, hi)
+				}
+			}
+		}
+	}
+	if counts["ZipfChurnPair"] < n/5 || counts["ZipfChurnPair"] > n/2 {
+		t.Errorf("churn share off: %d/%d, want ~30%%", counts["ZipfChurnPair"], n)
+	}
+	if counts["ZipfMultiUpdate"] == 0 || counts["ZipfHotUpdate"] == 0 {
+		t.Errorf("missing classes: %v", counts)
+	}
+}
+
+// TestZipfHotkeyDeterminism: two contexts with the same seed produce the same
+// transaction stream — the property every crash-pair drill relies on.
+func TestZipfHotkeyDeterminism(t *testing.T) {
+	w := ZipfHotkey(4000, 10, 25)
+	a := &GenContext{Rng: rand.New(rand.NewSource(99)), HomeSite: 1, NumSites: 2}
+	b := &GenContext{Rng: rand.New(rand.NewSource(99)), HomeSite: 1, NumSites: 2}
+	for i := 0; i < 500; i++ {
+		ta, tb := w.Generate(a), w.Generate(b)
+		if ta.Class != tb.Class || len(ta.Actions) != len(tb.Actions) {
+			t.Fatalf("txn %d diverged: %s/%d vs %s/%d", i, ta.Class, len(ta.Actions), tb.Class, len(tb.Actions))
+		}
+		for j := range ta.Actions {
+			aj, bj := ta.Actions[j], tb.Actions[j]
+			if aj.Op != bj.Op || aj.Key != bj.Key || aj.Table != bj.Table {
+				t.Fatalf("txn %d action %d diverged: %v vs %v", i, j, aj, bj)
+			}
+		}
+	}
+}
+
+// TestZipfKeySkew: the cheap zipf approximation concentrates mass at the low
+// end but still covers the range.
+func TestZipfKeySkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const span = 10000
+	low, max := 0, int64(0)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := zipfKey(rng, span)
+		if k < 0 || k >= span {
+			t.Fatalf("key %d outside [0,%d)", k, span)
+		}
+		if k < span/100 {
+			low++
+		}
+		if k > max {
+			max = k
+		}
+	}
+	if frac := float64(low) / n; frac < 0.3 {
+		t.Errorf("only %.2f of draws hit the first 1%% of keys; want a hot head", frac)
+	}
+	if max < span/2 {
+		t.Errorf("max draw %d never reached the upper half; want full coverage", max)
+	}
+	if zipfKey(rng, 1) != 0 || zipfKey(rng, 0) != 0 {
+		t.Error("degenerate spans should return 0")
+	}
+}
