@@ -8,6 +8,10 @@
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
 #   make fuzz-smoke   - bounded seeded fault-scenario fuzz run (FUZZ_SEED=...)
+#
+# The experiment and fuzz targets run through the parallel point scheduler
+# (atrapos-bench -parallel, default GOMAXPROCS); results are bit-identical at
+# any concurrency, so only wall time varies across hosts.
 
 GO ?= go
 FUZZ_SEED ?= 42
@@ -47,10 +51,13 @@ test:
 	$(GO) test ./...
 
 # The packages where the planner goroutine installs snapshots concurrently
-# with executing workers; the concurrent-adaptation tests must stay clean
-# under the race detector.
+# with executing workers, plus the harness pool's concurrent sweep/fuzz paths
+# (point scheduling, the allocation-measurement token, parallel bit-identity);
+# all of it must stay clean under the race detector. The harness pass filters
+# to the pool tests so the race-slowed run stays bounded.
 race:
 	$(GO) test -race ./internal/engine ./internal/partition
+	$(GO) test -race -run 'TestPool|TestPointWorkers|TestParallelSweepBitIdentical|TestFuzzShardDeterminism|TestMeasureParallel' ./internal/harness
 
 # A short benchmark pass so hot-path regressions (time or allocations) fail
 # loudly in review; see DESIGN.md section 7 for the invariants.
@@ -75,12 +82,15 @@ bench-devices:
 bench-groupcommit:
 	$(GO) run ./cmd/atrapos-bench -experiment fig-group-commit
 
-# A bounded, fixed-seed run of the fault-scenario fuzzer: 25 composed
+# A bounded, fixed-seed run of the fault-scenario fuzzer: 100 composed
 # {workload, machine, device layout, fault schedule} scenarios, every standing
-# invariant checked on each. Deterministic per seed; override with
-# `make fuzz-smoke FUZZ_SEED=1007` to sweep a different slice.
+# invariant checked on each. Scenarios fan out across the point scheduler
+# (verdicts are seed-derived, so concurrency never changes them); on a
+# multi-core host the 100 finish in about the old 25-serial wall time.
+# Deterministic per seed; override with `make fuzz-smoke FUZZ_SEED=1007` to
+# sweep a different slice.
 fuzz-smoke:
-	$(GO) run ./cmd/atrapos-bench -fuzz 25 -seed $(FUZZ_SEED)
+	$(GO) run ./cmd/atrapos-bench -fuzz 100 -seed $(FUZZ_SEED)
 
 # BENCH.json is an appending trajectory; the schema gate keeps a bad append
 # from corrupting it silently.

@@ -389,6 +389,32 @@ func RunAllExperiments(scale Scale) ([]*ExperimentTable, error) {
 	return harness.RunAll(scale)
 }
 
+// ExperimentResult is one registry experiment's outcome from a timed run:
+// its rendered table, its wall time, and its error if it failed. Results
+// stay in registry order regardless of Scale.Parallel.
+type ExperimentResult = harness.ExperimentResult
+
+// RunAllExperimentsTimed reproduces every table and figure at the given
+// scale, fanning independent experiments across Scale.Parallel goroutines,
+// and returns per-experiment results in registry order. A failed experiment
+// does not abort the rest; the returned error joins every failure.
+func RunAllExperimentsTimed(scale Scale) ([]ExperimentResult, error) {
+	return harness.RunAllTimed(scale)
+}
+
+// ParallelReport is the measured outcome of the parallel-harness determinism
+// check: wall times of a serial and a pooled pass over the same sweep, the
+// speedup, and whether the two produced bit-identical results.
+type ParallelReport = harness.ParallelReport
+
+// MeasureParallel runs the island sweep once serially and once through the
+// parallel point scheduler at scale.Parallel concurrency (defaulting to
+// GOMAXPROCS), asserts the two passes agree point for point, and reports the
+// wall times; it is the data behind the BENCH.json harness_parallel record.
+func MeasureParallel(scale Scale) (*ParallelReport, error) {
+	return harness.MeasureParallel(scale)
+}
+
 // IslandPoint is one measured cell of the island-granularity sweep.
 type IslandPoint = harness.IslandPoint
 

@@ -92,6 +92,12 @@ type BenchRecord struct {
 	// asserted, so robustness under hardware faults is tracked commit over
 	// commit.
 	Faults *atrapos.FaultTimeline `json:"faults,omitempty"`
+	// HarnessParallel records the parallel-harness determinism check: the
+	// island sweep measured once serially and once through the point
+	// scheduler, with wall times, speedup and the bit-identity verdict, so a
+	// scheduling change that alters results (or loses the speedup) shows up
+	// in the trajectory.
+	HarnessParallel *atrapos.ParallelReport `json:"harness_parallel,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
@@ -100,7 +106,7 @@ type BenchRecord struct {
 // are the per-transaction simulator cost, comparable across commits. A
 // non-empty profile pins the hot-path machine (and the islands sweep) to the
 // named machine profile instead of the default 4x2 box.
-func runBenchJSON(path string, txns int, workers int, seed int64, profile string) error {
+func runBenchJSON(path string, txns int, workers int, seed int64, profile string, parallel int) error {
 	if txns < 4 {
 		return fmt.Errorf("-txns must be at least 4, got %d", txns)
 	}
@@ -225,6 +231,15 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	// schedule, so a regression in re-homing or elastic recovery shows up in
 	// the trajectory.
 	rec.Faults, err = atrapos.RunFaultTimeline(islandScale)
+	if err != nil {
+		return err
+	}
+	// The parallel-harness determinism check: serial vs pooled island sweep,
+	// bit-identity asserted, wall times recorded. On a single-core host the
+	// pool degrades to concurrency 1 and the speedup hovers around 1.
+	parScale := islandScale
+	parScale.Parallel = parallel
+	rec.HarnessParallel, err = atrapos.MeasureParallel(parScale)
 	if err != nil {
 		return err
 	}
@@ -373,6 +388,38 @@ func checkBenchDocument(data []byte) error {
 			}
 			if f.Committed < 0 {
 				return fmt.Errorf("record %d faults timeline has negative committed count", i)
+			}
+		}
+		if hp := r.HarnessParallel; hp != nil {
+			if hp.Concurrency < 1 || hp.PointWorkers < 1 {
+				return fmt.Errorf("record %d harness_parallel claims concurrency %d with %d point workers", i, hp.Concurrency, hp.PointWorkers)
+			}
+			if hp.Points <= 0 {
+				return fmt.Errorf("record %d harness_parallel measured no sweep points", i)
+			}
+			if hp.SerialWallMS <= 0 || hp.ParallelWallMS <= 0 {
+				return fmt.Errorf("record %d harness_parallel has non-positive wall times (%.3f ms serial, %.3f ms parallel)",
+					i, hp.SerialWallMS, hp.ParallelWallMS)
+			}
+			// Bit-identity is the contract the whole scheduler stands on; a
+			// record that admits divergence is a determinism regression, not a
+			// data point.
+			if !hp.Identical {
+				return fmt.Errorf("record %d harness_parallel reports non-identical serial and parallel results", i)
+			}
+			// The speedup must be the wall-time ratio it claims to be (1%
+			// tolerance for rounding through the JSON float round-trip).
+			want := hp.SerialWallMS / hp.ParallelWallMS
+			if hp.Speedup < 0.99*want || hp.Speedup > 1.01*want {
+				return fmt.Errorf("record %d harness_parallel speedup %.3f does not match its wall times (%.3f/%.3f = %.3f)",
+					i, hp.Speedup, hp.SerialWallMS, hp.ParallelWallMS, want)
+			}
+			// With real concurrency available the pool must actually pay off;
+			// 1.5x at >= 4-way is lenient enough for noisy CI runners, while a
+			// single-core record (concurrency 1, speedup ~1) passes untouched.
+			if hp.Concurrency >= 4 && hp.Speedup < 1.5 {
+				return fmt.Errorf("record %d harness_parallel claims %d-way concurrency but only %.2fx speedup",
+					i, hp.Concurrency, hp.Speedup)
 			}
 		}
 	}

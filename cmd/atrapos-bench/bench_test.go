@@ -56,6 +56,12 @@ func TestCheckBenchDocument(t *testing.T) {
 		"groupcommit off":   `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":0,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":100,"coalesced_records":7,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":1}]}]`,
 		"groupcommit never": `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":1,"committed":1,"logical_records":100,"physical_records":90,"coalesced_records":10,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":0.9}]}]`,
 		"groupcommit loss":  `[{"generated_at":"x","designs":[{"design":"plp"}],"group_commit":[{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":0,"virtual_tps":500,"committed":1,"logical_records":100,"physical_records":120,"coalesced_records":0,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":1},{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":400,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":50,"physical_flushes":10,"ride_along_flushes":0,"physical_bytes":1,"record_ratio":0.5}]}]`,
+		"parallel no conc":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":0,"point_workers":1,"points":12,"serial_wall_ms":100,"parallel_wall_ms":50,"speedup":2,"identical":true}}]`,
+		"parallel diverged": `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":12,"serial_wall_ms":100,"parallel_wall_ms":50,"speedup":2,"identical":false}}]`,
+		"parallel mismatch": `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":12,"serial_wall_ms":100,"parallel_wall_ms":50,"speedup":3.5,"identical":true}}]`,
+		"parallel no gain":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":8,"point_workers":1,"points":12,"serial_wall_ms":100,"parallel_wall_ms":95,"speedup":1.0526315789473684,"identical":true}}]`,
+		"parallel no wall":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":12,"serial_wall_ms":0,"parallel_wall_ms":50,"speedup":2,"identical":true}}]`,
+		"parallel 0 points": `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":0,"serial_wall_ms":100,"parallel_wall_ms":50,"speedup":2,"identical":true}}]`,
 	}
 	for name, doc := range cases {
 		if err := checkBenchDocument([]byte(doc)); err == nil {
@@ -71,6 +77,16 @@ func TestCheckBenchDocument(t *testing.T) {
 		`{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":900,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":70,"physical_flushes":2,"ride_along_flushes":18,"physical_bytes":4800,"record_ratio":0.3}]}]`
 	if err := checkBenchDocument([]byte(withGroupCommit)); err != nil {
 		t.Errorf("valid group-commit record rejected: %v", err)
+	}
+	// A multi-core record with a real speedup and a single-core record whose
+	// pool degraded to serial (concurrency 1, speedup ~1) must both pass.
+	for name, doc := range map[string]string{
+		"multi-core":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":8,"point_workers":1,"points":12,"serial_wall_ms":1000,"parallel_wall_ms":250,"speedup":4,"identical":true}}]`,
+		"single-core": `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":1,"point_workers":1,"points":12,"serial_wall_ms":1000,"parallel_wall_ms":1010,"speedup":0.9900990099009901,"identical":true}}]`,
+	} {
+		if err := checkBenchDocument([]byte(doc)); err != nil {
+			t.Errorf("valid %s harness_parallel record rejected: %v", name, err)
+		}
 	}
 }
 

@@ -17,16 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"atrapos"
 )
 
 // runFuzz runs n composed fuzz scenarios from the base seed and reports every
-// invariant violation with its minimal reproducer; any failure is fatal.
-func runFuzz(n int, seed int64) error {
+// invariant violation with its minimal reproducer; any failure is fatal. The
+// scenarios fan out across parallel goroutines; verdicts are independent of
+// the concurrency (each scenario derives everything from its own seed).
+func runFuzz(n int, seed int64, parallel int) error {
 	start := time.Now()
-	rep, err := atrapos.FuzzScenarios(atrapos.FuzzOptions{Scenarios: n, Seed: seed})
+	rep, err := atrapos.FuzzScenarios(atrapos.FuzzOptions{Scenarios: n, Seed: seed, Parallel: parallel})
 	if err != nil {
 		return err
 	}
@@ -55,11 +58,12 @@ func main() {
 		jsonTxns   = flag.Int("txns", 40000, "transactions measured per design in -json mode")
 		verifyJSON = flag.Bool("verify", false, "validate BENCH.json (see -out) against the trajectory schema and exit")
 		fuzzN      = flag.Int("fuzz", 0, "run N seeded fuzz scenarios (composed workload/machine/layout/fault schedules) and check every standing invariant")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points / fuzz scenarios / experiments run concurrently (1 = serial); results are bit-identical at any value")
 	)
 	flag.Parse()
 
 	if *fuzzN > 0 {
-		if err := runFuzz(*fuzzN, *seed); err != nil {
+		if err := runFuzz(*fuzzN, *seed, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 			os.Exit(1)
 		}
@@ -94,7 +98,7 @@ func main() {
 		if w <= 0 {
 			w = 1 // single worker: stable per-transaction numbers
 		}
-		if err := runBenchJSON(*jsonOut, *jsonTxns, w, *seed, *profile); err != nil {
+		if err := runBenchJSON(*jsonOut, *jsonTxns, w, *seed, *profile, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,6 +126,7 @@ func main() {
 	scale.Seed = *seed
 	scale.Workers = *workers
 	scale.Profile = *profile
+	scale.Parallel = *parallel
 
 	run := func(id string) error {
 		start := time.Now()
@@ -135,12 +140,25 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, id := range atrapos.Experiments() {
-			if err := run(id); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-				os.Exit(1)
+		// The registry fans out across -parallel goroutines; tables print in
+		// registry order with per-experiment wall time once everything landed.
+		start := time.Now()
+		results, err := atrapos.RunAllExperimentsTimed(scale)
+		failed := false
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+				failed = true
+				continue
 			}
+			fmt.Println(r.Table.String())
+			fmt.Printf("(%s completed in %v)\n\n", r.ID, r.Wall.Round(time.Millisecond))
 		}
+		if err != nil || failed {
+			os.Exit(1)
+		}
+		fmt.Printf("all %d experiments completed in %v at -parallel %d\n",
+			len(results), time.Since(start).Round(time.Millisecond), *parallel)
 		return
 	}
 	if err := run(*experiment); err != nil {

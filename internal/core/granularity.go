@@ -138,8 +138,9 @@ func (g GranularityModel) flushShare() float64 {
 //   - instance locality: every action touches the instance's shared state
 //     (lock table stripe, log tail) and data homed on the island's first
 //     core; members on other dies or sockets of a coarse island pay the
-//     transfer surcharge. Begin/commit touch the transaction-state stripe,
-//     which the machine level centralizes.
+//     transfer surcharge, and members below full speed (hybrid parts' E
+//     cores) pay it scaled by 1/Speed. Begin/commit touch the
+//     transaction-state stripe, which the machine level centralizes.
 //   - lock conflicts: workers sharing one instance's key range abort and
 //     retry; the expected retry work grows with the writers per instance and
 //     shrinks with the instance's key span.
@@ -163,13 +164,25 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 
 	// Instance locality: per-action shared-state atomic plus two cache lines
 	// of row payload against the island home, averaged over member cores.
-	var state float64
+	// Each member's contribution is weighted by its relative speed, mirroring
+	// numa.RowWorkAt: an efficiency core takes 1/Speed as long for the same
+	// access work, so an island of E-cores is priced dearer than a P-core
+	// island of the same size. Full-speed members divide by exactly 1, so
+	// uniform machines score bit-identically to the unweighted model.
+	var state, speedSum float64
 	members := 0
 	for _, isl := range islands {
 		home := isl.Cores[0]
 		for _, c := range isl.Cores {
-			state += float64(g.Domain.CoreAtomicCost(c.ID, home.ID)) +
+			cost := float64(g.Domain.CoreAtomicCost(c.ID, home.ID)) +
 				2*float64(g.Domain.CoreDRAMCost(c.ID, home.Socket))
+			if c.Speed != 1 && c.Speed > 0 {
+				cost /= c.Speed
+				speedSum += c.Speed
+			} else {
+				speedSum++
+			}
+			state += cost
 			members++
 		}
 	}
@@ -258,8 +271,10 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 
 	// Lock conflicts: an instance shared by several concurrent workers sees
 	// write conflicts proportional to the locks they hold over its key span;
-	// each conflict costs one aborted attempt's row work. Single-worker
-	// instances (fine granularity) never conflict.
+	// each conflict costs one aborted attempt's row work — executed by a
+	// member core, so the retry bill is divided by the members' average
+	// speed: on hybrid parts the aborted work re-runs on slower silicon.
+	// Uniform machines have average speed exactly 1 and score unchanged.
 	if shape.TotalKeys > 0 && shape.WritesPerTxn > 0 && shape.Concurrency > 0 {
 		perIsland := float64(shape.TotalKeys) / float64(n)
 		sharing := float64(shape.Concurrency) / float64(n)
@@ -268,7 +283,11 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			if pConflict > 1 {
 				pConflict = 1
 			}
-			score += pConflict * k * float64(g.Domain.Model.RowWork)
+			retry := pConflict * k * float64(g.Domain.Model.RowWork)
+			if avgSpeed := speedSum / float64(members); avgSpeed != 1 && avgSpeed > 0 {
+				retry /= avgSpeed
+			}
+			score += retry
 		}
 	}
 

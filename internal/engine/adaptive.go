@@ -620,6 +620,7 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 		e.noteTime(affected[0])
 		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
 	}
+	e.absorbRetiredLogs(wiring)
 	e.state.install(desired, rt, e.activePartitionsPerCore(desired, now), wiring)
 	for name, td := range diff.Tables {
 		if td.Kind != partition.TableUnchanged {

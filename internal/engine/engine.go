@@ -16,6 +16,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"atrapos/internal/core"
@@ -245,6 +246,15 @@ type Engine struct {
 
 	accounts []coreAccount
 	adaptive *adaptiveState
+
+	// retiredLogStats accumulates the activity counters of island logs an
+	// online re-wiring dropped (rebuilt rather than reused), so logStats —
+	// and through it Result.Log — stays cumulative across level changes
+	// instead of under-reporting whenever the planner rebuilds a log.
+	// Guarded by retiredMu: the planner retires logs from a worker while run
+	// bookkeeping reads the total.
+	retiredMu       sync.Mutex
+	retiredLogStats wal.Stats
 
 	// hwm is the monotonic high-water mark of the engine-wide virtual time;
 	// see virtualNow/virtualNowExact in account.go.
@@ -600,6 +610,13 @@ type islandWiring struct {
 	// over from its predecessor versus created fresh; reboundDevices counts
 	// the reused logs whose device binding the re-wiring had to re-derive.
 	reusedLogs, rebuiltLogs, reboundDevices int
+
+	// retiredLogStats is the summed activity counters of the predecessor's
+	// logs this wiring did NOT carry over: their records live on in the
+	// recovery rings but their counters would vanish with the dropped logs.
+	// The engine absorbs the sum into its cumulative retired-stats account
+	// when (and only when) the wiring is actually installed.
+	retiredLogStats wal.Stats
 }
 
 // siteOf returns the site index of the instance whose island contains core c.
@@ -643,8 +660,10 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 		devs = make([]*device.Device, 0, len(islands))
 	}
 	var reuse []*wal.CentralLog
+	var reusedPrev []bool
 	if prev != nil {
 		reuse = make([]*wal.CentralLog, len(islands))
+		reusedPrev = make([]bool, len(prev.siteCores))
 	}
 	for i, isl := range islands {
 		w.sites = append(w.sites, isl.Cores[0])
@@ -674,6 +693,7 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 			for j, cores := range prev.siteCores {
 				if sameCores(cores, isl.Cores) {
 					reuse[i] = prev.logs.Log(j)
+					reusedPrev[j] = true
 					w.reusedLogs++
 					break
 				}
@@ -681,6 +701,19 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 		}
 	}
 	w.rebuiltLogs = len(islands) - w.reusedLogs
+	if prev != nil && prev.logs != nil {
+		// Snapshot the counters of every log this wiring drops, so the
+		// engine's cumulative log accounting survives the rebuild. Taken at
+		// derivation time: a transaction still executing against the old
+		// snapshot can append to a dropped log after this point, and those
+		// late appends go uncounted — the same marginal skew any counter
+		// snapshot concurrent with execution has.
+		for j := range prev.siteCores {
+			if !reusedPrev[j] {
+				w.retiredLogStats = w.retiredLogStats.Add(prev.logs.Log(j).Stats())
+			}
+		}
+	}
 	w.logs = wal.NewPartitionedLogAtReusing(e.domain, homes, *e.cfg.LogConfig, devs, reuse)
 	w.reboundDevices = w.logs.ReboundDevices()
 	w.coordinator = txn.NewCoordinatorAt(e.domain, w.logs, homeCores)

@@ -84,13 +84,33 @@ func (e *Engine) crashLogs() []*wal.CentralLog {
 	return nil
 }
 
-// logStats sums the activity counters of every log the engine currently owns.
+// logStats sums the activity counters of every log the engine currently
+// owns, plus the counters of logs retired by online re-wirings: the total is
+// cumulative over the engine's whole history, so Result.Log deltas never
+// under-report because a level change rebuilt a log mid-run.
 func (e *Engine) logStats() wal.Stats {
 	var s wal.Stats
 	for _, l := range e.crashLogs() {
 		s = s.Add(l.Stats())
 	}
+	e.retiredMu.Lock()
+	s = s.Add(e.retiredLogStats)
+	e.retiredMu.Unlock()
 	return s
+}
+
+// absorbRetiredLogs folds a freshly-derived wiring's dropped-log counters
+// into the engine's cumulative account. Called exactly when the wiring is
+// installed — a derived-but-abandoned wiring (a liveness race bail-out) must
+// not retire anything, or the totals would double-count logs that were never
+// actually dropped.
+func (e *Engine) absorbRetiredLogs(w *islandWiring) {
+	if w == nil || w.retiredLogStats == (wal.Stats{}) {
+		return
+	}
+	e.retiredMu.Lock()
+	e.retiredLogStats = e.retiredLogStats.Add(w.retiredLogStats)
+	e.retiredMu.Unlock()
 }
 
 // drainLogs forces every owned log's write-combining accumulator out (see

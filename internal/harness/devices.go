@@ -77,7 +77,8 @@ func RunDevicePoint(s Scale, prof topology.Profile, layout string, level topolog
 
 // DeviceSweep runs the full grid on the sweep profile: every log-device
 // layout, every multisite probability, every island level the machine
-// distinguishes.
+// distinguishes. Points run through the harness pool (Scale.Parallel) with
+// results in grid order and per-point errors aggregated.
 func DeviceSweep(s Scale, pcts []int) ([]DevicePoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -86,17 +87,33 @@ func DeviceSweep(s Scale, pcts []int) ([]DevicePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []DevicePoint
+	type cell struct {
+		layout string
+		pct    int
+		level  topology.Level
+	}
+	var grid []cell
 	for _, layout := range deviceSweepLayouts() {
 		for _, pct := range pcts {
 			for _, level := range prof.Levels() {
-				pt, err := RunDevicePoint(s, prof, layout, level, pct)
-				if err != nil {
-					return nil, fmt.Errorf("log-devices %s/%s/%s/%d%%: %w", prof.Name, layout, level, pct, err)
-				}
-				out = append(out, pt)
+				grid = append(grid, cell{layout, pct, level})
 			}
 		}
+	}
+	out := make([]DevicePoint, len(grid))
+	jobs := make([]PointFn, len(grid))
+	for i, c := range grid {
+		jobs[i] = func() error {
+			pt, err := RunDevicePoint(s, prof, c.layout, c.level, c.pct)
+			if err != nil {
+				return fmt.Errorf("log-devices %s/%s/%s/%d%%: %w", prof.Name, c.layout, c.level, c.pct, err)
+			}
+			out[i] = pt
+			return nil
+		}
+	}
+	if err := s.pool().Run(jobs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

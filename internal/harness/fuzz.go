@@ -26,6 +26,12 @@ type FuzzOptions struct {
 	// Scale sizes the datasets and transaction counts; the zero value means
 	// QuickScale.
 	Scale Scale
+	// Parallel is how many scenarios run concurrently through the harness
+	// pool (0 or 1 = serial). Scenario verdicts are seed-deterministic at any
+	// concurrency: each scenario derives everything from its own seed, and
+	// the process-global allocs/txn measurement runs under the pool's
+	// allocation token, which excludes every other in-flight scenario.
+	Parallel int
 }
 
 // FuzzFailure is one scenario whose invariants did not hold, with the minimal
@@ -206,8 +212,10 @@ func randomFaultSchedule(rng *rand.Rand, sockets, devices int, from, to vclock.N
 }
 
 // runScenario executes one composed scenario and checks every standing
-// invariant; the returned error names the first violation.
-func runScenario(s Scale, sc fuzzScenario, seed int64) error {
+// invariant; the returned error names the first violation. The pool supplies
+// the allocation token serializing the process-global allocs/txn window; the
+// caller must be a running point of that pool.
+func runScenario(pool *Pool, s Scale, sc fuzzScenario, seed int64) error {
 	// 1. The adaptive run under the fault schedule: the system must keep
 	// committing, and once the timeline settles the wiring must have converged
 	// onto the surviving hardware with no site on dead sockets and no island
@@ -287,34 +295,41 @@ func runScenario(s Scale, sc fuzzScenario, seed int64) error {
 	// can land inside a measured window, and Mallocs is process-global — GC
 	// bookkeeping left over from earlier scenarios in a batch adds noise a
 	// single window can absorb — but a genuine per-transaction leak shows up
-	// in every rep.
+	// in every rep. Mallocs being process-global is also why the whole
+	// measured section runs under the pool's allocation token: a concurrent
+	// scenario's allocations inside the window would fail the invariant for
+	// this one, so the token drains every other in-flight point first and
+	// holds new ones back until the reps finish.
 	const allocTxns = 8000
-	best := -1.0
-	for rep := 0; rep < 3; rep++ {
-		var before, after runtime.MemStats
-		// Two collections: the second waits out sweep work the first queued,
-		// so finalizer and sweep allocations land before the window opens.
-		runtime.GC()
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		allocRes, err := e.Run(engine.RunOptions{Transactions: allocTxns, Seed: seed + 2 + int64(rep), Workers: 1})
-		runtime.ReadMemStats(&after)
-		if err != nil {
-			return fmt.Errorf("alloc-check run: %w", err)
+	return pool.WithAllocToken(func() error {
+		best := -1.0
+		for rep := 0; rep < 3; rep++ {
+			var before, after runtime.MemStats
+			// Two collections: the second waits out sweep work the first
+			// queued, so finalizer and sweep allocations land before the
+			// window opens.
+			runtime.GC()
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			allocRes, err := e.Run(engine.RunOptions{Transactions: allocTxns, Seed: seed + 2 + int64(rep), Workers: 1})
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return fmt.Errorf("alloc-check run: %w", err)
+			}
+			n := allocRes.Committed + allocRes.Aborted
+			if n == 0 {
+				return fmt.Errorf("alloc-check run committed nothing")
+			}
+			perTxn := float64(after.Mallocs-before.Mallocs) / float64(n)
+			if best < 0 || perTxn < best {
+				best = perTxn
+			}
 		}
-		n := allocRes.Committed + allocRes.Aborted
-		if n == 0 {
-			return fmt.Errorf("alloc-check run committed nothing")
+		if best >= 0.5 {
+			return fmt.Errorf("steady state allocates: %.3f allocs/txn over %d txns", best, allocTxns)
 		}
-		perTxn := float64(after.Mallocs-before.Mallocs) / float64(n)
-		if best < 0 || perTxn < best {
-			best = perTxn
-		}
-	}
-	if best >= 0.5 {
-		return fmt.Errorf("steady state allocates: %.3f allocs/txn over %d txns", best, allocTxns)
-	}
-	return nil
+		return nil
+	})
 }
 
 // runCrashPair runs the committed-state-equivalence drill: a fault-free
@@ -415,20 +430,38 @@ func FuzzScenarios(opts FuzzOptions) (*FuzzReport, error) {
 		return nil, err
 	}
 	report := &FuzzReport{Scenarios: opts.Scenarios}
+	// One pool point per scenario. Verdicts land in per-scenario slots and
+	// are compacted in submission order afterwards, so the failure list is
+	// identical at any concurrency; scenario construction errors are harness
+	// bugs and abort via the joined pool error.
+	pool := NewPool(opts.Parallel)
+	verdicts := make([]*FuzzFailure, opts.Scenarios)
+	jobs := make([]PointFn, opts.Scenarios)
 	for i := 0; i < opts.Scenarios; i++ {
-		seed := opts.Seed + int64(i)
-		sc, err := buildScenario(s, seed)
-		if err != nil {
-			return nil, err
+		jobs[i] = func() error {
+			seed := opts.Seed + int64(i)
+			sc, err := buildScenario(s, seed)
+			if err != nil {
+				return err
+			}
+			if err := runScenario(pool, s, sc, seed); err != nil {
+				verdicts[i] = &FuzzFailure{
+					Scenario:  i,
+					Seed:      seed,
+					Descr:     sc.String(),
+					Reproduce: fmt.Sprintf("go run ./cmd/atrapos-bench -fuzz 1 -seed %d", seed),
+					Err:       err.Error(),
+				}
+			}
+			return nil
 		}
-		if err := runScenario(s, sc, seed); err != nil {
-			report.Failures = append(report.Failures, FuzzFailure{
-				Scenario:  i,
-				Seed:      seed,
-				Descr:     sc.String(),
-				Reproduce: fmt.Sprintf("go run ./cmd/atrapos-bench -fuzz 1 -seed %d", seed),
-				Err:       err.Error(),
-			})
+	}
+	if err := pool.Run(jobs); err != nil {
+		return nil, err
+	}
+	for _, f := range verdicts {
+		if f != nil {
+			report.Failures = append(report.Failures, *f)
 		}
 	}
 	return report, nil

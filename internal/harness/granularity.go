@@ -116,9 +116,16 @@ func RunAdaptiveGranularityFrom(s Scale, static []IslandPoint) (*GranularityTraj
 		Duration:        2 * half,
 		MaxTransactions: 40 * s.Transactions,
 		Seed:            s.Seed,
-		Workers:         s.Workers,
+		Workers:         s.pointWorkers(),
 		SampleWindow:    adaptiveWindow,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Measure the static baseline's cells that the precomputed sweep does not
+	// cover, fanned through the harness pool: each missing (pct, level) cell
+	// is one independent fixed-level point.
+	static, err = fillStaticPoints(s, prof, pcts, static)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +174,43 @@ func RunAdaptiveGranularityFrom(s Scale, static []IslandPoint) (*GranularityTraj
 		})
 	}
 	return out, nil
+}
+
+// fillStaticPoints extends a precomputed island sweep with every (pct, level)
+// cell of the static baseline it does not already cover, measuring the
+// missing cells concurrently through the harness pool.
+func fillStaticPoints(s Scale, prof topology.Profile, pcts []int, static []IslandPoint) ([]IslandPoint, error) {
+	type cell struct {
+		pct   int
+		level topology.Level
+	}
+	var missing []cell
+	for _, pct := range pcts {
+		for _, level := range prof.Levels() {
+			if _, ok := findIslandPoint(static, prof.Name, pct, level.String()); !ok {
+				missing = append(missing, cell{pct, level})
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return static, nil
+	}
+	measured := make([]IslandPoint, len(missing))
+	jobs := make([]PointFn, len(missing))
+	for i, c := range missing {
+		jobs[i] = func() error {
+			pt, err := RunIslandPoint(s, prof, c.level, c.pct)
+			if err != nil {
+				return fmt.Errorf("static baseline %s/%s/%d%%: %w", prof.Name, c.level, c.pct, err)
+			}
+			measured[i] = pt
+			return nil
+		}
+	}
+	if err := s.pool().Run(jobs); err != nil {
+		return nil, err
+	}
+	return append(static, measured...), nil
 }
 
 // staticBestLevel finds the island level with the highest throughput at a

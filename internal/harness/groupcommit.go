@@ -100,7 +100,9 @@ func RunGroupCommitPoint(s Scale, prof topology.Profile, layout string, level to
 }
 
 // GroupCommitSweep runs the coalescing on/off grid over the sweep layouts and
-// every island level the machine distinguishes.
+// every island level the machine distinguishes. Points run through the
+// harness pool (Scale.Parallel) with results in grid order and per-point
+// errors aggregated.
 func GroupCommitSweep(s Scale) ([]GroupCommitPoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -109,17 +111,33 @@ func GroupCommitSweep(s Scale) ([]GroupCommitPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []GroupCommitPoint
+	type cell struct {
+		layout   string
+		coalesce int
+		level    topology.Level
+	}
+	var grid []cell
 	for _, layout := range groupCommitLayouts() {
 		for _, coalesce := range []int{0, groupCommitCoalesce} {
 			for _, level := range prof.Levels() {
-				pt, err := RunGroupCommitPoint(s, prof, layout, level, coalesce)
-				if err != nil {
-					return nil, fmt.Errorf("group-commit %s/%s/%s/c=%d: %w", prof.Name, layout, level, coalesce, err)
-				}
-				out = append(out, pt)
+				grid = append(grid, cell{layout, coalesce, level})
 			}
 		}
+	}
+	out := make([]GroupCommitPoint, len(grid))
+	jobs := make([]PointFn, len(grid))
+	for i, c := range grid {
+		jobs[i] = func() error {
+			pt, err := RunGroupCommitPoint(s, prof, c.layout, c.level, c.coalesce)
+			if err != nil {
+				return fmt.Errorf("group-commit %s/%s/%s/c=%d: %w", prof.Name, c.layout, c.level, c.coalesce, err)
+			}
+			out[i] = pt
+			return nil
+		}
+	}
+	if err := s.pool().Run(jobs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,8 +6,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"atrapos/internal/engine"
 	"atrapos/internal/topology"
@@ -34,6 +36,13 @@ type Scale struct {
 	Transactions int
 	// Workers is the number of executing goroutines (0 = automatic).
 	Workers int
+	// Parallel is how many independent sweep points / experiments the harness
+	// pool runs concurrently. 0 preserves the legacy serial semantics exactly
+	// (points run in order with Workers passed through untouched); 1 runs
+	// points serially with the pool's deterministic per-point worker pinning;
+	// N > 1 fans points out across N goroutines. See pointWorkers for how the
+	// per-point engine worker count is budgeted.
+	Parallel int
 	// Seed makes runs repeatable.
 	Seed int64
 	// Profile optionally names a machine profile (topology.Profiles) to run
@@ -249,26 +258,116 @@ func IDs() []string {
 	return out
 }
 
-// RunAll executes every experiment at the given scale.
+// ExperimentResult is one experiment's outcome under RunAllTimed: the
+// rendered table (nil on failure), the experiment's own wall time, and its
+// error if it failed.
+type ExperimentResult struct {
+	ID    string
+	Table *Table
+	Wall  time.Duration
+	Err   error
+}
+
+// RunAll executes every experiment at the given scale. Experiments run
+// through the harness pool at Scale.Parallel concurrency; failures are
+// aggregated (every experiment runs) and joined into the returned error, with
+// the successful tables returned in registry order.
 func RunAll(s Scale) ([]*Table, error) {
+	results, err := RunAllTimed(s)
+	var out []*Table
+	for _, r := range results {
+		if r.Table != nil {
+			out = append(out, r.Table)
+		}
+	}
+	return out, err
+}
+
+// RunAllTimed is RunAll with per-experiment wall times: every experiment is
+// one pool point, results come back in registry order no matter the
+// completion order, and a failing experiment reports its error in its slot
+// (and in the joined return error) without aborting the others. Each
+// experiment's internal sweeps run serially with the per-point engine worker
+// count pinned (see pointWorkers), so the registry is the unit of
+// parallelism and results do not depend on Scale.Parallel.
+func RunAllTimed(s Scale) ([]ExperimentResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	var out []*Table
-	for _, e := range Registry() {
-		t, err := e.Run(s)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", e.ID, err)
-		}
-		out = append(out, t)
+	inner := s
+	if s.Parallel != 0 {
+		// Pin the per-point worker count at the outer scale's budget and
+		// disable nested pooling: C experiments x C sweep points would
+		// oversubscribe quadratically, and the registry alone has enough
+		// fan-out.
+		inner.Workers = s.pointWorkers()
+		inner.Parallel = 1
 	}
-	return out, nil
+	reg := Registry()
+	results := make([]ExperimentResult, len(reg))
+	jobs := make([]PointFn, len(reg))
+	for i, e := range reg {
+		jobs[i] = func() error {
+			start := time.Now()
+			t, err := e.Run(inner)
+			results[i] = ExperimentResult{ID: e.ID, Table: t, Wall: time.Since(start)}
+			if err != nil {
+				results[i].Table = nil
+				results[i].Err = fmt.Errorf("%s: %w", e.ID, err)
+				return results[i].Err
+			}
+			return nil
+		}
+	}
+	err := s.pool().Run(jobs)
+	return results, err
 }
 
 // --- shared helpers ---
 
+// parallel is the effective pool concurrency of the scale.
+func (s Scale) parallel() int {
+	if s.Parallel < 1 {
+		return 1
+	}
+	return s.Parallel
+}
+
+// pool returns the scheduler the scale's sweeps fan their points into.
+func (s Scale) pool() *Pool { return NewPool(s.parallel()) }
+
+// pointWorkers is the engine worker count one sweep point runs with under
+// the pool. A point's simulated results depend on its own worker count, so
+// the count must not vary with the pool concurrency — otherwise -parallel
+// would change the tables, not just the wall time. The budget keeps
+// pool concurrency x per-point workers <= GOMAXPROCS:
+//
+//   - Parallel == 0 (legacy serial callers): Workers passes through exactly
+//     as before the pool existed.
+//   - automatic Workers under the pool: one worker per point, at every
+//     concurrency — the pool supplies the parallelism, and -parallel 1 vs
+//     -parallel N produce bit-identical tables on any host.
+//   - explicit Workers under the pool: respected, but capped at
+//     GOMAXPROCS / Parallel (floored at 1) so the budget holds.
+func (s Scale) pointWorkers() int {
+	if s.Parallel == 0 {
+		return s.Workers
+	}
+	if s.Workers <= 0 {
+		return 1
+	}
+	budget := runtime.GOMAXPROCS(0) / s.Parallel
+	if budget < 1 {
+		budget = 1
+	}
+	if s.Workers < budget {
+		return s.Workers
+	}
+	return budget
+}
+
 func (s Scale) runOptions() engine.RunOptions {
-	return engine.RunOptions{Transactions: s.Transactions, Seed: s.Seed, Workers: s.Workers}
+	return engine.RunOptions{Transactions: s.Transactions, Seed: s.Seed, Workers: s.pointWorkers()}
 }
 
 func runThroughput(e *engine.Engine, opts engine.RunOptions) (float64, *engine.Result, error) {

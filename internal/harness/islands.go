@@ -76,22 +76,41 @@ func RunIslandPoint(s Scale, prof topology.Profile, level topology.Level, pct in
 }
 
 // IslandSweep runs the full grid: every profile, every multisite probability,
-// every island level that is distinct on the profile's machine.
+// every island level that is distinct on the profile's machine. Points run
+// through the harness pool at Scale.Parallel concurrency; the returned slice
+// is always in grid order, and point failures are aggregated into one joined
+// error instead of aborting the sweep at the first bad cell.
 func IslandSweep(s Scale, pcts []int) ([]IslandPoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	var out []IslandPoint
+	type cell struct {
+		prof  topology.Profile
+		pct   int
+		level topology.Level
+	}
+	var grid []cell
 	for _, prof := range islandSweepProfiles(s) {
 		for _, pct := range pcts {
 			for _, level := range prof.Levels() {
-				pt, err := RunIslandPoint(s, prof, level, pct)
-				if err != nil {
-					return nil, fmt.Errorf("islands %s/%s/%d%%: %w", prof.Name, level, pct, err)
-				}
-				out = append(out, pt)
+				grid = append(grid, cell{prof, pct, level})
 			}
 		}
+	}
+	out := make([]IslandPoint, len(grid))
+	jobs := make([]PointFn, len(grid))
+	for i, c := range grid {
+		jobs[i] = func() error {
+			pt, err := RunIslandPoint(s, c.prof, c.level, c.pct)
+			if err != nil {
+				return fmt.Errorf("islands %s/%s/%d%%: %w", c.prof.Name, c.level, c.pct, err)
+			}
+			out[i] = pt
+			return nil
+		}
+	}
+	if err := s.pool().Run(jobs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
