@@ -2,8 +2,8 @@
 #
 #   make check        - everything CI runs: format, vet, static analysis, build,
 #                       test, race, bench smoke, log-device smoke, group-commit
-#                       smoke, fault-scenario fuzz smoke, BENCH.json
-#                       well-formedness
+#                       smoke, executed-storage smoke, fault-scenario fuzz
+#                       smoke, BENCH.json well-formedness
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
@@ -16,9 +16,9 @@
 GO ?= go
 FUZZ_SEED ?= 42
 
-.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices bench-groupcommit fuzz-smoke
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices bench-groupcommit bench-executed fuzz-smoke
 
-check: fmt vet staticcheck build test race bench-smoke bench-devices bench-groupcommit fuzz-smoke bench-verify
+check: fmt vet staticcheck build test race bench-smoke bench-devices bench-groupcommit bench-executed fuzz-smoke bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -81,6 +81,13 @@ bench-devices:
 # the CLI; the schema gates in -verify assert the coalescing wins.
 bench-groupcommit:
 	$(GO) run ./cmd/atrapos-bench -experiment fig-group-commit
+
+# Executed storage mode: runs every island level in both priced (virtual
+# time) and executed (real sharded hash backend, wall-clock) modes, fits the
+# cost-model calibration, and asserts the fine-vs-coarse crossover direction
+# agrees between the two on the chiplet profile.
+bench-executed:
+	$(GO) run ./cmd/atrapos-bench -experiment fig-executed
 
 # A bounded, fixed-seed run of the fault-scenario fuzzer: 100 composed
 # {workload, machine, device layout, fault schedule} scenarios, every standing

@@ -36,6 +36,7 @@ package atrapos
 import (
 	"fmt"
 
+	"atrapos/internal/backend"
 	"atrapos/internal/core"
 	"atrapos/internal/device"
 	"atrapos/internal/engine"
@@ -194,6 +195,22 @@ func TwoTableSimple(rows int) *Workload { return workload.TwoTableSimple(rows) }
 // ReadHundred returns the remote-memory microbenchmark of Table I.
 func ReadHundred(rows int) *Workload { return workload.ReadHundred(rows) }
 
+// YCSBMix names one of the YCSB core mixes (A: 50/50 read/update,
+// B: 95/5, C: read-only).
+type YCSBMix = workload.YCSBMix
+
+// The YCSB core mixes.
+const (
+	MixYCSBA = workload.YCSBA
+	MixYCSBB = workload.YCSBB
+	MixYCSBC = workload.YCSBC
+)
+
+// YCSB returns the named YCSB core mix: single-row reads and updates over a
+// Zipf-skewed, site-local key distribution, perfectly partitionable at any
+// island granularity.
+func YCSB(rows int, mix YCSBMix) *Workload { return workload.YCSB(rows, mix) }
+
 // Options configures a System.
 type Options struct {
 	// Design selects the system design; the default is DesignATraPos.
@@ -207,6 +224,10 @@ type Options struct {
 	// log devices and commits pay each device's service and queueing cost.
 	// Empty means no device modeling.
 	DeviceLayout string
+	// Backend selects the storage backend: the zero value is the priced
+	// virtual-time path; BackendHash adds the executed sharded hash engine
+	// (shared-nothing designs only) and enables System.RunExecuted.
+	Backend BackendKind
 	// Workload supplies the dataset and transaction generator. Required.
 	Workload *Workload
 	// Topology models the machine; nil means the paper's 8-socket box.
@@ -251,6 +272,7 @@ func Open(opts Options) (*System, error) {
 		Design:           opts.Design,
 		IslandLevel:      opts.IslandLevel,
 		DeviceLayout:     opts.DeviceLayout,
+		Backend:          opts.Backend,
 		Workload:         opts.Workload,
 		Topology:         top,
 		CostModel:        opts.CostModel,
@@ -308,6 +330,18 @@ func RestoreSocketAt(at VirtualTime, socket int) Event {
 
 // Run executes the workload and returns the measured result.
 func (s *System) Run(opts RunOptions) (*Result, error) { return s.engine.Run(opts) }
+
+// ExecutedResult is the outcome of a RunExecuted: real operations on the
+// sharded hash backend, timed in wall nanoseconds.
+type ExecutedResult = engine.ExecutedResult
+
+// RunExecuted executes the workload on the executed hash backend (requires
+// Options.Backend == BackendHash) with one OS-thread-pinned executor per
+// island, and returns wall-clock-measured results. The transaction stream is
+// the same deterministic stream Run generates for the same seed.
+func (s *System) RunExecuted(opts RunOptions) (*ExecutedResult, error) {
+	return s.engine.RunExecuted(opts)
+}
 
 // Design returns the system's design.
 func (s *System) Design() Design { return s.engine.Design() }
@@ -537,6 +571,53 @@ type FaultTimeline = harness.FaultTimeline
 // BENCH.json faults record.
 func RunFaultTimeline(scale Scale) (*FaultTimeline, error) {
 	return harness.RunFaultTimeline(scale)
+}
+
+// BackendKind selects the storage backend of a shared-nothing engine: the
+// priced (virtual-time) path, or the executed sharded hash engine measured in
+// real wall time.
+type BackendKind = backend.Kind
+
+// The storage backends.
+const (
+	// BackendPriced is the default virtual-time storage path.
+	BackendPriced = backend.Priced
+	// BackendHash is the executed storage mode: a Bitcask-style sharded hash
+	// engine with one single-owner shard, value log and OS-thread-pinned
+	// executor per island.
+	BackendHash = backend.Hash
+)
+
+// ExecutedPoint is one measured cell of the executed-storage sweep, in either
+// mode ("priced" or "executed").
+type ExecutedPoint = harness.ExecutedPoint
+
+// ExecutedProfileReport is one machine profile's calibration verdict: the
+// priced model's level-ranking correlation against real execution before and
+// after fitting per-component correction factors.
+type ExecutedProfileReport = harness.ExecutedProfileReport
+
+// ExecutedReport is the full executed-storage sweep: every point in both
+// modes, the per-profile calibrations, and the crossover-direction agreement
+// on the chiplet machine.
+type ExecutedReport = harness.ExecutedReport
+
+// ExecutedSweep runs the islands grid in both storage modes and fits the
+// measured-vs-priced calibration; it is the data behind the fig-executed
+// experiment and the BENCH.json executed_storage record.
+func ExecutedSweep(scale Scale) (*ExecutedReport, error) {
+	return harness.ExecutedSweep(scale)
+}
+
+// CostCalibration holds per-component correction factors fitted from
+// executed-vs-priced runs; apply them to a GranularityModel or derive a
+// scaled CostModel from them.
+type CostCalibration = core.Calibration
+
+// FitCostCalibration fits correction factors from paired per-component time
+// totals (measured wall nanoseconds vs priced virtual nanoseconds).
+func FitCostCalibration(measured, priced [vclock.NumComponents]int64) *CostCalibration {
+	return core.FitCalibration(measured, priced)
 }
 
 // FuzzOptions configures the invariant-checking scenario fuzzer.

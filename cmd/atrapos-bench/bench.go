@@ -98,6 +98,12 @@ type BenchRecord struct {
 	// scheduling change that alters results (or loses the speedup) shows up
 	// in the trajectory.
 	HarnessParallel *atrapos.ParallelReport `json:"harness_parallel,omitempty"`
+	// ExecutedStorage records the executed-storage sweep (fig-executed at
+	// bench scale): the islands grid measured both by the priced cost model
+	// and by real execution on the sharded hash backend, the per-profile
+	// rank correlations before and after cost-model calibration, and the
+	// crossover-direction agreement on the chiplet machine.
+	ExecutedStorage *atrapos.ExecutedReport `json:"executed_storage,omitempty"`
 }
 
 // runBenchJSON measures every design's transaction hot path on the TATP mix
@@ -240,6 +246,13 @@ func runBenchJSON(path string, txns int, workers int, seed int64, profile string
 	parScale := islandScale
 	parScale.Parallel = parallel
 	rec.HarnessParallel, err = atrapos.MeasureParallel(parScale)
+	if err != nil {
+		return err
+	}
+	// The executed-storage sweep: the islands grid in both modes with the
+	// measured-vs-priced calibration, so the cost model's level ranking stays
+	// anchored to real execution commit over commit.
+	rec.ExecutedStorage, err = atrapos.ExecutedSweep(islandScale)
 	if err != nil {
 		return err
 	}
@@ -420,6 +433,62 @@ func checkBenchDocument(data []byte) error {
 			if hp.Concurrency >= 4 && hp.Speedup < 1.5 {
 				return fmt.Errorf("record %d harness_parallel claims %d-way concurrency but only %.2fx speedup",
 					i, hp.Concurrency, hp.Speedup)
+			}
+		}
+		if ex := r.ExecutedStorage; ex != nil {
+			if len(ex.Points) == 0 {
+				return fmt.Errorf("record %d executed_storage has no points", i)
+			}
+			for _, pt := range ex.Points {
+				if pt.Profile == "" || pt.Level == "" {
+					return fmt.Errorf("record %d has an executed-storage point without profile or level", i)
+				}
+				if pt.MultiPct < 0 || pt.MultiPct > 100 || pt.Committed <= 0 {
+					return fmt.Errorf("record %d executed-storage point %s/%s has invalid counters", i, pt.Profile, pt.Level)
+				}
+				switch pt.Mode {
+				case "priced":
+					if pt.TPS <= 0 {
+						return fmt.Errorf("record %d priced point %s/%s has no virtual throughput", i, pt.Profile, pt.Level)
+					}
+				case "executed":
+					if pt.MeasuredKTPS <= 0 {
+						return fmt.Errorf("record %d executed point %s/%s has non-positive measured KTPS", i, pt.Profile, pt.Level)
+					}
+				default:
+					return fmt.Errorf("record %d executed-storage point %s/%s has unknown mode %q", i, pt.Profile, pt.Level, pt.Mode)
+				}
+			}
+			if len(ex.Profiles) == 0 {
+				return fmt.Errorf("record %d executed_storage has no profile reports", i)
+			}
+			for _, pr := range ex.Profiles {
+				if pr.Profile == "" {
+					return fmt.Errorf("record %d has an unnamed executed-storage profile report", i)
+				}
+				if pr.RankBefore < -1 || pr.RankBefore > 1 || pr.RankAfter < -1 || pr.RankAfter > 1 {
+					return fmt.Errorf("record %d executed-storage profile %s has rank correlation outside [-1,1]", i, pr.Profile)
+				}
+				// The identity fallback makes calibration monotone: a record
+				// where the fitted factors made the ranking worse is corrupt.
+				if pr.RankAfter < pr.RankBefore {
+					return fmt.Errorf("record %d executed-storage profile %s: calibration worsened the rank correlation (%.3f -> %.3f)",
+						i, pr.Profile, pr.RankBefore, pr.RankAfter)
+				}
+				for name, f := range pr.Factors {
+					if f <= 0 {
+						return fmt.Errorf("record %d executed-storage profile %s has non-positive factor %s", i, pr.Profile, name)
+					}
+				}
+			}
+			if ex.CrossoverProfile == "" {
+				return fmt.Errorf("record %d executed_storage names no crossover profile", i)
+			}
+			// Real execution must back the priced model's crossover direction
+			// on the chiplet machine — the sweep's headline claim.
+			if !ex.CrossoverAgrees {
+				return fmt.Errorf("record %d executed_storage: priced and executed modes disagree on the crossover direction on %s",
+					i, ex.CrossoverProfile)
 			}
 		}
 	}

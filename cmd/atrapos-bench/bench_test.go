@@ -62,6 +62,13 @@ func TestCheckBenchDocument(t *testing.T) {
 		"parallel no gain":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":8,"point_workers":1,"points":12,"serial_wall_ms":100,"parallel_wall_ms":95,"speedup":1.0526315789473684,"identical":true}}]`,
 		"parallel no wall":  `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":12,"serial_wall_ms":0,"parallel_wall_ms":50,"speedup":2,"identical":true}}]`,
 		"parallel 0 points": `[{"generated_at":"x","designs":[{"design":"plp"}],"harness_parallel":{"concurrency":4,"point_workers":1,"points":0,"serial_wall_ms":100,"parallel_wall_ms":50,"speedup":2,"identical":true}}]`,
+		"executed no pts":   `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[],"profiles":[],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed neg ktps": `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"executed","multisite_pct":0,"island_level":"core","measured_ktps":-5,"committed":1}],"profiles":[{"profile":"p","rank_before":0.5,"rank_after":0.5,"calibrated":false,"factors":{},"crossover_priced":true,"crossover_executed":true}],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed bad mode": `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"simulated","multisite_pct":0,"island_level":"core","virtual_tps":1,"committed":1}],"profiles":[{"profile":"p","rank_before":0.5,"rank_after":0.5,"calibrated":false,"factors":{},"crossover_priced":true,"crossover_executed":true}],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed rank oob": `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"priced","multisite_pct":0,"island_level":"core","virtual_tps":1,"committed":1}],"profiles":[{"profile":"p","rank_before":0.5,"rank_after":1.5,"calibrated":true,"factors":{},"crossover_priced":true,"crossover_executed":true}],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed worse":    `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"priced","multisite_pct":0,"island_level":"core","virtual_tps":1,"committed":1}],"profiles":[{"profile":"p","rank_before":0.9,"rank_after":0.4,"calibrated":true,"factors":{},"crossover_priced":true,"crossover_executed":true}],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed bad fac":  `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"priced","multisite_pct":0,"island_level":"core","virtual_tps":1,"committed":1}],"profiles":[{"profile":"p","rank_before":0.5,"rank_after":0.5,"calibrated":true,"factors":{"logging":-2},"crossover_priced":true,"crossover_executed":true}],"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`,
+		"executed discord":  `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[{"profile":"p","mode":"priced","multisite_pct":0,"island_level":"core","virtual_tps":1,"committed":1}],"profiles":[{"profile":"p","rank_before":0.5,"rank_after":0.5,"calibrated":false,"factors":{},"crossover_priced":true,"crossover_executed":false}],"crossover_profile":"chiplet-2s4d","crossover_agrees":false}}]`,
 	}
 	for name, doc := range cases {
 		if err := checkBenchDocument([]byte(doc)); err == nil {
@@ -77,6 +84,16 @@ func TestCheckBenchDocument(t *testing.T) {
 		`{"profile":"p","layout":"single-sata","island_level":"core","devices":1,"coalesce_records":64,"virtual_tps":900,"committed":1,"logical_records":100,"physical_records":50,"coalesced_records":70,"physical_flushes":2,"ride_along_flushes":18,"physical_bytes":4800,"record_ratio":0.3}]}]`
 	if err := checkBenchDocument([]byte(withGroupCommit)); err != nil {
 		t.Errorf("valid group-commit record rejected: %v", err)
+	}
+	withExecuted := `[{"generated_at":"x","designs":[{"design":"plp"}],"executed_storage":{"points":[` +
+		`{"profile":"chiplet-2s4d","mode":"priced","multisite_pct":0,"island_level":"core","virtual_tps":1200,"committed":400},` +
+		`{"profile":"chiplet-2s4d","mode":"executed","multisite_pct":0,"island_level":"core","measured_ktps":850.5,"committed":400}],` +
+		`"profiles":[{"profile":"chiplet-2s4d","rank_before":0.4,"rank_after":0.8,"calibrated":true,` +
+		`"factors":{"management":1,"execution":1,"communication":1.2,"locking":0.8,"logging":2.5},` +
+		`"crossover_priced":true,"crossover_executed":true}],` +
+		`"crossover_profile":"chiplet-2s4d","crossover_agrees":true}}]`
+	if err := checkBenchDocument([]byte(withExecuted)); err != nil {
+		t.Errorf("valid executed-storage record rejected: %v", err)
 	}
 	// A multi-core record with a real speedup and a single-core record whose
 	// pool degraded to serial (concurrency 1, speedup ~1) must both pass.

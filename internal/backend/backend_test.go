@@ -1,0 +1,353 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+)
+
+func testDomain(t *testing.T) *numa.Domain {
+	t.Helper()
+	top, err := topology.BuildProfile("2s-fc")
+	if err != nil {
+		t.Fatalf("BuildProfile: %v", err)
+	}
+	d, err := numa.NewDomain(top, numa.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	return d
+}
+
+func testHash(t *testing.T, islands int) *HashBackend {
+	t.Helper()
+	homes := make([]topology.SocketID, islands)
+	b, err := NewHash(HashConfig{
+		Islands: islands,
+		Tables:  []string{"alpha", "beta"},
+		Homes:   homes,
+		Log:     wal.Config{PerByteCost: 1, FlushCost: 12000, GroupSize: 4, Keep: 0, CoalesceRecords: 8},
+		Domain:  testDomain(t),
+	})
+	if err != nil {
+		t.Fatalf("NewHash: %v", err)
+	}
+	return b
+}
+
+func TestHashBackendPutGetDelete(t *testing.T) {
+	b := testHash(t, 3)
+	if got := b.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want next pow2 of 3 = 4", got)
+	}
+	for i := 0; i < 1000; i++ {
+		k := schema.Key(i * 7)
+		b.Put(b.ShardOf(0, k), 0, k, 1, uint64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		k := schema.Key(i * 7)
+		v, ok := b.Get(b.ShardOf(0, k), 0, k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d, %v; want %d, true", k, v, ok, i)
+		}
+	}
+	// Other table stays empty.
+	if _, ok := b.Get(b.ShardOf(1, 7), 1, 7); ok {
+		t.Fatal("key leaked across tables")
+	}
+	// Overwrite then delete.
+	k := schema.Key(7)
+	b.Put(b.ShardOf(0, k), 0, k, 2, 999)
+	if v, _ := b.Get(b.ShardOf(0, k), 0, k); v != 999 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	if !b.Delete(b.ShardOf(0, k), 0, k, 3) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if _, ok := b.Get(b.ShardOf(0, k), 0, k); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if b.Delete(b.ShardOf(0, k), 0, k, 4) {
+		t.Fatal("Delete of absent key returned true")
+	}
+}
+
+// TestOpenIndexChurn stresses growth, tombstone reuse, and probe-chain
+// integrity against a shadow map.
+func TestOpenIndexChurn(t *testing.T) {
+	var x openIndex
+	shadow := make(map[schema.Key]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := schema.Key(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			wantInsert := true
+			if _, ok := shadow[k]; ok {
+				wantInsert = false
+			}
+			if got := x.put(k, v); got != wantInsert {
+				t.Fatalf("put(%d) insert=%v, want %v", k, got, wantInsert)
+			}
+			shadow[k] = v
+		case 2:
+			_, present := shadow[k]
+			if got := x.del(k); got != present {
+				t.Fatalf("del(%d) = %v, want %v", k, got, present)
+			}
+			delete(shadow, k)
+		}
+	}
+	if x.len() != len(shadow) {
+		t.Fatalf("live count %d, shadow %d", x.len(), len(shadow))
+	}
+	for k, v := range shadow {
+		got, ok := x.get(k)
+		if !ok || got != v {
+			t.Fatalf("get(%d) = %d, %v; want %d, true", k, got, ok, v)
+		}
+	}
+	seen := 0
+	x.scan(func(k schema.Key, v uint64) bool {
+		if shadow[k] != v {
+			t.Fatalf("scan saw (%d, %d), shadow has %d", k, v, shadow[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(shadow) {
+		t.Fatalf("scan visited %d, want %d", seen, len(shadow))
+	}
+}
+
+func TestHashBackendCrashRecover(t *testing.T) {
+	b := testHash(t, 2)
+	shadow := make(map[int]map[schema.Key]bool)
+	for ti := 0; ti < 2; ti++ {
+		shadow[ti] = make(map[schema.Key]bool)
+	}
+	// Bulk load, committed via FinishLoad.
+	for i := 0; i < 64; i++ {
+		k := schema.Key(i)
+		b.Load(b.ShardOf(0, k), 0, k, uint64(i))
+		shadow[0][k] = true
+	}
+	b.FinishLoad(0)
+	// Committed transactions: inserts, overwrites, deletes across both tables.
+	txn := uint64(1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		ti := rng.Intn(2)
+		k := schema.Key(rng.Intn(128))
+		shard := b.ShardOf(ti, k)
+		island := b.Owner(shard)
+		if rng.Intn(4) == 0 {
+			if b.Delete(shard, ti, k, txn) {
+				delete(shadow[ti], k)
+			}
+		} else {
+			b.Put(shard, ti, k, txn, uint64(i))
+			shadow[ti][k] = true
+		}
+		b.Commit(island, txn, vnanos(i))
+		txn++
+	}
+	// A loser: writes with no commit record must not survive recovery.
+	loserKey := schema.Key(5000)
+	b.Put(b.ShardOf(0, loserKey), 0, loserKey, txn, 1)
+
+	b.CrashAndRecover(vnanos(1000))
+
+	sets := b.TableKeySets()
+	for ti, name := range []string{"alpha", "beta"} {
+		got := sets[name]
+		if len(got) != len(shadow[ti]) {
+			t.Fatalf("table %s: recovered %d keys, want %d", name, len(got), len(shadow[ti]))
+		}
+		for _, k := range got {
+			if !shadow[ti][k] {
+				t.Fatalf("table %s: recovered unexpected key %d", name, k)
+			}
+		}
+	}
+	if _, ok := b.Get(b.ShardOf(0, loserKey), 0, loserKey); ok {
+		t.Fatal("uncommitted write survived recovery")
+	}
+}
+
+func TestHashBackendReshard(t *testing.T) {
+	b := testHash(t, 4)
+	want := make(map[schema.Key]uint64)
+	for i := 0; i < 500; i++ {
+		k := schema.Key(i * 3)
+		b.Put(b.ShardOf(0, k), 0, k, 1, uint64(i))
+		want[k] = uint64(i)
+	}
+	before := b.TableKeySets()["alpha"]
+
+	// Coarsen 4 islands -> 2, routing by parity.
+	b.Reshard(2, []topology.SocketID{0, 1}, func(table int, key schema.Key) int {
+		return int(key) % 2
+	})
+	if b.Islands() != 2 || b.Shards() != 2 {
+		t.Fatalf("after reshard: islands=%d shards=%d, want 2/2", b.Islands(), b.Shards())
+	}
+	after := b.TableKeySets()["alpha"]
+	if len(after) != len(before) {
+		t.Fatalf("reshard lost keys: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("keyset changed at %d: %d vs %d", i, after[i], before[i])
+		}
+	}
+	for k, v := range want {
+		shard := int(k) % 2
+		got, ok := b.Get(shard, 0, k)
+		if !ok || got != v {
+			t.Fatalf("after reshard Get(%d) = %d, %v; want %d on shard %d", k, got, ok, v, shard)
+		}
+	}
+	// The compacted value logs must survive a crash drill too.
+	b.CrashAndRecover(0)
+	if got := b.TableKeySets()["alpha"]; len(got) != len(before) {
+		t.Fatalf("post-reshard recovery lost keys: %d, want %d", len(got), len(before))
+	}
+}
+
+func TestExecutorShipping(t *testing.T) {
+	b := testHash(t, 4)
+	execs := NewExecutors(b)
+	done := make(chan map[schema.Key]uint64, len(execs))
+	stop := make(chan struct{})
+	for _, ex := range execs {
+		go func(ex *Executor) {
+			ex.Pin(func() {
+				got := make(map[schema.Key]uint64)
+				// Each executor writes 100 keys spread over ALL shards (so
+				// most ops are shipped), then reads them back.
+				base := schema.Key(ex.ID() * 1000)
+				txn := uint64(ex.ID() + 1)
+				for i := 0; i < 100; i++ {
+					k := base + schema.Key(i)
+					shard := int(k) % b.Shards()
+					ex.Put(shard, 0, k, txn, uint64(k)*2)
+					ex.Poll()
+				}
+				ex.CommitLocal(txn, 0)
+				for i := 0; i < 100; i++ {
+					k := base + schema.Key(i)
+					shard := int(k) % b.Shards()
+					if v, ok := ex.Get(shard, 0, k); ok {
+						got[k] = v
+					}
+					ex.Poll()
+				}
+				done <- got
+				// Keep serving slower peers until everyone is finished.
+				ex.Serve(stop)
+			})
+		}(ex)
+	}
+	merged := make(map[schema.Key]uint64)
+	for range execs {
+		for k, v := range <-done {
+			merged[k] = v
+		}
+	}
+	close(stop)
+	if len(merged) != 400 {
+		t.Fatalf("read back %d keys, want 400", len(merged))
+	}
+	for k, v := range merged {
+		if v != uint64(k)*2 {
+			t.Fatalf("key %d = %d, want %d", k, v, uint64(k)*2)
+		}
+	}
+	ships := int64(0)
+	for _, ex := range execs {
+		ships += ex.Stats.Ships
+	}
+	if ships == 0 {
+		t.Fatal("expected cross-island ships, saw none")
+	}
+}
+
+func TestPricedBackendConformance(t *testing.T) {
+	d := testDomain(t)
+	mgr := storage.NewManager(d)
+	tbl, err := mgr.CreateTable(&schema.Table{
+		Name:       "alpha",
+		Columns:    []schema.Column{{Name: "id", Type: schema.Int64}},
+		PrimaryKey: []string{"id"},
+	}, nil, nil)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	var billed numa.Cost
+	p := NewPriced([]*storage.Table{tbl}, []topology.CoreID{0, 1}, func(shard int, c numa.Cost) {
+		billed += c
+	})
+	if p.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", p.Shards())
+	}
+	p.Put(0, 0, 42, 1, 7)
+	if v, ok := p.Get(1, 0, 42); !ok || v != 7 {
+		t.Fatalf("Get = %d, %v; want 7, true", v, ok)
+	}
+	p.Put(0, 0, 42, 2, 8)
+	if v, _ := p.Get(0, 0, 42); v != 8 {
+		t.Fatalf("update lost: got %d", v)
+	}
+	n := p.Scan(0, 0, func(schema.Key, uint64) bool { return true })
+	if n != 1 {
+		t.Fatalf("Scan visited %d, want 1", n)
+	}
+	if !p.Delete(0, 0, 42, 3) {
+		t.Fatal("Delete returned false")
+	}
+	if _, ok := p.Get(0, 0, 42); ok {
+		t.Fatal("deleted key still present")
+	}
+	if billed == 0 {
+		t.Fatal("priced backend billed no cost")
+	}
+}
+
+func vnanos(i int) vclock.Nanos { return vclock.Nanos(i) * 1000 }
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 32: 32, 33: 64, 40: 64}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	b := testHash(t, 8)
+	for i := 0; i < 100; i++ {
+		k := schema.Key(i)
+		s1 := b.ShardOf(0, k)
+		s2 := b.ShardOf(0, k)
+		if s1 != s2 {
+			t.Fatalf("ShardOf unstable for key %d", k)
+		}
+		if s1 < 0 || s1 >= b.Shards() {
+			t.Fatalf("ShardOf(%d) = %d out of range", k, s1)
+		}
+		if b.ShardOf(0, k) == b.ShardOf(1, k) && i == 0 {
+			// Tables may collide on individual keys; just ensure the
+			// distributions differ somewhere.
+			continue
+		}
+	}
+}

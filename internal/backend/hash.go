@@ -1,0 +1,339 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+)
+
+// HashBackend is the executed storage engine: a Bitcask-style hash engine
+// with one shard per hardware island. Each shard holds a per-table
+// open-addressing index owned by its island's executor (single-owner, so the
+// probe path needs no mutex and no RWMutex), and each island has an
+// append-only value log — a wal.CentralLog, so the write-combining coalescer
+// batches committed writes into net-delta flush epochs exactly as the priced
+// engine's island logs do. The in-memory indexes are the crash-volatile half:
+// CrashAndRecover drops them and rebuilds by replaying the island value logs.
+//
+// The shard count is rounded up to a power of two so the self-routing hash
+// (ShardOf) is a mask, not a division; shards beyond the island count are
+// owned by island (shard % islands) and stay empty under the engine's
+// site-indexed routing.
+type HashBackend struct {
+	tables  []string
+	islands int
+	homes   []topology.SocketID
+	domain  *numa.Domain
+	logCfg  wal.Config
+
+	shards []hashShard
+	logs   []*wal.CentralLog
+	mask   uint64
+
+	execs []*Executor
+
+	// loadTxn numbers bulk-load and compaction transactions from the top of
+	// the id space so they can never collide with the engine's per-run txn ids.
+	loadTxn uint64
+}
+
+// hashShard is one shard: a per-table open-addressing index.
+type hashShard struct {
+	idx []openIndex
+}
+
+// HashConfig sizes a HashBackend.
+type HashConfig struct {
+	// Islands is the number of islands (= executors = value logs); the shard
+	// count is the next power of two.
+	Islands int
+	// Tables are the table names, indexed by table id (TableSpecs order).
+	Tables []string
+	// Homes are the per-island log home sockets (island first-core sockets).
+	Homes []topology.SocketID
+	// Log tunes the island value logs. Keep must be 0 for crash drills (a
+	// bounded ring cannot replay the full history); CoalesceRecords batches
+	// physical flushes through the wal coalescer.
+	Log wal.Config
+	// Domain prices the value-log tail reservations (discarded by the
+	// executed path, which measures wall time instead, but the log needs one).
+	Domain *numa.Domain
+}
+
+// NewHash builds an empty hash backend.
+func NewHash(cfg HashConfig) (*HashBackend, error) {
+	if cfg.Islands < 1 {
+		return nil, fmt.Errorf("backend: need at least one island, got %d", cfg.Islands)
+	}
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("backend: need at least one table")
+	}
+	if cfg.Domain == nil {
+		return nil, fmt.Errorf("backend: need a NUMA domain for the value logs")
+	}
+	b := &HashBackend{
+		tables:  append([]string(nil), cfg.Tables...),
+		islands: cfg.Islands,
+		homes:   append([]topology.SocketID(nil), cfg.Homes...),
+		domain:  cfg.Domain,
+		logCfg:  cfg.Log,
+		loadTxn: ^uint64(0) - 1<<20,
+	}
+	b.build()
+	return b, nil
+}
+
+// build (re)creates the shard and log arrays empty.
+func (b *HashBackend) build() {
+	n := nextPow2(b.islands)
+	b.mask = uint64(n - 1)
+	b.shards = make([]hashShard, n)
+	for s := range b.shards {
+		b.shards[s].idx = make([]openIndex, len(b.tables))
+	}
+	b.logs = make([]*wal.CentralLog, b.islands)
+	for i := range b.logs {
+		b.logs[i] = wal.NewCentralLog(b.domain, b.home(i), b.logCfg)
+	}
+}
+
+// Reset drops all data and durability state, returning the backend to its
+// just-built state. Executors must be stopped.
+func (b *HashBackend) Reset() { b.build() }
+
+func (b *HashBackend) home(island int) topology.SocketID {
+	if island < 0 || island >= len(b.homes) {
+		return 0
+	}
+	return b.homes[island]
+}
+
+// Shards implements Backend.
+func (b *HashBackend) Shards() int { return len(b.shards) }
+
+// Islands returns the island (executor / value-log) count.
+func (b *HashBackend) Islands() int { return b.islands }
+
+// Tables returns the registered table names in table-id order.
+func (b *HashBackend) Tables() []string { return b.tables }
+
+// Owner returns the island owning a shard.
+func (b *HashBackend) Owner(shard int) int { return shard % b.islands }
+
+// ShardOf self-routes a key: its hash masked to the power-of-two shard count.
+// The engine's site routing supersedes this (placement decides ownership);
+// self-routing serves callers without a placement, like the backend tests.
+func (b *HashBackend) ShardOf(table int, key schema.Key) int {
+	return int(mix64(uint64(key)+uint64(table)<<56) & b.mask)
+}
+
+// Log returns island i's value log.
+func (b *HashBackend) Log(island int) *wal.CentralLog {
+	if island < 0 || island >= len(b.logs) {
+		return b.logs[0]
+	}
+	return b.logs[island]
+}
+
+var _ Backend = (*HashBackend)(nil)
+
+// Get implements Backend: one open-addressing probe, no locks — the shard is
+// owned by exactly one executor.
+func (b *HashBackend) Get(shard, table int, key schema.Key) (uint64, bool) {
+	return b.shards[shard].idx[table].get(key)
+}
+
+// Put implements Backend: the index takes the new value and the write is
+// appended to the owning island's value log on behalf of txn (staged by the
+// coalescer until the transaction's commit record arrives).
+func (b *HashBackend) Put(shard, table int, key schema.Key, txn, val uint64) {
+	inserted := b.shards[shard].idx[table].put(key, val)
+	typ := wal.Update
+	if inserted {
+		typ = wal.Insert
+	}
+	island := b.Owner(shard)
+	b.logs[island].Append(b.home(island), wal.Record{
+		Txn: txn, Type: typ, Table: b.tables[table], Key: key, Size: 32,
+	})
+}
+
+// Delete implements Backend: the key is tombstoned in the index and a delete
+// record is appended to the island value log.
+func (b *HashBackend) Delete(shard, table int, key schema.Key, txn uint64) bool {
+	if !b.shards[shard].idx[table].del(key) {
+		return false
+	}
+	island := b.Owner(shard)
+	b.logs[island].Append(b.home(island), wal.Record{
+		Txn: txn, Type: wal.Delete, Table: b.tables[table], Key: key, Size: 24,
+	})
+	return true
+}
+
+// Scan implements Backend.
+func (b *HashBackend) Scan(shard, table int, fn func(schema.Key, uint64) bool) int {
+	return b.shards[shard].idx[table].scan(fn)
+}
+
+// Commit appends txn's commit record to island's value log (folding its
+// staged writes into the coalescer's net-delta buffer) and runs group commit.
+// now is the committer's wall-clock offset, which drives the coalescer's
+// max-age deadline.
+func (b *HashBackend) Commit(island int, txn uint64, now vclock.Nanos) {
+	l := b.Log(island)
+	lsn, _ := l.Append(b.home(island), wal.Record{Txn: txn, Type: wal.Commit, Size: 16})
+	l.Flush(b.home(island), lsn, now)
+}
+
+// Load bulk-inserts a key directly into its shard's index and value log under
+// the backend's load transaction; FinishLoad commits the load on every island
+// so recovery treats loaded rows as winners.
+func (b *HashBackend) Load(shard, table int, key schema.Key, val uint64) {
+	b.Put(shard, table, key, b.loadTxn, val)
+}
+
+// FinishLoad commits the bulk load on every island.
+func (b *HashBackend) FinishLoad(now vclock.Nanos) {
+	for i := range b.logs {
+		b.Commit(i, b.loadTxn, now)
+	}
+	b.loadTxn++
+}
+
+// Drain forces every island value log's coalescing accumulator out and makes
+// everything appended so far durable; see wal.CentralLog.Drain.
+func (b *HashBackend) Drain(now vclock.Nanos) {
+	for _, l := range b.logs {
+		l.Drain(now)
+	}
+}
+
+// Stats sums the island value logs' activity counters.
+func (b *HashBackend) Stats() wal.Stats {
+	var s wal.Stats
+	for _, l := range b.logs {
+		s = s.Add(l.Stats())
+	}
+	return s
+}
+
+// tableID resolves a table name to its registration index, or -1.
+func (b *HashBackend) tableID(name string) int {
+	for i, t := range b.tables {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CrashAndRecover simulates an instance crash and restart: every in-memory
+// index is dropped (the crash-volatile state) and rebuilt by replaying the
+// island value logs, Bitcask's startup scan. The logs are drained first — the
+// drill models a crash after the last commit became durable, mirroring the
+// priced engine's crash drill, which drains before snapshotting the rings.
+// Replay applies only winner transactions (those with a commit record on the
+// log, which with coalescing is also exactly what survives in the ring as net
+// deltas); records of transactions without an outcome are ignored.
+func (b *HashBackend) CrashAndRecover(now vclock.Nanos) {
+	b.Drain(now)
+	// Drop the crash-volatile state.
+	for s := range b.shards {
+		b.shards[s].idx = make([]openIndex, len(b.tables))
+	}
+	for island, l := range b.logs {
+		recs := l.Records()
+		winners := make(map[uint64]bool)
+		for _, r := range recs {
+			if r.Type == wal.Commit || r.Type == wal.EndOfDistributed {
+				winners[r.Txn] = true
+			}
+		}
+		for _, r := range recs {
+			if !winners[r.Txn] {
+				continue
+			}
+			ti := b.tableID(r.Table)
+			if ti < 0 {
+				continue
+			}
+			shard := b.shardOnIsland(island, ti, r.Key)
+			switch r.Type {
+			case wal.Insert, wal.Update:
+				b.shards[shard].idx[ti].put(r.Key, uint64(r.LSN))
+			case wal.Delete:
+				b.shards[shard].idx[ti].del(r.Key)
+			}
+		}
+	}
+}
+
+// shardOnIsland finds the shard owned by island that self-routing would place
+// (table, key) on; with shards == islands (the common case) that is island
+// itself. Recovery needs it because the log knows its island, not the shard.
+func (b *HashBackend) shardOnIsland(island, table int, key schema.Key) int {
+	if len(b.shards) == b.islands {
+		return island
+	}
+	// Probe the island's shards in order; replay is not hot, determinism is
+	// what matters: the same (island, table, key) always lands on the same
+	// shard, and TableKeySets aggregates across shards anyway.
+	for s := island; s < len(b.shards); s += b.islands {
+		return s
+	}
+	return island
+}
+
+// TableKeySets returns the live keys of every table, sorted, aggregated
+// across shards — the equivalence check of the crash drill.
+func (b *HashBackend) TableKeySets() map[string][]schema.Key {
+	out := make(map[string][]schema.Key, len(b.tables))
+	for ti, name := range b.tables {
+		var keys []schema.Key
+		for s := range b.shards {
+			b.shards[s].idx[ti].scan(func(k schema.Key, _ uint64) bool {
+				keys = append(keys, k)
+				return true
+			})
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out[name] = keys
+	}
+	return out
+}
+
+// Reshard rebuilds the backend for a new island layout — the storage half of
+// an online granularity change. Live entries are routed to their new shards
+// by route (the new placement's site mapping) and replayed into the new
+// island value logs under a compaction transaction, Bitcask's merge: the new
+// logs start from a compacted image of the live keyset rather than the full
+// history, and recovery after a re-shard replays exactly that image.
+// Executors must be stopped (the engine re-shards from the planner, never
+// under a running executed workload).
+func (b *HashBackend) Reshard(islands int, homes []topology.SocketID, route func(table int, key schema.Key) int) {
+	old := b.shards
+	oldTables := len(b.tables)
+	b.islands = islands
+	b.homes = append(b.homes[:0], homes...)
+	b.execs = nil
+	b.build()
+	for s := range old {
+		for ti := 0; ti < oldTables; ti++ {
+			old[s].idx[ti].scan(func(k schema.Key, v uint64) bool {
+				target := route(ti, k)
+				if target < 0 || target >= len(b.shards) {
+					target = b.ShardOf(ti, k)
+				}
+				b.Put(target, ti, k, b.loadTxn, v)
+				return true
+			})
+		}
+	}
+	b.FinishLoad(0)
+}

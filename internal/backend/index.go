@@ -1,0 +1,157 @@
+package backend
+
+import (
+	"atrapos/internal/schema"
+)
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTomb
+)
+
+// idxSlot is one open-addressing slot: key, value, and occupancy state.
+type idxSlot struct {
+	key   schema.Key
+	val   uint64
+	state uint8
+}
+
+// openIndex is a linear-probing open-addressing hash index. It is owned by a
+// single executor and therefore completely lock-free — not in the CAS sense,
+// but in the stronger one: no synchronization exists at all. Deletes leave
+// tombstones so probe chains stay intact; the table grows (and sweeps
+// tombstones) when live+tomb occupancy crosses 3/4.
+type openIndex struct {
+	slots []idxSlot
+	live  int
+	tomb  int
+}
+
+const idxInitialCap = 16
+
+func (x *openIndex) mask() uint64 { return uint64(len(x.slots) - 1) }
+
+// get probes for key.
+func (x *openIndex) get(key schema.Key) (uint64, bool) {
+	if len(x.slots) == 0 {
+		return 0, false
+	}
+	m := x.mask()
+	for i := mix64(uint64(key)) & m; ; i = (i + 1) & m {
+		s := &x.slots[i]
+		switch s.state {
+		case slotEmpty:
+			return 0, false
+		case slotFull:
+			if s.key == key {
+				return s.val, true
+			}
+		}
+	}
+}
+
+// put inserts or overwrites key and reports whether it was an insert.
+func (x *openIndex) put(key schema.Key, val uint64) bool {
+	if (x.live+x.tomb+1)*4 >= len(x.slots)*3 {
+		x.grow()
+	}
+	m := x.mask()
+	firstTomb := -1
+	for i := mix64(uint64(key)) & m; ; i = (i + 1) & m {
+		s := &x.slots[i]
+		switch s.state {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				s = &x.slots[firstTomb]
+				x.tomb--
+			}
+			s.key, s.val, s.state = key, val, slotFull
+			x.live++
+			return true
+		case slotTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case slotFull:
+			if s.key == key {
+				s.val = val
+				return false
+			}
+		}
+	}
+}
+
+// del tombstones key and reports whether it was present.
+func (x *openIndex) del(key schema.Key) bool {
+	if len(x.slots) == 0 {
+		return false
+	}
+	m := x.mask()
+	for i := mix64(uint64(key)) & m; ; i = (i + 1) & m {
+		s := &x.slots[i]
+		switch s.state {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if s.key == key {
+				s.state = slotTomb
+				x.live--
+				x.tomb++
+				return true
+			}
+		}
+	}
+}
+
+// scan visits live entries in slot order until fn returns false; returns the
+// number visited.
+func (x *openIndex) scan(fn func(schema.Key, uint64) bool) int {
+	n := 0
+	for i := range x.slots {
+		s := &x.slots[i]
+		if s.state != slotFull {
+			continue
+		}
+		n++
+		if !fn(s.key, s.val) {
+			break
+		}
+	}
+	return n
+}
+
+// len returns the live entry count.
+func (x *openIndex) len() int { return x.live }
+
+// grow doubles capacity (or allocates the initial table) and rehashes live
+// entries, dropping tombstones.
+func (x *openIndex) grow() {
+	newCap := idxInitialCap
+	if len(x.slots) > 0 {
+		newCap = len(x.slots) * 2
+		// If tombstones alone pushed us over the threshold, rehashing at the
+		// same size reclaims them without doubling.
+		if x.live*4 < len(x.slots)*3/2 {
+			newCap = len(x.slots)
+		}
+	}
+	old := x.slots
+	x.slots = make([]idxSlot, newCap)
+	x.live, x.tomb = 0, 0
+	m := x.mask()
+	for i := range old {
+		s := &old[i]
+		if s.state != slotFull {
+			continue
+		}
+		for j := mix64(uint64(s.key)) & m; ; j = (j + 1) & m {
+			t := &x.slots[j]
+			if t.state == slotEmpty {
+				t.key, t.val, t.state = s.key, s.val, slotFull
+				x.live++
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"atrapos/internal/numa"
+	"atrapos/internal/schema"
+	"atrapos/internal/storage"
+	"atrapos/internal/topology"
+)
+
+// PricedBackend adapts the existing priced storage path — B-tree tables whose
+// operations charge modeled virtual costs — to the shard-handle interface, so
+// the two modes are the same shape to callers: shard i's operations run from
+// island i's home core and their virtual cost is handed to the configured
+// sink (the engine charges it to that core's clock). Values are synthesized
+// from row presence; the priced engine's own hot path keeps using the tables
+// directly, this adapter exists so sweeps and tests can drive both backends
+// through one interface.
+type PricedBackend struct {
+	tables []*storage.Table
+	// homes[i] is the core shard i's operations are priced from.
+	homes []topology.CoreID
+	// charge receives the virtual cost of every operation, keyed by shard.
+	// Nil discards costs.
+	charge func(shard int, c numa.Cost)
+}
+
+// NewPriced wraps the given tables (in registration order) as a priced
+// backend with one shard per entry of homes.
+func NewPriced(tables []*storage.Table, homes []topology.CoreID, charge func(shard int, c numa.Cost)) *PricedBackend {
+	return &PricedBackend{tables: tables, homes: append([]topology.CoreID(nil), homes...), charge: charge}
+}
+
+var _ Backend = (*PricedBackend)(nil)
+
+// Shards implements Backend.
+func (p *PricedBackend) Shards() int { return len(p.homes) }
+
+func (p *PricedBackend) bill(shard int, c numa.Cost) {
+	if p.charge != nil {
+		p.charge(shard, c)
+	}
+}
+
+func (p *PricedBackend) home(shard int) topology.CoreID {
+	if shard < 0 || shard >= len(p.homes) {
+		return 0
+	}
+	return p.homes[shard]
+}
+
+// Get implements Backend: a priced B-tree read.
+func (p *PricedBackend) Get(shard, table int, key schema.Key) (uint64, bool) {
+	row, cost, err := p.tables[table].Read(p.home(shard), key)
+	p.bill(shard, cost)
+	if err != nil {
+		return 0, false
+	}
+	if len(row) > 0 {
+		if v, ok := row[0].(int64); ok {
+			return uint64(v), true
+		}
+	}
+	return 0, true
+}
+
+// Put implements Backend: a priced update, falling back to an insert when the
+// key is absent (the hash engine's upsert semantics).
+func (p *PricedBackend) Put(shard, table int, key schema.Key, txn, val uint64) {
+	tbl := p.tables[table]
+	from := p.home(shard)
+	cost, err := tbl.Update(from, key, func(r schema.Row) schema.Row {
+		if len(r) > 0 {
+			r[0] = int64(val)
+		}
+		return r
+	})
+	p.bill(shard, cost)
+	if err == storage.ErrNotFound {
+		cost, _ = tbl.Insert(from, key, schema.Row{int64(val)})
+		p.bill(shard, cost)
+	}
+}
+
+// Delete implements Backend.
+func (p *PricedBackend) Delete(shard, table int, key schema.Key, txn uint64) bool {
+	cost, err := p.tables[table].Delete(p.home(shard), key)
+	p.bill(shard, cost)
+	return err == nil
+}
+
+// Scan implements Backend; it visits the whole key space of the table (the
+// priced tables are not sharded physically, so every shard sees all keys).
+func (p *PricedBackend) Scan(shard, table int, fn func(schema.Key, uint64) bool) int {
+	n := 0
+	cost := p.tables[table].Scan(p.home(shard), 0, ^schema.Key(0), func(k schema.Key, r schema.Row) bool {
+		n++
+		var v uint64
+		if len(r) > 0 {
+			if x, ok := r[0].(int64); ok {
+				v = uint64(x)
+			}
+		}
+		return fn(k, v)
+	})
+	p.bill(shard, cost)
+	return n
+}

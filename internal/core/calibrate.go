@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"atrapos/internal/vclock"
+)
+
+// Calibration holds per-component correction factors fitted from executed
+// (measured wall time) versus priced (virtual time) runs of the same
+// workload. Factor f_c scales the priced contribution of cost component c; a
+// factor above 1 means the cost model under-prices that component relative to
+// real execution, below 1 that it over-prices it.
+//
+// Factors are *relative*: measured wall nanoseconds and virtual nanoseconds
+// are incommensurable units, so FitCalibration normalizes every component's
+// measured/priced ratio by the Execution component's ratio. Execution is the
+// anchor (factor exactly 1) because both modes perform the same index work
+// per transaction; the remaining factors then express how much the model
+// distorts the *mix* — which is all a ranking over island levels can be
+// sensitive to.
+type Calibration struct {
+	Factors [vclock.NumComponents]float64
+}
+
+// IdentityCalibration returns the no-op calibration (all factors 1).
+func IdentityCalibration() *Calibration {
+	c := &Calibration{}
+	for i := range c.Factors {
+		c.Factors[i] = 1
+	}
+	return c
+}
+
+// Identity reports whether every factor is exactly 1.
+func (c *Calibration) Identity() bool {
+	for _, f := range c.Factors {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factor returns the correction factor for one component (1 for a nil
+// calibration).
+func (c *Calibration) Factor(comp vclock.Component) float64 {
+	if c == nil {
+		return 1
+	}
+	return c.Factors[comp]
+}
+
+// Predict applies the calibration to a priced per-component breakdown,
+// returning the corrected total in (relative) virtual nanoseconds.
+func (c *Calibration) Predict(b vclock.Breakdown) float64 {
+	var sum float64
+	for comp, n := range b.ByComp {
+		sum += c.Factor(comp) * float64(n)
+	}
+	return sum
+}
+
+// Factor clamp bounds: a component whose measured/priced ratio falls outside
+// [0.05, 20] of the anchor is almost certainly a measurement artifact (a
+// component one mode barely exercises), and letting it through would let one
+// noisy term dominate every corrected score.
+const (
+	calMinFactor = 0.05
+	calMaxFactor = 20
+)
+
+// FitCalibration fits correction factors from paired per-component totals:
+// measured[c] is the wall nanoseconds the executed backend spent in component
+// c (summed over a sweep), priced[c] the virtual nanoseconds the cost model
+// charged to the same component over the same grid. Components that either
+// side left (near-)zero keep factor 1 — there is nothing to fit and nothing
+// to correct. The Execution component anchors the unit conversion and is 1 by
+// construction.
+func FitCalibration(measured, priced [vclock.NumComponents]int64) *Calibration {
+	cal := IdentityCalibration()
+	anchor := vclock.Execution
+	if measured[anchor] <= 0 || priced[anchor] <= 0 {
+		return cal
+	}
+	anchorRatio := float64(measured[anchor]) / float64(priced[anchor])
+	for c := 0; c < vclock.NumComponents; c++ {
+		if vclock.Component(c) == anchor {
+			continue
+		}
+		if measured[c] <= 0 || priced[c] <= 0 {
+			continue
+		}
+		f := (float64(measured[c]) / float64(priced[c])) / anchorRatio
+		if f < calMinFactor {
+			f = calMinFactor
+		}
+		if f > calMaxFactor {
+			f = calMaxFactor
+		}
+		cal.Factors[c] = f
+	}
+	return cal
+}
+
+// FactorNames returns the factors keyed by component name, for reports.
+func (c *Calibration) FactorNames() map[string]float64 {
+	out := make(map[string]float64, vclock.NumComponents)
+	for i := 0; i < vclock.NumComponents; i++ {
+		out[vclock.Component(i).String()] = c.Factor(vclock.Component(i))
+	}
+	return out
+}
+
+// Spearman computes the Spearman rank correlation between two equal-length
+// series, with average ranks for ties. It returns 0 for degenerate inputs
+// (fewer than two points, or a constant series, whose rank variance is zero).
+func Spearman(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks assigns 1-based average ranks (ties share the mean of their ranks).
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		// positions i..j (0-based) share average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"atrapos/internal/vclock"
+)
+
+func TestSpearman(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"perfect", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"inverse", []float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{"monotone nonlinear", []float64{1, 2, 3, 4}, []float64{1, 100, 101, 1e6}, 1},
+		{"constant", []float64{1, 2, 3}, []float64{5, 5, 5}, 0},
+		{"short", []float64{1}, []float64{2}, 0},
+		{"mismatch", []float64{1, 2}, []float64{1}, 0},
+	}
+	for _, c := range cases {
+		if got := Spearman(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Spearman = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Ties get average ranks: a has a tie, b orders them oppositely within
+	// the tie — correlation stays high but below 1.
+	got := Spearman([]float64{1, 2, 2, 4}, []float64{1, 3, 2, 4})
+	if !(got > 0.7 && got < 1) {
+		t.Errorf("tied Spearman = %v, want in (0.7, 1)", got)
+	}
+}
+
+func TestFitCalibration(t *testing.T) {
+	var measured, priced [vclock.NumComponents]int64
+	// Execution anchors: measured is 2x priced overall.
+	measured[vclock.Execution] = 2000
+	priced[vclock.Execution] = 1000
+	// Communication is 4x under-priced relative to the anchor.
+	measured[vclock.Communication] = 8000
+	priced[vclock.Communication] = 1000
+	// Logging matches the anchor ratio exactly.
+	measured[vclock.Logging] = 500
+	priced[vclock.Logging] = 250
+	// Locking unexercised on the measured side: keeps factor 1.
+	measured[vclock.Locking] = 0
+	priced[vclock.Locking] = 700
+
+	cal := FitCalibration(measured, priced)
+	if f := cal.Factor(vclock.Execution); f != 1 {
+		t.Errorf("Execution factor = %v, want anchor 1", f)
+	}
+	if f := cal.Factor(vclock.Communication); math.Abs(f-4) > 1e-9 {
+		t.Errorf("Communication factor = %v, want 4", f)
+	}
+	if f := cal.Factor(vclock.Logging); math.Abs(f-1) > 1e-9 {
+		t.Errorf("Logging factor = %v, want 1", f)
+	}
+	if f := cal.Factor(vclock.Locking); f != 1 {
+		t.Errorf("Locking factor = %v, want untouched 1", f)
+	}
+	if cal.Identity() {
+		t.Error("fitted calibration reported as identity")
+	}
+}
+
+func TestFitCalibrationDegenerate(t *testing.T) {
+	var measured, priced [vclock.NumComponents]int64
+	if cal := FitCalibration(measured, priced); !cal.Identity() {
+		t.Error("zero inputs must yield identity")
+	}
+	// Extreme ratios clamp.
+	measured[vclock.Execution] = 1000
+	priced[vclock.Execution] = 1000
+	measured[vclock.Communication] = 1
+	priced[vclock.Communication] = 1 << 40
+	measured[vclock.Management] = 1 << 40
+	priced[vclock.Management] = 1
+	cal := FitCalibration(measured, priced)
+	if f := cal.Factor(vclock.Communication); f != calMinFactor {
+		t.Errorf("tiny ratio = %v, want clamp %v", f, calMinFactor)
+	}
+	if f := cal.Factor(vclock.Management); f != calMaxFactor {
+		t.Errorf("huge ratio = %v, want clamp %v", f, calMaxFactor)
+	}
+}
+
+func TestCalibrationPredict(t *testing.T) {
+	cal := IdentityCalibration()
+	b := vclock.Breakdown{ByComp: map[vclock.Component]vclock.Nanos{
+		vclock.Execution:     100,
+		vclock.Communication: 50,
+	}}
+	if got := cal.Predict(b); got != 150 {
+		t.Errorf("identity Predict = %v, want 150", got)
+	}
+	cal.Factors[vclock.Communication] = 3
+	if got := cal.Predict(b); got != 250 {
+		t.Errorf("Predict = %v, want 250", got)
+	}
+	var nilCal *Calibration
+	if f := nilCal.Factor(vclock.Execution); f != 1 {
+		t.Errorf("nil Factor = %v, want 1", f)
+	}
+	names := cal.FactorNames()
+	if names["communication"] != 3 && names["Communication"] != 3 {
+		t.Errorf("FactorNames missing communication: %v", names)
+	}
+}

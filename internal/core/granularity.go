@@ -6,6 +6,7 @@ import (
 	"atrapos/internal/device"
 	"atrapos/internal/numa"
 	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
 )
 
 // WorkloadShape is the measured workload profile the granularity scorer
@@ -86,6 +87,13 @@ type GranularityModel struct {
 	// overwrite share — fewer, fatter physical flushes shrink exactly the
 	// commit-latency term that decides fine vs coarse on scarce devices.
 	CoalesceRecords int
+	// Cal optionally applies executed-vs-priced correction factors to the
+	// score terms, each scaled by the factor of the cost component it models:
+	// instance locality and conflict retries by Execution, flush/device bills
+	// by Logging, messaging and sync points by Communication, conflicts by
+	// Locking. Nil means identity (uncalibrated scores, bit-identical to the
+	// model without this field).
+	Cal *Calibration
 }
 
 // coalesceSurvival estimates the fraction of logical write volume that
@@ -161,6 +169,12 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 	if k <= 0 {
 		k = 1
 	}
+	// Per-term correction factors (all exactly 1 when Cal is nil).
+	fExec := g.Cal.Factor(vclock.Execution)
+	fMgmt := g.Cal.Factor(vclock.Management)
+	fLog := g.Cal.Factor(vclock.Logging)
+	fLock := g.Cal.Factor(vclock.Locking)
+	fComm := g.Cal.Factor(vclock.Communication)
 
 	// Instance locality: per-action shared-state atomic plus two cache lines
 	// of row payload against the island home, averaged over member cores.
@@ -190,7 +204,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		return math.Inf(1)
 	}
 	state /= float64(members)
-	score := k * state
+	score := fExec * k * state
 
 	// Transaction-state stripe: begin and commit. Sub-machine levels keep it
 	// striped per socket (local); the machine level shares one central list
@@ -202,9 +216,9 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		for _, c := range alive {
 			sum += float64(g.Domain.CoreAtomicCost(c.ID, h))
 		}
-		score += 2 * sum / float64(len(alive))
+		score += fMgmt * 2 * sum / float64(len(alive))
 	} else {
-		score += 2 * float64(g.Domain.Model.LocalAtomic)
+		score += fMgmt * 2 * float64(g.Domain.Model.LocalAtomic)
 	}
 
 	// Group-commit cost: the busiest member of an island whose log is shared
@@ -239,7 +253,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			busiest = group
 		}
 		if g.Devices == nil {
-			score += survive * (float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare())
+			score += fLog * survive * (float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare())
 		} else {
 			var bill float64
 			for _, isl := range islands {
@@ -265,7 +279,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 				// expected queue waits, all per commit.
 				bill += svc / float64(group) * (float64(busiest) + concentration)
 			}
-			score += survive * bill / float64(n)
+			score += fLog * survive * bill / float64(n)
 		}
 	}
 
@@ -287,7 +301,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			if avgSpeed := speedSum / float64(members); avgSpeed != 1 && avgSpeed > 0 {
 				retry /= avgSpeed
 			}
-			score += retry
+			score += fLock * retry
 		}
 	}
 
@@ -328,7 +342,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 				comm += float64(g.Domain.SyncPointCostAt(homes, shape.SyncBytes))
 			}
 		}
-		score += shape.MultisiteShare * comm
+		score += fComm * shape.MultisiteShare * comm
 	}
 	return score
 }

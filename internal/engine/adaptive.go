@@ -622,6 +622,10 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 	}
 	e.absorbRetiredLogs(wiring)
 	e.state.install(desired, rt, e.activePartitionsPerCore(desired, now), wiring)
+	// The executed backend's shard layout follows the wiring: compact the live
+	// entries into one shard and value log per island of the new level, routed
+	// by the placement just installed. No-op on the priced path.
+	e.reshardBackend(desired, wiring)
 	for name, td := range diff.Tables {
 		if td.Kind != partition.TableUnchanged {
 			a.monitor.Register(name, desired.Tables[name].Bounds, a.maxKeys[name])

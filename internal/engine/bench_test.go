@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"atrapos/internal/backend"
+	"atrapos/internal/partition"
 	"atrapos/internal/topology"
 	"atrapos/internal/wal"
 	"atrapos/internal/workload"
@@ -131,6 +133,64 @@ func BenchmarkExecute(b *testing.B) {
 		// shared-nothing path are the transaction-shape counters (five atomic
 		// adds) and the boundary check — still allocation free.
 		benchSteadyState(b, benchEngine(b, Config{Design: SharedNothing, Adaptive: true}), true)
+	})
+	b.Run("executed-hash", func(b *testing.B) {
+		// The executed backend's steady state, driven inline on the bench
+		// goroutine (machine grain = one executor, every op local): generate,
+		// route, real index ops, value-log group commit. The executed budget
+		// is ≤ 1 alloc/op where the priced designs must hold exactly 0;
+		// TestExecutedAllocBudget asserts it over full RunExecuted runs.
+		cfg := Config{Design: SharedNothing, IslandLevel: topology.LevelMachine, Backend: backend.Hash}
+		cfg.Workload = workload.MustTATP(workload.TATPOptions{Subscribers: 4000})
+		cfg.Topology = smallTopology()
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := e.state.snapshot()
+		if err := e.loadBackend(snap); err != nil {
+			b.Fatal(err)
+		}
+		ex := backend.NewExecutors(e.HashBackend())[0]
+		tps := make([]*partition.TablePlacement, len(e.wl.Tables))
+		tableIdx := make(map[string]int, len(e.wl.Tables))
+		for i, td := range e.wl.Tables {
+			tps[i], _ = snap.placement.Table(td.Schema.Name)
+			tableIdx[td.Schema.Name] = i
+		}
+		w := snap.wiring
+		src := &splitMix{}
+		ctx := workload.GenContext{Rng: rand.New(src), NumSites: 1}
+		runOne := func(n int64) {
+			src.seed(n)
+			t := e.wl.Generate(&ctx)
+			txnID := uint64(n + 1)
+			for ai := range t.Actions {
+				a := &t.Actions[ai]
+				ti := tableIdx[a.Table]
+				shard := w.siteOf(tps[ti].CoreFor(a.Key))
+				switch a.Op {
+				case workload.Read:
+					ex.Get(shard, ti, a.Key)
+				case workload.Update:
+					v, _ := ex.Get(shard, ti, a.Key)
+					ex.Put(shard, ti, a.Key, txnID, v+1)
+				case workload.Insert:
+					ex.Put(shard, ti, a.Key, txnID, uint64(a.Key))
+				case workload.Delete:
+					ex.Delete(shard, ti, a.Key, txnID)
+				}
+			}
+			ex.CommitLocal(txnID, int64(n))
+		}
+		for i := int64(0); i < 2000; i++ {
+			runOne(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOne(int64(i) + 2000)
+		}
 	})
 	b.Run("shared-nothing-coalescing", func(b *testing.B) {
 		// Write-combining group commit: staging, folding and physical flushes

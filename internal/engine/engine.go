@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"atrapos/internal/backend"
 	"atrapos/internal/core"
 	"atrapos/internal/device"
 	"atrapos/internal/lock"
@@ -133,6 +134,12 @@ type Config struct {
 	CentralAllocNode topology.SocketID
 	// LogConfig tunes the write-ahead log; nil means defaults.
 	LogConfig *wal.Config
+	// Backend selects the storage engine behind the executors. The zero value
+	// is the priced path (virtual costs on B-trees); backend.Hash builds the
+	// executed sharded hash engine alongside the priced tables — one shard and
+	// one value log per island of the current wiring — which RunExecuted
+	// drives with real, measured operations. Shared-nothing designs only.
+	Backend backend.Kind
 	// DeviceLayout optionally names a log-device layout (device.Layouts) to
 	// instantiate on the machine: island logs are then bound to the layout's
 	// physical devices — one NVMe per socket, a shared device per die pair, a
@@ -247,6 +254,12 @@ type Engine struct {
 	accounts []coreAccount
 	adaptive *adaptiveState
 
+	// hash is the executed storage engine (Config.Backend == backend.Hash):
+	// one shard per island of the installed wiring, re-sharded by the
+	// adaptive-granularity planner on every level change. Nil on the priced
+	// path.
+	hash *backend.HashBackend
+
 	// retiredLogStats accumulates the activity counters of island logs an
 	// online re-wiring dropped (rebuilt rather than reused), so logStats —
 	// and through it Result.Log — stays cumulative across level changes
@@ -347,6 +360,14 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.wireStructures(placement)
+	if c.Backend == backend.Hash {
+		if !c.Design.IsSharedNothing() {
+			return nil, fmt.Errorf("engine: the hash backend needs a shared-nothing design, got %v", c.Design)
+		}
+		if err := e.buildHashBackend(); err != nil {
+			return nil, err
+		}
+	}
 	// ATraPos adapts its placement; the parametric SharedNothing design
 	// adapts its island granularity (the fixed-granularity aliases stay
 	// inert, preserving their exact legacy meaning).

@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"atrapos/internal/backend"
+	"atrapos/internal/partition"
+	"atrapos/internal/schema"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+	"atrapos/internal/workload"
+)
+
+// buildHashBackend constructs the executed storage engine from the installed
+// island wiring: one shard, one value log and (at run time) one pinned
+// executor per island, laid out exactly as the wiring prescribes.
+func (e *Engine) buildHashBackend() error {
+	w := e.state.snapshot().wiring
+	if w == nil {
+		return fmt.Errorf("engine: hash backend needs an island wiring")
+	}
+	names := make([]string, len(e.wl.Tables))
+	for i, td := range e.wl.Tables {
+		names[i] = td.Schema.Name
+	}
+	b, err := backend.NewHash(backend.HashConfig{
+		Islands: len(w.sites),
+		Tables:  names,
+		Homes:   wiringHomes(w),
+		Log:     *e.cfg.LogConfig,
+		Domain:  e.domain,
+	})
+	if err != nil {
+		return err
+	}
+	e.hash = b
+	return nil
+}
+
+// HashBackend returns the executed storage engine, or nil on the priced path.
+func (e *Engine) HashBackend() *backend.HashBackend { return e.hash }
+
+// wiringHomes extracts the per-island home sockets of a wiring.
+func wiringHomes(w *islandWiring) []topology.SocketID {
+	homes := make([]topology.SocketID, len(w.sites))
+	for i, s := range w.sites {
+		homes[i] = s.Socket
+	}
+	return homes
+}
+
+// reshardBackend rebuilds the hash backend's shard layout for a freshly
+// installed placement and wiring — the storage half of an online granularity
+// change, called by the planner right after the new snapshot is installed.
+// Live entries are compacted into the new island value logs; routing follows
+// the new placement exactly like the executed run loop does, so a key's shard
+// after the re-shard is the shard the next transaction will look for it on.
+// No-op on the priced path.
+func (e *Engine) reshardBackend(p *partition.Placement, w *islandWiring) {
+	if e.hash == nil || w == nil {
+		return
+	}
+	tps := make([]*partition.TablePlacement, len(e.wl.Tables))
+	for i, td := range e.wl.Tables {
+		tps[i], _ = p.Table(td.Schema.Name)
+	}
+	e.hash.Reshard(len(w.sites), wiringHomes(w), func(table int, key schema.Key) int {
+		tp := tps[table]
+		if tp == nil {
+			return -1
+		}
+		return w.siteOf(tp.CoreFor(key))
+	})
+}
+
+// loadBackend resets the hash backend and bulk-loads it from the priced
+// tables' current keysets, routed through the snapshot's placement the same
+// way the run loop routes actions, so both modes start every run from the
+// same logical database. Values are synthesized from the key (the executed
+// engine stores opaque fixed-width values; the experiments compare keysets
+// and timings, not payloads).
+func (e *Engine) loadBackend(snap *stateSnapshot) error {
+	if e.hash == nil {
+		return fmt.Errorf("engine: no hash backend configured")
+	}
+	w := snap.wiring
+	if w == nil {
+		return fmt.Errorf("engine: executed run needs an island wiring")
+	}
+	e.hash.Reset()
+	for ti, td := range e.wl.Tables {
+		tp, ok := snap.placement.Table(td.Schema.Name)
+		if !ok {
+			return fmt.Errorf("engine: placement is missing table %s", td.Schema.Name)
+		}
+		tbl := e.tables[td.Schema.Name]
+		tbl.Scan(0, 0, ^schema.Key(0), func(k schema.Key, _ schema.Row) bool {
+			e.hash.Load(w.siteOf(tp.CoreFor(k)), ti, k, uint64(k))
+			return true
+		})
+	}
+	e.hash.FinishLoad(0)
+	return nil
+}
+
+// ExecutedResult summarizes one executed-mode run: real operations on the
+// sharded hash engine, timed in wall nanoseconds.
+type ExecutedResult struct {
+	Workload  string
+	Committed int64
+	// WallNS is the wall-clock duration of the run, executor launch to last
+	// join.
+	WallNS int64
+	// MeasuredKTPS is Committed / wall seconds / 1000.
+	MeasuredKTPS float64
+	IslandLevel  string
+	Shards       int
+	Executors    int
+	// Components is the measured wall time attributed to the cost model's
+	// components, summed over executors: Execution holds local index and
+	// value-log op time, Logging the commit/group-commit time, Communication
+	// the cross-island ship waits plus serve time, Management the residual
+	// (generation, routing, scheduling). Locking is structurally zero: shards
+	// are single-owner, the design needs no locks.
+	Components [vclock.NumComponents]int64
+	// Log is the island value logs' activity for this run.
+	Log wal.Stats
+}
+
+// execScratchX is the per-executor reusable state of the executed run loop;
+// like the priced path's execScratch, everything the steady-state loop needs
+// lives here so the loop body allocates nothing.
+type execScratchX struct {
+	src   splitMix
+	ctx   workload.GenContext
+	parts []int32
+	in    []bool
+	opNs  int64
+	logNs int64
+}
+
+// RunExecuted executes the workload on the hash backend with one
+// OS-thread-pinned executor per island and returns measured wall-time
+// results. The transaction stream is the same deterministic stream the priced
+// Run generates (same seed → same transactions); transaction n is executed by
+// executor n % islands, so the assignment is scheduler-independent too. Only
+// wall times vary between repeats — committed counts and final keysets do
+// not. Transactions never abort (single-owner shards conflict-free by
+// construction), so Committed always equals the transaction count.
+func (e *Engine) RunExecuted(opts RunOptions) (*ExecutedResult, error) {
+	if e.hash == nil {
+		return nil, fmt.Errorf("engine: RunExecuted needs Config.Backend = backend.Hash")
+	}
+	if opts.Transactions <= 0 {
+		return nil, fmt.Errorf("engine: executed run needs a transaction count")
+	}
+	snap := e.state.snapshot()
+	if snap.wiring == nil {
+		return nil, fmt.Errorf("engine: executed run needs an island wiring")
+	}
+	if err := e.loadBackend(snap); err != nil {
+		return nil, err
+	}
+	w := snap.wiring
+	islands := e.hash.Islands()
+	logStart := e.hash.Stats()
+
+	// Per-table placements resolved once so the per-action path is an array
+	// index, not a map lookup.
+	tps := make([]*partition.TablePlacement, len(e.wl.Tables))
+	tableIdx := make(map[string]int, len(e.wl.Tables))
+	for i, td := range e.wl.Tables {
+		tps[i], _ = snap.placement.Table(td.Schema.Name)
+		tableIdx[td.Schema.Name] = i
+	}
+
+	execs := backend.NewExecutors(e.hash)
+	scratch := make([]execScratchX, islands)
+	for i := range scratch {
+		scratch[i].ctx = workload.GenContext{Rng: rand.New(&scratch[i].src)}
+		scratch[i].parts = make([]int32, 0, islands)
+		scratch[i].in = make([]bool, islands)
+	}
+
+	stop := make(chan struct{})
+	var wgWork, wgAll sync.WaitGroup
+	start := time.Now()
+	for i := range execs {
+		wgWork.Add(1)
+		wgAll.Add(1)
+		go func(ex *backend.Executor, sc *execScratchX) {
+			defer wgAll.Done()
+			ex.Pin(func() {
+				e.executedWorker(ex, sc, opts, w, tps, tableIdx, start)
+				wgWork.Done()
+				// Serve slower peers until every executor's work loop is done;
+				// no ship can be in flight after that (ships complete
+				// synchronously), so closing stop is race-free.
+				ex.Serve(stop)
+			})
+		}(execs[i], &scratch[i])
+	}
+	wgWork.Wait()
+	close(stop)
+	wgAll.Wait()
+	wall := time.Since(start).Nanoseconds()
+	e.hash.Drain(vclock.Nanos(wall))
+
+	res := &ExecutedResult{
+		Workload:    e.wl.Name,
+		Committed:   int64(opts.Transactions),
+		WallNS:      wall,
+		IslandLevel: w.level.String(),
+		Shards:      e.hash.Shards(),
+		Executors:   islands,
+		Log:         e.hash.Stats().Sub(logStart),
+	}
+	if wall > 0 {
+		res.MeasuredKTPS = float64(res.Committed) / (float64(wall) / 1e9) / 1000
+	}
+	for i := range execs {
+		st := execs[i].Stats
+		sc := &scratch[i]
+		res.Components[vclock.Execution] += sc.opNs
+		res.Components[vclock.Logging] += sc.logNs
+		res.Components[vclock.Communication] += st.ShipNs + st.ServeNs
+		residual := wall - sc.opNs - sc.logNs - st.ShipNs - st.ServeNs
+		if residual > 0 {
+			res.Components[vclock.Management] += residual
+		}
+	}
+	return res, nil
+}
+
+// executedWorker is one executor's work loop: it owns transactions n with
+// n % islands == executor id, generates them from the same per-index seeds
+// the priced loop uses, routes every action through the placement to its
+// island, executes locally or ships to the owner, and commits with the
+// value-log group-commit — shipping the commit record to each remote
+// participant, the executed analogue of the 2PC decision round.
+func (e *Engine) executedWorker(ex *backend.Executor, sc *execScratchX, opts RunOptions,
+	w *islandWiring, tps []*partition.TablePlacement, tableIdx map[string]int, start time.Time) {
+	islands := e.hash.Islands()
+	id := ex.ID()
+	sc.ctx.NumSites = islands
+	sc.ctx.HomeSite = id
+	for n := int64(1); n <= int64(opts.Transactions); n++ {
+		if int(n%int64(islands)) != id {
+			continue
+		}
+		ex.Poll()
+		nowNs := time.Since(start).Nanoseconds()
+		sc.src.seed(opts.Seed + n)
+		sc.ctx.At = vclock.Nanos(nowNs)
+		t := e.wl.Generate(&sc.ctx)
+		txnID := uint64(n)
+		sc.parts = sc.parts[:0]
+		for ai := range t.Actions {
+			a := &t.Actions[ai]
+			ti := tableIdx[a.Table]
+			tp := tps[ti]
+			if tp == nil {
+				continue
+			}
+			shard := w.siteOf(tp.CoreFor(a.Key))
+			local := shard == id
+			t0 := time.Now()
+			switch a.Op {
+			case workload.Read:
+				ex.Get(shard, ti, a.Key)
+			case workload.Update:
+				v, _ := ex.Get(shard, ti, a.Key)
+				ex.Put(shard, ti, a.Key, txnID, v+1)
+			case workload.Insert:
+				ex.Put(shard, ti, a.Key, txnID, uint64(a.Key))
+			case workload.Delete:
+				ex.Delete(shard, ti, a.Key, txnID)
+			}
+			if local {
+				sc.opNs += time.Since(t0).Nanoseconds()
+			}
+			// Ship time is accounted inside the executor (ShipNs).
+			if a.Op.IsWrite() && shard != id && !sc.in[shard] {
+				sc.in[shard] = true
+				sc.parts = append(sc.parts, int32(shard))
+			}
+		}
+		// Commit: the home island's record always, then the decision shipped
+		// to every remote write participant.
+		nowNs = time.Since(start).Nanoseconds()
+		t0 := time.Now()
+		ex.CommitLocal(txnID, nowNs)
+		sc.logNs += time.Since(t0).Nanoseconds()
+		for _, p := range sc.parts {
+			ex.CommitRemote(int(p), txnID, nowNs)
+			sc.in[p] = false
+		}
+	}
+}

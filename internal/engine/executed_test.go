@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"atrapos/internal/backend"
+	"atrapos/internal/partition"
+	"atrapos/internal/topology"
+	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
+	"atrapos/internal/workload"
+)
+
+// executedEngine builds a shared-nothing engine with the hash backend at the
+// given level on chiplet-2s4d. keepAll retains the full value-log history
+// (wal Keep=0) for recovery drills; otherwise the default bounded ring is
+// used, which is what the allocation budget measures.
+func executedEngine(t testing.TB, wl *workload.Workload, level topology.Level, keepAll bool) *Engine {
+	t.Helper()
+	prof, _ := topology.ProfileByName("chiplet-2s4d")
+	lc := wal.DefaultConfig()
+	if keepAll {
+		lc.Keep = 0
+		lc.CoalesceRecords = 16
+	}
+	e, err := New(Config{
+		Design:      SharedNothing,
+		IslandLevel: level,
+		Workload:    wl,
+		Topology:    prof.Build(),
+		LogConfig:   &lc,
+		Backend:     backend.Hash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestExecutedCrashDrillEquivalence mirrors TestCrashDrillEquivalence on the
+// executed backend: CrashAndRecover drops every in-memory index and replays
+// the island value logs, and the recovered keyset must equal the fault-free
+// twin's. Machine-grained (one island) keeps the executed run's keyset fully
+// deterministic — TATP's inserts and deletes on the same key are ordered by
+// the single executor, so the twin comparison is exact.
+func TestExecutedCrashDrillEquivalence(t *testing.T) {
+	mk := func() *workload.Workload {
+		return workload.MustTATP(workload.TATPOptions{Subscribers: 2000})
+	}
+	const txns = 1500
+
+	ref := executedEngine(t, mk(), topology.LevelMachine, true)
+	refRes, err := ref.RunExecuted(RunOptions{Transactions: txns, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Committed != txns {
+		t.Fatalf("executed run committed %d, want %d", refRes.Committed, txns)
+	}
+	want := ref.HashBackend().TableKeySets()
+
+	drill := executedEngine(t, mk(), topology.LevelMachine, true)
+	drillRes, err := drill.RunExecuted(RunOptions{Transactions: txns, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drillRes.Committed != refRes.Committed {
+		t.Fatalf("twin committed %d, ref %d", drillRes.Committed, refRes.Committed)
+	}
+	drill.HashBackend().CrashAndRecover(vclock.Nanos(drillRes.WallNS))
+	if where, ok := keySetsEqual(want, drill.HashBackend().TableKeySets()); !ok {
+		t.Errorf("recovered keyset differs from fault-free twin at %s", where)
+	}
+	// The drill must actually have replayed something.
+	total := 0
+	for _, keys := range want {
+		total += len(keys)
+	}
+	if total == 0 {
+		t.Fatal("empty keysets; the drill recovered nothing")
+	}
+}
+
+// TestExecutedDeterministic asserts the executed run's logical outcome is a
+// pure function of the seed: committed counts and final keysets are identical
+// across repeats and across island granularities (only wall times may vary).
+func TestExecutedDeterministic(t *testing.T) {
+	mk := func() *workload.Workload {
+		return workload.MustTATP(workload.TATPOptions{Subscribers: 1000})
+	}
+	const txns = 800
+	a := executedEngine(t, mk(), topology.LevelMachine, false)
+	resA, err := a.RunExecuted(RunOptions{Transactions: txns, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := executedEngine(t, mk(), topology.LevelMachine, false)
+	resB, err := b.RunExecuted(RunOptions{Transactions: txns, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Committed != resB.Committed {
+		t.Fatalf("committed differs across repeats: %d vs %d", resA.Committed, resB.Committed)
+	}
+	if where, ok := keySetsEqual(a.HashBackend().TableKeySets(), b.HashBackend().TableKeySets()); !ok {
+		t.Errorf("keysets differ across repeats at %s", where)
+	}
+	if resA.MeasuredKTPS <= 0 {
+		t.Errorf("MeasuredKTPS = %v, want > 0", resA.MeasuredKTPS)
+	}
+	if resA.Components[vclock.Execution] <= 0 {
+		t.Errorf("no measured execution time: %v", resA.Components)
+	}
+	if resA.Components[vclock.Locking] != 0 {
+		t.Errorf("single-owner shards must measure zero locking time, got %d", resA.Components[vclock.Locking])
+	}
+	if resA.Log.Appends == 0 {
+		t.Error("executed run appended nothing to the value logs")
+	}
+}
+
+// TestExecutedMultiIslandShips runs die-grained executors on a multisite
+// workload and checks that cross-island operations really ship (and still
+// commit everything).
+func TestExecutedMultiIslandShips(t *testing.T) {
+	wl := workload.MultisiteUpdate(4000, 50)
+	e := executedEngine(t, wl, topology.LevelDie, false)
+	res, err := e.RunExecuted(RunOptions{Transactions: 1200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 1200 {
+		t.Fatalf("committed %d, want 1200", res.Committed)
+	}
+	if res.Executors != 8 {
+		t.Fatalf("chiplet-2s4d die level should run 8 executors, got %d", res.Executors)
+	}
+	if res.Components[vclock.Communication] == 0 {
+		t.Error("50%% multisite at die grain measured zero communication time")
+	}
+}
+
+// TestExecutedReshard exercises the planner hook's machinery directly: after
+// a level change the backend must hold the same live keyset, re-routed to the
+// new wiring's islands, and remain recoverable from the compacted logs.
+func TestExecutedReshard(t *testing.T) {
+	wl := workload.MustTATP(workload.TATPOptions{Subscribers: 1500})
+	e := executedEngine(t, wl, topology.LevelDie, true)
+	snap := e.state.snapshot()
+	if err := e.loadBackend(snap); err != nil {
+		t.Fatal(err)
+	}
+	before := e.HashBackend().TableKeySets()
+	if e.HashBackend().Islands() != 8 {
+		t.Fatalf("die level on chiplet-2s4d = %d islands, want 8", e.HashBackend().Islands())
+	}
+
+	desired := partition.PerIsland(e.cfg.Topology, topology.LevelSocket, e.wl.TableSpecs())
+	w := e.buildWiring(topology.LevelSocket, snap.wiring.epoch+1, snap.wiring)
+	e.reshardBackend(desired, w)
+
+	if got := e.HashBackend().Islands(); got != 2 {
+		t.Fatalf("socket level = %d islands, want 2", got)
+	}
+	if where, ok := keySetsEqual(before, e.HashBackend().TableKeySets()); !ok {
+		t.Errorf("reshard changed the live keyset at %s", where)
+	}
+	// Every key must now live on the shard the new placement routes it to.
+	for ti, td := range e.wl.Tables {
+		tp, _ := desired.Table(td.Schema.Name)
+		for _, k := range before[td.Schema.Name] {
+			shard := w.siteOf(tp.CoreFor(k))
+			if _, ok := e.HashBackend().Get(shard, ti, k); !ok {
+				t.Fatalf("table %s key %d missing from its new shard %d", td.Schema.Name, k, shard)
+			}
+		}
+	}
+	// The compacted logs are the new recovery image.
+	e.HashBackend().CrashAndRecover(0)
+	if where, ok := keySetsEqual(before, e.HashBackend().TableKeySets()); !ok {
+		t.Errorf("post-reshard recovery lost state at %s", where)
+	}
+}
+
+// TestExecutedAllocBudget is the satellite's allocation assertion for the
+// executed path: steady state must stay at or under one allocation per
+// transaction (the priced designs' budget of exactly zero is asserted by the
+// fuzzer and reported by BenchmarkExecute). Measured over a full RunExecuted
+// so the budget covers generation, routing, backend ops and group commit.
+func TestExecutedAllocBudget(t *testing.T) {
+	wl := workload.MustTATP(workload.TATPOptions{Subscribers: 1000})
+	e := executedEngine(t, wl, topology.LevelMachine, false)
+	const txns = 5000
+	// Warm-up run: builds the per-run scratch, grows the generator's buffers
+	// and faults in the code paths.
+	if _, err := e.RunExecuted(RunOptions{Transactions: txns, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := e.RunExecuted(RunOptions{Transactions: txns, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perTxn := float64(after.Mallocs-before.Mallocs) / float64(txns)
+	// The fixed per-run setup (backend reset + reload, executor channels) is
+	// amortized over the 5000 transactions and included in the budget.
+	if perTxn > 1.0 {
+		t.Errorf("executed steady state allocates %.3f allocs/txn, budget is 1", perTxn)
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+
+	"atrapos/internal/vclock"
+)
+
+// TestExecutedSweepReport runs the executed-storage sweep at test scale and
+// checks the report's structural invariants: every grid cell measured in both
+// modes, rank correlations inside [-1, 1] with the post-calibration value
+// never below the raw one (the identity fallback guarantees it), and a full
+// factor set per profile.
+func TestExecutedSweepReport(t *testing.T) {
+	s := testScale()
+	rep, err := ExecutedSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := islandSweepProfiles(s)
+	cells := 0
+	for _, p := range profiles {
+		cells += 2 * len(p.Levels()) // two multisite endpoints per level
+	}
+	if want := 2 * cells; len(rep.Points) != want {
+		t.Fatalf("sweep produced %d points, want %d (both modes for %d cells)", len(rep.Points), want, cells)
+	}
+	for _, pt := range rep.Points {
+		switch pt.Mode {
+		case "priced":
+			if pt.TPS <= 0 {
+				t.Errorf("priced point %+v has no virtual throughput", pt)
+			}
+		case "executed":
+			if pt.MeasuredKTPS <= 0 {
+				t.Errorf("executed point %+v has no measured throughput", pt)
+			}
+		default:
+			t.Errorf("point %+v has unknown mode", pt)
+		}
+		if pt.Committed <= 0 {
+			t.Errorf("point %+v committed nothing", pt)
+		}
+	}
+	if len(rep.Profiles) != len(profiles) {
+		t.Fatalf("report covers %d profiles, want %d", len(rep.Profiles), len(profiles))
+	}
+	for _, pr := range rep.Profiles {
+		if pr.RankBefore < -1 || pr.RankBefore > 1 || pr.RankAfter < -1 || pr.RankAfter > 1 {
+			t.Errorf("profile %s rank correlations outside [-1,1]: before %v after %v",
+				pr.Profile, pr.RankBefore, pr.RankAfter)
+		}
+		if pr.RankAfter < pr.RankBefore {
+			t.Errorf("profile %s: calibration made the ranking worse (%v -> %v); the identity fallback should prevent this",
+				pr.Profile, pr.RankBefore, pr.RankAfter)
+		}
+		if len(pr.Factors) != vclock.NumComponents {
+			t.Errorf("profile %s reports %d factors, want %d", pr.Profile, len(pr.Factors), vclock.NumComponents)
+		}
+		for name, f := range pr.Factors {
+			if f <= 0 {
+				t.Errorf("profile %s factor %s = %v, want > 0", pr.Profile, name, f)
+			}
+		}
+	}
+	if rep.CrossoverProfile != "chiplet-2s4d" {
+		t.Errorf("crossover gate runs on %q, want chiplet-2s4d", rep.CrossoverProfile)
+	}
+}
+
+// TestFigExecutedCrossover renders the experiment table and asserts its
+// headline invariant: real execution backs up the priced model's crossover
+// direction on the chiplet machine (FigExecuted errors otherwise).
+func TestFigExecutedCrossover(t *testing.T) {
+	s := testScale()
+	tbl, err := FigExecuted(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(islandSweepProfiles(s)); len(tbl.Rows) != want {
+		t.Fatalf("fig-executed has %d rows, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "chiplet-2s4d" && row[len(row)-1] != "yes" {
+			t.Errorf("chiplet-2s4d modes disagree on the crossover direction: %v", row)
+		}
+	}
+}
+
+// TestFigExecutedRegistered checks the experiment is reachable by id.
+func TestFigExecutedRegistered(t *testing.T) {
+	if _, ok := Lookup("fig-executed"); !ok {
+		t.Fatal("fig-executed not registered")
+	}
+}

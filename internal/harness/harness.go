@@ -235,6 +235,7 @@ func Registry() []Experiment {
 		{"ablation-subparts", "Ablation: sub-partition granularity of the monitor", AblationSubPartitions},
 		{"ablation-sli", "Ablation: speculative lock inheritance in the centralized design", AblationSLI},
 		{"fig-faults", "Fault injection: fail→degrade→restore schedule with device re-homing and elastic recovery", FigFaults},
+		{"fig-executed", "Executed storage: real sharded hash backend vs priced model, with cost-model calibration", FigExecuted},
 	}
 }
 

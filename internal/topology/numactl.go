@@ -20,6 +20,9 @@ import (
 // Only the lines ParseNumactl understands are consumed ("available:",
 // "node N cpus:", and the "node distances:" table); size/free lines and
 // anything else are ignored, so a raw terminal capture parses as-is.
+// Nodes need not expose the same number of cpus — dumps from machines with
+// offlined cores or asymmetric SMT are truncated to the largest uniform
+// sub-machine (the smallest per-node cpu count becomes CoresPerSocket).
 func ParseNumactl(dump string) (Config, error) {
 	cpus := make(map[int][]int)
 	var distRows [][]int
@@ -79,6 +82,12 @@ func ParseNumactl(dump string) (Config, error) {
 	if n == 0 {
 		return Config{}, fmt.Errorf("topology: numactl dump has no \"node N cpus:\" lines")
 	}
+	// Real dumps are not always uniform: offlined cores, asymmetric SMT and
+	// CPU-less memory nodes all produce nodes with differing cpu counts. The
+	// simulated machine is uniform, so a non-uniform dump is truncated to its
+	// largest uniform sub-machine (every node contributes min-count cores);
+	// only nodes with no cpus at all, or a gap in the node numbering, are
+	// genuinely malformed.
 	perSocket := -1
 	for node := 0; node < n; node++ {
 		ids, ok := cpus[node]
@@ -88,11 +97,8 @@ func ParseNumactl(dump string) (Config, error) {
 		if len(ids) == 0 {
 			return Config{}, fmt.Errorf("topology: node %d has no cpus", node)
 		}
-		if perSocket < 0 {
+		if perSocket < 0 || len(ids) < perSocket {
 			perSocket = len(ids)
-		} else if len(ids) != perSocket {
-			return Config{}, fmt.Errorf("topology: node %d has %d cpus, node 0 has %d (uniform sockets required)",
-				node, len(ids), perSocket)
 		}
 	}
 	if len(distRows) != n {

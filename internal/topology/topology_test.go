@@ -380,7 +380,8 @@ func TestParseNumactlRejectsMalformedDumps(t *testing.T) {
 	cases := map[string]string{
 		"empty":          "",
 		"no cpus":        "available: 2 nodes (0-1)\nnode distances:\nnode 0 1\n 0: 10 21\n 1: 21 10\n",
-		"uneven sockets": "node 0 cpus: 0 1\nnode 1 cpus: 2\nnode distances:\nnode 0 1\n 0: 10 21\n 1: 21 10\n",
+		"empty node":     "node 0 cpus: 0 1\nnode 1 cpus:\nnode distances:\nnode 0 1\n 0: 10 21\n 1: 21 10\n",
+		"node gap":       "node 0 cpus: 0 1\nnode 2 cpus: 2 3\nnode distances:\nnode 0 2\n 0: 10 21\n 2: 21 10\n",
 		"missing rows":   "node 0 cpus: 0\nnode 1 cpus: 1\nnode distances:\nnode 0 1\n 0: 10 21\n",
 		"short row":      "node 0 cpus: 0\nnode 1 cpus: 1\nnode distances:\nnode 0 1\n 0: 10\n 1: 21 10\n",
 		"bad number":     "node 0 cpus: 0\nnode 1 cpus: 1\nnode distances:\nnode 0 1\n 0: 10 xx\n 1: 21 10\n",
@@ -401,6 +402,41 @@ func TestParseNumactlAsymmetricSymmetrized(t *testing.T) {
 	}
 	if cfg.Distance[0][1] != 2 || cfg.Distance[1][0] != 2 {
 		t.Errorf("asymmetric pair should symmetrize to the larger hop count, got %v", cfg.Distance)
+	}
+}
+
+// TestParseNumactlNonUniformCores feeds a dump whose nodes expose different
+// cpu counts (offlined cores on node 1, an extra SMT sibling on node 3): the
+// parser must accept it and truncate to the largest uniform sub-machine
+// rather than reject the whole dump.
+func TestParseNumactlNonUniformCores(t *testing.T) {
+	dump := `available: 4 nodes (0-3)
+node 0 cpus: 0 1 2 3
+node 0 size: 31854 MB
+node 1 cpus: 4 5 6
+node 2 cpus: 8 9 10 11
+node 3 cpus: 12 13 14 15 16
+node distances:
+node   0   1   2   3
+  0:  10  21  31  21
+  1:  21  10  21  31
+  2:  31  21  10  21
+  3:  21  31  21  10
+`
+	cfg, err := ParseNumactl(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sockets != 4 || cfg.CoresPerSocket != 3 {
+		t.Fatalf("parsed %d sockets x %d cores, want 4 x 3 (truncated to node 1's count)",
+			cfg.Sockets, cfg.CoresPerSocket)
+	}
+	top, err := New(cfg)
+	if err != nil {
+		t.Fatalf("truncated config should build: %v", err)
+	}
+	if top.Distance(0, 2) != 2 || top.Distance(0, 1) != 1 {
+		t.Error("truncation must not disturb the distance matrix")
 	}
 }
 

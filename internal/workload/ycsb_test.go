@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestYCSBMixes checks each mix's read share, site-locality and shape: every
+// transaction is exactly one single-row action inside the generating site's
+// own key range.
+func TestYCSBMixes(t *testing.T) {
+	const rows = 8000
+	cases := []struct {
+		mix     YCSBMix
+		name    string
+		readPct int
+	}{
+		{YCSBA, "ycsb-a", 50},
+		{YCSBB, "ycsb-b", 95},
+		{YCSBC, "ycsb-c", 100},
+	}
+	for _, tc := range cases {
+		w := YCSB(rows, tc.mix)
+		if w.Name != tc.name {
+			t.Fatalf("mix %v name = %q, want %q", tc.mix, w.Name, tc.name)
+		}
+		weights := w.ClassWeights(0)
+		if got := weights["YCSBRead"]; got != float64(tc.readPct) {
+			t.Fatalf("%s read weight = %v, want %d", tc.name, got, tc.readPct)
+		}
+		var total float64
+		for _, v := range weights {
+			total += v
+		}
+		if total != 100 {
+			t.Fatalf("%s class weights sum to %v, want 100", tc.name, total)
+		}
+
+		gc := &GenContext{Rng: rand.New(rand.NewSource(7)), HomeSite: 2, NumSites: 4}
+		lo, hi := siteKeyRange(rows, 2, 4)
+		const n = 4000
+		reads := 0
+		for i := 0; i < n; i++ {
+			tx := w.Generate(gc)
+			if len(tx.Actions) != 1 {
+				t.Fatalf("%s txn has %d actions, want 1", tc.name, len(tx.Actions))
+			}
+			a := tx.Actions[0]
+			switch a.Op {
+			case Read:
+				reads++
+				if !tx.ReadOnly {
+					t.Fatalf("%s read txn not marked read-only", tc.name)
+				}
+			case Update:
+				if tx.ReadOnly {
+					t.Fatalf("%s update txn marked read-only", tc.name)
+				}
+			default:
+				t.Fatalf("%s unexpected op %v", tc.name, a.Op)
+			}
+			if k := int64(a.Key); k < lo || k >= hi {
+				t.Fatalf("%s key %d escapes site range [%d,%d)", tc.name, k, lo, hi)
+			}
+			if tx.MultiSite {
+				t.Fatalf("%s generated a multisite txn", tc.name)
+			}
+		}
+		gotPct := 100 * float64(reads) / n
+		if gotPct < float64(tc.readPct)-3 || gotPct > float64(tc.readPct)+3 {
+			t.Errorf("%s measured %.1f%% reads, want ~%d%%", tc.name, gotPct, tc.readPct)
+		}
+	}
+}
+
+// TestYCSBDeterministic: same seed, same stream.
+func TestYCSBDeterministic(t *testing.T) {
+	w := YCSB(4000, YCSBA)
+	a := &GenContext{Rng: rand.New(rand.NewSource(99)), HomeSite: 1, NumSites: 2}
+	b := &GenContext{Rng: rand.New(rand.NewSource(99)), HomeSite: 1, NumSites: 2}
+	for i := 0; i < 500; i++ {
+		ta, tb := w.Generate(a), w.Generate(b)
+		if ta.Class != tb.Class || len(ta.Actions) != len(tb.Actions) ||
+			ta.Actions[0].Key != tb.Actions[0].Key {
+			t.Fatalf("streams diverge at txn %d", i)
+		}
+	}
+}
+
+// TestYCSBZipfSkew: the key distribution must concentrate on the low end of
+// the site range (the hot set), not be uniform.
+func TestYCSBZipfSkew(t *testing.T) {
+	const rows = 8000
+	w := YCSB(rows, YCSBC)
+	gc := &GenContext{Rng: rand.New(rand.NewSource(3)), HomeSite: 0, NumSites: 1}
+	const n = 4000
+	low := 0
+	for i := 0; i < n; i++ {
+		tx := w.Generate(gc)
+		if int64(tx.Actions[0].Key) < rows/10 {
+			low++
+		}
+	}
+	// A uniform draw would put ~10% in the first decile; the zipf draw puts
+	// well over half there.
+	if float64(low)/n < 0.5 {
+		t.Errorf("first decile got %.1f%% of draws, want > 50%% under zipf skew", 100*float64(low)/n)
+	}
+}
