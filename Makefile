@@ -7,6 +7,7 @@
 #   make race         - concurrent-adaptation packages under the race detector
 #   make bench        - full hot-path microbenchmarks with allocation stats
 #   make bench-json   - append a BENCH.json perf-trajectory record
+#   make bench-trace  - traced adaptive-drift run: Perfetto trace + metrics CSV
 #   make fuzz-smoke   - bounded seeded fault-scenario fuzz run (FUZZ_SEED=...)
 #
 # The experiment and fuzz targets run through the parallel point scheduler
@@ -16,9 +17,9 @@
 GO ?= go
 FUZZ_SEED ?= 42
 
-.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices bench-groupcommit bench-executed fuzz-smoke
+.PHONY: check fmt vet staticcheck build test race bench-smoke bench bench-json bench-verify bench-devices bench-groupcommit bench-executed bench-trace fuzz-smoke
 
-check: fmt vet staticcheck build test race bench-smoke bench-devices bench-groupcommit bench-executed fuzz-smoke bench-verify
+check: fmt vet staticcheck build test race bench-smoke bench-devices bench-groupcommit bench-executed bench-trace fuzz-smoke bench-verify
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -88,6 +89,15 @@ bench-groupcommit:
 # agrees between the two on the chiplet profile.
 bench-executed:
 	$(GO) run ./cmd/atrapos-bench -experiment fig-executed
+
+# The tracing smoke: run the traced adaptive-drift scenario and write the
+# Chrome-trace JSON (Perfetto-loadable) and metrics CSV. The command validates
+# both documents itself (trace-event schema, CSV header and row shape, span
+# ring drop accounting), so this target failing means the exporter regressed.
+# Outputs land in ./trace-out/ (gitignored; CI uploads them on failure).
+bench-trace:
+	@mkdir -p trace-out
+	$(GO) run ./cmd/atrapos-bench -trace trace-out/drift.json -metrics trace-out/drift.csv
 
 # A bounded, fixed-seed run of the fault-scenario fuzzer: 100 composed
 # {workload, machine, device layout, fault schedule} scenarios, every standing

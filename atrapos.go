@@ -43,6 +43,7 @@ import (
 	"atrapos/internal/fault"
 	"atrapos/internal/harness"
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/partition"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
@@ -245,6 +246,12 @@ type Options struct {
 	TimeCompression float64
 	// Monitoring enables the monitoring mechanism without adaptation.
 	Monitoring bool
+	// Tracing enables the virtual-time span tracer: spans, planner decisions
+	// and metrics samples are recorded into pre-allocated rings, exportable
+	// via RunOptions.TracePath (Chrome trace-event JSON, Perfetto-loadable)
+	// and RunOptions.MetricsPath (CSV). Off (the default), the hot paths pay
+	// one nil check per recording site and allocate nothing extra.
+	Tracing bool
 	// AllocPolicy places instance memory for the shared-nothing designs.
 	AllocPolicy AllocPolicy
 	// WorkloadAwarePlacement derives the initial partitioning and placement
@@ -281,6 +288,7 @@ func Open(opts Options) (*System, error) {
 		TimeCompression:  opts.TimeCompression,
 		Monitoring:       opts.Monitoring || opts.Adaptive,
 		AllocPolicy:      opts.AllocPolicy,
+		Tracing:          opts.Tracing,
 	}
 	wap := true
 	if opts.WorkloadAwarePlacement != nil {
@@ -330,6 +338,14 @@ func RestoreSocketAt(at VirtualTime, socket int) Event {
 
 // Run executes the workload and returns the measured result.
 func (s *System) Run(opts RunOptions) (*Result, error) { return s.engine.Run(opts) }
+
+// Tracer is the span, decision and metrics recorder of a traced System.
+type Tracer = obs.Tracer
+
+// Tracer returns the System's tracer, or nil unless Options.Tracing was set.
+// Besides the file exports of RunOptions, it gives programmatic access to the
+// recorded spans, planner decisions, metrics samples and drop accounting.
+func (s *System) Tracer() *Tracer { return s.engine.Tracer() }
 
 // ExecutedResult is the outcome of a RunExecuted: real operations on the
 // sharded hash backend, timed in wall nanoseconds.
@@ -500,6 +516,14 @@ func GroupCommitSweep(scale Scale) ([]GroupCommitPoint, error) {
 // statically-best level on either side.
 type GranularityTrajectory = harness.GranularityTrajectory
 
+// GranularityChangeRecord is one island-level change of a trajectory, with
+// the scorer's winner and runner-up per-term breakdowns when recorded.
+type GranularityChangeRecord = harness.GranularityChangeRecord
+
+// ScoreTermsRecord is the granularity scorer's per-term breakdown for one
+// candidate level: five additive terms whose sum is the total (lower wins).
+type ScoreTermsRecord = harness.ScoreTermsRecord
+
 // RunAdaptiveGranularity runs the adaptive-granularity scenario behind the
 // fig-adaptive-granularity experiment and returns its trajectory; it is the
 // data behind the BENCH.json adaptive-granularity records.
@@ -512,6 +536,19 @@ func RunAdaptiveGranularity(scale Scale) (*GranularityTrajectory, error) {
 // are not re-measured.
 func RunAdaptiveGranularityFrom(scale Scale, static []IslandPoint) (*GranularityTrajectory, error) {
 	return harness.RunAdaptiveGranularityFrom(scale, static)
+}
+
+// TracedDriftResult is the outcome of RunTracedDrift: the level trajectory
+// plus the exported trace and metrics documents and their accounting.
+type TracedDriftResult = harness.TracedDriftResult
+
+// RunTracedDrift executes the adaptive-granularity drift scenario with the
+// span tracer enabled (default profile chiplet-2s4d, one worker, so the
+// exported documents are bit-identical on any host at any parallelism) and
+// writes the Chrome-trace JSON and metrics CSV to the given paths when
+// non-empty. Both documents are validated before the result is returned.
+func RunTracedDrift(scale Scale, tracePath, metricsPath string) (*TracedDriftResult, error) {
+	return harness.RunTracedDrift(scale, tracePath, metricsPath)
 }
 
 // FaultEvent is one declarative fault of a schedule: a socket or log-device

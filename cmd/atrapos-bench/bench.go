@@ -321,6 +321,26 @@ func checkBenchDocument(data []byte) error {
 			if g.Profile == "" || g.FinalLevel == "" {
 				return fmt.Errorf("record %d adaptive-granularity trajectory is missing its profile or final level", i)
 			}
+			for _, lc := range g.Changes {
+				if err := checkScoreTerms(lc.WinnerScores, "winner"); err != nil {
+					return fmt.Errorf("record %d level change %s->%s: %w", i, lc.From, lc.To, err)
+				}
+				if err := checkScoreTerms(lc.RunnerUpScores, "runner-up"); err != nil {
+					return fmt.Errorf("record %d level change %s->%s: %w", i, lc.From, lc.To, err)
+				}
+				if w := lc.WinnerScores; w != nil {
+					if w.Level != lc.To {
+						return fmt.Errorf("record %d level change %s->%s: winner breakdown prices %q, not the level switched to",
+							i, lc.From, lc.To, w.Level)
+					}
+					// The winner is the minimum of the scored candidates: a
+					// runner-up strictly cheaper than it is a corrupt record.
+					if ru := lc.RunnerUpScores; ru != nil && ru.Total < w.Total {
+						return fmt.Errorf("record %d level change %s->%s: runner-up total %.6f beats winner total %.6f",
+							i, lc.From, lc.To, ru.Total, w.Total)
+					}
+				}
+			}
 		}
 		for _, pt := range r.LogDevices {
 			if pt.Profile == "" || pt.Layout == "" || pt.Level == "" {
@@ -491,6 +511,27 @@ func checkBenchDocument(data []byte) error {
 					i, ex.CrossoverProfile)
 			}
 		}
+	}
+	return nil
+}
+
+// checkScoreTerms validates one per-term score breakdown: a priced level name
+// and five terms that sum to the recorded total. The scorer computes the total
+// as exactly this left-to-right sum, so the JSON float round-trip (exact for
+// float64) leaves only re-association noise — a loose absolute epsilon covers
+// validators summing in the same order while still catching edited terms.
+// A nil breakdown (older record) passes.
+func checkScoreTerms(sr *atrapos.ScoreTermsRecord, which string) error {
+	if sr == nil {
+		return nil
+	}
+	if sr.Level == "" {
+		return fmt.Errorf("%s score breakdown names no level", which)
+	}
+	sum := sr.Locality + sr.TxnState + sr.Commit + sr.Conflict + sr.Comm
+	if diff := sum - sr.Total; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("%s score breakdown for %s: terms sum to %.9f, total says %.9f",
+			which, sr.Level, sum, sr.Total)
 	}
 	return nil
 }

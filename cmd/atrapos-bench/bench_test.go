@@ -42,6 +42,10 @@ func TestCheckBenchDocument(t *testing.T) {
 		"unnamed design":    `[{"generated_at":"x","designs":[{"transactions":1}]}]`,
 		"negative counters": `[{"generated_at":"x","designs":[{"design":"plp","transactions":-1}]}]`,
 		"bad trajectory":    `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":""}}]`,
+		"score sum wrong":   `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":"p","start_level":"socket","final_level":"machine","committed":1,"level_changes":[{"at_nanos":1,"from":"socket","to":"machine","multisite_share":1,"cost":1,"affected_cores":2,"winner_scores":{"level":"machine","total":5,"locality":1,"txn_state":1,"commit":1,"conflict":1,"comm":0.5}}]}}]`,
+		"score no level":    `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":"p","start_level":"socket","final_level":"machine","committed":1,"level_changes":[{"at_nanos":1,"from":"socket","to":"machine","multisite_share":1,"cost":1,"affected_cores":2,"winner_scores":{"level":"","total":5,"locality":1,"txn_state":1,"commit":1,"conflict":1,"comm":1}}]}}]`,
+		"score wrong side":  `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":"p","start_level":"socket","final_level":"machine","committed":1,"level_changes":[{"at_nanos":1,"from":"socket","to":"machine","multisite_share":1,"cost":1,"affected_cores":2,"winner_scores":{"level":"die","total":5,"locality":1,"txn_state":1,"commit":1,"conflict":1,"comm":1}}]}}]`,
+		"score upset":       `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":"p","start_level":"socket","final_level":"machine","committed":1,"level_changes":[{"at_nanos":1,"from":"socket","to":"machine","multisite_share":1,"cost":1,"affected_cores":2,"winner_scores":{"level":"machine","total":5,"locality":1,"txn_state":1,"commit":1,"conflict":1,"comm":1},"runner_up_scores":{"level":"socket","total":3,"locality":1,"txn_state":1,"commit":1,"conflict":0,"comm":0}}]}}]`,
 		"bare device point": `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"chiplet-2s4d"}]}]`,
 		"zero devices":      `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":0,"multisite_pct":0,"virtual_tps":1,"committed":1}]}]`,
 		"bad device pct":    `[{"generated_at":"x","designs":[{"design":"plp"}],"log_devices":[{"profile":"p","layout":"l","island_level":"core","devices":1,"multisite_pct":400,"virtual_tps":1,"committed":1}]}]`,
@@ -74,6 +78,10 @@ func TestCheckBenchDocument(t *testing.T) {
 		if err := checkBenchDocument([]byte(doc)); err == nil {
 			t.Errorf("%s: corruption not detected", name)
 		}
+	}
+	withScores := `[{"generated_at":"x","designs":[{"design":"plp"}],"adaptive_granularity":{"profile":"p","start_level":"socket","final_level":"machine","committed":1,"level_changes":[{"at_nanos":1,"from":"socket","to":"machine","multisite_share":1,"cost":1,"affected_cores":2,"winner_scores":{"level":"machine","total":5,"locality":1,"txn_state":1,"commit":1,"conflict":1,"comm":1},"runner_up_scores":{"level":"socket","total":8,"locality":2,"txn_state":2,"commit":2,"conflict":1,"comm":1}}]}}]`
+	if err := checkBenchDocument([]byte(withScores)); err != nil {
+		t.Errorf("valid score-breakdown record rejected: %v", err)
 	}
 	withFaults := `[{"generated_at":"x","designs":[{"design":"plp"}],"faults":{"profile":"p","layout":"l","schedule":"s","committed":1,"phases":[{"label":"healthy","from_s":1,"to_s":10,"avg_tps":5}],"dip_on_device_failure":true,"dip_on_socket_failure":true,"recovered_after_restore":true,"rehomed_logs":1,"converged":true}}]`
 	if err := checkBenchDocument([]byte(withFaults)); err != nil {

@@ -44,6 +44,29 @@ func runFuzz(n int, seed int64, parallel int) error {
 	return nil
 }
 
+// runTraced executes the traced adaptive-drift scenario and writes the trace
+// and metrics documents. RunTracedDrift validates both documents itself
+// (Chrome-trace schema, CSV header and row shape, ring drop accounting), so a
+// zero exit means the files are well-formed.
+func runTraced(scale atrapos.Scale, tracePath, metricsPath string) error {
+	start := time.Now()
+	res, err := atrapos.RunTracedDrift(scale, tracePath, metricsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced drift: profile=%s start=%s final=%s committed=%d decisions=%d level_changes=%d dropped_spans=%d (%v)\n",
+		res.Trajectory.Profile, res.Trajectory.StartLevel, res.Trajectory.FinalLevel,
+		res.Trajectory.Committed, res.Decisions, len(res.Trajectory.Changes), res.DroppedSpans,
+		time.Since(start).Round(time.Millisecond))
+	if tracePath != "" {
+		fmt.Printf("trace:   %s (%d bytes, load at https://ui.perfetto.dev)\n", tracePath, len(res.Trace))
+	}
+	if metricsPath != "" {
+		fmt.Printf("metrics: %s (%d bytes)\n", metricsPath, len(res.Metrics))
+	}
+	return nil
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
@@ -58,9 +81,25 @@ func main() {
 		jsonTxns   = flag.Int("txns", 40000, "transactions measured per design in -json mode")
 		verifyJSON = flag.Bool("verify", false, "validate BENCH.json (see -out) against the trajectory schema and exit")
 		fuzzN      = flag.Int("fuzz", 0, "run N seeded fuzz scenarios (composed workload/machine/layout/fault schedules) and check every standing invariant")
+		tracePath  = flag.String("trace", "", "run the traced adaptive-drift scenario and write a Perfetto-loadable Chrome trace to this path")
+		metricsCSV = flag.String("metrics", "", "with -trace (or alone): write the planner-boundary metrics samples as CSV to this path")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep points / fuzz scenarios / experiments run concurrently (1 = serial); results are bit-identical at any value")
 	)
 	flag.Parse()
+
+	if *tracePath != "" || *metricsCSV != "" {
+		scale := atrapos.QuickScale()
+		if *scaleName == "paper" {
+			scale = atrapos.PaperScale()
+		}
+		scale.Seed = *seed
+		scale.Profile = *profile
+		if err := runTraced(scale, *tracePath, *metricsCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fuzzN > 0 {
 		if err := runFuzz(*fuzzN, *seed, *parallel); err != nil {

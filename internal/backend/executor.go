@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"atrapos/internal/obs"
 	"atrapos/internal/schema"
 	"atrapos/internal/vclock"
 )
@@ -62,7 +63,17 @@ type Executor struct {
 	out   Request
 
 	Stats ExecStats
+
+	// trace is the span ring shipped-operation service is recorded into.
+	// Backend spans carry *wall* nanoseconds (the executed path measures real
+	// time), so they are excluded from virtual-time determinism oracles; nil
+	// records nothing.
+	trace *obs.Ring
 }
+
+// SetTrace attaches (or, with a nil ring, detaches) the executor's span ring.
+// Call it before the executor starts serving; serve reads it unguarded.
+func (e *Executor) SetTrace(r *obs.Ring) { e.trace = r }
 
 // NewExecutors builds one executor per island and wires their inboxes. The
 // inbox capacity is the executor count: every peer can have its single
@@ -97,8 +108,12 @@ func (e *Executor) ID() int { return e.id }
 // it back to the sender, accounting the wall time under ServeNs.
 func (e *Executor) serve(r *Request) {
 	t0 := time.Now()
+	op := r.op
 	e.serveOp(r)
-	e.Stats.ServeNs += time.Since(t0).Nanoseconds()
+	d := time.Since(t0).Nanoseconds()
+	e.Stats.ServeNs += d
+	e.trace.Record(obs.Span{Start: vclock.Nanos(t0.UnixNano()), Dur: vclock.Nanos(d),
+		Kind: obs.KindBackendOp, Site: int32(e.id), Arg: int64(op)})
 }
 
 func (e *Executor) serveOp(r *Request) {

@@ -137,9 +137,39 @@ func (g GranularityModel) flushShare() float64 {
 	return float64(g.LogFlush)
 }
 
+// LevelBreakdown is one candidate level's score split into the model's five
+// terms, the explanation the planner's decision log carries for every
+// evaluation. Total is the terms summed in the model's fixed order (it is
+// bit-identical to the single-accumulator Score of earlier versions); a term
+// whose preconditions do not hold contributes exactly 0. Levels with no
+// alive islands have Total = +Inf and zero terms.
+type LevelBreakdown struct {
+	Level topology.Level
+	// Total is the score: Locality + TxnState + Commit + Conflict + Comm.
+	Total float64
+	// Locality is the instance-locality term (shared state + row payload
+	// against the island home, speed-weighted over members).
+	Locality float64
+	// TxnState is the transaction-state stripe term (begin/commit touches,
+	// centralized at machine level).
+	TxnState float64
+	// Commit is the group-commit / device bill (flush imbalance, device
+	// service and queue-wait concentration, scaled by coalescing survival).
+	Commit float64
+	// Conflict is the lock-conflict retry term.
+	Conflict float64
+	// Comm is the communication term (remote round trips, 2PC, sync points).
+	Comm float64
+}
+
 // Score predicts the per-transaction overhead of deploying one instance per
 // island at the given level under the given workload shape. Lower is better.
-// Levels with no alive islands score +Inf.
+// Levels with no alive islands score +Inf. It is Breakdown's Total.
+func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float64 {
+	return g.Breakdown(level, shape).Total
+}
+
+// Breakdown prices one candidate level and reports each term separately.
 //
 // The terms mirror the engine's actual charges:
 //
@@ -158,12 +188,14 @@ func (g GranularityModel) flushShare() float64 {
 //     synchronization point — all priced with the hierarchical per-hop
 //     machinery, so die islands of one socket are cheaper to coordinate than
 //     islands on different sockets.
-func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float64 {
+func (g GranularityModel) Breakdown(level topology.Level, shape WorkloadShape) LevelBreakdown {
+	b := LevelBreakdown{Level: level}
 	top := g.Domain.Top
 	islands := top.AliveIslandsAt(level)
 	n := len(islands)
 	if n == 0 {
-		return math.Inf(1)
+		b.Total = math.Inf(1)
+		return b
 	}
 	k := shape.ActionsPerTxn
 	if k <= 0 {
@@ -201,10 +233,11 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		}
 	}
 	if members == 0 {
-		return math.Inf(1)
+		b.Total = math.Inf(1)
+		return b
 	}
 	state /= float64(members)
-	score := fExec * k * state
+	b.Locality = fExec * k * state
 
 	// Transaction-state stripe: begin and commit. Sub-machine levels keep it
 	// striped per socket (local); the machine level shares one central list
@@ -216,9 +249,9 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 		for _, c := range alive {
 			sum += float64(g.Domain.CoreAtomicCost(c.ID, h))
 		}
-		score += fMgmt * 2 * sum / float64(len(alive))
+		b.TxnState = fMgmt * 2 * sum / float64(len(alive))
 	} else {
-		score += fMgmt * 2 * float64(g.Domain.Model.LocalAtomic)
+		b.TxnState = fMgmt * 2 * float64(g.Domain.Model.LocalAtomic)
 	}
 
 	// Group-commit cost: the busiest member of an island whose log is shared
@@ -253,7 +286,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			busiest = group
 		}
 		if g.Devices == nil {
-			score += fLog * survive * (float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare())
+			b.Commit = fLog * survive * (float64(g.LogFlush)*float64(busiest)/float64(group) + g.flushShare())
 		} else {
 			var bill float64
 			for _, isl := range islands {
@@ -279,7 +312,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 				// expected queue waits, all per commit.
 				bill += svc / float64(group) * (float64(busiest) + concentration)
 			}
-			score += fLog * survive * bill / float64(n)
+			b.Commit = fLog * survive * bill / float64(n)
 		}
 	}
 
@@ -301,7 +334,7 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 			if avgSpeed := speedSum / float64(members); avgSpeed != 1 && avgSpeed > 0 {
 				retry /= avgSpeed
 			}
-			score += fLock * retry
+			b.Conflict = fLock * retry
 		}
 	}
 
@@ -342,9 +375,24 @@ func (g GranularityModel) Score(level topology.Level, shape WorkloadShape) float
 				comm += float64(g.Domain.SyncPointCostAt(homes, shape.SyncBytes))
 			}
 		}
-		score += fComm * shape.MultisiteShare * comm
+		b.Comm = fComm * shape.MultisiteShare * comm
 	}
-	return score
+	// Summed left-to-right in the historical accumulation order, so Total is
+	// bit-identical to the pre-breakdown single-accumulator score (terms that
+	// did not apply add exactly +0.0, the identity).
+	b.Total = b.Locality + b.TxnState + b.Commit + b.Conflict + b.Comm
+	return b
+}
+
+// Breakdowns prices every structurally distinct island level, finest first,
+// with full per-term detail; it is Scores with the explanation kept.
+func (g GranularityModel) Breakdowns(shape WorkloadShape) []LevelBreakdown {
+	levels := g.Domain.Top.DistinctLevels()
+	out := make([]LevelBreakdown, len(levels))
+	for i, l := range levels {
+		out[i] = g.Breakdown(l, shape)
+	}
+	return out
 }
 
 // Scores prices every island level that is structurally distinct on the

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
 )
@@ -83,6 +84,12 @@ type Device struct {
 	flushes   int64
 	queuedFl  int64
 	queueWait vclock.Nanos
+
+	// trace is the device span ring queue waits are recorded into; nil (the
+	// default) records nothing. traceID stamps the spans with the device's
+	// layout index.
+	trace   *obs.Ring
+	traceID int32
 }
 
 // New instantiates a device from its spec, normalizing degenerate values.
@@ -174,11 +181,39 @@ func (d *Device) Flush(now vclock.Nanos, bytes int) numa.Cost {
 	if wait > 0 {
 		d.queuedFl++
 		d.queueWait += wait
+		d.trace.Record(obs.Span{Start: now, Dur: wait, Kind: obs.KindDeviceWait,
+			Site: d.traceID, Arg: int64(bytes)})
 	}
 	d.backlog += vclock.Nanos(service)
 	d.flushes++
 	d.mu.Unlock()
 	return numa.Cost(wait) + service
+}
+
+// SetTrace attaches (or, with a nil ring, detaches) the span ring the device
+// records queue waits into, stamped with the device's layout index id.
+func (d *Device) SetTrace(r *obs.Ring, id int32) {
+	d.mu.Lock()
+	d.trace = r
+	d.traceID = id
+	d.mu.Unlock()
+}
+
+// BacklogAt returns the service backlog that would remain at virtual time
+// now — the drain formula of Flush applied read-only. The metrics sampler
+// reads it at planner boundaries.
+func (d *Device) BacklogAt(now vclock.Nanos) vclock.Nanos {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	backlog := d.backlog
+	if now > d.horizon {
+		drained := (now - d.horizon) * vclock.Nanos(d.spec.QueueDepth)
+		if drained >= backlog {
+			return 0
+		}
+		backlog -= drained
+	}
+	return backlog
 }
 
 // Stats summarizes one device's activity since the last Reset.

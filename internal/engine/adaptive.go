@@ -7,10 +7,12 @@ import (
 
 	"atrapos/internal/core"
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/partition"
 	"atrapos/internal/schema"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
+	"atrapos/internal/wal"
 	"atrapos/internal/workload"
 )
 
@@ -56,9 +58,18 @@ type adaptiveState struct {
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
-	// committed points at the run's committed-transaction counter while a
-	// run is active; the planner reads it to measure interval throughput.
+	// sync runs the planner inline on the (single) worker at each boundary
+	// crossing instead of on its own goroutine. Set by start for traced
+	// one-worker runs: the planner then observes virtual time at a
+	// deterministic point of the transaction stream, which makes the exported
+	// trace (decision times, samples, planner spans) a pure function of the
+	// seed. Multi-worker and untraced runs keep the concurrent planner.
+	sync bool
+	// committed and aborted point at the run's transaction counters while a
+	// run is active; the planner reads them to measure interval throughput
+	// and the metrics sampler's conflict rate.
 	committed *atomic.Int64
+	aborted   *atomic.Int64
 
 	// The fields below are owned by the planner goroutine between start and
 	// stopPlanner; reset touches them only while no planner is running.
@@ -74,6 +85,16 @@ type adaptiveState struct {
 	// when throughput looks stable, so the ATraPos pipeline re-expands onto
 	// restored capacity instead of waiting for an instability signal.
 	hwEpoch uint64
+
+	// Metrics-sampler deltas (planner-goroutine owned, like the fields above):
+	// the previous boundary's aborted count, cumulative log counters, per-core
+	// committed counts, and the multisite share of the last sealed epoch. The
+	// sampler piggybacks on the planner's existing boundary pipeline so it
+	// adds no hot-path synchronization.
+	lastAborted       int64
+	lastLogStats      wal.Stats
+	lastShare         float64
+	prevCoreCommitted []int64
 
 	repartitions    atomic.Int64
 	repartitionCost atomic.Int64
@@ -123,6 +144,11 @@ type GranularityChange struct {
 	// ReusedLockTables / RebuiltLockTables count partition lock tables
 	// carried over across the level change.
 	ReusedLockTables, RebuiltLockTables int
+	// WinnerScores and RunnerUpScores are the granularity scorer's per-term
+	// breakdowns for the level the planner switched to and for the next-best
+	// candidate it rejected — the explanation of the decision. On a
+	// hardware-forced rebuild the winner may equal the current level.
+	WinnerScores, RunnerUpScores core.LevelBreakdown
 }
 
 // RepartitionDiff summarizes one adaptive repartitioning event: when it
@@ -210,6 +236,10 @@ func (a *adaptiveState) reset() {
 	a.repartitions.Store(0)
 	a.repartitionCost.Store(0)
 	a.adaptCharged.Store(0)
+	a.lastAborted = 0
+	a.lastLogStats = a.e.logStats()
+	a.lastShare = 0
+	a.prevCoreCommitted = nil
 	a.diffMu.Lock()
 	a.diffs = nil
 	a.levelChanges = nil
@@ -217,12 +247,22 @@ func (a *adaptiveState) reset() {
 	a.monitor.RegisterPlacement(a.e.state.snapshot().placement, a.maxKeys)
 }
 
-// start launches the planner goroutine for one run. committed is the run's
-// committed-transaction counter; workers is the run's worker count (the
+// start launches the planner goroutine for one run. committed and aborted are
+// the run's transaction counters; workers is the run's worker count (the
 // granularity scorer's concurrency input).
-func (a *adaptiveState) start(committed *atomic.Int64, workers int) {
+func (a *adaptiveState) start(committed, aborted *atomic.Int64, workers int) {
 	a.committed = committed
+	a.aborted = aborted
 	a.workers = workers
+	a.sync = a.e.tracer != nil && workers == 1
+	if a.sync {
+		// Traced single-worker run: boundaries are evaluated inline by the
+		// worker (deterministic trace), no planner goroutine to stop.
+		a.kick = nil
+		a.stop = nil
+		a.done = nil
+		return
+	}
 	a.kick = make(chan struct{}, 1)
 	a.stop = make(chan struct{})
 	a.done = make(chan struct{})
@@ -270,6 +310,10 @@ func (a *adaptiveState) noteBoundary() {
 		return
 	}
 	if int64(a.e.virtualNow()) < a.nextCheck.Load() {
+		return
+	}
+	if a.sync {
+		a.adaptOnce()
 		return
 	}
 	select {
@@ -351,15 +395,22 @@ func (a *adaptiveState) adaptOnce() {
 		window = a.controller.Interval()
 	}
 	committedSoFar := a.committed.Load()
-	throughput := float64(committedSoFar-a.lastCommitted) / window.Seconds()
+	committedDelta := committedSoFar - a.lastCommitted
+	throughput := float64(committedDelta) / window.Seconds()
 	a.lastCommitted = committedSoFar
 	a.lastCheckAt = now
 	a.monitor.AdvanceWindow(window)
+	a.recordSample(now, window, throughput, committedSoFar, committedDelta)
 
 	decision := a.controller.Observe(throughput)
 	a.nextCheck.Store(int64(now + a.controller.Interval()))
 	if a.cooldown > 0 {
 		a.cooldown--
+		if a.granularity {
+			if cur := e.state.snapshot().wiring; cur != nil {
+				a.logDecision(now, cur.epoch, cur.level, cur.level, "cooldown", a.lastShare, nil)
+			}
+		}
 		return
 	}
 	// The parametric shared-nothing design adapts the island granularity
@@ -436,6 +487,10 @@ func (a *adaptiveState) adaptOnce() {
 		e.noteTime(affected[0])
 		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
 	}
+	if tr := e.tracer; tr != nil {
+		tr.Planner().Record(obs.Span{Start: now, Dur: outcome.Cost,
+			Kind: obs.KindPlannerRepartition, Arg: int64(len(affected))})
+	}
 	e.state.install(proposed, rt, e.activePartitionsPerCore(proposed, now), snap.wiring)
 	// Re-register monitoring arrays only for the tables the plan touched;
 	// unchanged tables keep accumulating into their existing arrays.
@@ -465,6 +520,84 @@ func (a *adaptiveState) adaptOnce() {
 	a.diffMu.Unlock()
 }
 
+// recordSample appends one planner-boundary metrics observation to the
+// tracer. It runs on the planner goroutine inside the existing boundary
+// pipeline — the per-core committed counters and cumulative log stats it
+// reads are the same ones the run's bookkeeping already maintains, so
+// enabling the sampler adds no hot-path synchronization.
+func (a *adaptiveState) recordSample(now, window vclock.Nanos, throughput float64, committedSoFar, committedDelta int64) {
+	e := a.e
+	tr := e.tracer
+	if tr == nil {
+		return
+	}
+	snap := e.state.snapshot()
+	s := obs.Sample{
+		At:             now,
+		Level:          e.cfg.Design.String(),
+		TPS:            throughput,
+		Committed:      committedSoFar,
+		MultisiteShare: a.lastShare,
+	}
+	if w := snap.wiring; w != nil {
+		s.Epoch = w.epoch
+		s.Level = w.level.String()
+	}
+	if a.aborted != nil {
+		abortedSoFar := a.aborted.Load()
+		abortedDelta := abortedSoFar - a.lastAborted
+		a.lastAborted = abortedSoFar
+		s.Aborted = abortedSoFar
+		// Conflict rate of the window: aborted attempts (every abort in these
+		// engines is a lock conflict) over attempts.
+		if attempts := committedDelta + abortedDelta; attempts > 0 {
+			s.ConflictRate = float64(abortedDelta) / float64(attempts)
+		}
+	}
+	logNow := e.logStats()
+	logDelta := logNow.Sub(a.lastLogStats)
+	a.lastLogStats = logNow
+	if logDelta.LogicalRecords > 0 {
+		// Fraction of the window's logical records the write-combining
+		// accumulators folded away before any physical flush.
+		s.CoalesceRatio = float64(logDelta.CoalescedRecords) / float64(logDelta.LogicalRecords)
+	}
+	var backlog vclock.Nanos
+	for _, d := range e.deviceList() {
+		backlog += d.BacklogAt(now)
+	}
+	s.DeviceBacklogNs = float64(backlog)
+	// Per-island committed TPS from the per-core counters, grouped by the
+	// installed wiring's site map (one machine-wide entry without a wiring).
+	nCores := len(e.accounts)
+	if a.prevCoreCommitted == nil {
+		a.prevCoreCommitted = make([]int64, nCores)
+	}
+	nIslands := 1
+	if w := snap.wiring; w != nil && len(w.sites) > 0 {
+		nIslands = len(w.sites)
+	}
+	s.IslandTPS = make([]float64, nIslands)
+	for c := 0; c < nCores; c++ {
+		cum := e.accounts[c].committed.Load()
+		delta := cum - a.prevCoreCommitted[c]
+		a.prevCoreCommitted[c] = cum
+		site := 0
+		if w := snap.wiring; w != nil {
+			site = w.siteOf(topology.CoreID(c))
+		}
+		if site >= 0 && site < nIslands {
+			s.IslandTPS[site] += float64(delta)
+		}
+	}
+	if secs := window.Seconds(); secs > 0 {
+		for i := range s.IslandTPS {
+			s.IslandTPS[i] /= secs
+		}
+	}
+	tr.RecordSample(s)
+}
+
 // takeDiffs returns a copy of the per-repartitioning diff records.
 func (a *adaptiveState) takeDiffs() []RepartitionDiff {
 	a.diffMu.Lock()
@@ -488,11 +621,16 @@ func (a *adaptiveState) takeLevelChanges() []GranularityChange {
 // concurrently with regular execution.
 func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 	e := a.e
+	tr := e.tracer
 	stats := a.monitor.Seal()
 	snap := e.state.snapshot()
 	cur := snap.wiring
 	if cur == nil || !e.cfg.Adaptive {
 		return
+	}
+	if tr != nil {
+		tr.Planner().Record(obs.Span{Start: now, Kind: obs.KindPlannerSeal,
+			Epoch: uint32(cur.epoch), Arg: stats.Txns})
 	}
 	// Hardware changed under the wiring: a site homed on a failed socket, a
 	// restored socket whose islands the wiring does not cover yet, or an
@@ -500,6 +638,7 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 	// re-wiring at the best level, independent of the scores.
 	hardware := wiringStale(cur, e.cfg.Topology) || wiringBindsFailedDevice(cur)
 	if stats.Txns == 0 && !hardware {
+		a.logDecision(now, cur.epoch, cur.level, cur.level, "idle", a.lastShare, nil)
 		return
 	}
 	shape := core.WorkloadShape{
@@ -512,16 +651,28 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 		TotalKeys:      a.totalKeys,
 		Concurrency:    a.workers,
 	}
+	a.lastShare = shape.MultisiteShare
 	best, scores := a.granModel.Best(shape, granTieMargin)
+	// The per-term breakdowns explain the decision: they feed the planner
+	// decision log and, on a change, the GranularityChange record. Computed on
+	// the planner goroutine over a handful of levels, so the cost is noise.
+	bds := a.granModel.Breakdowns(shape)
+	winner, runnerUp := pickWinnerRunnerUp(bds, best)
+	if tr != nil {
+		tr.Planner().Record(obs.Span{Start: now, Kind: obs.KindPlannerScore,
+			Epoch: uint32(cur.epoch), Arg: int64(len(bds))})
+	}
 	if hardware {
 		// Rebuild at the best level (which may be the current one — the
 		// rebuild homes every site on alive hardware and re-homes island logs
 		// bound to failed devices either way; reused logs carry their records
 		// across the move).
-		a.changeLevel(best, shape.MultisiteShare, now)
+		a.logDecision(now, cur.epoch, cur.level, best, "hardware-rebuild", shape.MultisiteShare, bds)
+		a.changeLevel(best, shape.MultisiteShare, now, winner, runnerUp)
 		return
 	}
 	if best == cur.level {
+		a.logDecision(now, cur.epoch, cur.level, best, "hold-current", shape.MultisiteShare, bds)
 		return
 	}
 	// Score the current level directly: it may be a structurally redundant
@@ -539,9 +690,56 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 	// oscillate between near-equivalent granularities while the share
 	// hovers at the crossover.
 	if curScore <= 0 || bestScore >= (1-granHysteresis)*curScore {
+		a.logDecision(now, cur.epoch, cur.level, best, "hysteresis-hold", shape.MultisiteShare, bds)
 		return
 	}
-	a.changeLevel(best, shape.MultisiteShare, now)
+	a.logDecision(now, cur.epoch, cur.level, best, "change", shape.MultisiteShare, bds)
+	a.changeLevel(best, shape.MultisiteShare, now, winner, runnerUp)
+}
+
+// pickWinnerRunnerUp selects the breakdown of the winning level and of the
+// best-scoring other level (the rejected alternative the decision explains
+// itself against).
+func pickWinnerRunnerUp(bds []core.LevelBreakdown, best topology.Level) (winner, runnerUp core.LevelBreakdown) {
+	first := true
+	for _, b := range bds {
+		if b.Level == best {
+			winner = b
+			continue
+		}
+		if first || b.Total < runnerUp.Total {
+			runnerUp = b
+			first = false
+		}
+	}
+	return winner, runnerUp
+}
+
+// logDecision appends one planner decision (with its per-candidate score
+// breakdown) to the tracer's decision log; a no-op without a tracer.
+func (a *adaptiveState) logDecision(now vclock.Nanos, epoch uint64, current, best topology.Level, verdict string, share float64, bds []core.LevelBreakdown) {
+	tr := a.e.tracer
+	if tr == nil {
+		return
+	}
+	d := obs.Decision{
+		At:        now,
+		Epoch:     epoch,
+		Current:   current.String(),
+		Best:      best.String(),
+		Verdict:   verdict,
+		Multisite: share,
+	}
+	if len(bds) > 0 {
+		d.Candidates = make([]obs.LevelScore, 0, len(bds))
+		for _, b := range bds {
+			d.Candidates = append(d.Candidates, obs.LevelScore{
+				Level: b.Level.String(), Total: b.Total, Locality: b.Locality,
+				TxnState: b.TxnState, Commit: b.Commit, Conflict: b.Conflict, Comm: b.Comm,
+			})
+		}
+	}
+	tr.RecordDecision(d)
 }
 
 // changeLevel re-wires the machine to the given island level: it derives the
@@ -554,7 +752,7 @@ func (a *adaptiveState) adaptGranularity(now vclock.Nanos) {
 // bumped topology epoch. Workers never stall: they keep executing against the
 // previous snapshot until the install, and transactions in flight finish on
 // the wiring they started with.
-func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock.Nanos) {
+func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock.Nanos, winner, runnerUp core.LevelBreakdown) {
 	e := a.e
 	top := e.cfg.Topology
 	snap := e.state.snapshot()
@@ -620,6 +818,10 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 		e.noteTime(affected[0])
 		a.adaptCharged.Add(int64(outcome.Cost) * int64(len(affected)))
 	}
+	if tr := e.tracer; tr != nil {
+		tr.Planner().Record(obs.Span{Start: now, Dur: outcome.Cost,
+			Kind: obs.KindPlannerRewire, Epoch: uint32(wiring.epoch), Arg: int64(len(affected))})
+	}
 	e.absorbRetiredLogs(wiring)
 	e.state.install(desired, rt, e.activePartitionsPerCore(desired, now), wiring)
 	// The executed backend's shard layout follows the wiring: compact the live
@@ -650,6 +852,8 @@ func (a *adaptiveState) changeLevel(to topology.Level, share float64, now vclock
 		ReboundDevices:    wiring.reboundDevices,
 		ReusedLockTables:  applied.ReusedManagers,
 		RebuiltLockTables: applied.RebuiltManagers,
+		WinnerScores:      winner,
+		RunnerUpScores:    runnerUp,
 	})
 	a.diffMu.Unlock()
 }

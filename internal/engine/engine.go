@@ -24,6 +24,7 @@ import (
 	"atrapos/internal/device"
 	"atrapos/internal/lock"
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/partition"
 	"atrapos/internal/schema"
 	"atrapos/internal/storage"
@@ -164,6 +165,16 @@ type Config struct {
 	// executes actions (1 + penalty*(k-1)) times slower. It models the
 	// oversaturation the paper demonstrates with the naïve placement (Fig. 6).
 	OversaturationPenalty float64
+	// Tracing enables the virtual-time span tracer: the engine pre-allocates
+	// fixed-capacity span rings (per worker core, per island log, per device,
+	// plus one planner ring) at construction and the hot paths record into
+	// them. Disabled (the default), every recording site is a nil check and
+	// the per-transaction path allocates nothing extra.
+	Tracing bool
+	// TraceRingCap is the capacity, in spans, of each ring when Tracing is
+	// enabled. Zero means the 16384-span default; overflowing rings drop new
+	// spans and count the drops rather than growing.
+	TraceRingCap int
 	// TimeCompression declares that the experiment compresses that many of
 	// the paper's wall-clock seconds into one unit of its (shorter) virtual
 	// timeline; the cost of repartitioning actions is scaled down by the same
@@ -205,6 +216,9 @@ func (c *Config) withDefaults() (*Config, error) {
 	}
 	if out.Adaptive {
 		out.Monitoring = true
+	}
+	if out.Tracing && out.TraceRingCap <= 0 {
+		out.TraceRingCap = 1 << 14
 	}
 	// Resolve the island granularity: the legacy enum values pin it, the
 	// parametric design defaults to socket-grained instances.
@@ -253,6 +267,11 @@ type Engine struct {
 
 	accounts []coreAccount
 	adaptive *adaptiveState
+
+	// tracer holds the span rings, metrics samples and planner decision log
+	// when Config.Tracing is enabled; nil otherwise. Every recording site is
+	// nil-safe, so the disabled path costs one pointer comparison.
+	tracer *obs.Tracer
 
 	// hash is the executed storage engine (Config.Backend == backend.Hash):
 	// one shard per island of the installed wiring, re-sharded by the
@@ -341,6 +360,22 @@ func New(cfg Config) (*Engine, error) {
 		shape := core.WorkloadShape{ActionsPerTxn: 10, WritesPerTxn: 1, Concurrency: 1}
 		if best, _ := g.Best(shape, granTieMargin); best.Valid() {
 			c.IslandLevel = best
+		}
+	}
+
+	if c.Tracing {
+		// One worker ring per core (worker spans land on the coordinator's
+		// core track), one island ring per possible island (core-grained is
+		// the finest level, so NumCores bounds it), one ring per log device.
+		// Built before wireStructures so the initial wiring can attach its
+		// island logs to the rings.
+		ndev := 0
+		if e.devices != nil {
+			ndev = e.devices.NumDevices()
+		}
+		e.tracer = obs.NewTracer(c.Topology.NumCores(), c.Topology.NumCores(), ndev, c.TraceRingCap)
+		for i, d := range e.deviceList() {
+			d.SetTrace(e.tracer.Device(i), int32(i))
 		}
 	}
 
@@ -590,6 +625,12 @@ func (e *Engine) wireStructures(p *partition.Placement) {
 		e.txnMgr = txn.NewManager(e.domain, txn.NewPartitionedList(e.domain), numa.NewPartitionedRWLock(e.domain))
 		e.log = wal.NewCentralLog(e.domain, 0, centralCfg)
 	}
+	// Designs with one central log record its flush spans on island track 0.
+	if e.tracer != nil && w == nil {
+		if cl, ok := e.log.(*wal.CentralLog); ok {
+			cl.SetTrace(e.tracer.Island(0), 0)
+		}
+	}
 	e.state.install(p, partition.NewRuntime(e.domain, p), e.activePartitionsPerCore(p, 0), w)
 }
 
@@ -737,6 +778,13 @@ func (e *Engine) buildWiring(level topology.Level, epoch uint64, prev *islandWir
 	}
 	w.logs = wal.NewPartitionedLogAtReusing(e.domain, homes, *e.cfg.LogConfig, devs, reuse)
 	w.reboundDevices = w.logs.ReboundDevices()
+	if e.tracer != nil {
+		// Attach every island log (reused ones move to their new island's
+		// ring) so flush spans carry the wiring's site index.
+		for i := range islands {
+			w.logs.Log(i).SetTrace(e.tracer.Island(i), int32(i))
+		}
+	}
 	w.coordinator = txn.NewCoordinatorAt(e.domain, w.logs, homeCores)
 	machineGrained := level == topology.LevelMachine
 	if prev != nil && (prev.level == topology.LevelMachine) == machineGrained {
@@ -772,6 +820,18 @@ func (e *Engine) TopologyEpoch() uint64 {
 // Devices returns the engine's log-device map, or nil when no device layout
 // is configured.
 func (e *Engine) Devices() *device.Map { return e.devices }
+
+// deviceList returns the layout's devices in index order, or nil when no
+// layout is configured.
+func (e *Engine) deviceList() []*device.Device {
+	if e.devices == nil {
+		return nil
+	}
+	return e.devices.Devices()
+}
+
+// Tracer returns the engine's span tracer, or nil when Config.Tracing is off.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // activePartitionsPerCore counts, for every core, the partitions of tables
 // the workload touches at virtual time at; it drives the oversaturation

@@ -6,6 +6,7 @@ import (
 	"atrapos/internal/core"
 	"atrapos/internal/lock"
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/schema"
 	"atrapos/internal/storage"
 	"atrapos/internal/topology"
@@ -181,6 +182,7 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 	for _, tm := range sc.tableModes {
 		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.TableResource(tm.table), tm.mode)
 		e.charge(worker, vclock.Locking, cost)
+		e.traceOp(sc, obs.KindLockAcquire, worker, cost, errArg(err))
 		if err != nil {
 			return abort()
 		}
@@ -191,6 +193,7 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 		rowMode, _ := lockModeFor(a.Op)
 		cost, err := e.centralLocks.Acquire(s, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
 		e.charge(worker, vclock.Locking, cost)
+		e.traceOp(sc, obs.KindLockAcquire, worker, cost, errArg(err))
 		if err != nil {
 			return abort()
 		}
@@ -203,11 +206,13 @@ func (e *Engine) executeCentralized(worker topology.CoreID, t *workload.Transact
 			wrote = true
 			_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(worker, vclock.Logging, logCost)
+			e.traceOp(sc, obs.KindWALAppend, worker, logCost, 96)
 		}
 	}
 	if wrote {
 		_, logCost := e.log.Append(s, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
+		e.traceOp(sc, obs.KindWALAppend, worker, logCost, 48)
 		e.charge(worker, vclock.Logging, e.log.Flush(s, e.log.Tail(), e.coreTime(worker)))
 	}
 	relCost, _ := e.centralLocks.ReleaseAll(s, lock.TxnID(tx.ID))
@@ -296,6 +301,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 		rowMode, _ := lockModeFor(a.Op)
 		lockCost, lockErr := lm.Acquire(siteSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
 		e.charge(siteCore, vclock.Locking, lockCost)
+		e.traceOp(sc, obs.KindLockAcquire, siteCore, lockCost, errArg(lockErr))
 		sc.locked = append(sc.locked, lockedPartition{table: a.Table, idx: site, core: siteCore, sock: siteSock})
 		if lockErr != nil {
 			return abort()
@@ -310,6 +316,7 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 			// Each island appends to its own write-ahead log.
 			_, logCost := w.logs.Log(site).Append(siteSock, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(siteCore, vclock.Logging, logCost)
+			e.traceOp(sc, obs.KindWALAppend, siteCore, logCost, 96)
 		}
 	}
 
@@ -331,11 +338,13 @@ func (e *Engine) executeSharedNothing(worker topology.CoreID, t *workload.Transa
 			for _, c := range sc.remoteCores {
 				e.charge(c, vclock.Locking, hold)
 			}
+			e.trace2PC(sc, worker, out.TotalCost(), out.PrepareCost, len(sc.participants), out.Committed)
 		}
 	} else if wrote {
 		home := w.logs.Log(homeSite)
 		_, logCost := home.Append(homeSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
+		e.traceOp(sc, obs.KindWALAppend, worker, logCost, 48)
 		e.charge(worker, vclock.Logging, home.Flush(homeSocket, home.Tail(), e.coreTime(worker)))
 	}
 
@@ -409,6 +418,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		rowMode, _ := lockModeFor(a.Op)
 		lockCost, lockErr := lm.Acquire(oSock, lock.TxnID(tx.ID), lock.RowResource(a.Table, a.Key), rowMode)
 		e.charge(pr.core, vclock.Locking, lockCost)
+		e.traceOp(sc, obs.KindLockAcquire, pr.core, lockCost, errArg(lockErr))
 		sc.locked = append(sc.locked, pr)
 		if lockErr != nil {
 			return abort()
@@ -426,6 +436,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 			wrote = true
 			_, logCost := e.log.Append(oSock, wal.Record{Txn: uint64(tx.ID), Type: recordTypeFor(a.Op, applied), Table: a.Table, Key: a.Key, Size: 96})
 			e.charge(pr.core, vclock.Logging, logCost)
+			e.traceOp(sc, obs.KindWALAppend, pr.core, logCost, 96)
 		}
 		// Monitoring: thread-local trace arrays (ATraPos only).
 		if e.adaptive != nil {
@@ -450,6 +461,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 		}
 		syncCost := e.domain.SyncPointCostAt(sc.syncCores, sp.Bytes)
 		e.charge(worker, vclock.Communication, syncCost)
+		e.traceOp(sc, obs.KindSyncPoint, worker, syncCost, int64(sp.Bytes))
 		if e.adaptive != nil {
 			e.adaptive.recordSync(sc.syncRefs, sp.Bytes)
 		}
@@ -458,6 +470,7 @@ func (e *Engine) executePartitioned(worker topology.CoreID, t *workload.Transact
 	if wrote {
 		_, logCost := e.log.Append(coordSocket, wal.Record{Txn: uint64(tx.ID), Type: wal.Commit, Size: 48})
 		e.charge(worker, vclock.Logging, logCost)
+		e.traceOp(sc, obs.KindWALAppend, worker, logCost, 48)
 		e.charge(worker, vclock.Logging, e.log.Flush(coordSocket, e.log.Tail(), e.coreTime(worker)))
 	}
 	e.releaseLocal(snap, lock.TxnID(tx.ID), sc.locked)

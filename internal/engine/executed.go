@@ -179,6 +179,13 @@ func (e *Engine) RunExecuted(opts RunOptions) (*ExecutedResult, error) {
 	}
 
 	execs := backend.NewExecutors(e.hash)
+	if e.tracer != nil {
+		// Executed-path spans carry wall time, recorded on the island rings'
+		// executor; set before any executor goroutine starts serving.
+		for i := range execs {
+			execs[i].SetTrace(e.tracer.Island(i))
+		}
+	}
 	scratch := make([]execScratchX, islands)
 	for i := range scratch {
 		scratch[i].ctx = workload.GenContext{Rng: rand.New(&scratch[i].src)}

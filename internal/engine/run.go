@@ -3,12 +3,14 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"atrapos/internal/fault"
+	"atrapos/internal/obs"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
 	"atrapos/internal/wal"
@@ -47,6 +49,13 @@ type RunOptions struct {
 	// into Events. Nil leaves the run untouched (fault-free runs stay
 	// bit-identical).
 	Faults *fault.Schedule
+	// TracePath, when non-empty, writes the run's span rings and planner
+	// decision log as a Chrome trace-event JSON file (loadable in Perfetto or
+	// chrome://tracing) when the run finishes. Requires Config.Tracing.
+	TracePath string
+	// MetricsPath, when non-empty, writes the planner-boundary metrics time
+	// series as CSV when the run finishes. Requires Config.Tracing.
+	MetricsPath string
 }
 
 // Event is an environment change scheduled at a point of virtual time.
@@ -162,6 +171,9 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		}
 		opts.Events = append(append([]Event(nil), opts.Events...), faultEvents...)
 	}
+	if (opts.TracePath != "" || opts.MetricsPath != "") && e.tracer == nil {
+		return nil, fmt.Errorf("engine: run requested a trace export but the engine was built without Config.Tracing")
+	}
 	e.resetAccounts()
 	e.cfg.Topology.ResetTraffic()
 	if e.devices != nil {
@@ -169,6 +181,9 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		// from a previous run would otherwise be phantom queueing.
 		e.devices.Reset()
 	}
+	// Runs restart virtual time at zero, so spans from a previous run would
+	// overlay this one's timeline.
+	e.tracer.Reset()
 	series := vclock.NewSeries(opts.SampleWindow)
 	logStart := e.logStats()
 
@@ -189,7 +204,7 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 		// evaluation and repartitioning (or an island-level change) con-
 		// currently with execution.
 		e.adaptive.reset()
-		e.adaptive.start(&committed, opts.Workers)
+		e.adaptive.start(&committed, &aborted, opts.Workers)
 	}
 	eventFired := make([]atomic.Bool, len(opts.Events))
 	var eventMu sync.Mutex
@@ -218,6 +233,8 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 			// All per-transaction state lives in worker-owned reusable
 			// buffers: the steady-state loop body allocates nothing.
 			sc := newExecScratch()
+			sc.ring = e.tracer.Worker(workerIdx)
+			sc.worker = int32(workerIdx)
 			ctx := workload.GenContext{Rng: rng}
 			for {
 				n := issued.Add(1)
@@ -268,12 +285,34 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 						}
 					}
 				}
+				var txnStart vclock.Nanos
+				if sc.ring != nil {
+					// Stamp the transaction's spans with the snapshot's wiring
+					// epoch and the coordinator's site before executing.
+					sc.site = int32(sc.snap.wiring.siteOf(coord))
+					sc.epoch = 0
+					if sc.snap.wiring != nil {
+						sc.epoch = uint32(sc.snap.wiring.epoch)
+					}
+					txnStart = e.coreTime(coord)
+				}
 				ok := false
 				for attempt := 0; attempt <= opts.Retries; attempt++ {
 					if e.execute(coord, t, sc) {
 						ok = true
 						break
 					}
+				}
+				if sc.ring != nil {
+					arg := int64(0)
+					if ok {
+						arg = 1
+					}
+					sc.ring.Record(obs.Span{
+						Start: txnStart, Dur: e.coreTime(coord) - txnStart,
+						Kind: obs.KindTxn, Worker: sc.worker, Core: int32(coord),
+						Site: sc.site, Epoch: sc.epoch, Arg: arg, Class: t.Class,
+					})
 				}
 				e.noteTime(coord)
 				if ok {
@@ -338,6 +377,16 @@ func (e *Engine) Run(opts RunOptions) (*Result, error) {
 	res.Interconnect = e.cfg.Topology.Traffic()
 	res.QPIToIMCRatio = e.cfg.Topology.QPIToIMCRatio()
 	res.Log = e.logStats().Sub(logStart)
+	if opts.TracePath != "" {
+		if err := os.WriteFile(opts.TracePath, e.tracer.ExportChromeTrace(), 0o644); err != nil {
+			return nil, fmt.Errorf("engine: writing trace: %w", err)
+		}
+	}
+	if opts.MetricsPath != "" {
+		if err := os.WriteFile(opts.MetricsPath, e.tracer.ExportMetricsCSV(), 0o644); err != nil {
+			return nil, fmt.Errorf("engine: writing metrics: %w", err)
+		}
+	}
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"atrapos/internal/core"
 	"atrapos/internal/lock"
+	"atrapos/internal/obs"
 	"atrapos/internal/topology"
 	"atrapos/internal/txn"
 	"atrapos/internal/workload"
@@ -44,6 +45,14 @@ type execScratch struct {
 	// (site indices) and remote executor cores of the shared-nothing path.
 	participants []int
 	remoteCores  []topology.CoreID
+
+	// ring is the worker's span ring for the transaction in flight (nil with
+	// tracing off); worker, site and epoch stamp its spans. The run loop sets
+	// them per transaction from the snapshot it took.
+	ring   *obs.Ring
+	worker int32
+	site   int32
+	epoch  uint32
 }
 
 type tableMode struct {

@@ -68,6 +68,9 @@ type fuzzScenario struct {
 	// coalesce is the write-combining accumulator's record threshold for both
 	// the adaptive run and the crash-drill pair; zero runs the plain log.
 	coalesce int
+	// tracing runs the adaptive leg with the span tracer enabled; its drop
+	// accounting is then a checked invariant.
+	tracing bool
 	// txnScale multiplies the adaptive run's transaction cap. The cap exists
 	// to bound real runtime, but it must still let virtual time cross the
 	// whole fault schedule: single-op workloads (YCSB) advance virtual time
@@ -78,8 +81,8 @@ type fuzzScenario struct {
 }
 
 func (sc fuzzScenario) String() string {
-	return fmt.Sprintf("profile=%s layout=%q workload=%s level=%s crash=%s coalesce=%d faults=%s",
-		sc.profile.Name, sc.layout, sc.wlName, sc.level, sc.crashDesign, sc.coalesce, sc.sched)
+	return fmt.Sprintf("profile=%s layout=%q workload=%s level=%s crash=%s coalesce=%d trace=%t faults=%s",
+		sc.profile.Name, sc.layout, sc.wlName, sc.level, sc.crashDesign, sc.coalesce, sc.tracing, sc.sched)
 }
 
 // fuzzProfiles are the machine shapes the fuzzer composes over: a flat
@@ -145,6 +148,11 @@ func buildScenario(s Scale, seed int64) (fuzzScenario, error) {
 		return sc, fmt.Errorf("fuzz: schedule generation: %w", err)
 	}
 	sc.sched = sched
+	// Half the scenarios trace. Drawn last so the tracing flag never perturbs
+	// the scenario composition of pre-existing seeds. Spans land in fixed
+	// pre-allocated rings; the invariant tracing adds is its own drop
+	// accounting, checked after the adaptive leg.
+	sc.tracing = rng.Intn(2) == 0
 	return sc, nil
 }
 
@@ -242,6 +250,7 @@ func runScenario(pool *Pool, s Scale, sc fuzzScenario, seed int64) error {
 		Adaptive:         true,
 		AdaptiveInterval: adaptiveInterval(),
 		TimeCompression:  timeCompression,
+		Tracing:          sc.tracing,
 	}
 	if sc.coalesce > 0 {
 		lc := wal.DefaultConfig()
@@ -286,6 +295,13 @@ func runScenario(pool *Pool, s Scale, sc fuzzScenario, seed int64) error {
 	}
 	if err := e.Placement().ValidateAliveDevices(top, e.Devices()); err != nil {
 		return fmt.Errorf("placement on failed device: %w", err)
+	}
+	if sc.tracing {
+		// Every traced scenario must either drop nothing or account for every
+		// drop: each ring's drop counter has to equal its overflow exactly.
+		if msg := e.Tracer().DropAccounting(); msg != "" {
+			return fmt.Errorf("trace drop accounting violated: %s", msg)
+		}
 	}
 
 	// 2. Crash-drill pair: a serial run interrupted by a crash-and-recover

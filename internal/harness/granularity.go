@@ -3,7 +3,9 @@ package harness
 import (
 	"fmt"
 
+	"atrapos/internal/core"
 	"atrapos/internal/engine"
+	"atrapos/internal/obs"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
 	"atrapos/internal/workload"
@@ -12,6 +14,19 @@ import (
 // granularityProfile is the machine the adaptive-granularity experiment runs
 // on by default; a pinned Scale.Profile overrides it.
 const granularityProfile = "2s-fc"
+
+// ScoreTermsRecord is the JSON-friendly rendering of one granularity-scorer
+// per-term breakdown: the level it prices and the five additive terms whose
+// sum is the total (lower is better).
+type ScoreTermsRecord struct {
+	Level    string  `json:"level"`
+	Total    float64 `json:"total"`
+	Locality float64 `json:"locality"`
+	TxnState float64 `json:"txn_state"`
+	Commit   float64 `json:"commit"`
+	Conflict float64 `json:"conflict"`
+	Comm     float64 `json:"comm"`
+}
 
 // GranularityChangeRecord is the JSON-friendly rendering of one online
 // island-level change, as appended to the BENCH.json trajectory.
@@ -26,6 +41,31 @@ type GranularityChangeRecord struct {
 	RebuiltLogs       int     `json:"rebuilt_logs"`
 	ReusedLockTables  int     `json:"reused_lock_tables"`
 	RebuiltLockTables int     `json:"rebuilt_lock_tables"`
+	// WinnerScores and RunnerUpScores are the scorer's per-term breakdowns
+	// for the level switched to and the best rejected alternative — the
+	// explanation of the decision. Pointers so pre-existing documents (and
+	// the strict -verify decoder) stay compatible: absent means an older
+	// recording.
+	WinnerScores   *ScoreTermsRecord `json:"winner_scores,omitempty"`
+	RunnerUpScores *ScoreTermsRecord `json:"runner_up_scores,omitempty"`
+}
+
+// scoreTermsRecord converts a core.LevelBreakdown; nil for the zero value
+// (a breakdown that was never computed, e.g. a record written before the
+// scorer exported terms).
+func scoreTermsRecord(b core.LevelBreakdown) *ScoreTermsRecord {
+	if !b.Level.Valid() {
+		return nil
+	}
+	return &ScoreTermsRecord{
+		Level:    b.Level.String(),
+		Total:    b.Total,
+		Locality: b.Locality,
+		TxnState: b.TxnState,
+		Commit:   b.Commit,
+		Conflict: b.Conflict,
+		Comm:     b.Comm,
+	}
 }
 
 // GranularityPhase summarizes one phase of the drifting-share scenario: the
@@ -148,6 +188,8 @@ func RunAdaptiveGranularityFrom(s Scale, static []IslandPoint) (*GranularityTraj
 			RebuiltLogs:       lc.RebuiltLogs,
 			ReusedLockTables:  lc.ReusedLockTables,
 			RebuiltLockTables: lc.RebuiltLockTables,
+			WinnerScores:      scoreTermsRecord(lc.WinnerScores),
+			RunnerUpScores:    scoreTermsRecord(lc.RunnerUpScores),
 		})
 	}
 
@@ -286,4 +328,111 @@ func FigAdaptiveGranularity(s Scale) (*Table, error) {
 			lc.AffectedCores, lc.ReusedLogs, lc.RebuiltLogs, lc.ReusedLockTables, lc.RebuiltLockTables))
 	}
 	return t, nil
+}
+
+// tracedDriftProfile is the machine of the traced adaptive drift run: the
+// two-socket four-die chiplet part, whose die level gives the planner a real
+// mid-axis granularity to move through.
+const tracedDriftProfile = "chiplet-2s4d"
+
+// TracedDriftResult is the outcome of RunTracedDrift: the level trajectory
+// plus the trace's own accounting, so callers (the bench CLI, CI smoke, the
+// determinism oracle) can validate what was exported.
+type TracedDriftResult struct {
+	Trajectory *GranularityTrajectory
+	// Trace and Metrics are the exported documents, byte-identical to the
+	// files written at TracePath/MetricsPath.
+	Trace   []byte
+	Metrics []byte
+	// Decisions is how many planner decisions the trace explains; DroppedSpans
+	// is the tracer's overflow count (0 unless a ring filled up).
+	Decisions    int
+	DroppedSpans int64
+}
+
+// RunTracedDrift executes the adaptive-granularity drift scenario with the
+// span tracer enabled and exports the trace and metrics documents (also to
+// tracePath/metricsPath when non-empty). The engine runs with exactly one
+// worker — the same budget the harness pool pins per point — so the virtual
+// timeline, and therefore the exported trace, is bit-identical on any host
+// and at any Scale.Parallel fan-out.
+func RunTracedDrift(s Scale, tracePath, metricsPath string) (*TracedDriftResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	profName := s.Profile
+	if profName == "" {
+		profName = tracedDriftProfile
+	}
+	prof, ok := topology.ProfileByName(profName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown profile %q", profName)
+	}
+	wl, half, _ := granularityScenario(s.MicroRows)
+	levels := prof.Build().DistinctLevels()
+	start := levels[len(levels)-2]
+	e, err := engine.New(engine.Config{
+		Design:           engine.SharedNothing,
+		IslandLevel:      start,
+		Workload:         wl,
+		Topology:         prof.Build(),
+		Adaptive:         true,
+		AdaptiveInterval: adaptiveInterval(),
+		TimeCompression:  timeCompression,
+		Tracing:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(engine.RunOptions{
+		Duration:        2 * half,
+		MaxTransactions: 40 * s.Transactions,
+		Seed:            s.Seed,
+		Workers:         1,
+		SampleWindow:    adaptiveWindow,
+		TracePath:       tracePath,
+		MetricsPath:     metricsPath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := e.Tracer()
+	if msg := tr.DropAccounting(); msg != "" {
+		return nil, fmt.Errorf("harness: trace drop accounting violated: %s", msg)
+	}
+	out := &TracedDriftResult{
+		Trajectory: &GranularityTrajectory{
+			Profile:    prof.Name,
+			StartLevel: start.String(),
+			FinalLevel: res.IslandLevel,
+			Committed:  res.Committed,
+		},
+		Trace:        tr.ExportChromeTrace(),
+		Metrics:      tr.ExportMetricsCSV(),
+		Decisions:    len(tr.Decisions()),
+		DroppedSpans: tr.Dropped(),
+	}
+	for _, lc := range res.LevelChanges {
+		out.Trajectory.Changes = append(out.Trajectory.Changes, GranularityChangeRecord{
+			AtNanos:           int64(lc.At),
+			From:              lc.From.String(),
+			To:                lc.To.String(),
+			MultisiteShare:    lc.MultisiteShare,
+			Cost:              int64(lc.Cost),
+			AffectedCores:     lc.AffectedCores,
+			ReusedLogs:        lc.ReusedLogs,
+			RebuiltLogs:       lc.RebuiltLogs,
+			ReusedLockTables:  lc.ReusedLockTables,
+			RebuiltLockTables: lc.RebuiltLockTables,
+			WinnerScores:      scoreTermsRecord(lc.WinnerScores),
+			RunnerUpScores:    scoreTermsRecord(lc.RunnerUpScores),
+		})
+	}
+	if err := obs.ValidateChromeTrace(out.Trace); err != nil {
+		return nil, fmt.Errorf("harness: exported trace invalid: %w", err)
+	}
+	if err := obs.ValidateMetricsCSV(out.Metrics); err != nil {
+		return nil, fmt.Errorf("harness: exported metrics invalid: %w", err)
+	}
+	return out, nil
 }

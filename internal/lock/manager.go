@@ -2,6 +2,7 @@ package lock
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"atrapos/internal/numa"
 	"atrapos/internal/topology"
@@ -38,6 +39,10 @@ type CentralManager struct {
 	sliMu      sync.Mutex
 	sli        map[topology.SocketID]map[ResourceID]Mode
 	sliHits    int64
+
+	// conflicts counts failed acquisitions (mode incompatibilities); the
+	// metrics sampler reads it at planner boundaries.
+	conflicts atomic.Int64
 }
 
 // NewCentralManager builds a centralized manager over domain d.
@@ -68,10 +73,14 @@ func (m *CentralManager) Acquire(s topology.SocketID, txn TxnID, res ResourceID,
 	}
 	cost := m.lines[m.table.BucketFor(res)].Atomic(s)
 	if err := m.table.Acquire(txn, res, mode); err != nil {
+		m.conflicts.Add(1)
 		return cost, err
 	}
 	return cost, nil
 }
+
+// Conflicts returns how many acquisitions failed on a mode conflict.
+func (m *CentralManager) Conflicts() int64 { return m.conflicts.Load() }
 
 // ReleaseAll implements Manager. Table-level locks are retained in the SLI
 // cache of the releasing worker's socket when SLI is enabled.
@@ -126,6 +135,9 @@ type LocalManager struct {
 	line    *numa.CacheLine
 	home    topology.SocketID
 	homeDie topology.DieID
+
+	// conflicts counts failed acquisitions, as on CentralManager.
+	conflicts atomic.Int64
 }
 
 // NewLocalManager creates a partition-local lock table homed on socket home
@@ -178,10 +190,14 @@ func (m *LocalManager) HomeDie() topology.DieID { return m.homeDie }
 func (m *LocalManager) Acquire(s topology.SocketID, txn TxnID, res ResourceID, mode Mode) (numa.Cost, error) {
 	cost := m.line.Atomic(s)
 	if err := m.table.Acquire(txn, res, mode); err != nil {
+		m.conflicts.Add(1)
 		return cost, err
 	}
 	return cost, nil
 }
+
+// Conflicts returns how many acquisitions failed on a mode conflict.
+func (m *LocalManager) Conflicts() int64 { return m.conflicts.Load() }
 
 // ReleaseAll implements Manager.
 func (m *LocalManager) ReleaseAll(s topology.SocketID, txn TxnID) (numa.Cost, int) {

@@ -22,6 +22,11 @@ type TwoPCOutcome struct {
 	// ByComponent is indexed by vclock.Component; a fixed array keeps the
 	// per-transaction 2PC path free of map allocations.
 	ByComponent [vclock.NumComponents]numa.Cost
+	// PrepareCost is the cost accumulated through the end of the voting
+	// phase (phase 1); TotalCost() - PrepareCost is the decision and
+	// completion phase. The tracer splits the protocol into its two spans
+	// with it.
+	PrepareCost numa.Cost
 }
 
 // TotalCost returns the sum over all components.
@@ -129,6 +134,8 @@ func (c *Coordinator) Run(t *Txn, coord topology.CoreID, coordSite int, particip
 		out.Messages += 2
 		out.LogRecords++
 	}
+
+	out.PrepareCost = out.TotalCost()
 
 	// Decision, on the coordinator instance's own log.
 	decision := wal.Commit

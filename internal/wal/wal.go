@@ -14,6 +14,7 @@ import (
 
 	"atrapos/internal/device"
 	"atrapos/internal/numa"
+	"atrapos/internal/obs"
 	"atrapos/internal/schema"
 	"atrapos/internal/topology"
 	"atrapos/internal/vclock"
@@ -170,6 +171,15 @@ type CentralLog struct {
 	// coal is the write-combining accumulator (Config.CoalesceRecords > 0);
 	// nil leaves every path below on the legacy record-per-write arithmetic.
 	coal *coalescer
+
+	// trace is the island span ring the log emits physical-flush and
+	// coalesce-fold spans into; nil (the default) records nothing. traceSite
+	// stamps the spans with the owning island; traceFoldMark is the coalesced
+	// counter at the last emitted fold span, so each fold span reports only
+	// the records folded since the previous physical flush.
+	trace         *obs.Ring
+	traceSite     int32
+	traceFoldMark int64
 
 	appends     int64
 	logical     int64
@@ -421,11 +431,15 @@ func (l *CentralLog) Flush(s topology.SocketID, lsn LSN, now vclock.Nanos) numa.
 		bytes := l.pendingBytes
 		l.pendingBytes = 0
 		l.physBytes += int64(bytes)
+		var flushCost numa.Cost
 		if l.cfg.Device != nil {
-			cost += l.cfg.Device.Flush(now, bytes)
+			flushCost = l.cfg.Device.Flush(now, bytes)
 		} else {
-			cost += l.cfg.FlushCost
+			flushCost = l.cfg.FlushCost
 		}
+		cost += flushCost
+		l.trace.Record(obs.Span{Start: now, Dur: vclock.Nanos(flushCost),
+			Kind: obs.KindPhysFlush, Site: l.traceSite, Arg: int64(bytes)})
 	} else {
 		// Riding on a group commit still pays a fraction of the flush
 		// latency (waiting for the group to form).
@@ -480,10 +494,22 @@ func (l *CentralLog) physicalFlushLocked(now vclock.Nanos, leftovers bool) numa.
 	l.pending = 0
 	l.physFlushes++
 	l.physBytes += int64(bytes)
+	var flushCost numa.Cost
 	if l.cfg.Device != nil {
-		return l.cfg.Device.Flush(now, bytes)
+		flushCost = l.cfg.Device.Flush(now, bytes)
+	} else {
+		flushCost = l.cfg.FlushCost
 	}
-	return l.cfg.FlushCost
+	if l.trace != nil {
+		if folded := c.coalesced - l.traceFoldMark; folded > 0 {
+			l.trace.Record(obs.Span{Start: now, Kind: obs.KindCoalesceFold,
+				Site: l.traceSite, Arg: folded})
+			l.traceFoldMark = c.coalesced
+		}
+		l.trace.Record(obs.Span{Start: now, Dur: vclock.Nanos(flushCost),
+			Kind: obs.KindPhysFlush, Site: l.traceSite, Arg: int64(bytes)})
+	}
+	return flushCost
 }
 
 // Drain forces the write-combining accumulator out: committed net deltas and
@@ -513,6 +539,21 @@ func (l *CentralLog) Device() *device.Device {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.cfg.Device
+}
+
+// SetTrace attaches (or, with a nil ring, detaches) the island span ring the
+// log emits physical-flush and coalesce-fold spans into, stamped with site.
+// An online re-wiring re-attaches reused logs to the new wiring's rings; the
+// fold mark restarts at the current coalesced count so the first fold span
+// after the move reports only new folds.
+func (l *CentralLog) SetTrace(r *obs.Ring, site int32) {
+	l.mu.Lock()
+	l.trace = r
+	l.traceSite = site
+	if l.coal != nil {
+		l.traceFoldMark = l.coal.coalesced
+	}
+	l.mu.Unlock()
 }
 
 // bindDevice re-binds the log to a different device, keeping its records,
